@@ -1,0 +1,30 @@
+//! Ablation ◆ (DESIGN.md §4.5): cost of the achieved-model-size search.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use zerosim_core::max_model_size;
+use zerosim_hw::{Cluster, ClusterSpec};
+use zerosim_strategies::{Calibration, Strategy, TrainOptions, ZeroStage};
+
+fn bench_capacity(c: &mut Criterion) {
+    let cluster = Cluster::new(ClusterSpec::default()).unwrap();
+    let calib = Calibration::default();
+    let mut group = c.benchmark_group("capacity_search");
+    for (name, strategy) in [
+        ("ddp", Strategy::Ddp),
+        ("megatron", Strategy::Megatron { tp: 4, pp: 1 }),
+        (
+            "zero3",
+            Strategy::Zero {
+                stage: ZeroStage::Three,
+            },
+        ),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| max_model_size(&cluster, &strategy, &TrainOptions::single_node(), &calib));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_capacity);
+criterion_main!(benches);

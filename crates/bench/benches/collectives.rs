@@ -1,0 +1,92 @@
+//! Ablation ◆ (DESIGN.md §4.2): stepwise vs coalesced vs hierarchical
+//! collective expansion — DAG size and simulated execution cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use zerosim_collectives::{
+    emit_collective_coalesced, emit_collective_hierarchical, emit_collective_stepwise,
+    CollectiveKind, CommGroup,
+};
+use zerosim_hw::{Cluster, ClusterSpec};
+use zerosim_simkit::{DagBuilder, DagEngine, SimTime};
+
+fn bench_emission(c: &mut Criterion) {
+    let mut group = c.benchmark_group("collectives");
+    for (name, bytes) in [("64MB", 64e6), ("1GB", 1e9)] {
+        group.bench_with_input(
+            BenchmarkId::new("stepwise_intra", name),
+            &bytes,
+            |b, &bytes| {
+                b.iter(|| {
+                    let mut cluster = Cluster::new(ClusterSpec::default()).unwrap();
+                    let g = CommGroup::new(cluster.node_gpus(0));
+                    let mut dag = DagBuilder::new();
+                    emit_collective_stepwise(
+                        &mut dag,
+                        &cluster,
+                        &g,
+                        CollectiveKind::AllReduce,
+                        bytes,
+                        &[],
+                        f64::INFINITY,
+                    );
+                    let mut eng = DagEngine::new(cluster.resource_slots());
+                    eng.run(cluster.net_mut(), &dag.build(), SimTime::ZERO, None)
+                        .unwrap()
+                        .makespan()
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("coalesced_intra", name),
+            &bytes,
+            |b, &bytes| {
+                b.iter(|| {
+                    let mut cluster = Cluster::new(ClusterSpec::default()).unwrap();
+                    let g = CommGroup::new(cluster.node_gpus(0));
+                    let mut dag = DagBuilder::new();
+                    emit_collective_coalesced(
+                        &mut dag,
+                        &cluster,
+                        &g,
+                        CollectiveKind::AllReduce,
+                        bytes,
+                        &[],
+                        f64::INFINITY,
+                    );
+                    let mut eng = DagEngine::new(cluster.resource_slots());
+                    eng.run(cluster.net_mut(), &dag.build(), SimTime::ZERO, None)
+                        .unwrap()
+                        .makespan()
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("hierarchical_inter", name),
+            &bytes,
+            |b, &bytes| {
+                b.iter(|| {
+                    let mut cluster = Cluster::new(ClusterSpec::default()).unwrap();
+                    let g = CommGroup::world(&cluster);
+                    let mut dag = DagBuilder::new();
+                    emit_collective_hierarchical(
+                        &mut dag,
+                        &cluster,
+                        &g,
+                        CollectiveKind::AllReduce,
+                        bytes,
+                        &[],
+                        f64::INFINITY,
+                    );
+                    let mut eng = DagEngine::new(cluster.resource_slots());
+                    eng.run(cluster.net_mut(), &dag.build(), SimTime::ZERO, None)
+                        .unwrap()
+                        .makespan()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_emission);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Cost of compiling strategies into task graphs (the per-configuration
+//! setup overhead of every experiment).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use zerosim_hw::{Cluster, ClusterSpec};
+use zerosim_model::GptConfig;
+use zerosim_strategies::{Calibration, Strategy, TrainOptions, ZeroStage};
+
+fn bench_dag_build(c: &mut Criterion) {
+    let cluster = Cluster::new(ClusterSpec::default()).unwrap();
+    let calib = Calibration::default();
+    let mut group = c.benchmark_group("dag_build");
+    for (name, strategy, billions, nodes) in [
+        ("ddp_1p4", Strategy::Ddp, 1.4, 1usize),
+        (
+            "zero3_6p6",
+            Strategy::Zero {
+                stage: ZeroStage::Three,
+            },
+            6.6,
+            1,
+        ),
+        (
+            "megatron_tp8_11b",
+            Strategy::Megatron { tp: 8, pp: 1 },
+            11.2,
+            2,
+        ),
+    ] {
+        let model = GptConfig::paper_model_with_params(billions);
+        let opts = if nodes == 1 {
+            TrainOptions::single_node()
+        } else {
+            TrainOptions::dual_node()
+        };
+        group.bench_function(name, |b| {
+            b.iter(|| strategy.build_iteration(&cluster, &model, &opts, &calib).len());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dag_build);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Ablation ◆ (DESIGN.md §4.1): cost of the max-min fair progressive
+//! filling solver as flow count grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use zerosim_simkit::{FlowNet, NullObserver};
+
+fn bench_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flow_solver");
+    for flows in [4usize, 16, 64, 256] {
+        group.bench_with_input(BenchmarkId::new("drain", flows), &flows, |b, &flows| {
+            b.iter(|| {
+                let mut net = FlowNet::new();
+                let links: Vec<_> = (0..16)
+                    .map(|i| net.add_link(format!("l{i}"), 1e9 + i as f64))
+                    .collect();
+                for f in 0..flows {
+                    let route = [links[f % 16], links[(f * 7 + 3) % 16]];
+                    net.start_flow(&route, 1e6 + f as f64);
+                }
+                net.drain(&mut NullObserver)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solver);
+criterion_main!(benches);

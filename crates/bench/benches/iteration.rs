@@ -1,0 +1,58 @@
+//! Simulation cost per training iteration for each strategy — the wall
+//! clock the repro harness pays per configuration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use zerosim_core::{RunConfig, TrainingSim};
+use zerosim_hw::ClusterSpec;
+use zerosim_model::GptConfig;
+use zerosim_strategies::{Strategy, TrainOptions, ZeroStage};
+
+fn bench_iterations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("iteration_sim");
+    group.sample_size(10);
+    let model = GptConfig::paper_model_with_params(1.4);
+    for (name, strategy, nodes) in [
+        ("ddp_single", Strategy::Ddp, 1usize),
+        ("megatron_single", Strategy::Megatron { tp: 4, pp: 1 }, 1),
+        (
+            "zero3_single",
+            Strategy::Zero {
+                stage: ZeroStage::Three,
+            },
+            1,
+        ),
+        (
+            "zero3_dual",
+            Strategy::Zero {
+                stage: ZeroStage::Three,
+            },
+            2,
+        ),
+        (
+            "zero2_cpu_offload",
+            Strategy::ZeroOffload {
+                stage: ZeroStage::Two,
+                offload_params: false,
+            },
+            1,
+        ),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut sim = TrainingSim::new(ClusterSpec::default()).unwrap();
+                let opts = if nodes == 1 {
+                    TrainOptions::single_node()
+                } else {
+                    TrainOptions::dual_node()
+                };
+                sim.run(&strategy, &model, &opts, &RunConfig::quick())
+                    .unwrap()
+                    .throughput_tflops()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_iterations);
+criterion_main!(benches);

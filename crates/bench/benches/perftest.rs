@@ -1,0 +1,21 @@
+//! Cost of the microbenchmark harness (Fig. 3 / Fig. 4 regeneration).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use zerosim_hw::ClusterSpec;
+use zerosim_perftest::{latency_sweep, stress_test, RdmaSemantic, StressScenario};
+
+fn bench_perftest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("perftest");
+    group.bench_function("latency_sweep", |b| {
+        let spec = ClusterSpec::default();
+        let sizes = zerosim_perftest::paper_message_sizes();
+        b.iter(|| latency_sweep(&spec, RdmaSemantic::Write, true, &sizes));
+    });
+    group.bench_function("stress_gpu_cross", |b| {
+        b.iter(|| stress_test(StressScenario::GpuRoce { cross_socket: true }));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_perftest);
+criterion_main!(benches);

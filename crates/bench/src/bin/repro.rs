@@ -1,0 +1,52 @@
+//! Regenerates the paper's tables and figures on the simulated cluster.
+//!
+//! Usage: `repro [--out DIR] <artifact>...` where artifact ∈
+//! {fig1..fig13, table1..table6, ext1..ext5, all}. With `--out`, each
+//! artifact is also written to `DIR/<id>.txt`.
+
+use std::time::Instant;
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_dir: Option<String> = None;
+    if let Some(pos) = args.iter().position(|a| a == "--out") {
+        if pos + 1 >= args.len() {
+            eprintln!("--out needs a directory argument");
+            std::process::exit(2);
+        }
+        out_dir = Some(args.remove(pos + 1));
+        args.remove(pos);
+    }
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: repro [--out DIR] <artifact>... | all");
+        eprintln!("artifacts: {}", zerosim_bench::ARTIFACTS.join(" "));
+        std::process::exit(2);
+    }
+    let ids: Vec<&str> = if args.iter().any(|a| a == "all") {
+        zerosim_bench::ARTIFACTS.to_vec()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    for id in &ids {
+        if !zerosim_bench::ARTIFACTS.contains(id) {
+            eprintln!(
+                "unknown artifact {id:?}; known: {}",
+                zerosim_bench::ARTIFACTS.join(" ")
+            );
+            std::process::exit(2);
+        }
+    }
+    if let Some(dir) = &out_dir {
+        std::fs::create_dir_all(dir).expect("create output directory");
+    }
+    for id in ids {
+        let t0 = Instant::now();
+        let body = zerosim_bench::render(id);
+        println!("================ {id} ================");
+        println!("{body}");
+        if let Some(dir) = &out_dir {
+            std::fs::write(format!("{dir}/{id}.txt"), &body).expect("write artifact");
+        }
+        eprintln!("[{id} generated in {:?}]", t0.elapsed());
+    }
+}

@@ -1,0 +1,83 @@
+//! Exports the simulated timeline of one training configuration as a
+//! Chrome trace (load in `chrome://tracing` or Perfetto) — the simulated
+//! counterpart of the paper's nsys captures (Fig. 5).
+//!
+//! Usage: `trace <strategy> <billions> <nodes> [output.json]`
+//! where strategy ∈ {ddp, megatron, zero1, zero2, zero3, zero2-cpu,
+//! zero3-cpu, infinity}.
+
+use zerosim_core::{to_chrome_trace, RunConfig, TrainingSim};
+use zerosim_hw::{ClusterSpec, NvmeId};
+use zerosim_model::GptConfig;
+use zerosim_strategies::{InfinityPlacement, Strategy, TrainOptions, ZeroStage};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 3 {
+        eprintln!("usage: trace <strategy> <billions> <nodes> [output.json]");
+        eprintln!("strategies: ddp megatron zero1 zero2 zero3 zero2-cpu zero3-cpu infinity");
+        std::process::exit(2);
+    }
+    let billions: f64 = args[1].parse()?;
+    let nodes: usize = args[2].parse()?;
+    let out = args.get(3).cloned().unwrap_or_else(|| "trace.json".into());
+
+    let mut sim = TrainingSim::new(ClusterSpec::default())?;
+    let strategy = match args[0].as_str() {
+        "ddp" => Strategy::Ddp,
+        "megatron" => Strategy::Megatron {
+            tp: 4 * nodes,
+            pp: 1,
+        },
+        "zero1" => Strategy::Zero {
+            stage: ZeroStage::One,
+        },
+        "zero2" => Strategy::Zero {
+            stage: ZeroStage::Two,
+        },
+        "zero3" => Strategy::Zero {
+            stage: ZeroStage::Three,
+        },
+        "zero2-cpu" => Strategy::ZeroOffload {
+            stage: ZeroStage::Two,
+            offload_params: false,
+        },
+        "zero3-cpu" => Strategy::ZeroOffload {
+            stage: ZeroStage::Three,
+            offload_params: false,
+        },
+        "infinity" => {
+            let d = |drive| NvmeId { node: 0, drive };
+            let vol = sim.cluster_mut().create_volume(vec![d(0), d(1)]);
+            Strategy::ZeroInfinity {
+                offload_params: false,
+                placement: InfinityPlacement::new(vec![vol]),
+            }
+        }
+        other => {
+            eprintln!("unknown strategy {other:?}");
+            std::process::exit(2);
+        }
+    };
+
+    let opts = if nodes == 1 {
+        TrainOptions::single_node()
+    } else {
+        TrainOptions::dual_node()
+    };
+    let model = GptConfig::paper_model_with_params(billions);
+    let cfg = RunConfig {
+        allow_overflow: true,
+        ..RunConfig::quick()
+    };
+    let report = sim.run(&strategy, &model, &opts, &cfg)?;
+    std::fs::write(&out, to_chrome_trace(&report.spans))?;
+    eprintln!(
+        "{}: {:.3}s iteration, {:.0} TFLOP/s — {} spans written to {out}",
+        report.strategy,
+        report.iter_time.as_secs(),
+        report.throughput_tflops(),
+        report.spans.spans().len(),
+    );
+    Ok(())
+}

@@ -1,0 +1,228 @@
+//! Shared fixtures and runners for the experiment harness.
+
+use zerosim_core::{max_model_size, CapacityResult, RunConfig, TrainingReport, TrainingSim};
+use zerosim_hw::{ClusterSpec, NvmeDrivePlacement, NvmeId, VolumeId};
+use zerosim_model::GptConfig;
+use zerosim_strategies::{InfinityPlacement, Strategy, TrainOptions, ZeroStage};
+
+/// A fresh simulator over the paper's two-node cluster.
+pub fn sim() -> TrainingSim {
+    TrainingSim::new(ClusterSpec::default()).expect("default spec valid")
+}
+
+/// Options for `nodes` nodes with the paper's batch size.
+pub fn opts(nodes: usize) -> TrainOptions {
+    if nodes == 1 {
+        TrainOptions::single_node()
+    } else {
+        TrainOptions::dual_node()
+    }
+}
+
+/// The five baseline configurations of Sec. IV, in figure order.
+pub fn baselines(nodes: usize) -> Vec<(&'static str, Strategy)> {
+    let tp = nodes * 4;
+    vec![
+        ("PyTorch DDP", Strategy::Ddp),
+        ("Megatron-LM", Strategy::Megatron { tp, pp: 1 }),
+        (
+            "ZeRO-1",
+            Strategy::Zero {
+                stage: ZeroStage::One,
+            },
+        ),
+        (
+            "ZeRO-2",
+            Strategy::Zero {
+                stage: ZeroStage::Two,
+            },
+        ),
+        (
+            "ZeRO-3",
+            Strategy::Zero {
+                stage: ZeroStage::Three,
+            },
+        ),
+    ]
+}
+
+/// Capacity search for `strategy` on a fresh cluster.
+pub fn capacity(strategy: &Strategy, nodes: usize) -> CapacityResult {
+    let s = sim();
+    max_model_size(s.cluster(), strategy, &opts(nodes), s.calibration())
+        .expect("all paper strategies fit at least one layer")
+}
+
+/// Runs `strategy` at `model` and returns the report (quick
+/// single-iteration measurement unless `thorough`).
+pub fn run(strategy: &Strategy, model: &GptConfig, nodes: usize, thorough: bool) -> TrainingReport {
+    let mut s = sim();
+    let cfg = if thorough {
+        RunConfig::default()
+    } else {
+        RunConfig::quick()
+    };
+    s.run(strategy, model, &opts(nodes), &cfg)
+        .expect("configuration fits")
+}
+
+/// Runs `strategy` at its own capacity limit.
+pub fn run_at_capacity(
+    strategy: &Strategy,
+    nodes: usize,
+    thorough: bool,
+) -> (CapacityResult, TrainingReport) {
+    let cap = capacity(strategy, nodes);
+    let model = GptConfig::paper_model(cap.num_layers);
+    (cap, run(strategy, &model, nodes, thorough))
+}
+
+/// The NVMe data-placement configurations of Fig. 14 / Table VI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NvmeConfig {
+    /// Single drive on socket 1.
+    A,
+    /// Two drives on socket 1, one RAID0 (the paper's default scratch).
+    B,
+    /// Two drives split across sockets, one RAID0 spanning both.
+    C,
+    /// Two drives split across sockets, no RAID (rank → local drive).
+    D,
+    /// Four drives (two per socket), one RAID0 spanning all.
+    E,
+    /// Four drives, two per-socket RAID0 volumes (rank → local volume).
+    F,
+    /// Four drives, no RAID (rank → local drive).
+    G,
+}
+
+impl NvmeConfig {
+    /// All seven configurations in paper order.
+    pub const ALL: [NvmeConfig; 7] = [
+        NvmeConfig::A,
+        NvmeConfig::B,
+        NvmeConfig::C,
+        NvmeConfig::D,
+        NvmeConfig::E,
+        NvmeConfig::F,
+        NvmeConfig::G,
+    ];
+
+    /// Configuration letter.
+    pub fn letter(&self) -> char {
+        match self {
+            NvmeConfig::A => 'A',
+            NvmeConfig::B => 'B',
+            NvmeConfig::C => 'C',
+            NvmeConfig::D => 'D',
+            NvmeConfig::E => 'E',
+            NvmeConfig::F => 'F',
+            NvmeConfig::G => 'G',
+        }
+    }
+
+    /// Scratch drive layout per node.
+    pub fn layout(&self) -> Vec<NvmeDrivePlacement> {
+        let s = |socket| NvmeDrivePlacement { socket };
+        match self {
+            NvmeConfig::A => vec![s(1)],
+            NvmeConfig::B => vec![s(1), s(1)],
+            NvmeConfig::C | NvmeConfig::D => vec![s(0), s(1)],
+            NvmeConfig::E | NvmeConfig::F | NvmeConfig::G => vec![s(0), s(0), s(1), s(1)],
+        }
+    }
+
+    /// Builds the simulator, volumes, and rank placement for this
+    /// configuration (single-node training, ranks 0–3).
+    pub fn build(&self) -> (TrainingSim, InfinityPlacement) {
+        let spec = ClusterSpec::default().with_nvme_layout(self.layout());
+        let mut s = TrainingSim::new(spec).expect("valid spec");
+        let d = |drive| NvmeId { node: 0, drive };
+        let cluster = s.cluster_mut();
+        let vols: Vec<VolumeId> = match self {
+            NvmeConfig::A => vec![cluster.create_volume(vec![d(0)])],
+            NvmeConfig::B | NvmeConfig::C => {
+                vec![cluster.create_volume(vec![d(0), d(1)])]
+            }
+            NvmeConfig::D => vec![
+                cluster.create_volume(vec![d(0)]),
+                cluster.create_volume(vec![d(1)]),
+            ],
+            NvmeConfig::E => vec![cluster.create_volume(vec![d(0), d(1), d(2), d(3)])],
+            NvmeConfig::F => vec![
+                cluster.create_volume(vec![d(0), d(1)]),
+                cluster.create_volume(vec![d(2), d(3)]),
+            ],
+            NvmeConfig::G => (0..4).map(|i| cluster.create_volume(vec![d(i)])).collect(),
+        };
+        // Rank → volume mapping respecting node topology where the config
+        // allows it (ranks 0,1 live on socket 0; 2,3 on socket 1).
+        let rank_volumes = match self {
+            NvmeConfig::A | NvmeConfig::B | NvmeConfig::C | NvmeConfig::E => {
+                vec![vols[0]; 4]
+            }
+            NvmeConfig::D | NvmeConfig::F => vec![vols[0], vols[0], vols[1], vols[1]],
+            NvmeConfig::G => vec![vols[0], vols[1], vols[2], vols[3]],
+        };
+        (s, InfinityPlacement::new(rank_volumes))
+    }
+
+    /// The ZeRO-Infinity strategy (optimizer offload) for this config.
+    pub fn strategy(&self, placement: InfinityPlacement) -> Strategy {
+        Strategy::ZeroInfinity {
+            offload_params: false,
+            placement,
+        }
+    }
+}
+
+/// The offload configurations compared in Sec. V (Figs. 11/12).
+pub fn offload_strategies() -> Vec<(&'static str, Strategy)> {
+    vec![
+        (
+            "ZeRO-2 (CPU)",
+            Strategy::ZeroOffload {
+                stage: ZeroStage::Two,
+                offload_params: false,
+            },
+        ),
+        (
+            "ZeRO-3 (CPU)",
+            Strategy::ZeroOffload {
+                stage: ZeroStage::Three,
+                offload_params: false,
+            },
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baselines_cover_five_configs() {
+        assert_eq!(baselines(1).len(), 5);
+        assert!(matches!(
+            baselines(2)[1].1,
+            Strategy::Megatron { tp: 8, pp: 1 }
+        ));
+    }
+
+    #[test]
+    fn nvme_configs_have_expected_drive_counts() {
+        assert_eq!(NvmeConfig::A.layout().len(), 1);
+        assert_eq!(NvmeConfig::B.layout().len(), 2);
+        assert_eq!(NvmeConfig::E.layout().len(), 4);
+        for c in NvmeConfig::ALL {
+            let (_, placement) = c.build();
+            assert_eq!(placement.rank_volumes.len(), 4);
+        }
+    }
+
+    #[test]
+    fn capacity_runner_works() {
+        let cap = capacity(&Strategy::Ddp, 1);
+        assert!(cap.billions() > 1.0 && cap.billions() < 2.5);
+    }
+}

@@ -1,0 +1,9 @@
+//! One module per paper artifact; each experiment renders its table or
+//! figure as text.
+
+pub mod extensions;
+pub mod micro;
+pub mod offload;
+pub mod scorecard;
+pub mod setup;
+pub mod train;

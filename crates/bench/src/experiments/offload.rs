@@ -1,0 +1,303 @@
+//! Offload experiments: Figs. 11–13 and Table VI (Fig. 14 configs).
+
+use zerosim_core::{max_model_size, RunConfig, TrainingReport};
+use zerosim_hw::LinkClass;
+use zerosim_model::GptConfig;
+use zerosim_report::{downsample, gb, gbps, sparkline, Table};
+use zerosim_strategies::{Strategy, ZeroStage};
+
+use crate::data::{self, NvmeConfig};
+
+/// The consolidation target: the largest model dual-node Megatron fits.
+pub const CONSOLIDATION_BILLIONS: f64 = 11.4;
+
+fn consolidation_rows() -> Vec<(String, TrainingReport)> {
+    let model = GptConfig::paper_model_with_params(CONSOLIDATION_BILLIONS);
+    let cfg = RunConfig {
+        allow_overflow: true,
+        ..RunConfig::default()
+    };
+    let mut rows = Vec::new();
+
+    // Reference: Megatron-LM on two nodes.
+    let mut sim = data::sim();
+    let report = sim
+        .run(
+            &Strategy::Megatron { tp: 8, pp: 1 },
+            &model,
+            &data::opts(2),
+            &cfg,
+        )
+        .expect("megatron dual");
+    rows.push(("Megatron-LM (2 nodes)".to_string(), report));
+
+    for (name, strategy) in data::offload_strategies() {
+        let mut sim = data::sim();
+        let report = sim
+            .run(&strategy, &model, &data::opts(1), &cfg)
+            .expect("offload runs");
+        rows.push((name.to_string(), report));
+    }
+    for (nvme, label) in [(NvmeConfig::A, "1xNVME"), (NvmeConfig::B, "2xNVME")] {
+        for offload_params in [false, true] {
+            let (mut sim, placement) = nvme.build();
+            let strategy = Strategy::ZeroInfinity {
+                offload_params,
+                placement,
+            };
+            let report = sim
+                .run(&strategy, &model, &data::opts(1), &cfg)
+                .expect("infinity runs");
+            let what = if offload_params { "opt+param" } else { "opt" };
+            rows.push((format!("ZeRO-Infinity ({label} {what})"), report));
+        }
+    }
+    rows
+}
+
+/// Fig. 11 — throughput and memory when consolidating dual-node training
+/// into a single node at 11.4 B parameters.
+pub fn fig11() -> String {
+    let mut t = Table::new(vec![
+        "configuration",
+        "TFLOP/s",
+        "GPU GB",
+        "CPU GB",
+        "NVME GB",
+        "total GB",
+    ]);
+    for (name, report) in consolidation_rows() {
+        t.row(vec![
+            name,
+            format!("{:.1}", report.throughput_tflops()),
+            gb(report.memory.total_gpu_bytes),
+            gb(report.memory.total_cpu_bytes),
+            gb(report.memory.nvme_bytes),
+            gb(report.memory.total()),
+        ]);
+    }
+    format!(
+        "Fig. 11 — consolidating dual-node into single-node at {CONSOLIDATION_BILLIONS} B:\n{}",
+        t.render()
+    )
+}
+
+/// Fig. 12 — utilization patterns for the offload configurations.
+pub fn fig12() -> String {
+    let mut out = String::from("Fig. 12 — offload utilization patterns (GBps):\n");
+    for (name, report) in consolidation_rows().into_iter().skip(1) {
+        out.push_str(&format!("{name}:\n"));
+        for class in [
+            LinkClass::NvLink,
+            LinkClass::PcieGpu,
+            LinkClass::PcieNvme,
+            LinkClass::Xgmi,
+            LinkClass::Dram,
+        ] {
+            let series = report.bandwidth.tiled_series(0, class, 10.0);
+            let stats = report.bandwidth.stats(0, class);
+            out.push_str(&format!(
+                "  {class:<10} {}  avg {} / peak {}\n",
+                sparkline(&downsample(&series, 50), None),
+                gbps(stats.avg),
+                gbps(stats.peak),
+            ));
+        }
+    }
+    out
+}
+
+/// Fig. 13 — largest single-node model with offloading: size, throughput,
+/// memory.
+pub fn fig13() -> String {
+    let mut t = Table::new(vec![
+        "configuration",
+        "size B",
+        "paper B",
+        "TFLOP/s",
+        "paper",
+        "GPU GB",
+        "CPU GB",
+        "NVME GB",
+    ]);
+    let entries: Vec<(&str, Strategy, Option<NvmeConfig>, f64, f64)> = vec![
+        (
+            "ZeRO-1 (CPU)",
+            Strategy::ZeroOffload {
+                stage: ZeroStage::One,
+                offload_params: false,
+            },
+            None,
+            8.9,
+            155.3,
+        ),
+        (
+            "ZeRO-2 (CPU)",
+            Strategy::ZeroOffload {
+                stage: ZeroStage::Two,
+                offload_params: false,
+            },
+            None,
+            14.2,
+            180.2,
+        ),
+        (
+            "ZeRO-3 (2xNVME)",
+            Strategy::Ddp,
+            Some(NvmeConfig::B),
+            33.3,
+            37.2,
+        ),
+    ];
+    for (name, strategy, nvme, paper_b, paper_t) in entries {
+        let (cap, report) = match nvme {
+            None => {
+                let sim = data::sim();
+                let cap =
+                    max_model_size(sim.cluster(), &strategy, &data::opts(1), sim.calibration())
+                        .expect("fits");
+                let model = GptConfig::paper_model(cap.num_layers);
+                (cap, data::run(&strategy, &model, 1, false))
+            }
+            Some(c) => {
+                let (mut sim, placement) = c.build();
+                let s = Strategy::ZeroInfinity {
+                    offload_params: false,
+                    placement,
+                };
+                let cap = max_model_size(sim.cluster(), &s, &data::opts(1), sim.calibration())
+                    .expect("fits");
+                let model = GptConfig::paper_model(cap.num_layers);
+                let report = sim
+                    .run(&s, &model, &data::opts(1), &RunConfig::quick())
+                    .expect("runs");
+                (cap, report)
+            }
+        };
+        t.row(vec![
+            name.into(),
+            format!("{:.1}", cap.billions()),
+            format!("{paper_b:.1}"),
+            format!("{:.1}", report.throughput_tflops()),
+            format!("{paper_t:.1}"),
+            gb(report.memory.total_gpu_bytes),
+            gb(report.memory.total_cpu_bytes),
+            gb(report.memory.nvme_bytes),
+        ]);
+    }
+    format!(
+        "Fig. 13 — largest single-node models with ZeRO-Offload / ZeRO-Infinity:\n{}",
+        t.render()
+    )
+}
+
+/// Paper Table VI reference throughputs for configs A–G.
+pub const PAPER_TABLE6: [f64; 7] = [19.6, 37.16, 35.43, 40.22, 51.22, 64.61, 65.16];
+
+/// Table VI — ZeRO-Infinity vs NVMe data placement (Fig. 14 configs A–G)
+/// at the 33.3 B model.
+pub fn table6() -> String {
+    let mut t = Table::new(vec![
+        "config",
+        "TFLOP/s",
+        "paper",
+        "xGMI avg",
+        "xGMI 90th",
+        "xGMI peak",
+        "PCIe-NVME avg",
+        "PCIe-NVME 90th",
+        "PCIe-NVME peak",
+    ]);
+    let model = GptConfig::paper_model_with_params(33.3);
+    for (i, cfg) in NvmeConfig::ALL.into_iter().enumerate() {
+        let (mut sim, placement) = cfg.build();
+        let strategy = cfg.strategy(placement);
+        let rc = RunConfig {
+            allow_overflow: true,
+            warmup_iters: 1,
+            measure_iters: 1,
+            ..RunConfig::default()
+        };
+        let report = sim
+            .run(&strategy, &model, &data::opts(1), &rc)
+            .expect("infinity runs");
+        let xgmi = report.bandwidth.stats(0, LinkClass::Xgmi);
+        let nvme = report.bandwidth.stats(0, LinkClass::PcieNvme);
+        t.row(vec![
+            cfg.letter().to_string(),
+            format!("{:.1}", report.throughput_tflops()),
+            format!("{:.1}", PAPER_TABLE6[i]),
+            gbps(xgmi.avg),
+            gbps(xgmi.p90),
+            gbps(xgmi.peak),
+            gbps(nvme.avg),
+            gbps(nvme.p90),
+            gbps(nvme.peak),
+        ]);
+    }
+    format!(
+        "Table VI / Fig. 14 — ZeRO-Infinity vs NVMe placement (33.3 B model):\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn consolidation_beats_dual_megatron() {
+        let rows = consolidation_rows();
+        let megatron = rows[0].1.throughput_tflops();
+        let z2_cpu = rows[1].1.throughput_tflops();
+        let z3_cpu = rows[2].1.throughput_tflops();
+        // Sec. V-A1: ZeRO-2 CPU offload beats dual-node Megatron; ZeRO-3
+        // offload is slower than ZeRO-2 offload but comparable to Megatron.
+        assert!(z2_cpu > megatron, "z2-cpu {z2_cpu} vs megatron {megatron}");
+        assert!(z3_cpu < z2_cpu, "z3-cpu {z3_cpu} < z2-cpu {z2_cpu}");
+    }
+
+    #[test]
+    fn second_drive_improves_infinity_throughput() {
+        let rows = consolidation_rows();
+        let one = rows
+            .iter()
+            .find(|(n, _)| n.contains("1xNVME opt)"))
+            .map(|(_, r)| r.throughput_tflops())
+            .unwrap();
+        let two = rows
+            .iter()
+            .find(|(n, _)| n.contains("2xNVME opt)"))
+            .map(|(_, r)| r.throughput_tflops())
+            .unwrap();
+        assert!(two > 1.4 * one, "2xNVME {two} vs 1xNVME {one}");
+    }
+
+    #[test]
+    fn nvme_placement_ordering_matches_table6() {
+        let model = GptConfig::paper_model_with_params(33.3);
+        let tput = |cfg: NvmeConfig| {
+            let (mut sim, placement) = cfg.build();
+            let strategy = cfg.strategy(placement);
+            let rc = RunConfig {
+                allow_overflow: true,
+                ..RunConfig::quick()
+            };
+            sim.run(&strategy, &model, &data::opts(1), &rc)
+                .unwrap()
+                .throughput_tflops()
+        };
+        let a = tput(NvmeConfig::A);
+        let b = tput(NvmeConfig::B);
+        let e = tput(NvmeConfig::E);
+        let g = tput(NvmeConfig::G);
+        assert!(b > 1.4 * a, "two drives {b} vs one {a}");
+        assert!(e > b, "four drives {e} vs two {b}");
+        // Paper has G beating E (RAID spanning sockets pays xGMI costs we
+        // only partially model); require G to at least stay close.
+        assert!(
+            g >= e * 0.9,
+            "affinity-aware G {g} at least stays near E {e}"
+        );
+    }
+}

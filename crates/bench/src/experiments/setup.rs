@@ -1,0 +1,191 @@
+//! Background/setup artifacts: Fig. 1, Fig. 2, Tables I–III.
+
+use zerosim_hw::{Cluster, ClusterSpec};
+use zerosim_report::Table;
+use zerosim_strategies::ZeroCapability;
+
+/// Fig. 1 — the LLM-size vs GPU-memory growth trend the paper opens with
+/// (historical data; nothing to simulate).
+pub fn fig1() -> String {
+    let mut t = Table::new(vec!["year", "model", "params (B)", "GPU", "HBM (GB)"]);
+    for (year, model, params, gpu, mem) in [
+        ("2018", "ELMo", "0.094", "Tesla V100", "16"),
+        ("2019", "GPT-2", "1.5", "Tesla V100", "32"),
+        ("2020", "T5-11B", "11", "A100", "40"),
+        ("2020", "GPT-3", "175", "A100", "40"),
+        ("2021", "MT-NLG 530B", "530", "A100", "80"),
+        ("2023", "GPT-4 (est.)", "1760", "H100", "80"),
+    ] {
+        t.row(vec![
+            year.into(),
+            model.into(),
+            params.into(),
+            gpu.into(),
+            mem.into(),
+        ]);
+    }
+    format!(
+        "Fig. 1 — model size grows ~1000x in two years; GPU memory ~5x:\n{}",
+        t.render()
+    )
+}
+
+/// Fig. 2 — the cluster topology dump.
+pub fn fig2() -> String {
+    let cluster = Cluster::new(ClusterSpec::default()).expect("default spec");
+    format!(
+        "Fig. 2 — simulated cluster topology:\n{}",
+        cluster.describe()
+    )
+}
+
+/// Table I — ZeRO stage and offload capability matrix.
+pub fn table1() -> String {
+    let mut t = Table::new(vec![
+        "stage",
+        "opt",
+        "grad",
+        "param",
+        "opt CPU",
+        "opt NVME",
+        "param CPU",
+        "param NVME",
+    ]);
+    let yn = |b: bool| if b { "yes" } else { "-" }.to_string();
+    for c in ZeroCapability::table() {
+        t.row(vec![
+            c.stage.to_string(),
+            yn(c.partitions_optimizer),
+            yn(c.partitions_gradients),
+            yn(c.partitions_parameters),
+            yn(c.optimizer_cpu_offload),
+            yn(c.optimizer_nvme_offload),
+            yn(c.parameter_cpu_offload),
+            yn(c.parameter_nvme_offload),
+        ]);
+    }
+    format!(
+        "Table I — DeepSpeed ZeRO stage and offload capability:\n{}",
+        t.render()
+    )
+}
+
+/// Table II — hardware/software setup (the simulated substitutions).
+pub fn table2() -> String {
+    let spec = ClusterSpec::default();
+    let mut t = Table::new(vec!["component", "simulated configuration"]);
+    let rows = [
+        ("Platform", "Dell PowerEdge XE8545 (simulated)".to_string()),
+        (
+            "CPU",
+            "2 × AMD EPYC 7763-class sockets per node".to_string(),
+        ),
+        (
+            "Memory",
+            format!(
+                "{:.0} GB DRAM per node ({:.1} GBps per socket, half-duplex)",
+                spec.mem.cpu_bytes_per_node / 1e9,
+                spec.bw.dram_socket / 1e9
+            ),
+        ),
+        (
+            "GPU",
+            format!(
+                "{} × A100-SXM4-40GB-class per node (312 TFLOP/s FP16 peak)",
+                spec.gpus_per_node
+            ),
+        ),
+        (
+            "NVME",
+            format!(
+                "{} scratch drive(s) per node, {:.1} TB each",
+                spec.nvme_layout.len(),
+                spec.mem.nvme_bytes_per_drive / 1e12
+            ),
+        ),
+        ("NIC", "2 × ConnectX-6-class 200 Gbps per node".to_string()),
+        (
+            "Fabric",
+            "RoCE over SN3700-class switch (flow-level model)".to_string(),
+        ),
+    ];
+    for (k, v) in rows {
+        t.row(vec![k.into(), v]);
+    }
+    format!("Table II — hardware and software setup:\n{}", t.render())
+}
+
+/// Table III — interconnect theoretical bandwidths as modelled.
+pub fn table3() -> String {
+    let spec = ClusterSpec::default();
+    let mut t = Table::new(vec![
+        "interconnect",
+        "interface",
+        "links/node",
+        "bidir GBps/link",
+    ]);
+    let rows: [(&str, &str, String, f64); 7] = [
+        (
+            "CPU-DRAM",
+            "DRAM",
+            "2 sockets".into(),
+            spec.bw.dram_socket / 1e9,
+        ),
+        (
+            "CPU-CPU",
+            "xGMI",
+            "1 aggregate".into(),
+            2.0 * spec.bw.xgmi_dir / 1e9,
+        ),
+        (
+            "CPU-GPU",
+            "PCIe-GPU",
+            format!("{}", spec.gpus_per_node),
+            2.0 * spec.bw.pcie_gpu_dir / 1e9,
+        ),
+        (
+            "GPU-GPU",
+            "NVLink",
+            "12 pair-dirs".into(),
+            2.0 * spec.bw.nvlink_pair_dir / 1e9,
+        ),
+        (
+            "CPU-NIC",
+            "PCIe-NIC",
+            "2".into(),
+            2.0 * spec.bw.pcie_nic_dir / 1e9,
+        ),
+        (
+            "CPU-NVME",
+            "PCIe-NVME",
+            format!("{}", spec.nvme_layout.len()),
+            2.0 * spec.bw.pcie_nvme_dir / 1e9,
+        ),
+        (
+            "Internode",
+            "RoCE",
+            "2 NICs".into(),
+            2.0 * spec.bw.roce_dir / 1e9,
+        ),
+    ];
+    for (a, b, c, bw) in rows {
+        t.row(vec![a.into(), b.into(), c, format!("{bw:.1}")]);
+    }
+    format!("Table III — modelled link bandwidths:\n{}", t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn setup_artifacts_render() {
+        assert!(fig1().contains("GPT-3"));
+        assert!(fig2().contains("socket 1"));
+        let t1 = table1();
+        assert!(t1.contains("NVME"));
+        assert!(t1.lines().count() >= 5);
+        assert!(table2().contains("A100"));
+        assert!(table3().contains("NVLink"));
+    }
+}

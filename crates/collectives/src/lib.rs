@@ -1,0 +1,36 @@
+//! `zerosim-collectives` — NCCL-like collective communication on the
+//! simulated cluster.
+//!
+//! Collectives ([`CollectiveKind`]) are expanded into ring-algorithm task
+//! fragments by [`emit_collective`]: `k` barrier-separated steps of
+//! concurrent chunk flows over topology-aware routes ([`CommGroup`] orders
+//! ranks node-major and uses one ring per NIC across nodes).
+//!
+//! ```
+//! use zerosim_collectives::{emit_collective, CollectiveKind, CommGroup};
+//! use zerosim_hw::{Cluster, ClusterSpec};
+//! use zerosim_simkit::{DagBuilder, DagEngine, SimTime};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut cluster = Cluster::new(ClusterSpec::default().with_nodes(1))?;
+//! let group = CommGroup::world(&cluster);
+//! let mut dag = DagBuilder::new();
+//! emit_collective(&mut dag, &cluster, &group, CollectiveKind::AllReduce, 100e6, &[]);
+//! let mut engine = DagEngine::new(cluster.resource_slots());
+//! let out = engine.run(cluster.net_mut(), &dag.build(), SimTime::ZERO, None)?;
+//! assert!(out.makespan() > SimTime::ZERO);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod emit;
+mod group;
+
+pub use emit::{
+    emit_collective, emit_collective_capped, emit_collective_coalesced,
+    emit_collective_hierarchical, emit_collective_stepwise, CollectiveHandle, CollectiveKind,
+};
+pub use group::{ring_route, CommGroup};

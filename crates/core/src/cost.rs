@@ -1,0 +1,136 @@
+//! Infrastructure-cost accounting — quantifying the paper's conclusion
+//! that NVMe/CPU offloading "significantly reduces infrastructure costs
+//! and allows many researchers to have access to state-of-the-art models".
+//!
+//! Costs are list-price-class estimates for the paper's era of hardware;
+//! what matters for the analysis is their ratio, not their absolute value.
+
+use serde::{Deserialize, Serialize};
+
+use crate::report::TrainingReport;
+
+/// Capital cost of the cluster pieces, USD.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// One A100-SXM4-40GB module.
+    pub gpu_usd: f64,
+    /// One XE8545-class chassis (2 CPUs, 1 TB DRAM, NICs), GPUs excluded.
+    pub node_base_usd: f64,
+    /// One D7-P5600-class 3.2 TB NVMe drive.
+    pub nvme_usd: f64,
+    /// Per-port share of the SN3700-class switch.
+    pub switch_port_usd: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            gpu_usd: 12_000.0,
+            node_base_usd: 30_000.0,
+            nvme_usd: 900.0,
+            switch_port_usd: 1_500.0,
+        }
+    }
+}
+
+/// Cost-efficiency of one characterized configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostReport {
+    /// Capital cost of everything the run occupies, USD.
+    pub capital_usd: f64,
+    /// Aggregate throughput, FLOP/s.
+    pub throughput_flops: f64,
+}
+
+impl CostReport {
+    /// Throughput bought per dollar (TFLOP/s per k$; higher is better).
+    pub fn tflops_per_kusd(&self) -> f64 {
+        self.throughput_flops / 1e12 / (self.capital_usd / 1000.0)
+    }
+}
+
+impl CostModel {
+    /// Prices the hardware a run occupies: its nodes (with their GPUs and
+    /// scratch drives) and, for multi-node runs, the switch ports.
+    pub fn estimate(
+        &self,
+        report: &TrainingReport,
+        gpus_per_node: usize,
+        nvme_per_node: usize,
+    ) -> CostReport {
+        let nodes = report.nodes as f64;
+        let mut capital = nodes
+            * (self.node_base_usd
+                + gpus_per_node as f64 * self.gpu_usd
+                + nvme_per_node as f64 * self.nvme_usd);
+        if report.nodes > 1 {
+            capital += nodes * 2.0 * self.switch_port_usd;
+        }
+        CostReport {
+            capital_usd: capital,
+            throughput_flops: report.throughput_flops(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{RunConfig, TrainingSim};
+    use zerosim_hw::ClusterSpec;
+    use zerosim_model::GptConfig;
+    use zerosim_strategies::{Strategy, TrainOptions, ZeroStage};
+
+    fn report(strategy: Strategy, billions: f64, nodes: usize) -> TrainingReport {
+        let mut sim = TrainingSim::new(ClusterSpec::default()).unwrap();
+        let opts = if nodes == 1 {
+            TrainOptions::single_node()
+        } else {
+            TrainOptions::dual_node()
+        };
+        let cfg = RunConfig {
+            allow_overflow: true,
+            ..RunConfig::quick()
+        };
+        sim.run(
+            &strategy,
+            &GptConfig::paper_model_with_params(billions),
+            &opts,
+            &cfg,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn consolidation_is_cheaper_per_tflops() {
+        // The paper's Sec. V-A headline as economics: ZeRO-2 CPU offload on
+        // ONE node beats Megatron on TWO nodes in throughput AND costs half
+        // the hardware.
+        let cost = CostModel::default();
+        let megatron = cost.estimate(&report(Strategy::Megatron { tp: 8, pp: 1 }, 11.2, 2), 4, 2);
+        let offload = cost.estimate(
+            &report(
+                Strategy::ZeroOffload {
+                    stage: ZeroStage::Two,
+                    offload_params: false,
+                },
+                11.2,
+                1,
+            ),
+            4,
+            2,
+        );
+        assert!(offload.capital_usd < 0.6 * megatron.capital_usd);
+        assert!(offload.tflops_per_kusd() > 2.0 * megatron.tflops_per_kusd());
+    }
+
+    #[test]
+    fn nvme_drives_are_cheap_capacity() {
+        // Adding scratch drives barely moves the capital cost.
+        let cost = CostModel::default();
+        let r = report(Strategy::Ddp, 1.4, 1);
+        let without = cost.estimate(&r, 4, 0).capital_usd;
+        let with8 = cost.estimate(&r, 4, 8).capital_usd;
+        assert!(with8 / without < 1.12);
+    }
+}

@@ -1,0 +1,302 @@
+//! The characterization engine: runs a strategy on the simulated cluster
+//! and measures throughput, bandwidth, memory, and timelines — the
+//! simulated equivalent of the paper's measurement methodology
+//! (Sec. III-B).
+
+use zerosim_hw::{Cluster, ClusterSpec, LinkClass};
+use zerosim_model::GptConfig;
+use zerosim_simkit::{BandwidthRecorder, DagEngine, SimTime};
+use zerosim_strategies::{Calibration, Strategy, TrainOptions};
+
+use crate::error::CoreError;
+use crate::report::{BandwidthReport, TrainingReport};
+
+/// How a characterization run samples and averages.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunConfig {
+    /// Warm-up iterations excluded from all measurements (the paper warms
+    /// up before collecting from the fifth iteration).
+    pub warmup_iters: usize,
+    /// Measured iterations.
+    pub measure_iters: usize,
+    /// Bandwidth sampling bucket (hardware-counter sampling period).
+    pub bucket: SimTime,
+    /// Run even if the memory plan does not fit (for what-if studies).
+    pub allow_overflow: bool,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            warmup_iters: 1,
+            measure_iters: 3,
+            bucket: SimTime::from_ms(50.0),
+            allow_overflow: false,
+        }
+    }
+}
+
+impl RunConfig {
+    /// A faster configuration for sweeps: no warm-up, one measured
+    /// iteration.
+    pub fn quick() -> Self {
+        RunConfig {
+            warmup_iters: 0,
+            measure_iters: 1,
+            ..Self::default()
+        }
+    }
+}
+
+/// Owns a simulated cluster and characterizes training runs on it.
+///
+/// ```
+/// use zerosim_core::TrainingSim;
+/// use zerosim_hw::ClusterSpec;
+/// use zerosim_model::GptConfig;
+/// use zerosim_strategies::{Strategy, TrainOptions};
+///
+/// # fn main() -> Result<(), zerosim_core::CoreError> {
+/// let mut sim = TrainingSim::new(ClusterSpec::default())?;
+/// let report = sim.run(
+///     &Strategy::Ddp,
+///     &GptConfig::paper_model_with_params(1.4),
+///     &TrainOptions::single_node(),
+///     &zerosim_core::RunConfig::quick(),
+/// )?;
+/// assert!(report.throughput_tflops() > 100.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct TrainingSim {
+    cluster: Cluster,
+    calib: Calibration,
+}
+
+impl TrainingSim {
+    /// Builds a simulator over a fresh cluster.
+    ///
+    /// # Errors
+    /// Returns [`CoreError::BadCluster`] for inconsistent specs.
+    pub fn new(spec: ClusterSpec) -> Result<Self, CoreError> {
+        Ok(TrainingSim {
+            cluster: Cluster::new(spec).map_err(CoreError::BadCluster)?,
+            calib: Calibration::default(),
+        })
+    }
+
+    /// Builds a simulator with custom calibration constants.
+    ///
+    /// # Errors
+    /// Returns [`CoreError::BadCluster`] for inconsistent specs.
+    pub fn with_calibration(spec: ClusterSpec, calib: Calibration) -> Result<Self, CoreError> {
+        Ok(TrainingSim {
+            cluster: Cluster::new(spec).map_err(CoreError::BadCluster)?,
+            calib,
+        })
+    }
+
+    /// The simulated cluster (e.g. to create NVMe volumes before an
+    /// Infinity run).
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// Mutable cluster access.
+    pub fn cluster_mut(&mut self) -> &mut Cluster {
+        &mut self.cluster
+    }
+
+    /// The calibration constants in use.
+    pub fn calibration(&self) -> &Calibration {
+        &self.calib
+    }
+
+    /// Characterizes one training configuration.
+    ///
+    /// # Errors
+    /// [`CoreError::DoesNotFit`] if the memory plan overflows a tier (and
+    /// `cfg.allow_overflow` is false); [`CoreError::Sim`] if the DAG
+    /// deadlocks (cannot happen for the built-in strategies).
+    pub fn run(
+        &mut self,
+        strategy: &Strategy,
+        model: &GptConfig,
+        opts: &TrainOptions,
+        cfg: &RunConfig,
+    ) -> Result<TrainingReport, CoreError> {
+        let memory = strategy.memory_plan(&self.cluster, model, opts, &self.calib);
+        if !cfg.allow_overflow {
+            if let Some(tier) = memory.bottleneck(&self.cluster) {
+                let requested = match tier {
+                    "gpu" => memory.per_gpu_bytes,
+                    "cpu" => memory.per_node_cpu_bytes,
+                    _ => memory.nvme_bytes,
+                };
+                return Err(CoreError::DoesNotFit { tier, requested });
+            }
+        }
+
+        let mut engine = DagEngine::new(self.cluster.resource_slots());
+
+        // Warm-up (unrecorded). Each iteration gets its own jitter seed so
+        // the measured window shows realistic run-to-run variation.
+        let mut t = SimTime::ZERO;
+        let mut seed = 0u64;
+        for _ in 0..cfg.warmup_iters {
+            let o = opts.with_jitter_seed(seed);
+            seed += 1;
+            let dag = strategy.build_iteration(&self.cluster, model, &o, &self.calib);
+            t = engine.run(self.cluster.net_mut(), &dag, t, None)?.finished;
+        }
+        engine.take_spans(); // discard warm-up spans
+
+        // Measured iterations.
+        let mut rec = BandwidthRecorder::with_origin(cfg.bucket, t);
+        let mut total = SimTime::ZERO;
+        let n_measured = cfg.measure_iters.max(1);
+        for _ in 0..n_measured {
+            let o = opts.with_jitter_seed(seed);
+            seed += 1;
+            let dag = strategy.build_iteration(&self.cluster, model, &o, &self.calib);
+            let out = engine.run(self.cluster.net_mut(), &dag, t, Some(&mut rec))?;
+            total += out.makespan();
+            t = out.finished;
+        }
+        let iter_time = total / (n_measured as u64);
+
+        // Per-(node, class) aggregation, Table IV style.
+        let mut bandwidth = BandwidthReport::new(cfg.bucket);
+        for node in 0..opts.nodes {
+            for class in LinkClass::TABLE_IV {
+                let links = self.cluster.links(node, class);
+                let stats = rec.stats(links);
+                let series = rec.aggregate_series(links);
+                bandwidth.insert(node, class, stats, series);
+            }
+        }
+
+        // Per-link "hot wires" ranking across every physical link class.
+        let window = total.as_secs().max(1e-12);
+        let mut hot_links: Vec<crate::report::HotLink> = Vec::new();
+        for node in 0..opts.nodes {
+            for class in LinkClass::TABLE_IV {
+                for &link in self.cluster.links(node, class) {
+                    let avg = rec.total_bytes(link) / window;
+                    if avg <= 0.0 {
+                        continue;
+                    }
+                    let cap = self.cluster.net().link_capacity(link);
+                    hot_links.push(crate::report::HotLink {
+                        name: self.cluster.net().link_name(link).to_string(),
+                        avg,
+                        utilization: avg / cap,
+                    });
+                }
+            }
+        }
+        hot_links.sort_by(|a, b| {
+            b.utilization
+                .partial_cmp(&a.utilization)
+                .expect("utilization is finite")
+        });
+        hot_links.truncate(16);
+
+        let tokens = model.tokens_per_iteration(opts.per_gpu_batch, opts.num_gpus(&self.cluster))
+            * opts.grad_accum as f64;
+        Ok(TrainingReport {
+            strategy: strategy.name(),
+            model_params: model.num_params(),
+            nodes: opts.nodes,
+            iter_time,
+            flops_per_iteration: model.iteration_flops(tokens).total(),
+            tokens_per_iteration: tokens,
+            memory,
+            bandwidth,
+            spans: engine.take_spans(),
+            hot_links,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sim() -> TrainingSim {
+        TrainingSim::new(ClusterSpec::default()).unwrap()
+    }
+
+    #[test]
+    fn ddp_run_produces_sane_report() {
+        let mut s = sim();
+        let report = s
+            .run(
+                &Strategy::Ddp,
+                &GptConfig::paper_model_with_params(1.4),
+                &TrainOptions::single_node(),
+                &RunConfig::default(),
+            )
+            .unwrap();
+        assert!(report.throughput_tflops() > 200.0);
+        assert!(report.throughput_tflops() < 1248.0, "below 4×A100 peak");
+        // Single-node: RoCE silent, NVLink busy.
+        let roce = report.bandwidth.stats(0, LinkClass::Roce);
+        assert_eq!(roce.avg, 0.0);
+        let nvl = report.bandwidth.stats(0, LinkClass::NvLink);
+        assert!(nvl.avg > 1e9, "NVLink avg {} too low", nvl.avg);
+        assert!(!report.spans.spans().is_empty());
+    }
+
+    #[test]
+    fn oversized_model_is_rejected() {
+        let mut s = sim();
+        let err = s
+            .run(
+                &Strategy::Ddp,
+                &GptConfig::paper_model_with_params(5.5),
+                &TrainOptions::single_node(),
+                &RunConfig::quick(),
+            )
+            .unwrap_err();
+        assert!(matches!(err, CoreError::DoesNotFit { tier: "gpu", .. }));
+    }
+
+    #[test]
+    fn allow_overflow_runs_anyway() {
+        let mut s = sim();
+        let cfg = RunConfig {
+            allow_overflow: true,
+            ..RunConfig::quick()
+        };
+        let r = s
+            .run(
+                &Strategy::Ddp,
+                &GptConfig::paper_model_with_params(2.9),
+                &TrainOptions::single_node(),
+                &cfg,
+            )
+            .unwrap();
+        assert!(r.throughput_tflops() > 0.0);
+    }
+
+    #[test]
+    fn dual_node_uses_roce() {
+        let mut s = sim();
+        let report = s
+            .run(
+                &Strategy::Zero {
+                    stage: zerosim_strategies::ZeroStage::Three,
+                },
+                &GptConfig::paper_model_with_params(1.4),
+                &TrainOptions::dual_node(),
+                &RunConfig::quick(),
+            )
+            .unwrap();
+        for node in 0..2 {
+            let roce = report.bandwidth.stats(node, LinkClass::Roce);
+            assert!(roce.avg > 0.0, "node {node} RoCE idle");
+        }
+    }
+}

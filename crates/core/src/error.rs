@@ -1,0 +1,70 @@
+//! Error type of the characterization engine.
+
+use std::error::Error;
+use std::fmt;
+
+use zerosim_simkit::SimError;
+
+/// Errors from running a training characterization.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// The underlying simulation failed.
+    Sim(SimError),
+    /// The configuration does not fit the hardware's memory tiers.
+    DoesNotFit {
+        /// The tier that overflows first.
+        tier: &'static str,
+        /// Bytes requested on the most-loaded unit of that tier.
+        requested: f64,
+    },
+    /// The cluster specification was invalid.
+    BadCluster(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Sim(e) => write!(f, "simulation error: {e}"),
+            CoreError::DoesNotFit { tier, requested } => write!(
+                f,
+                "configuration does not fit: {tier} tier needs {:.1} GB",
+                requested / 1e9
+            ),
+            CoreError::BadCluster(msg) => write!(f, "invalid cluster: {msg}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SimError> for CoreError {
+    fn from(e: SimError) -> Self {
+        CoreError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = CoreError::DoesNotFit {
+            tier: "gpu",
+            requested: 50e9,
+        };
+        assert!(e.to_string().contains("gpu"));
+        assert!(e.to_string().contains("50.0 GB"));
+        let s = CoreError::Sim(SimError::Deadlock { pending: 1 });
+        assert!(Error::source(&s).is_some());
+        assert!(CoreError::BadCluster("x".into()).to_string().contains("x"));
+    }
+}

@@ -1,0 +1,56 @@
+//! `zerosim-core` — the characterization engine reproducing the paper's
+//! measurement methodology.
+//!
+//! [`TrainingSim`] owns a simulated cluster and runs strategies on it,
+//! producing [`TrainingReport`]s with:
+//!
+//! * compute throughput (model FLOPs / iteration time, the DeepSpeed
+//!   FLOPS-profiler convention, Sec. III-B3);
+//! * per-interconnect bandwidth statistics and utilization patterns
+//!   (Table IV, Figs. 9/10/12);
+//! * memory placement per tier (Sec. IV-D / V);
+//! * device timelines (Fig. 5).
+//!
+//! [`max_model_size`] performs the achieved-model-size search of Fig. 6.
+//!
+//! ```
+//! use zerosim_core::{max_model_size, TrainingSim};
+//! use zerosim_hw::ClusterSpec;
+//! use zerosim_strategies::{Calibration, Strategy, TrainOptions, ZeroStage};
+//!
+//! # fn main() -> Result<(), zerosim_core::CoreError> {
+//! let sim = TrainingSim::new(ClusterSpec::default())?;
+//! let cap = max_model_size(
+//!     sim.cluster(),
+//!     &Strategy::Zero { stage: ZeroStage::Three },
+//!     &TrainOptions::single_node(),
+//!     sim.calibration(),
+//! ).expect("fits");
+//! assert!(cap.billions() > 5.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod analysis;
+mod capacity;
+mod cost;
+mod energy;
+mod engine;
+mod error;
+mod report;
+mod timeline;
+
+pub use analysis::{attribute_all_gpus, attribute_gpu, attribute_worst_gpu, TimeBreakdown};
+pub use capacity::{max_model_size, CapacityResult};
+pub use cost::{CostModel, CostReport};
+pub use energy::{EnergyReport, PowerModel};
+pub use engine::{RunConfig, TrainingSim};
+pub use error::CoreError;
+pub use report::{BandwidthReport, HotLink, TrainingReport};
+pub use timeline::{profile_tracks, to_chrome_trace, TrackProfile};
+
+// Re-export the pieces callers need alongside the engine.
+pub use zerosim_strategies::{Calibration, Strategy, TrainOptions};

@@ -1,0 +1,187 @@
+//! Characterization results: everything the paper measures for one
+//! training configuration.
+
+use std::collections::BTreeMap;
+
+use zerosim_hw::LinkClass;
+use zerosim_simkit::{BandwidthStats, SimTime, SpanLog};
+use zerosim_strategies::MemoryPlan;
+
+/// Bandwidth statistics per (node, interconnect class) plus the raw
+/// utilization series for pattern plots.
+#[derive(Debug, Clone, Default)]
+pub struct BandwidthReport {
+    stats: BTreeMap<(usize, LinkClass), BandwidthStats>,
+    series: BTreeMap<(usize, LinkClass), Vec<f64>>,
+    bucket: SimTime,
+}
+
+impl BandwidthReport {
+    pub(crate) fn new(bucket: SimTime) -> Self {
+        BandwidthReport {
+            stats: BTreeMap::new(),
+            series: BTreeMap::new(),
+            bucket,
+        }
+    }
+
+    pub(crate) fn insert(
+        &mut self,
+        node: usize,
+        class: LinkClass,
+        stats: BandwidthStats,
+        series: Vec<f64>,
+    ) {
+        self.stats.insert((node, class), stats);
+        self.series.insert((node, class), series);
+    }
+
+    /// Aggregate bidirectional per-node stats (Table IV cells) in
+    /// bytes/second.
+    pub fn stats(&self, node: usize, class: LinkClass) -> BandwidthStats {
+        self.stats.get(&(node, class)).copied().unwrap_or_default()
+    }
+
+    /// Utilization series in bytes/second per sample bucket (the Figs.
+    /// 9/10/12 pattern data).
+    pub fn series(&self, node: usize, class: LinkClass) -> &[f64] {
+        self.series
+            .get(&(node, class))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// The sampling bucket width.
+    pub fn bucket(&self) -> SimTime {
+        self.bucket
+    }
+
+    /// Repeats the measured pattern to fill a window of `window_secs`
+    /// (the paper plots 200-second windows of steady-state training).
+    pub fn tiled_series(&self, node: usize, class: LinkClass, window_secs: f64) -> Vec<f64> {
+        let base = self.series(node, class);
+        if base.is_empty() {
+            return Vec::new();
+        }
+        let want = (window_secs / self.bucket.as_secs()).ceil() as usize;
+        (0..want).map(|i| base[i % base.len()]).collect()
+    }
+}
+
+/// One entry of the per-link "hot wires" ranking.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HotLink {
+    /// Link name as registered by the hardware model (e.g.
+    /// `n0.nvlink.0to1`, `n0nic1.roce.tx`, `n1s0.dram`).
+    pub name: String,
+    /// Average bandwidth over the measured window, bytes/second.
+    pub avg: f64,
+    /// Fraction of the link's capacity that average represents.
+    pub utilization: f64,
+}
+
+/// Everything measured for one training configuration.
+#[derive(Debug, Clone)]
+pub struct TrainingReport {
+    /// Strategy display name.
+    pub strategy: String,
+    /// Model size in parameters.
+    pub model_params: f64,
+    /// Nodes participating.
+    pub nodes: usize,
+    /// Mean iteration time over the measured iterations.
+    pub iter_time: SimTime,
+    /// Model FLOPs per iteration (DeepSpeed-FLOPS-profiler convention).
+    pub flops_per_iteration: f64,
+    /// Tokens processed per iteration.
+    pub tokens_per_iteration: f64,
+    /// Memory placement.
+    pub memory: MemoryPlan,
+    /// Per-interconnect bandwidth characterization.
+    pub bandwidth: BandwidthReport,
+    /// Device timelines of the measured iterations (Fig. 5 substitute).
+    pub spans: SpanLog,
+    /// Busiest individual links, sorted by utilization descending.
+    pub hot_links: Vec<HotLink>,
+}
+
+impl TrainingReport {
+    /// Aggregate compute throughput in FLOP/s (the paper's headline
+    /// metric: model FLOPs divided by iteration wall time).
+    pub fn throughput_flops(&self) -> f64 {
+        self.flops_per_iteration / self.iter_time.as_secs()
+    }
+
+    /// Throughput in TFLOP/s.
+    pub fn throughput_tflops(&self) -> f64 {
+        self.throughput_flops() / 1e12
+    }
+
+    /// Model size in billions of parameters.
+    pub fn model_billions(&self) -> f64 {
+        self.model_params / 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bandwidth_report_roundtrip() {
+        let mut r = BandwidthReport::new(SimTime::from_ms(50.0));
+        r.insert(
+            0,
+            LinkClass::NvLink,
+            BandwidthStats {
+                avg: 83e9,
+                p90: 94.8e9,
+                peak: 94.8e9,
+            },
+            vec![80e9, 86e9],
+        );
+        assert_eq!(r.stats(0, LinkClass::NvLink).avg, 83e9);
+        assert_eq!(r.series(0, LinkClass::NvLink).len(), 2);
+        assert_eq!(r.stats(1, LinkClass::Roce), BandwidthStats::default());
+        assert!(r.series(1, LinkClass::Roce).is_empty());
+    }
+
+    #[test]
+    fn tiling_fills_window() {
+        let mut r = BandwidthReport::new(SimTime::from_secs(1.0));
+        r.insert(
+            0,
+            LinkClass::Dram,
+            BandwidthStats::default(),
+            vec![1.0, 2.0],
+        );
+        let t = r.tiled_series(0, LinkClass::Dram, 5.0);
+        assert_eq!(t, vec![1.0, 2.0, 1.0, 2.0, 1.0]);
+        assert!(r.tiled_series(0, LinkClass::Roce, 5.0).is_empty());
+    }
+
+    #[test]
+    fn throughput_math() {
+        let report = TrainingReport {
+            strategy: "x".into(),
+            model_params: 1.4e9,
+            nodes: 1,
+            iter_time: SimTime::from_ms(500.0),
+            flops_per_iteration: 2.0e14,
+            tokens_per_iteration: 16384.0,
+            memory: MemoryPlan {
+                per_gpu_bytes: 0.0,
+                total_gpu_bytes: 0.0,
+                per_node_cpu_bytes: 0.0,
+                total_cpu_bytes: 0.0,
+                nvme_bytes: 0.0,
+                gpu_breakdown: vec![],
+            },
+            bandwidth: BandwidthReport::new(SimTime::from_ms(50.0)),
+            spans: SpanLog::new(),
+            hot_links: Vec::new(),
+        };
+        assert!((report.throughput_tflops() - 400.0).abs() < 1e-9);
+        assert!((report.model_billions() - 1.4).abs() < 1e-12);
+    }
+}

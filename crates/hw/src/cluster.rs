@@ -1,0 +1,857 @@
+//! The simulated cluster: builds every link of Fig. 2 into a
+//! [`FlowNet`] and answers routing queries between memory locations.
+
+use std::collections::HashMap;
+
+use zerosim_simkit::{FlowNet, LinkId, ResourceId, SimTime, TokenBucket};
+
+use crate::ids::{GpuId, LinkClass, NicId, NvmeId, SerdesSet, SocketId, VolumeId};
+use crate::route::{MemLoc, Route};
+use crate::spec::ClusterSpec;
+
+/// Direction of an NVMe access from the host's point of view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoDir {
+    /// Host → drive.
+    Write,
+    /// Drive → host.
+    Read,
+}
+
+/// A registered NVMe volume (single drive or mdadm-style RAID0 stripe set).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NvmeVolume {
+    /// Member drives; I/O is striped evenly across them.
+    pub members: Vec<NvmeId>,
+}
+
+/// The simulated cluster.
+///
+/// Owns the [`FlowNet`] containing every physical and virtual link, the
+/// per-class link registries used for Table IV-style reporting, and the
+/// routing logic (including the I/O-die SerDes-pair contention model).
+///
+/// ```
+/// use zerosim_hw::{Cluster, ClusterSpec, MemLoc, GpuId};
+///
+/// # fn main() -> Result<(), String> {
+/// let cluster = Cluster::new(ClusterSpec::default())?;
+/// let r = cluster.route(
+///     MemLoc::Gpu(GpuId { node: 0, gpu: 0 }),
+///     MemLoc::Gpu(GpuId { node: 0, gpu: 3 }),
+/// );
+/// assert_eq!(r.hops(), 1); // direct NVLink
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Cluster {
+    spec: ClusterSpec,
+    net: FlowNet,
+    /// `[node][socket]` half-duplex DRAM links.
+    dram: Vec<Vec<LinkId>>,
+    /// `[node][dir]`: dir 0 = socket0→socket1.
+    xgmi: Vec<[LinkId; 2]>,
+    /// `[node][gpu]` GPU→CPU direction.
+    pcie_gpu_up: Vec<Vec<LinkId>>,
+    /// `[node][gpu]` CPU→GPU direction.
+    pcie_gpu_down: Vec<Vec<LinkId>>,
+    /// `[node][socket]` CPU→NIC direction.
+    pcie_nic_tx: Vec<Vec<LinkId>>,
+    /// `[node][socket]` NIC→CPU direction.
+    pcie_nic_rx: Vec<Vec<LinkId>>,
+    /// `[node][drive]` host→drive wire.
+    pcie_nvme_w: Vec<Vec<LinkId>>,
+    /// `[node][drive]` drive→host wire.
+    pcie_nvme_r: Vec<Vec<LinkId>>,
+    /// `[node][drive]` device write service (token bucket).
+    nvme_dev_w: Vec<Vec<LinkId>>,
+    /// `[node][drive]` device read service (token bucket).
+    nvme_dev_r: Vec<Vec<LinkId>>,
+    /// `(node, src_gpu, dst_gpu)` → directed NVLink.
+    nvlink: HashMap<(usize, usize, usize), LinkId>,
+    /// `[node][nic]` NIC→switch.
+    roce_tx: Vec<Vec<LinkId>>,
+    /// `[node][nic]` switch→NIC.
+    roce_rx: Vec<Vec<LinkId>>,
+    /// SerDes-pair virtual links: `(node, socket, min(a,b), max(a,b))`.
+    pairs: HashMap<(usize, usize, SerdesSet, SerdesSet), LinkId>,
+    /// Per-(node, class) link groups for reporting.
+    class_links: HashMap<(usize, LinkClass), Vec<LinkId>>,
+    volumes: Vec<NvmeVolume>,
+}
+
+impl Cluster {
+    /// Builds the cluster described by `spec`.
+    ///
+    /// # Errors
+    /// Returns the validation error string if `spec` is inconsistent.
+    pub fn new(spec: ClusterSpec) -> Result<Self, String> {
+        spec.validate()?;
+        let mut net = FlowNet::new();
+        let nodes = spec.nodes;
+        let gpn = spec.gpus_per_node;
+        let spn = ClusterSpec::SOCKETS_PER_NODE;
+
+        let mut class_links: HashMap<(usize, LinkClass), Vec<LinkId>> = HashMap::new();
+        let reg = |map: &mut HashMap<(usize, LinkClass), Vec<LinkId>>,
+                   node: usize,
+                   class: LinkClass,
+                   id: LinkId| {
+            map.entry((node, class)).or_default().push(id);
+        };
+
+        let mut dram = Vec::new();
+        let mut xgmi = Vec::new();
+        let mut pcie_gpu_up = Vec::new();
+        let mut pcie_gpu_down = Vec::new();
+        let mut pcie_nic_tx = Vec::new();
+        let mut pcie_nic_rx = Vec::new();
+        let mut pcie_nvme_w = Vec::new();
+        let mut pcie_nvme_r = Vec::new();
+        let mut nvme_dev_w = Vec::new();
+        let mut nvme_dev_r = Vec::new();
+        let mut nvlink = HashMap::new();
+        let mut roce_tx = Vec::new();
+        let mut roce_rx = Vec::new();
+        let mut pairs = HashMap::new();
+
+        for n in 0..nodes {
+            // DRAM: one half-duplex link per socket.
+            let mut node_dram = Vec::new();
+            for s in 0..spn {
+                let id = net.add_link(format!("n{n}s{s}.dram"), spec.bw.dram_socket);
+                reg(&mut class_links, n, LinkClass::Dram, id);
+                node_dram.push(id);
+            }
+            dram.push(node_dram);
+
+            // xGMI: one directed aggregate per direction.
+            let a = net.add_link(format!("n{n}.xgmi.s0s1"), spec.bw.xgmi_dir);
+            let b = net.add_link(format!("n{n}.xgmi.s1s0"), spec.bw.xgmi_dir);
+            reg(&mut class_links, n, LinkClass::Xgmi, a);
+            reg(&mut class_links, n, LinkClass::Xgmi, b);
+            xgmi.push([a, b]);
+
+            // PCIe to GPUs.
+            let mut up = Vec::new();
+            let mut down = Vec::new();
+            for g in 0..gpn {
+                let u = net.add_link(format!("n{n}g{g}.pcie.up"), spec.bw.pcie_gpu_dir);
+                let d = net.add_link(format!("n{n}g{g}.pcie.down"), spec.bw.pcie_gpu_dir);
+                reg(&mut class_links, n, LinkClass::PcieGpu, u);
+                reg(&mut class_links, n, LinkClass::PcieGpu, d);
+                up.push(u);
+                down.push(d);
+            }
+            pcie_gpu_up.push(up);
+            pcie_gpu_down.push(down);
+
+            // PCIe to NICs + RoCE uplinks (one NIC per socket).
+            let mut ntx = Vec::new();
+            let mut nrx = Vec::new();
+            let mut rtx = Vec::new();
+            let mut rrx = Vec::new();
+            for s in 0..spn {
+                let tx = net.add_link(format!("n{n}nic{s}.pcie.tx"), spec.bw.pcie_nic_dir);
+                let rx = net.add_link(format!("n{n}nic{s}.pcie.rx"), spec.bw.pcie_nic_dir);
+                reg(&mut class_links, n, LinkClass::PcieNic, tx);
+                reg(&mut class_links, n, LinkClass::PcieNic, rx);
+                ntx.push(tx);
+                nrx.push(rx);
+                let t = net.add_link(format!("n{n}nic{s}.roce.tx"), spec.bw.roce_dir);
+                let r = net.add_link(format!("n{n}nic{s}.roce.rx"), spec.bw.roce_dir);
+                reg(&mut class_links, n, LinkClass::Roce, t);
+                reg(&mut class_links, n, LinkClass::Roce, r);
+                rtx.push(t);
+                rrx.push(r);
+            }
+            pcie_nic_tx.push(ntx);
+            pcie_nic_rx.push(nrx);
+            roce_tx.push(rtx);
+            roce_rx.push(rrx);
+
+            // NVMe drives: PCIe wire + bucketed device service per direction.
+            let mut pw = Vec::new();
+            let mut pr = Vec::new();
+            let mut dw = Vec::new();
+            let mut dr = Vec::new();
+            for (d, _pl) in spec.nvme_layout.iter().enumerate() {
+                let w = net.add_link(format!("n{n}nvme{d}.pcie.w"), spec.bw.pcie_nvme_dir);
+                let r = net.add_link(format!("n{n}nvme{d}.pcie.r"), spec.bw.pcie_nvme_dir);
+                reg(&mut class_links, n, LinkClass::PcieNvme, w);
+                reg(&mut class_links, n, LinkClass::PcieNvme, r);
+                pw.push(w);
+                pr.push(r);
+                let m = &spec.nvme_dev;
+                let bw = net.add_bucketed_link(
+                    format!("n{n}nvme{d}.dev.w"),
+                    TokenBucket::new(m.cache_bytes, m.burst, m.sustained_write),
+                );
+                let br = net.add_bucketed_link(
+                    format!("n{n}nvme{d}.dev.r"),
+                    TokenBucket::new(
+                        m.cache_bytes,
+                        m.burst.min(m.sustained_read * 1.6),
+                        m.sustained_read,
+                    ),
+                );
+                reg(&mut class_links, n, LinkClass::NvmeDev, bw);
+                reg(&mut class_links, n, LinkClass::NvmeDev, br);
+                dw.push(bw);
+                dr.push(br);
+            }
+            pcie_nvme_w.push(pw);
+            pcie_nvme_r.push(pr);
+            nvme_dev_w.push(dw);
+            nvme_dev_r.push(dr);
+
+            // NVLink: directed link per ordered GPU pair.
+            for i in 0..gpn {
+                for j in 0..gpn {
+                    if i == j {
+                        continue;
+                    }
+                    let id = net.add_link(format!("n{n}.nvlink.{i}to{j}"), spec.bw.nvlink_pair_dir);
+                    reg(&mut class_links, n, LinkClass::NvLink, id);
+                    nvlink.insert((n, i, j), id);
+                }
+            }
+
+            // SerDes-pair virtual links used by the IOD contention model.
+            let gps = spec.gpus_per_socket();
+            for s in 0..spn {
+                let mut sets: Vec<SerdesSet> = Vec::new();
+                for lg in 0..gps {
+                    sets.push(SerdesSet::PcieGpu(lg));
+                }
+                sets.push(SerdesSet::PcieNic);
+                for (d, pl) in spec.nvme_layout.iter().enumerate() {
+                    if pl.socket == s {
+                        sets.push(SerdesSet::PcieNvme(d));
+                    }
+                }
+                sets.push(SerdesSet::Xgmi);
+                for x in 0..sets.len() {
+                    for y in (x + 1)..sets.len() {
+                        let (a, b) = (sets[x].min(sets[y]), sets[x].max(sets[y]));
+                        let cap = Self::pair_capacity(&spec, a, b);
+                        let id = net.add_link(format!("n{n}s{s}.iod.{a:?}-{b:?}"), cap);
+                        reg(&mut class_links, n, LinkClass::IodPair, id);
+                        pairs.insert((n, s, a, b), id);
+                    }
+                }
+            }
+        }
+
+        Ok(Cluster {
+            spec,
+            net,
+            dram,
+            xgmi,
+            pcie_gpu_up,
+            pcie_gpu_down,
+            pcie_nic_tx,
+            pcie_nic_rx,
+            pcie_nvme_w,
+            pcie_nvme_r,
+            nvme_dev_w,
+            nvme_dev_r,
+            nvlink,
+            roce_tx,
+            roce_rx,
+            pairs,
+            class_links,
+            volumes: Vec::new(),
+        })
+    }
+
+    /// Capacity of the virtual pair link between SerDes sets `a` and `b`
+    /// (Sec. III-C4 calibration).
+    fn pair_capacity(spec: &ClusterSpec, a: SerdesSet, b: SerdesSet) -> f64 {
+        let gpu_involved = matches!(a, SerdesSet::PcieGpu(_)) || matches!(b, SerdesSet::PcieGpu(_));
+        match (a.is_xgmi() || b.is_xgmi(), gpu_involved) {
+            (false, _) => spec.iod.pcie_pcie,
+            (true, true) => spec.iod.pcie_gpu_xgmi,
+            (true, false) => spec.iod.xgmi_pcie_io,
+        }
+    }
+
+    /// The specification this cluster was built from.
+    pub fn spec(&self) -> &ClusterSpec {
+        &self.spec
+    }
+
+    /// Immutable access to the underlying flow network.
+    pub fn net(&self) -> &FlowNet {
+        &self.net
+    }
+
+    /// Mutable access to the underlying flow network (needed to run the
+    /// DAG engine against this cluster).
+    pub fn net_mut(&mut self) -> &mut FlowNet {
+        &mut self.net
+    }
+
+    /// Links of `class` on `node` (Table IV per-node aggregation groups).
+    pub fn links(&self, node: usize, class: LinkClass) -> &[LinkId] {
+        self.class_links
+            .get(&(node, class))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// All GPUs of `node` in index order.
+    pub fn node_gpus(&self, node: usize) -> Vec<GpuId> {
+        (0..self.spec.gpus_per_node)
+            .map(|gpu| GpuId { node, gpu })
+            .collect()
+    }
+
+    /// All GPUs in the cluster, node-major.
+    pub fn all_gpus(&self) -> Vec<GpuId> {
+        (0..self.spec.nodes)
+            .flat_map(|n| self.node_gpus(n))
+            .collect()
+    }
+
+    /// Engine resource id of a GPU's compute queue.
+    pub fn gpu_resource(&self, g: GpuId) -> ResourceId {
+        ResourceId(g.node * self.spec.gpus_per_node + g.gpu)
+    }
+
+    /// Engine resource id of a CPU socket's compute capacity.
+    pub fn cpu_resource(&self, s: SocketId) -> ResourceId {
+        ResourceId(self.spec.total_gpus() + s.node * ClusterSpec::SOCKETS_PER_NODE + s.socket)
+    }
+
+    /// Slot counts for [`zerosim_simkit::DagEngine::new`]: one compute slot
+    /// per GPU, one per CPU socket.
+    pub fn resource_slots(&self) -> Vec<usize> {
+        vec![1; self.spec.total_gpus() + self.spec.total_sockets()]
+    }
+
+    /// Socket hosting `g`'s PCIe link.
+    pub fn gpu_socket(&self, g: GpuId) -> SocketId {
+        g.socket(self.spec.gpus_per_socket())
+    }
+
+    fn pair_link(&self, node: usize, socket: usize, a: SerdesSet, b: SerdesSet) -> LinkId {
+        let (lo, hi) = (a.min(b), a.max(b));
+        *self
+            .pairs
+            .get(&(node, socket, lo, hi))
+            .unwrap_or_else(|| panic!("no pair link n{node}s{socket} {lo:?}-{hi:?}"))
+    }
+
+    fn xgmi_dir(&self, node: usize, from_socket: usize, to_socket: usize) -> LinkId {
+        debug_assert_ne!(from_socket, to_socket);
+        if from_socket == 0 {
+            self.xgmi[node][0]
+        } else {
+            self.xgmi[node][1]
+        }
+    }
+
+    /// Route between two memory locations on the *same node*, or between
+    /// GPUs/CPUs on different nodes using topology-preferred (same-socket)
+    /// NICs. For explicit NIC selection use
+    /// [`Cluster::route_internode_gpu`].
+    ///
+    /// # Panics
+    /// Panics on unsupported endpoint combinations (e.g. NVMe on a remote
+    /// node): the training strategies never generate them.
+    pub fn route(&self, from: MemLoc, to: MemLoc) -> Route {
+        match (from, to) {
+            (MemLoc::Gpu(a), MemLoc::Gpu(b)) if a.node == b.node => self.route_gpu_gpu(a, b),
+            (MemLoc::Gpu(a), MemLoc::Gpu(b)) => {
+                let src_nic = self.gpu_socket(a).socket;
+                let dst_nic = self.gpu_socket(b).socket;
+                self.route_internode_gpu(a, b, src_nic, dst_nic)
+            }
+            (MemLoc::Gpu(g), MemLoc::Cpu(c)) => self.route_gpu_cpu(g, c, true),
+            (MemLoc::Cpu(c), MemLoc::Gpu(g)) => self.route_gpu_cpu(g, c, false),
+            (MemLoc::Cpu(a), MemLoc::Cpu(b)) if a.node == b.node => self.route_cpu_cpu(a, b),
+            (MemLoc::Cpu(a), MemLoc::Cpu(b)) => self.route_internode_cpu(a, b),
+            (MemLoc::Cpu(c), MemLoc::Nvme(d)) => self.route_cpu_nvme(c, d, IoDir::Write),
+            (MemLoc::Nvme(d), MemLoc::Cpu(c)) => self.route_cpu_nvme(c, d, IoDir::Read),
+            (from, to) => panic!("unsupported route {from:?} -> {to:?}"),
+        }
+    }
+
+    fn route_gpu_gpu(&self, a: GpuId, b: GpuId) -> Route {
+        assert_eq!(a.node, b.node);
+        assert_ne!(a.gpu, b.gpu, "route from a GPU to itself");
+        let l = self.nvlink[&(a.node, a.gpu, b.gpu)];
+        Route::new(vec![l], SimTime::from_secs(self.spec.lat.nvlink_s))
+    }
+
+    fn route_gpu_cpu(&self, g: GpuId, c: SocketId, gpu_to_cpu: bool) -> Route {
+        assert_eq!(g.node, c.node, "GPU-CPU routes are intra-node");
+        let gs = self.gpu_socket(g);
+        let n = g.node;
+        let local_gpu = g.gpu % self.spec.gpus_per_socket();
+        let pcie = if gpu_to_cpu {
+            self.pcie_gpu_up[n][g.gpu]
+        } else {
+            self.pcie_gpu_down[n][g.gpu]
+        };
+        let mut lat = self.spec.lat.pcie_s;
+        let mut links = Vec::new();
+        if gpu_to_cpu {
+            links.push(pcie);
+        }
+        if gs.socket != c.socket {
+            // Crosses the GPU-side IOD between the GPU PCIe set and xGMI.
+            links.push(self.pair_link(
+                n,
+                gs.socket,
+                SerdesSet::PcieGpu(local_gpu),
+                SerdesSet::Xgmi,
+            ));
+            links.push(self.xgmi_dir(
+                n,
+                if gpu_to_cpu { gs.socket } else { c.socket },
+                if gpu_to_cpu { c.socket } else { gs.socket },
+            ));
+            lat += self.spec.lat.xgmi_s + self.spec.iod.crossing_latency_s;
+        }
+        links.push(self.dram[n][c.socket]);
+        if !gpu_to_cpu {
+            // CPU -> GPU: traverse in the natural order.
+            links.reverse();
+            links.push(pcie);
+        }
+        Route::new(links, SimTime::from_secs(lat))
+    }
+
+    fn route_cpu_cpu(&self, a: SocketId, b: SocketId) -> Route {
+        assert_eq!(a.node, b.node);
+        if a.socket == b.socket {
+            return Route::new(
+                vec![self.dram[a.node][a.socket]],
+                SimTime::from_secs(0.1e-6),
+            );
+        }
+        Route::new(
+            vec![
+                self.dram[a.node][a.socket],
+                self.xgmi_dir(a.node, a.socket, b.socket),
+                self.dram[a.node][b.socket],
+            ],
+            SimTime::from_secs(self.spec.lat.xgmi_s),
+        )
+    }
+
+    /// Explicit inter-node GPU route via chosen NICs (GPUDirect RDMA).
+    pub fn route_internode_gpu(&self, a: GpuId, b: GpuId, src_nic: usize, dst_nic: usize) -> Route {
+        assert_ne!(a.node, b.node, "use route() for intra-node GPU pairs");
+        let mut links = Vec::new();
+        let mut lat = self.spec.lat.pcie_s * 2.0 + self.spec.lat.roce_s;
+
+        // Source side: GPU -> NIC.
+        let gs = self.gpu_socket(a);
+        let local = a.gpu % self.spec.gpus_per_socket();
+        links.push(self.pcie_gpu_up[a.node][a.gpu]);
+        if gs.socket == src_nic {
+            links.push(self.pair_link(
+                a.node,
+                gs.socket,
+                SerdesSet::PcieGpu(local),
+                SerdesSet::PcieNic,
+            ));
+        } else {
+            links.push(self.pair_link(
+                a.node,
+                gs.socket,
+                SerdesSet::PcieGpu(local),
+                SerdesSet::Xgmi,
+            ));
+            links.push(self.xgmi_dir(a.node, gs.socket, src_nic));
+            links.push(self.pair_link(a.node, src_nic, SerdesSet::Xgmi, SerdesSet::PcieNic));
+            lat += self.spec.lat.xgmi_s + 2.0 * self.spec.iod.crossing_latency_s;
+        }
+        links.push(self.pcie_nic_tx[a.node][src_nic]);
+        links.push(self.roce_tx[a.node][src_nic]);
+
+        // Destination side: NIC -> GPU.
+        links.push(self.roce_rx[b.node][dst_nic]);
+        links.push(self.pcie_nic_rx[b.node][dst_nic]);
+        let ds = self.gpu_socket(b);
+        let dlocal = b.gpu % self.spec.gpus_per_socket();
+        if ds.socket == dst_nic {
+            links.push(self.pair_link(
+                b.node,
+                ds.socket,
+                SerdesSet::PcieGpu(dlocal),
+                SerdesSet::PcieNic,
+            ));
+        } else {
+            links.push(self.pair_link(b.node, dst_nic, SerdesSet::Xgmi, SerdesSet::PcieNic));
+            links.push(self.xgmi_dir(b.node, dst_nic, ds.socket));
+            links.push(self.pair_link(
+                b.node,
+                ds.socket,
+                SerdesSet::PcieGpu(dlocal),
+                SerdesSet::Xgmi,
+            ));
+            lat += self.spec.lat.xgmi_s + 2.0 * self.spec.iod.crossing_latency_s;
+        }
+        links.push(self.pcie_gpu_down[b.node][b.gpu]);
+
+        if gs.socket == src_nic && ds.socket == dst_nic {
+            lat += 2.0 * self.spec.iod.crossing_latency_s;
+        }
+        Route::new(links, SimTime::from_secs(lat))
+    }
+
+    /// Inter-node CPU-to-CPU route through each side's same-socket NIC.
+    fn route_internode_cpu(&self, a: SocketId, b: SocketId) -> Route {
+        let links = vec![
+            self.dram[a.node][a.socket],
+            self.pcie_nic_tx[a.node][a.socket],
+            self.roce_tx[a.node][a.socket],
+            self.roce_rx[b.node][b.socket],
+            self.pcie_nic_rx[b.node][b.socket],
+            self.dram[b.node][b.socket],
+        ];
+        Route::new(
+            links,
+            SimTime::from_secs(self.spec.lat.roce_s + 2.0 * self.spec.lat.pcie_s),
+        )
+    }
+
+    /// Inter-node CPU route with explicit NIC selection on the source side
+    /// (used by the perftest cross-socket scenarios).
+    pub fn route_internode_cpu_via(
+        &self,
+        a: SocketId,
+        b: SocketId,
+        src_nic: usize,
+        dst_nic: usize,
+    ) -> Route {
+        let mut links = Vec::new();
+        let mut lat = self.spec.lat.roce_s + 2.0 * self.spec.lat.pcie_s;
+        links.push(self.dram[a.node][a.socket]);
+        if a.socket != src_nic {
+            links.push(self.xgmi_dir(a.node, a.socket, src_nic));
+            links.push(self.pair_link(a.node, src_nic, SerdesSet::Xgmi, SerdesSet::PcieNic));
+            lat += self.spec.lat.xgmi_s + self.spec.iod.crossing_latency_s;
+        }
+        links.push(self.pcie_nic_tx[a.node][src_nic]);
+        links.push(self.roce_tx[a.node][src_nic]);
+        links.push(self.roce_rx[b.node][dst_nic]);
+        links.push(self.pcie_nic_rx[b.node][dst_nic]);
+        if b.socket != dst_nic {
+            links.push(self.pair_link(b.node, dst_nic, SerdesSet::Xgmi, SerdesSet::PcieNic));
+            links.push(self.xgmi_dir(b.node, dst_nic, b.socket));
+            lat += self.spec.lat.xgmi_s + self.spec.iod.crossing_latency_s;
+        }
+        links.push(self.dram[b.node][b.socket]);
+        Route::new(links, SimTime::from_secs(lat))
+    }
+
+    fn route_cpu_nvme(&self, c: SocketId, d: NvmeId, dir: IoDir) -> Route {
+        assert_eq!(c.node, d.node, "NVMe routes are intra-node");
+        let n = c.node;
+        let drive_socket = self.spec.nvme_layout[d.drive].socket;
+        let mut lat = self.spec.lat.pcie_s + self.spec.nvme_dev.latency_s;
+        let mut links = vec![self.dram[n][c.socket]];
+        if c.socket != drive_socket {
+            links.push(self.xgmi_dir(
+                n,
+                if dir == IoDir::Write {
+                    c.socket
+                } else {
+                    drive_socket
+                },
+                if dir == IoDir::Write {
+                    drive_socket
+                } else {
+                    c.socket
+                },
+            ));
+            links.push(self.pair_link(
+                n,
+                drive_socket,
+                SerdesSet::Xgmi,
+                SerdesSet::PcieNvme(d.drive),
+            ));
+            lat += self.spec.lat.xgmi_s + self.spec.iod.crossing_latency_s;
+        }
+        match dir {
+            IoDir::Write => {
+                links.push(self.pcie_nvme_w[n][d.drive]);
+                links.push(self.nvme_dev_w[n][d.drive]);
+            }
+            IoDir::Read => {
+                links.push(self.pcie_nvme_r[n][d.drive]);
+                links.push(self.nvme_dev_r[n][d.drive]);
+                links.reverse();
+            }
+        }
+        Route::new(links, SimTime::from_secs(lat))
+    }
+
+    /// Registers a volume striping evenly across `members`.
+    ///
+    /// # Panics
+    /// Panics if `members` is empty or references an unknown drive.
+    pub fn create_volume(&mut self, members: Vec<NvmeId>) -> VolumeId {
+        assert!(!members.is_empty(), "a volume needs at least one member");
+        for m in &members {
+            assert!(
+                m.drive < self.spec.nvme_layout.len() && m.node < self.spec.nodes,
+                "volume member {m:?} does not exist"
+            );
+        }
+        let id = VolumeId(self.volumes.len());
+        self.volumes.push(NvmeVolume { members });
+        id
+    }
+
+    /// The volume registered under `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is unknown.
+    pub fn volume(&self, id: VolumeId) -> &NvmeVolume {
+        &self.volumes[id.0]
+    }
+
+    /// Routes for a striped I/O of any size against `volume` issued from
+    /// CPU socket `from`: one route per member, each carrying
+    /// `1 / member_count` of the bytes.
+    pub fn volume_io_routes(&self, volume: VolumeId, from: SocketId, dir: IoDir) -> Vec<Route> {
+        self.volumes[volume.0]
+            .members
+            .iter()
+            .map(|m| self.route_cpu_nvme(from, *m, dir))
+            .collect()
+    }
+
+    /// One NIC per socket: the NIC GPUs on that socket prefer.
+    pub fn nic_for_socket(&self, s: SocketId) -> NicId {
+        NicId {
+            node: s.node,
+            nic: s.socket,
+        }
+    }
+
+    /// A human-readable topology dump (Fig. 2 substitute).
+    pub fn describe(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "cluster: {} node(s), {} GPUs/node, {} NVMe drive(s)/node",
+            self.spec.nodes,
+            self.spec.gpus_per_node,
+            self.spec.nvme_layout.len()
+        );
+        for n in 0..self.spec.nodes {
+            let _ = writeln!(out, "node {n}:");
+            for s in 0..ClusterSpec::SOCKETS_PER_NODE {
+                let gpus: Vec<usize> = (0..self.spec.gpus_per_node)
+                    .filter(|g| g / self.spec.gpus_per_socket() == s)
+                    .collect();
+                let drives: Vec<usize> = self
+                    .spec
+                    .nvme_layout
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, p)| p.socket == s)
+                    .map(|(i, _)| i)
+                    .collect();
+                let _ = writeln!(
+                    out,
+                    "  socket {s}: DRAM {:.1} GBps | GPUs {gpus:?} | NIC {s} | NVMe {drives:?}",
+                    self.spec.bw.dram_socket / 1e9
+                );
+            }
+            let _ = writeln!(
+                out,
+                "  xGMI {:.0} GBps/dir, NVLink {:.0} GBps/dir/pair, RoCE {:.1} GBps/dir/NIC",
+                self.spec.bw.xgmi_dir / 1e9,
+                self.spec.bw.nvlink_pair_dir / 1e9,
+                self.spec.bw.roce_dir / 1e9
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster() -> Cluster {
+        Cluster::new(ClusterSpec::default()).expect("default spec is valid")
+    }
+
+    #[test]
+    fn builds_expected_link_groups() {
+        let c = cluster();
+        // Per node: 2 DRAM, 2 xGMI, 8 PCIe-GPU (4 GPUs × 2 dirs), 4 PCIe-NIC,
+        // 4 PCIe-NVMe (2 drives × 2 dirs), 12 NVLink (4P2 ordered pairs), 4 RoCE.
+        assert_eq!(c.links(0, LinkClass::Dram).len(), 2);
+        assert_eq!(c.links(0, LinkClass::Xgmi).len(), 2);
+        assert_eq!(c.links(0, LinkClass::PcieGpu).len(), 8);
+        assert_eq!(c.links(0, LinkClass::PcieNic).len(), 4);
+        assert_eq!(c.links(0, LinkClass::PcieNvme).len(), 4);
+        assert_eq!(c.links(0, LinkClass::NvLink).len(), 12);
+        assert_eq!(c.links(0, LinkClass::Roce).len(), 4);
+        assert_eq!(c.links(1, LinkClass::NvLink).len(), 12);
+        assert!(c.links(2, LinkClass::Dram).is_empty());
+    }
+
+    #[test]
+    fn gpu_gpu_same_node_uses_nvlink() {
+        let c = cluster();
+        let r = c.route(
+            MemLoc::Gpu(GpuId { node: 0, gpu: 1 }),
+            MemLoc::Gpu(GpuId { node: 0, gpu: 2 }),
+        );
+        assert_eq!(r.hops(), 1);
+        assert_eq!(c.net().link_capacity(r.links[0]), 100e9);
+    }
+
+    #[test]
+    fn gpu_cpu_same_socket_route() {
+        let c = cluster();
+        let r = c.route(
+            MemLoc::Gpu(GpuId { node: 0, gpu: 0 }),
+            MemLoc::Cpu(SocketId { node: 0, socket: 0 }),
+        );
+        // pcie up + dram, no IOD pair.
+        assert_eq!(r.hops(), 2);
+    }
+
+    #[test]
+    fn gpu_cpu_cross_socket_crosses_iod() {
+        let c = cluster();
+        let r = c.route(
+            MemLoc::Gpu(GpuId { node: 0, gpu: 0 }),
+            MemLoc::Cpu(SocketId { node: 0, socket: 1 }),
+        );
+        // pcie + pair + xgmi + dram.
+        assert_eq!(r.hops(), 4);
+        let names: Vec<&str> = r.links.iter().map(|l| c.net().link_name(*l)).collect();
+        assert!(names.iter().any(|n| n.contains("iod")), "{names:?}");
+    }
+
+    #[test]
+    fn internode_gpu_same_socket_nics() {
+        let c = cluster();
+        let r = c.route(
+            MemLoc::Gpu(GpuId { node: 0, gpu: 0 }),
+            MemLoc::Gpu(GpuId { node: 1, gpu: 0 }),
+        );
+        let names: Vec<&str> = r.links.iter().map(|l| c.net().link_name(*l)).collect();
+        // GPUDirect: no DRAM on the path.
+        assert!(!names.iter().any(|n| n.contains("dram")), "{names:?}");
+        assert!(names.iter().any(|n| n.contains("roce.tx")));
+        assert!(names.iter().any(|n| n.contains("roce.rx")));
+        // Same-socket NIC: exactly one IOD pair per side (PCIe-PCIe class).
+        let iod_count = names.iter().filter(|n| n.contains("iod")).count();
+        assert_eq!(iod_count, 2);
+    }
+
+    #[test]
+    fn internode_gpu_cross_socket_nics() {
+        let c = cluster();
+        let a = GpuId { node: 0, gpu: 0 }; // socket 0
+        let b = GpuId { node: 1, gpu: 0 };
+        let r = c.route_internode_gpu(a, b, 1, 1); // force remote NICs
+        let names: Vec<&str> = r.links.iter().map(|l| c.net().link_name(*l)).collect();
+        assert!(names.iter().any(|n| n.contains("xgmi")), "{names:?}");
+        let iod_count = names.iter().filter(|n| n.contains("iod")).count();
+        assert_eq!(iod_count, 4); // two crossings per side
+    }
+
+    #[test]
+    fn cpu_nvme_routes() {
+        let c = cluster();
+        // Drive 0 is on socket 1; from socket 1: no xGMI.
+        let r = c.route(
+            MemLoc::Cpu(SocketId { node: 0, socket: 1 }),
+            MemLoc::Nvme(NvmeId { node: 0, drive: 0 }),
+        );
+        let names: Vec<&str> = r.links.iter().map(|l| c.net().link_name(*l)).collect();
+        assert!(!names.iter().any(|n| n.contains("xgmi")), "{names:?}");
+        assert!(names.iter().any(|n| n.contains("dev.w")));
+
+        // From socket 0: crosses xGMI + IOD pair.
+        let r2 = c.route(
+            MemLoc::Cpu(SocketId { node: 0, socket: 0 }),
+            MemLoc::Nvme(NvmeId { node: 0, drive: 0 }),
+        );
+        let names2: Vec<&str> = r2.links.iter().map(|l| c.net().link_name(*l)).collect();
+        assert!(names2.iter().any(|n| n.contains("xgmi")));
+        assert!(names2.iter().any(|n| n.contains("iod")));
+    }
+
+    #[test]
+    fn nvme_read_route_is_reversed() {
+        let c = cluster();
+        let r = c.route(
+            MemLoc::Nvme(NvmeId { node: 0, drive: 1 }),
+            MemLoc::Cpu(SocketId { node: 0, socket: 1 }),
+        );
+        let names: Vec<&str> = r.links.iter().map(|l| c.net().link_name(*l)).collect();
+        assert!(names.first().unwrap().contains("dev.r"), "{names:?}");
+        assert!(names.last().unwrap().contains("dram"), "{names:?}");
+    }
+
+    #[test]
+    fn volumes_stripe_across_members() {
+        let mut c = cluster();
+        let v = c.create_volume(vec![
+            NvmeId { node: 0, drive: 0 },
+            NvmeId { node: 0, drive: 1 },
+        ]);
+        let routes = c.volume_io_routes(v, SocketId { node: 0, socket: 1 }, IoDir::Write);
+        assert_eq!(routes.len(), 2);
+        assert_eq!(c.volume(v).members.len(), 2);
+    }
+
+    #[test]
+    fn resource_ids_are_disjoint() {
+        let c = cluster();
+        let mut seen = std::collections::HashSet::new();
+        for g in c.all_gpus() {
+            assert!(seen.insert(c.gpu_resource(g)));
+        }
+        for n in 0..2 {
+            for s in 0..2 {
+                assert!(seen.insert(c.cpu_resource(SocketId { node: n, socket: s })));
+            }
+        }
+        assert_eq!(c.resource_slots().len(), seen.len());
+    }
+
+    #[test]
+    fn describe_mentions_topology() {
+        let c = cluster();
+        let d = c.describe();
+        assert!(d.contains("node 0"));
+        assert!(d.contains("node 1"));
+        assert!(d.contains("NVLink"));
+    }
+
+    #[test]
+    fn pair_capacity_classes() {
+        let spec = ClusterSpec::default();
+        assert_eq!(
+            Cluster::pair_capacity(&spec, SerdesSet::PcieGpu(0), SerdesSet::PcieNic),
+            spec.iod.pcie_pcie
+        );
+        assert_eq!(
+            Cluster::pair_capacity(&spec, SerdesSet::PcieGpu(1), SerdesSet::Xgmi),
+            spec.iod.pcie_gpu_xgmi
+        );
+        assert_eq!(
+            Cluster::pair_capacity(&spec, SerdesSet::Xgmi, SerdesSet::PcieNic),
+            spec.iod.xgmi_pcie_io
+        );
+    }
+}

@@ -1,0 +1,182 @@
+//! Typed identifiers for devices and link groups.
+//!
+//! Every piece of hardware gets a newtype id so that "GPU 2 of node 1"
+//! can never be confused with "NVMe drive 2 of node 1" at compile time.
+
+use std::fmt;
+
+/// A compute node (one Dell XE8545 chassis in the paper's cluster).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub usize);
+
+/// A CPU socket within a node (`socket` ∈ {0, 1} on the XE8545).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SocketId {
+    /// Owning node.
+    pub node: usize,
+    /// Socket index within the node.
+    pub socket: usize,
+}
+
+/// A GPU. On the XE8545, GPUs 0–1 hang off socket 0 and GPUs 2–3 off
+/// socket 1 (PCIe links #1 and #3 in Fig. 2-b of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GpuId {
+    /// Owning node.
+    pub node: usize,
+    /// GPU index within the node.
+    pub gpu: usize,
+}
+
+impl GpuId {
+    /// Socket this GPU's PCIe link terminates on, assuming
+    /// `gpus_per_socket` GPUs per socket.
+    pub fn socket(&self, gpus_per_socket: usize) -> SocketId {
+        SocketId {
+            node: self.node,
+            socket: self.gpu / gpus_per_socket,
+        }
+    }
+}
+
+/// A NIC. Each socket hosts exactly one ConnectX-6 (NIC index == socket).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NicId {
+    /// Owning node.
+    pub node: usize,
+    /// NIC index within the node (equals the hosting socket).
+    pub nic: usize,
+}
+
+/// A scratch NVMe drive (index into the node's drive layout).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NvmeId {
+    /// Owning node.
+    pub node: usize,
+    /// Drive index within the node's scratch layout.
+    pub drive: usize,
+}
+
+/// A RAID0 (or single-drive) volume registered with the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VolumeId(pub usize);
+
+/// The interconnect classes the paper reports utilization for (Table IV),
+/// plus the virtual I/O-die crossbar links of the contention model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LinkClass {
+    /// CPU memory channels (half-duplex, per socket).
+    Dram,
+    /// Inter-socket Infinity Fabric (xGMI / IFIS).
+    Xgmi,
+    /// PCIe 4.0 x16 links to GPUs.
+    PcieGpu,
+    /// PCIe 4.0 x4 links to NVMe drives.
+    PcieNvme,
+    /// PCIe 4.0 x16 links to NICs.
+    PcieNic,
+    /// GPU-to-GPU NVLink 3.0 meshes.
+    NvLink,
+    /// Inter-node RDMA over Converged Ethernet.
+    Roce,
+    /// NVMe device service (NAND + DRAM cache), not a PCIe wire.
+    NvmeDev,
+    /// Virtual SerDes-pair crossbar links inside each CPU's I/O die.
+    IodPair,
+}
+
+impl LinkClass {
+    /// All classes the paper tabulates in Table IV, in the paper's column
+    /// order.
+    pub const TABLE_IV: [LinkClass; 7] = [
+        LinkClass::Dram,
+        LinkClass::Xgmi,
+        LinkClass::PcieGpu,
+        LinkClass::PcieNvme,
+        LinkClass::PcieNic,
+        LinkClass::NvLink,
+        LinkClass::Roce,
+    ];
+}
+
+impl fmt::Display for LinkClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            LinkClass::Dram => "DRAM",
+            LinkClass::Xgmi => "xGMI",
+            LinkClass::PcieGpu => "PCIe-GPU",
+            LinkClass::PcieNvme => "PCIe-NVME",
+            LinkClass::PcieNic => "PCIe-NIC",
+            LinkClass::NvLink => "NVLink",
+            LinkClass::Roce => "RoCE",
+            LinkClass::NvmeDev => "NVMe-Dev",
+            LinkClass::IodPair => "IOD-Pair",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A SerDes *set* on a CPU's I/O die. The paper hypothesizes (Sec. III-C4)
+/// that traffic routed between two such sets contends inside the IOD
+/// crossbar; the DRAM memory controller is not a SerDes set and is exempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SerdesSet {
+    /// The x16 set wired to a local GPU (local index within the socket).
+    PcieGpu(usize),
+    /// The x16 set wired to the socket's NIC.
+    PcieNic,
+    /// The (bifurcated) set wired to an NVMe drive slot.
+    PcieNvme(usize),
+    /// The xGMI sets towards the other socket (treated as one aggregate).
+    Xgmi,
+}
+
+impl SerdesSet {
+    /// True if this set is an xGMI (inter-socket) set.
+    pub fn is_xgmi(&self) -> bool {
+        matches!(self, SerdesSet::Xgmi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gpu_socket_mapping() {
+        assert_eq!(GpuId { node: 0, gpu: 0 }.socket(2).socket, 0);
+        assert_eq!(GpuId { node: 0, gpu: 1 }.socket(2).socket, 0);
+        assert_eq!(GpuId { node: 0, gpu: 2 }.socket(2).socket, 1);
+        assert_eq!(GpuId { node: 1, gpu: 3 }.socket(2).node, 1);
+    }
+
+    #[test]
+    fn link_class_display() {
+        assert_eq!(LinkClass::PcieNvme.to_string(), "PCIe-NVME");
+        assert_eq!(LinkClass::Roce.to_string(), "RoCE");
+    }
+
+    #[test]
+    fn table_iv_order_matches_paper() {
+        let names: Vec<String> = LinkClass::TABLE_IV.iter().map(|c| c.to_string()).collect();
+        assert_eq!(
+            names,
+            [
+                "DRAM",
+                "xGMI",
+                "PCIe-GPU",
+                "PCIe-NVME",
+                "PCIe-NIC",
+                "NVLink",
+                "RoCE"
+            ]
+        );
+    }
+
+    #[test]
+    fn serdes_set_xgmi_flag() {
+        assert!(SerdesSet::Xgmi.is_xgmi());
+        assert!(!SerdesSet::PcieGpu(0).is_xgmi());
+        assert!(!SerdesSet::PcieNvme(3).is_xgmi());
+    }
+}

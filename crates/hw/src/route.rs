@@ -1,0 +1,78 @@
+//! Memory locations and routes between them.
+
+use zerosim_simkit::{LinkId, SimTime};
+
+use crate::ids::{GpuId, NvmeId, SocketId};
+
+/// A location data can live in (and be transferred between).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemLoc {
+    /// A GPU's HBM.
+    Gpu(GpuId),
+    /// A CPU socket's DRAM (NUMA-local).
+    Cpu(SocketId),
+    /// A scratch NVMe drive.
+    Nvme(NvmeId),
+}
+
+impl MemLoc {
+    /// The node this location belongs to.
+    pub fn node(&self) -> usize {
+        match self {
+            MemLoc::Gpu(g) => g.node,
+            MemLoc::Cpu(s) => s.node,
+            MemLoc::Nvme(d) => d.node,
+        }
+    }
+}
+
+/// A concrete path through the simulated fabric.
+///
+/// Produced by [`crate::Cluster`] routing queries; consumed by DAG builders
+/// as the `route`/`latency`/`cap` arguments of transfer tasks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Route {
+    /// Links crossed, in order.
+    pub links: Vec<LinkId>,
+    /// Total startup latency of the path.
+    pub latency: SimTime,
+    /// Per-flow rate ceiling (`f64::INFINITY` when uncapped).
+    pub cap: f64,
+}
+
+impl Route {
+    /// Creates a route with no per-flow cap.
+    pub fn new(links: Vec<LinkId>, latency: SimTime) -> Self {
+        Route {
+            links,
+            latency,
+            cap: f64::INFINITY,
+        }
+    }
+
+    /// Number of links crossed.
+    pub fn hops(&self) -> usize {
+        self.links.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memloc_node() {
+        assert_eq!(MemLoc::Gpu(GpuId { node: 1, gpu: 2 }).node(), 1);
+        assert_eq!(MemLoc::Cpu(SocketId { node: 0, socket: 1 }).node(), 0);
+        assert_eq!(MemLoc::Nvme(NvmeId { node: 1, drive: 0 }).node(), 1);
+    }
+
+    #[test]
+    fn route_basics() {
+        let mut net = zerosim_simkit::FlowNet::new();
+        let l = net.add_link("test", 1.0);
+        let r = Route::new(vec![l], SimTime::from_us(5.0));
+        assert_eq!(r.hops(), 1);
+        assert!(r.cap.is_infinite());
+    }
+}

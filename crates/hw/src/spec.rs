@@ -1,0 +1,342 @@
+//! Cluster specification: every capacity, latency, and layout knob, with
+//! defaults set to the paper's testbed (Tables II and III).
+
+use serde::{Deserialize, Serialize};
+
+/// Per-direction (or, for DRAM, half-duplex aggregate) link bandwidths in
+/// bytes/second.
+///
+/// Defaults follow Table III of the paper:
+/// * DRAM: 8 channels × 25.6 GBps per socket, half-duplex → 204.8 GBps;
+/// * xGMI: 3 links × 36 GBps per direction → 108 GBps per direction;
+/// * PCIe 4.0 x16 (GPU, NIC): 32 GBps per direction;
+/// * PCIe 4.0 x4 (NVMe): 8 GBps per direction;
+/// * NVLink 3.0: 4 links × 25 GBps per direction per GPU pair → 100 GBps;
+/// * RoCE: 200 Gbps per direction per NIC, derated to the 93% the paper's
+///   same-socket stress test attains (protocol + PFC overhead).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkBandwidths {
+    /// Half-duplex aggregate DRAM bandwidth per socket.
+    pub dram_socket: f64,
+    /// Per-direction aggregate xGMI bandwidth between the two sockets.
+    pub xgmi_dir: f64,
+    /// Per-direction PCIe bandwidth per GPU.
+    pub pcie_gpu_dir: f64,
+    /// Per-direction PCIe bandwidth per NIC.
+    pub pcie_nic_dir: f64,
+    /// Per-direction PCIe bandwidth per NVMe drive slot.
+    pub pcie_nvme_dir: f64,
+    /// Per-direction NVLink bandwidth per ordered GPU pair.
+    pub nvlink_pair_dir: f64,
+    /// Per-direction attainable RoCE bandwidth per NIC.
+    pub roce_dir: f64,
+}
+
+impl Default for LinkBandwidths {
+    fn default() -> Self {
+        LinkBandwidths {
+            dram_socket: 204.8e9,
+            xgmi_dir: 108e9,
+            pcie_gpu_dir: 32e9,
+            pcie_nic_dir: 32e9,
+            pcie_nvme_dir: 8e9,
+            nvlink_pair_dir: 100e9,
+            roce_dir: 0.93 * 25e9,
+        }
+    }
+}
+
+/// The EPYC I/O-die SerDes-pair contention model (Sec. III-C4).
+///
+/// Traffic whose route enters and leaves a socket's IOD through two SerDes
+/// sets shares a virtual *pair link* (one per unordered pair of sets, both
+/// directions pooled). The three class capacities are calibrated so the
+/// paper's four stress-test outcomes are reproduced exactly:
+///
+/// | scenario | pairs crossed | attained |
+/// |---|---|---|
+/// | same-socket CPU-RoCE | none (DRAM is not a SerDes set) | 93% |
+/// | same-socket GPU-RoCE | (PCIe-GPU, PCIe-NIC) @13 GBps ×2 GPUs | 52% |
+/// | cross-socket CPU-RoCE | (xGMI, PCIe-NIC) @23.5 GBps | 47% |
+/// | cross-socket GPU-RoCE | (PCIe-GPU, xGMI) @10.5 GBps ×2 GPUs | 42% |
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IodModel {
+    /// Pair capacity when both sets are PCIe (bytes/second, bidirectional
+    /// pooled).
+    pub pcie_pcie: f64,
+    /// Pair capacity between a GPU PCIe set and the xGMI sets.
+    pub pcie_gpu_xgmi: f64,
+    /// Pair capacity between the xGMI sets and a NIC/NVMe PCIe set.
+    pub xgmi_pcie_io: f64,
+    /// Extra one-way latency added per pair crossing, seconds. Dominates
+    /// the 7× small-message latency gap between same- and cross-socket
+    /// RoCE (Fig. 3).
+    pub crossing_latency_s: f64,
+}
+
+impl Default for IodModel {
+    fn default() -> Self {
+        IodModel {
+            pcie_pcie: 13.0e9,
+            pcie_gpu_xgmi: 10.5e9,
+            xgmi_pcie_io: 23.5e9,
+            crossing_latency_s: 10e-6,
+        }
+    }
+}
+
+/// First-order NVMe device model (Intel D7-P5600-class, Sec. V-B3).
+///
+/// Writes land in an on-drive DRAM cache at the burst rate until the cache
+/// fills, then drop to the NAND sustained rate; reads stream from NAND.
+/// Both directions are modelled as token-bucket links.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NvmeDeviceModel {
+    /// DRAM cache capacity absorbing write bursts, bytes.
+    pub cache_bytes: f64,
+    /// Burst service rate (cache-hit), bytes/second.
+    pub burst: f64,
+    /// Sustained NAND write rate, bytes/second.
+    pub sustained_write: f64,
+    /// Sustained NAND read rate, bytes/second.
+    pub sustained_read: f64,
+    /// Per-request latency, seconds.
+    pub latency_s: f64,
+}
+
+impl Default for NvmeDeviceModel {
+    fn default() -> Self {
+        NvmeDeviceModel {
+            cache_bytes: 1.2e9,
+            burst: 6.8e9,
+            sustained_write: 2.2e9,
+            sustained_read: 4.2e9,
+            latency_s: 30e-6,
+        }
+    }
+}
+
+/// Startup latencies for the fixed interconnects, seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencyModel {
+    /// GPU↔GPU NVLink hop.
+    pub nvlink_s: f64,
+    /// PCIe hop (GPU/NIC/NVMe ↔ CPU root complex).
+    pub pcie_s: f64,
+    /// xGMI hop between sockets.
+    pub xgmi_s: f64,
+    /// RoCE NIC-to-NIC (through the SN3700 switch), one way.
+    pub roce_s: f64,
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel {
+            nvlink_s: 1.8e-6,
+            pcie_s: 0.7e-6,
+            xgmi_s: 0.6e-6,
+            roce_s: 1.9e-6,
+        }
+    }
+}
+
+/// Memory tier capacities.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemoryCapacities {
+    /// HBM per GPU, bytes (A100 SXM4 40 GB).
+    pub gpu_bytes: f64,
+    /// DRAM per node, bytes (16 × 64 GB).
+    pub cpu_bytes_per_node: f64,
+    /// Capacity per scratch NVMe drive, bytes (3.2 TB).
+    pub nvme_bytes_per_drive: f64,
+}
+
+impl Default for MemoryCapacities {
+    fn default() -> Self {
+        MemoryCapacities {
+            gpu_bytes: 40e9,
+            cpu_bytes_per_node: 1024e9,
+            nvme_bytes_per_drive: 3.2e12,
+        }
+    }
+}
+
+/// Placement of one scratch NVMe drive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NvmeDrivePlacement {
+    /// Socket the drive's PCIe lanes terminate on.
+    pub socket: usize,
+}
+
+/// Complete description of a cluster to simulate.
+///
+/// [`ClusterSpec::default`] is the paper's testbed: two XE8545 nodes, four
+/// A100-40GB per node (two per socket), one ConnectX-6 per socket, and two
+/// scratch NVMe drives on socket 1 (the mdadm RAID0 scratch volume of
+/// Table II). Use the `with_*` methods to derive variants:
+///
+/// ```
+/// use zerosim_hw::ClusterSpec;
+/// let single = ClusterSpec::default().with_nodes(1);
+/// assert_eq!(single.nodes, 1);
+/// assert_eq!(single.gpus_per_node, 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// Number of compute nodes.
+    pub nodes: usize,
+    /// GPUs per node (split evenly across the two sockets).
+    pub gpus_per_node: usize,
+    /// Link capacities.
+    pub bw: LinkBandwidths,
+    /// I/O-die contention model.
+    pub iod: IodModel,
+    /// NVMe device behaviour.
+    pub nvme_dev: NvmeDeviceModel,
+    /// Scratch drive layout, identical on every node.
+    pub nvme_layout: Vec<NvmeDrivePlacement>,
+    /// Link startup latencies.
+    pub lat: LatencyModel,
+    /// Memory tier capacities.
+    pub mem: MemoryCapacities,
+}
+
+impl Default for ClusterSpec {
+    fn default() -> Self {
+        ClusterSpec {
+            nodes: 2,
+            gpus_per_node: 4,
+            bw: LinkBandwidths::default(),
+            iod: IodModel::default(),
+            nvme_dev: NvmeDeviceModel::default(),
+            // Table II: two scratch D7-P5600 on CPU #1.
+            nvme_layout: vec![
+                NvmeDrivePlacement { socket: 1 },
+                NvmeDrivePlacement { socket: 1 },
+            ],
+            lat: LatencyModel::default(),
+            mem: MemoryCapacities::default(),
+        }
+    }
+}
+
+impl ClusterSpec {
+    /// Number of sockets per node (fixed at two, as on the XE8545).
+    pub const SOCKETS_PER_NODE: usize = 2;
+
+    /// Returns a copy with a different node count.
+    pub fn with_nodes(mut self, nodes: usize) -> Self {
+        self.nodes = nodes;
+        self
+    }
+
+    /// Returns a copy with a different scratch-drive layout (applied to
+    /// every node).
+    pub fn with_nvme_layout(mut self, layout: Vec<NvmeDrivePlacement>) -> Self {
+        self.nvme_layout = layout;
+        self
+    }
+
+    /// GPUs per socket.
+    pub fn gpus_per_socket(&self) -> usize {
+        self.gpus_per_node / Self::SOCKETS_PER_NODE
+    }
+
+    /// Total GPUs in the cluster.
+    pub fn total_gpus(&self) -> usize {
+        self.nodes * self.gpus_per_node
+    }
+
+    /// Total CPU sockets in the cluster.
+    pub fn total_sockets(&self) -> usize {
+        self.nodes * Self::SOCKETS_PER_NODE
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    /// Returns a human-readable description of the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.nodes == 0 {
+            return Err("cluster needs at least one node".into());
+        }
+        if self.gpus_per_node == 0 || !self.gpus_per_node.is_multiple_of(Self::SOCKETS_PER_NODE) {
+            return Err(format!(
+                "gpus_per_node must be a positive multiple of {} (got {})",
+                Self::SOCKETS_PER_NODE,
+                self.gpus_per_node
+            ));
+        }
+        for (i, d) in self.nvme_layout.iter().enumerate() {
+            if d.socket >= Self::SOCKETS_PER_NODE {
+                return Err(format!(
+                    "nvme drive {i} placed on unknown socket {}",
+                    d.socket
+                ));
+            }
+        }
+        let bws = [
+            self.bw.dram_socket,
+            self.bw.xgmi_dir,
+            self.bw.pcie_gpu_dir,
+            self.bw.pcie_nic_dir,
+            self.bw.pcie_nvme_dir,
+            self.bw.nvlink_pair_dir,
+            self.bw.roce_dir,
+        ];
+        if bws.iter().any(|b| !b.is_finite() || *b <= 0.0) {
+            return Err("all link bandwidths must be finite and positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_testbed() {
+        let s = ClusterSpec::default();
+        assert_eq!(s.nodes, 2);
+        assert_eq!(s.gpus_per_node, 4);
+        assert_eq!(s.gpus_per_socket(), 2);
+        assert_eq!(s.total_gpus(), 8);
+        assert_eq!(s.total_sockets(), 4);
+        assert_eq!(s.nvme_layout.len(), 2);
+        assert!(s.validate().is_ok());
+        // Table III spot checks.
+        assert_eq!(s.bw.pcie_gpu_dir, 32e9);
+        assert_eq!(s.bw.pcie_nvme_dir, 8e9);
+        assert_eq!(s.bw.nvlink_pair_dir, 100e9);
+        assert_eq!(s.mem.gpu_bytes, 40e9);
+    }
+
+    #[test]
+    fn with_nodes_builder() {
+        let s = ClusterSpec::default().with_nodes(1);
+        assert_eq!(s.nodes, 1);
+        assert_eq!(s.total_gpus(), 4);
+    }
+
+    #[test]
+    #[allow(clippy::field_reassign_with_default)]
+    fn validation_rejects_bad_specs() {
+        assert!(ClusterSpec::default().with_nodes(0).validate().is_err());
+        let mut odd = ClusterSpec::default();
+        odd.gpus_per_node = 3;
+        assert!(odd.validate().is_err());
+        let bad_drive =
+            ClusterSpec::default().with_nvme_layout(vec![NvmeDrivePlacement { socket: 5 }]);
+        assert!(bad_drive.validate().is_err());
+        let mut bad_bw = ClusterSpec::default();
+        bad_bw.bw.roce_dir = -1.0;
+        assert!(bad_bw.validate().is_err());
+    }
+
+    #[test]
+    fn spec_implements_serde_bounds() {
+        fn assert_serde<T: serde::Serialize + for<'de> serde::Deserialize<'de>>() {}
+        assert_serde::<ClusterSpec>();
+    }
+}

@@ -1,0 +1,190 @@
+//! GPT-2-like transformer configuration and parameter counting.
+//!
+//! The paper's workload (Sec. III-B2): 16 attention heads, hidden size
+//! 2048, sequence length 256, 1024 maximum position embeddings, mixed
+//! precision (FP16), per-GPU batch size 16, and a variable number of layers
+//! used to scale the model until it no longer fits.
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a GPT-2-like decoder-only transformer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct GptConfig {
+    /// Number of transformer layers.
+    pub num_layers: usize,
+    /// Hidden (embedding) dimension.
+    pub hidden_size: usize,
+    /// Number of attention heads.
+    pub num_heads: usize,
+    /// Training sequence length.
+    pub seq_len: usize,
+    /// Maximum position embeddings.
+    pub max_pos_embeddings: usize,
+    /// Vocabulary size (GPT-2 BPE).
+    pub vocab_size: usize,
+}
+
+impl GptConfig {
+    /// The paper's base configuration with a chosen layer count.
+    ///
+    /// ```
+    /// use zerosim_model::GptConfig;
+    /// let m = GptConfig::paper_model(26);
+    /// // The 26-layer model is the paper's "1.4 billion parameters" model.
+    /// assert!((m.num_params() / 1e9 - 1.4).abs() < 0.05);
+    /// ```
+    pub fn paper_model(num_layers: usize) -> Self {
+        GptConfig {
+            num_layers,
+            hidden_size: 2048,
+            num_heads: 16,
+            seq_len: 256,
+            max_pos_embeddings: 1024,
+            vocab_size: 50257,
+        }
+    }
+
+    /// Parameters in one transformer layer: QKV + output projections
+    /// (4 h² + 4 h), the two MLP matrices (8 h² + 5 h), and the two layer
+    /// norms (4 h) — the standard 12 h² + 13 h.
+    pub fn layer_params(&self) -> f64 {
+        let h = self.hidden_size as f64;
+        12.0 * h * h + 13.0 * h
+    }
+
+    /// Token + position embedding parameters (tied output head).
+    pub fn embedding_params(&self) -> f64 {
+        let h = self.hidden_size as f64;
+        (self.vocab_size as f64 + self.max_pos_embeddings as f64) * h
+    }
+
+    /// Total parameter count (embeddings + layers + final layer norm).
+    pub fn num_params(&self) -> f64 {
+        self.embedding_params()
+            + self.num_layers as f64 * self.layer_params()
+            + 2.0 * self.hidden_size as f64
+    }
+
+    /// Smallest layer count whose parameter count reaches
+    /// `target_billion × 1e9` with the paper's base shape.
+    ///
+    /// # Panics
+    /// Panics if `target_billion` is not positive or is smaller than the
+    /// embedding-only model.
+    pub fn layers_for_params(target_billion: f64) -> usize {
+        assert!(target_billion > 0.0, "target must be positive");
+        let base = GptConfig::paper_model(0);
+        let fixed = base.num_params();
+        let target = target_billion * 1e9;
+        assert!(
+            target >= fixed,
+            "target {target_billion}B is below the embedding-only size"
+        );
+        ((target - fixed) / base.layer_params()).round().max(1.0) as usize
+    }
+
+    /// Convenience: the paper model sized to approximately
+    /// `target_billion` parameters.
+    pub fn paper_model_with_params(target_billion: f64) -> Self {
+        GptConfig::paper_model(Self::layers_for_params(target_billion))
+    }
+
+    /// Validates shape constraints.
+    ///
+    /// # Errors
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.num_layers == 0 {
+            return Err("model needs at least one layer".into());
+        }
+        if self.hidden_size == 0 || self.num_heads == 0 {
+            return Err("hidden size and head count must be positive".into());
+        }
+        if !self.hidden_size.is_multiple_of(self.num_heads) {
+            return Err(format!(
+                "hidden size {} not divisible by {} heads",
+                self.hidden_size, self.num_heads
+            ));
+        }
+        if self.seq_len == 0 || self.seq_len > self.max_pos_embeddings {
+            return Err(format!(
+                "sequence length {} must be in 1..={}",
+                self.seq_len, self.max_pos_embeddings
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for GptConfig {
+    /// The paper's 1.4 B-parameter model (26 layers).
+    fn default() -> Self {
+        GptConfig::paper_model(26)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_sizes_line_up() {
+        // Fig. 6 / Table V model sizes should be reachable by layer sweeps.
+        for (layers, billions, tol) in [
+            (12, 0.71, 0.1),
+            (26, 1.41, 0.1),
+            (55, 2.9, 0.15),
+            (85, 4.4, 0.2),
+            (107, 5.5, 0.2),
+            (129, 6.6, 0.2),
+            (659, 33.3, 0.4),
+        ] {
+            let p = GptConfig::paper_model(layers).num_params() / 1e9;
+            assert!(
+                (p - billions).abs() < tol,
+                "{layers} layers -> {p:.2}B, expected ~{billions}B"
+            );
+        }
+    }
+
+    #[test]
+    fn layers_for_params_round_trips() {
+        for b in [0.7, 1.4, 5.5, 11.4, 33.3] {
+            let layers = GptConfig::layers_for_params(b);
+            let p = GptConfig::paper_model(layers).num_params() / 1e9;
+            assert!(
+                (p - b).abs() < 0.06,
+                "target {b}B got {p:.3}B ({layers} layers)"
+            );
+        }
+    }
+
+    #[test]
+    fn layer_param_formula() {
+        let c = GptConfig::paper_model(1);
+        let h = 2048.0;
+        assert_eq!(c.layer_params(), 12.0 * h * h + 13.0 * h);
+        assert_eq!(c.embedding_params(), (50257.0 + 1024.0) * h);
+    }
+
+    #[test]
+    #[allow(clippy::field_reassign_with_default)]
+    fn validation() {
+        assert!(GptConfig::default().validate().is_ok());
+        let mut c = GptConfig::default();
+        c.num_heads = 15; // 2048 % 15 != 0
+        assert!(c.validate().is_err());
+        let mut c2 = GptConfig::default();
+        c2.seq_len = 4096;
+        assert!(c2.validate().is_err());
+        let mut c3 = GptConfig::default();
+        c3.num_layers = 0;
+        assert!(c3.validate().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "below the embedding-only size")]
+    fn tiny_target_panics() {
+        GptConfig::layers_for_params(0.01);
+    }
+}

@@ -1,0 +1,82 @@
+//! Analytic FLOP counting — the simulated stand-in for the DeepSpeed FLOPS
+//! profiler the paper uses to report compute throughput (Sec. III-B3).
+
+use crate::config::GptConfig;
+
+/// FLOP counts for one training iteration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IterationFlops {
+    /// Forward-pass FLOPs.
+    pub forward: f64,
+    /// Backward-pass FLOPs (2× forward for matmul-dominated models).
+    pub backward: f64,
+}
+
+impl IterationFlops {
+    /// Total FLOPs of the iteration.
+    pub fn total(&self) -> f64 {
+        self.forward + self.backward
+    }
+}
+
+impl GptConfig {
+    /// Forward FLOPs for `tokens` tokens: `2 P` per token for the dense
+    /// matmuls plus the `4 s h` attention score/context terms per layer.
+    pub fn forward_flops(&self, tokens: f64) -> f64 {
+        let h = self.hidden_size as f64;
+        let s = self.seq_len as f64;
+        let dense = 2.0 * self.num_params() * tokens;
+        let attention = 4.0 * self.num_layers as f64 * s * h * tokens;
+        dense + attention
+    }
+
+    /// FLOPs of a full iteration over `tokens` tokens (backward = 2×
+    /// forward, the convention the DeepSpeed profiler uses).
+    pub fn iteration_flops(&self, tokens: f64) -> IterationFlops {
+        let forward = self.forward_flops(tokens);
+        IterationFlops {
+            forward,
+            backward: 2.0 * forward,
+        }
+    }
+
+    /// Tokens processed per iteration with `per_gpu_batch` sequences on
+    /// each of `num_gpus` GPUs.
+    pub fn tokens_per_iteration(&self, per_gpu_batch: usize, num_gpus: usize) -> f64 {
+        (self.seq_len * per_gpu_batch * num_gpus) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_p_t_dominates() {
+        let c = GptConfig::default();
+        let tokens = c.tokens_per_iteration(16, 4);
+        let f = c.iteration_flops(tokens);
+        let six_pt = 6.0 * c.num_params() * tokens;
+        assert!(f.total() > six_pt);
+        assert!(
+            f.total() < 1.1 * six_pt,
+            "attention should be a small correction"
+        );
+        assert_eq!(f.backward, 2.0 * f.forward);
+    }
+
+    #[test]
+    fn tokens_per_iteration_matches_paper_batch() {
+        let c = GptConfig::default();
+        // 16 sequences × 256 tokens × 4 GPUs.
+        assert_eq!(c.tokens_per_iteration(16, 4), 16384.0);
+    }
+
+    #[test]
+    fn flops_scale_linearly_in_tokens() {
+        let c = GptConfig::default();
+        let f1 = c.forward_flops(1000.0);
+        let f2 = c.forward_flops(2000.0);
+        assert!((f2 / f1 - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,34 @@
+//! `zerosim-model` — GPT-2-like workload mathematics.
+//!
+//! Everything the paper's workload implies analytically, with no
+//! simulation involved:
+//!
+//! * [`GptConfig`] — the model shape (Sec. III-B2) and parameter counting;
+//! * [`IterationFlops`] — the DeepSpeed-FLOPS-profiler substitute;
+//! * [`ModelStates`] — FP16/Adam model-state bytes (2/2/12 per parameter)
+//!   and activation-memory estimates;
+//! * [`SyntheticCorpus`] — the WikiExtractor-dump substitute with the same
+//!   token geometry.
+//!
+//! ```
+//! use zerosim_model::GptConfig;
+//! let model = GptConfig::paper_model_with_params(1.4);
+//! assert_eq!(model.num_layers, 26);
+//! let states = model.model_states();
+//! assert!((states.total() / model.num_params() - 16.0).abs() < 1e-9);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod config;
+mod data;
+mod flops;
+mod states;
+mod zoo;
+
+pub use config::GptConfig;
+pub use data::{SyntheticCorpus, TokenBatch};
+pub use flops::IterationFlops;
+pub use states::{ModelStates, ADAM_FP32_BYTES, FP16_BYTES, GPU_FIXED_OVERHEAD_BYTES};
+pub use zoo::ModelPreset;

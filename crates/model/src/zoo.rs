@@ -1,0 +1,109 @@
+//! Named model presets: the GPT-2/GPT-3 family shapes, for sweeps over
+//! hidden size and depth beyond the paper's fixed h=2048 configuration.
+
+use crate::config::GptConfig;
+
+/// A named preset of the GPT family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelPreset {
+    /// GPT-2 Small: 12 layers, h=768.
+    Gpt2Small,
+    /// GPT-2 Medium: 24 layers, h=1024.
+    Gpt2Medium,
+    /// GPT-2 Large: 36 layers, h=1280.
+    Gpt2Large,
+    /// GPT-2 XL: 48 layers, h=1600.
+    Gpt2Xl,
+    /// The paper's 1.4 B configuration: 26 layers, h=2048.
+    Paper1p4B,
+    /// GPT-3 2.7B-class: 32 layers, h=2560.
+    Gpt3_2p7B,
+    /// GPT-3 6.7B-class: 32 layers, h=4096.
+    Gpt3_6p7B,
+    /// GPT-3 13B-class: 40 layers, h=5140 (rounded to 5120 for head split).
+    Gpt3_13B,
+}
+
+impl ModelPreset {
+    /// All presets, ascending in size.
+    pub const ALL: [ModelPreset; 8] = [
+        ModelPreset::Gpt2Small,
+        ModelPreset::Gpt2Medium,
+        ModelPreset::Gpt2Large,
+        ModelPreset::Paper1p4B,
+        ModelPreset::Gpt2Xl,
+        ModelPreset::Gpt3_2p7B,
+        ModelPreset::Gpt3_6p7B,
+        ModelPreset::Gpt3_13B,
+    ];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ModelPreset::Gpt2Small => "GPT-2 S",
+            ModelPreset::Gpt2Medium => "GPT-2 M",
+            ModelPreset::Gpt2Large => "GPT-2 L",
+            ModelPreset::Gpt2Xl => "GPT-2 XL",
+            ModelPreset::Paper1p4B => "paper-1.4B",
+            ModelPreset::Gpt3_2p7B => "GPT-3 2.7B",
+            ModelPreset::Gpt3_6p7B => "GPT-3 6.7B",
+            ModelPreset::Gpt3_13B => "GPT-3 13B",
+        }
+    }
+
+    /// The configuration (paper sequence length of 256 throughout, so
+    /// results stay comparable to the reproduction).
+    pub fn config(&self) -> GptConfig {
+        let (num_layers, hidden_size, num_heads) = match self {
+            ModelPreset::Gpt2Small => (12, 768, 12),
+            ModelPreset::Gpt2Medium => (24, 1024, 16),
+            ModelPreset::Gpt2Large => (36, 1280, 20),
+            ModelPreset::Gpt2Xl => (48, 1600, 25),
+            ModelPreset::Paper1p4B => (26, 2048, 16),
+            ModelPreset::Gpt3_2p7B => (32, 2560, 32),
+            ModelPreset::Gpt3_6p7B => (32, 4096, 32),
+            ModelPreset::Gpt3_13B => (40, 5120, 40),
+        };
+        GptConfig {
+            num_layers,
+            hidden_size,
+            num_heads,
+            seq_len: 256,
+            max_pos_embeddings: 1024,
+            vocab_size: 50257,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_valid_and_ascending() {
+        let mut last = 0.0;
+        for p in ModelPreset::ALL {
+            let c = p.config();
+            c.validate().unwrap_or_else(|e| panic!("{}: {e}", p.name()));
+            let params = c.num_params();
+            assert!(params > last, "{} out of order", p.name());
+            last = params;
+        }
+    }
+
+    #[test]
+    fn named_sizes_are_roughly_right() {
+        let close = |preset: ModelPreset, billions: f64, tol: f64| {
+            let p = preset.config().num_params() / 1e9;
+            assert!(
+                (p - billions).abs() / billions < tol,
+                "{}: {p:.2}B vs {billions}B",
+                preset.name()
+            );
+        };
+        close(ModelPreset::Gpt2Small, 0.124, 0.2);
+        close(ModelPreset::Gpt2Xl, 1.56, 0.2);
+        close(ModelPreset::Gpt3_6p7B, 6.7, 0.15);
+        close(ModelPreset::Gpt3_13B, 12.9, 0.15);
+    }
+}

@@ -1,0 +1,19 @@
+//! `zerosim-perftest` — inter-node latency and bandwidth stress tests,
+//! the simulated stand-in for the OFED perftest suite the paper uses in
+//! Sec. III-C (Figs. 3 and 4).
+//!
+//! ```
+//! use zerosim_perftest::{stress_test, StressScenario};
+//!
+//! let out = stress_test(StressScenario::CpuRoce { cross_socket: false });
+//! assert!(out.roce_fraction > 0.9); // ~93% of theoretical, as measured
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod latency;
+mod stress;
+
+pub use latency::{latency_sweep, paper_message_sizes, roce_latency, LatencyPoint, RdmaSemantic};
+pub use stress::{stress_test, stress_test_on, StressOutcome, StressScenario};

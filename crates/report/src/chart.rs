@@ -1,0 +1,164 @@
+//! Terminal charts: sparklines for utilization patterns, horizontal bars
+//! for figure panels, scatter plots for trade-off figures.
+
+const BLOCKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Renders `series` as a one-line sparkline scaled to `max` (auto when
+/// `None`). Empty input renders an empty string.
+///
+/// ```
+/// use zerosim_report::sparkline;
+/// let s = sparkline(&[0.0, 0.5, 1.0], None);
+/// assert_eq!(s.chars().count(), 3);
+/// ```
+pub fn sparkline(series: &[f64], max: Option<f64>) -> String {
+    if series.is_empty() {
+        return String::new();
+    }
+    let top = max
+        .unwrap_or_else(|| series.iter().cloned().fold(0.0, f64::max))
+        .max(f64::MIN_POSITIVE);
+    series
+        .iter()
+        .map(|v| {
+            let idx = ((v / top) * 8.0).floor().clamp(0.0, 7.0) as usize;
+            BLOCKS[idx]
+        })
+        .collect()
+}
+
+/// Downsamples `series` to at most `width` points by averaging runs,
+/// preserving the overall shape for terminal display.
+pub fn downsample(series: &[f64], width: usize) -> Vec<f64> {
+    if width == 0 || series.is_empty() || series.len() <= width {
+        return series.to_vec();
+    }
+    let chunk = series.len() as f64 / width as f64;
+    (0..width)
+        .map(|i| {
+            let lo = (i as f64 * chunk) as usize;
+            let hi = (((i + 1) as f64 * chunk) as usize)
+                .min(series.len())
+                .max(lo + 1);
+            series[lo..hi].iter().sum::<f64>() / (hi - lo) as f64
+        })
+        .collect()
+}
+
+/// Renders labelled horizontal bars, scaled to the maximum value.
+///
+/// ```
+/// use zerosim_report::bar_chart;
+/// let s = bar_chart(&[("DDP", 438.0), ("ZeRO-2", 524.0)], 20, "TFLOP/s");
+/// assert!(s.contains("DDP"));
+/// assert!(s.contains("524.0"));
+/// ```
+pub fn bar_chart(items: &[(&str, f64)], width: usize, unit: &str) -> String {
+    if items.is_empty() {
+        return String::new();
+    }
+    let label_w = items
+        .iter()
+        .map(|(l, _)| l.chars().count())
+        .max()
+        .unwrap_or(0);
+    let max = items
+        .iter()
+        .map(|(_, v)| *v)
+        .fold(0.0, f64::max)
+        .max(f64::MIN_POSITIVE);
+    let mut out = String::new();
+    for (label, value) in items {
+        let bars = ((value / max) * width as f64).round() as usize;
+        out.push_str(&format!(
+            "{label:<label_w$} |{}{} {value:.1} {unit}\n",
+            "█".repeat(bars),
+            " ".repeat(width - bars.min(width)),
+        ));
+    }
+    out
+}
+
+/// Renders an (x, y) scatter with point labels, for trade-off plots like
+/// Fig. 8 (model size vs throughput).
+pub fn scatter(points: &[(f64, f64, &str)], width: usize, height: usize) -> String {
+    if points.is_empty() || width < 2 || height < 2 {
+        return String::new();
+    }
+    let xmax = points
+        .iter()
+        .map(|p| p.0)
+        .fold(0.0, f64::max)
+        .max(f64::MIN_POSITIVE);
+    let ymax = points
+        .iter()
+        .map(|p| p.1)
+        .fold(0.0, f64::max)
+        .max(f64::MIN_POSITIVE);
+    let mut grid = vec![vec![' '; width]; height];
+    let mut legend = String::new();
+    for (i, (x, y, label)) in points.iter().enumerate() {
+        let cx = ((x / xmax) * (width - 1) as f64).round() as usize;
+        let cy = ((y / ymax) * (height - 1) as f64).round() as usize;
+        let ch = char::from_digit((i % 10) as u32, 10).unwrap_or('*');
+        grid[height - 1 - cy][cx] = ch;
+        legend.push_str(&format!("  {ch}: {label} ({x:.1}, {y:.1})\n"));
+    }
+    let mut out = String::new();
+    for row in grid {
+        out.push('|');
+        out.extend(row);
+        out.push('\n');
+    }
+    out.push('+');
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    out.push_str(&legend);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparkline_scales() {
+        let s = sparkline(&[0.0, 1.0], None);
+        let chars: Vec<char> = s.chars().collect();
+        assert_eq!(chars[0], '▁');
+        assert_eq!(chars[1], '█');
+        assert_eq!(sparkline(&[], None), "");
+    }
+
+    #[test]
+    fn sparkline_respects_fixed_max() {
+        let s = sparkline(&[0.5], Some(1.0));
+        assert_eq!(s.chars().next().unwrap(), '▅');
+    }
+
+    #[test]
+    fn downsample_preserves_length_bounds() {
+        let series: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let d = downsample(&series, 10);
+        assert_eq!(d.len(), 10);
+        assert!(d[9] > d[0]);
+        assert_eq!(downsample(&series, 200).len(), 100);
+        assert!(downsample(&[], 10).is_empty());
+    }
+
+    #[test]
+    fn bar_chart_renders_all_items() {
+        let s = bar_chart(&[("a", 1.0), ("bb", 2.0)], 10, "u");
+        assert_eq!(s.lines().count(), 2);
+        assert!(s.contains("2.0 u"));
+        assert_eq!(bar_chart(&[], 10, "u"), "");
+    }
+
+    #[test]
+    fn scatter_places_points() {
+        let s = scatter(&[(1.0, 1.0, "low"), (10.0, 5.0, "high")], 20, 5);
+        assert!(s.contains("0: low"));
+        assert!(s.contains("1: high"));
+        assert!(s.lines().count() > 6);
+    }
+}

@@ -1,0 +1,179 @@
+//! Token-bucket model for devices whose service rate degrades after a burst.
+//!
+//! NVMe SSDs with a DRAM write-back cache (Sec. V-B3 of the paper) serve
+//! traffic at a high *burst* rate while the cache has headroom and fall back
+//! to the NAND *sustained* rate once it is exhausted; when the device idles
+//! the cache drains and burst capability is restored. The same first-order
+//! behaviour is captured here as a token bucket:
+//!
+//! * the bucket holds up to `capacity_bytes` tokens (free cache space);
+//! * serving traffic at the burst rate consumes tokens at
+//!   `burst_rate - sustained_rate` (the cache absorbs the difference);
+//! * tokens refill at `sustained_rate` whenever the instantaneous demand is
+//!   below it.
+
+/// Token-bucket state for a variable-rate link.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TokenBucket {
+    capacity_bytes: f64,
+    burst_rate: f64,
+    sustained_rate: f64,
+    tokens: f64,
+}
+
+impl TokenBucket {
+    /// Creates a full bucket.
+    ///
+    /// `burst_rate` and `sustained_rate` are in bytes/second;
+    /// `capacity_bytes` is the burst absorbing capacity in bytes.
+    ///
+    /// # Panics
+    /// Panics if any argument is non-finite or negative, or if
+    /// `burst_rate < sustained_rate`.
+    pub fn new(capacity_bytes: f64, burst_rate: f64, sustained_rate: f64) -> Self {
+        assert!(
+            capacity_bytes.is_finite() && capacity_bytes >= 0.0,
+            "token bucket capacity must be finite and non-negative"
+        );
+        assert!(
+            burst_rate.is_finite() && sustained_rate.is_finite(),
+            "token bucket rates must be finite"
+        );
+        assert!(
+            burst_rate >= sustained_rate && sustained_rate >= 0.0,
+            "burst rate must be at least the sustained rate"
+        );
+        TokenBucket {
+            capacity_bytes,
+            burst_rate,
+            sustained_rate,
+            tokens: capacity_bytes,
+        }
+    }
+
+    /// Current instantaneous service capacity in bytes/second.
+    pub fn current_rate(&self) -> f64 {
+        if self.tokens > 0.0 {
+            self.burst_rate
+        } else {
+            self.sustained_rate
+        }
+    }
+
+    /// The sustained (post-burst) rate in bytes/second.
+    pub fn sustained_rate(&self) -> f64 {
+        self.sustained_rate
+    }
+
+    /// The burst rate in bytes/second.
+    pub fn burst_rate(&self) -> f64 {
+        self.burst_rate
+    }
+
+    /// Remaining tokens (bytes of burst headroom).
+    pub fn tokens(&self) -> f64 {
+        self.tokens
+    }
+
+    /// Seconds until the bucket state next changes while serving at
+    /// `demand_rate` bytes/second, or `None` if the state never changes.
+    ///
+    /// A state change is either depletion (serving above the sustained rate
+    /// with tokens left) or complete refill (serving below it with the bucket
+    /// not yet full).
+    pub fn next_transition(&self, demand_rate: f64) -> Option<f64> {
+        let net = demand_rate - self.sustained_rate;
+        if net > f64::EPSILON && self.tokens > 0.0 {
+            Some(self.tokens / net)
+        } else if net < -f64::EPSILON && self.tokens < self.capacity_bytes {
+            Some((self.capacity_bytes - self.tokens) / -net)
+        } else {
+            None
+        }
+    }
+
+    /// Advances the bucket by `dt` seconds while serving `demand_rate`
+    /// bytes/second, draining or refilling tokens as appropriate.
+    pub fn advance(&mut self, dt: f64, demand_rate: f64) {
+        debug_assert!(dt >= 0.0);
+        let net = demand_rate - self.sustained_rate;
+        self.tokens = (self.tokens - net * dt).clamp(0.0, self.capacity_bytes);
+    }
+
+    /// Resets the bucket to full (e.g. after an idle period long enough for
+    /// the cache to flush completely).
+    pub fn refill(&mut self) {
+        self.tokens = self.capacity_bytes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bucket() -> TokenBucket {
+        // 8 GB cache, 6 GB/s burst, 2 GB/s sustained.
+        TokenBucket::new(8e9, 6e9, 2e9)
+    }
+
+    #[test]
+    fn starts_full_at_burst_rate() {
+        let b = bucket();
+        assert_eq!(b.current_rate(), 6e9);
+        assert_eq!(b.tokens(), 8e9);
+    }
+
+    #[test]
+    fn depletes_under_load_then_sustains() {
+        let mut b = bucket();
+        // Serving at 6 GB/s drains 4 GB/s of tokens -> empty after 2 s.
+        assert_eq!(b.next_transition(6e9), Some(2.0));
+        b.advance(2.0, 6e9);
+        assert_eq!(b.tokens(), 0.0);
+        assert_eq!(b.current_rate(), 2e9);
+        // Once empty and still loaded, no further transition.
+        assert_eq!(b.next_transition(2e9), None);
+    }
+
+    #[test]
+    fn refills_when_idle() {
+        let mut b = bucket();
+        b.advance(2.0, 6e9);
+        assert_eq!(b.current_rate(), 2e9);
+        // Idle refills at the sustained rate: full again after 4 s.
+        assert_eq!(b.next_transition(0.0), Some(4.0));
+        b.advance(4.0, 0.0);
+        assert_eq!(b.tokens(), 8e9);
+        assert_eq!(b.current_rate(), 6e9);
+    }
+
+    #[test]
+    fn serving_exactly_sustained_is_steady_state() {
+        let mut b = bucket();
+        b.advance(2.0, 6e9); // drain
+        assert_eq!(b.next_transition(2e9), None);
+        b.advance(100.0, 2e9);
+        assert_eq!(b.tokens(), 0.0);
+    }
+
+    #[test]
+    fn explicit_refill() {
+        let mut b = bucket();
+        b.advance(2.0, 6e9);
+        b.refill();
+        assert_eq!(b.tokens(), 8e9);
+    }
+
+    #[test]
+    fn tokens_clamped_to_capacity() {
+        let mut b = bucket();
+        b.advance(1000.0, 0.0);
+        assert_eq!(b.tokens(), 8e9);
+    }
+
+    #[test]
+    #[should_panic(expected = "burst rate must be at least")]
+    fn invalid_rates_panic() {
+        let _ = TokenBucket::new(1e9, 1e9, 2e9);
+    }
+}

@@ -1,0 +1,67 @@
+//! Error types for the simulation kernel.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while executing a simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// No event can make progress but tasks remain unfinished.
+    Deadlock {
+        /// Number of tasks still pending.
+        pending: usize,
+    },
+    /// A compute task referenced a resource the engine was not configured
+    /// with.
+    UnknownResource {
+        /// Index of the unknown resource.
+        resource: usize,
+    },
+    /// The run exceeded its event budget (a runaway event storm).
+    EventLimit {
+        /// The budget that was exhausted.
+        budget: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Deadlock { pending } => {
+                write!(f, "simulation deadlocked with {pending} pending tasks")
+            }
+            SimError::UnknownResource { resource } => {
+                write!(f, "compute task references unknown resource {resource}")
+            }
+            SimError::EventLimit { budget } => {
+                write!(f, "simulation exceeded its event budget of {budget}")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(
+            SimError::Deadlock { pending: 3 }.to_string(),
+            "simulation deadlocked with 3 pending tasks"
+        );
+        assert_eq!(
+            SimError::UnknownResource { resource: 7 }.to_string(),
+            "compute task references unknown resource 7"
+        );
+    }
+
+    #[test]
+    fn is_send_sync_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<SimError>();
+    }
+}

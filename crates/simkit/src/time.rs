@@ -1,0 +1,218 @@
+//! Simulation time.
+//!
+//! Simulated time is measured in integer nanoseconds wrapped in the
+//! [`SimTime`] newtype so that wall-clock types can never be confused with
+//! virtual time. Durations reuse the same representation; arithmetic
+//! saturates rather than wrapping so that a malformed schedule fails loudly
+//! in debug builds instead of silently travelling back in time.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A point (or span) on the virtual time axis, in nanoseconds.
+///
+/// ```
+/// use zerosim_simkit::SimTime;
+/// let t = SimTime::from_ms(1.5) + SimTime::from_us(250.0);
+/// assert_eq!(t.as_nanos(), 1_750_000);
+/// assert!((t.as_secs() - 0.00175).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The origin of simulated time.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The largest representable instant; used as an "infinite" horizon.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates a time from integer nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Creates a time from (possibly fractional) microseconds.
+    ///
+    /// # Panics
+    /// Panics if `us` is negative or not finite.
+    pub fn from_us(us: f64) -> Self {
+        Self::from_secs(us * 1e-6)
+    }
+
+    /// Creates a time from (possibly fractional) milliseconds.
+    ///
+    /// # Panics
+    /// Panics if `ms` is negative or not finite.
+    pub fn from_ms(ms: f64) -> Self {
+        Self::from_secs(ms * 1e-3)
+    }
+
+    /// Creates a time from (possibly fractional) seconds.
+    ///
+    /// # Panics
+    /// Panics if `secs` is negative or not finite.
+    pub fn from_secs(secs: f64) -> Self {
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "SimTime::from_secs: invalid duration {secs}"
+        );
+        SimTime((secs * 1e9).round() as u64)
+    }
+
+    /// Raw nanosecond count.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Time as fractional seconds.
+    pub fn as_secs(self) -> f64 {
+        self.0 as f64 * 1e-9
+    }
+
+    /// Time as fractional milliseconds.
+    pub fn as_millis(self) -> f64 {
+        self.0 as f64 * 1e-6
+    }
+
+    /// Time as fractional microseconds.
+    pub fn as_micros(self) -> f64 {
+        self.0 as f64 * 1e-3
+    }
+
+    /// Saturating difference: `self - other`, clamped at zero.
+    pub fn saturating_sub(self, other: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(other.0))
+    }
+
+    /// Returns the later of two instants.
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+
+    /// Returns the earlier of two instants.
+    pub fn min(self, other: SimTime) -> SimTime {
+        SimTime(self.0.min(other.0))
+    }
+
+    /// True at the origin of time.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimTime) -> SimTime {
+        debug_assert!(self.0 >= rhs.0, "SimTime subtraction underflow");
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl SubAssign for SimTime {
+    fn sub_assign(&mut self, rhs: SimTime) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for SimTime {
+    type Output = SimTime;
+    fn mul(self, rhs: u64) -> SimTime {
+        SimTime(self.0.saturating_mul(rhs))
+    }
+}
+
+impl Div<u64> for SimTime {
+    type Output = SimTime;
+    fn div(self, rhs: u64) -> SimTime {
+        SimTime(self.0 / rhs)
+    }
+}
+
+impl Sum for SimTime {
+    fn sum<I: Iterator<Item = SimTime>>(iter: I) -> SimTime {
+        iter.fold(SimTime::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = self.0;
+        if ns >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs())
+        } else if ns >= 1_000_000 {
+            write!(f, "{:.3}ms", self.as_millis())
+        } else if ns >= 1_000 {
+            write!(f, "{:.3}us", self.as_micros())
+        } else {
+            write!(f, "{ns}ns")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_round_trips() {
+        assert_eq!(SimTime::from_secs(1.0).as_nanos(), 1_000_000_000);
+        assert_eq!(SimTime::from_ms(2.0).as_nanos(), 2_000_000);
+        assert_eq!(SimTime::from_us(3.0).as_nanos(), 3_000);
+        assert_eq!(SimTime::from_nanos(7).as_nanos(), 7);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimTime::from_ms(5.0);
+        let b = SimTime::from_ms(3.0);
+        assert_eq!((a + b).as_millis(), 8.0);
+        assert_eq!((a - b).as_millis(), 2.0);
+        assert_eq!((a * 2).as_millis(), 10.0);
+        assert_eq!((a / 5).as_millis(), 1.0);
+        assert_eq!(b.saturating_sub(a), SimTime::ZERO);
+    }
+
+    #[test]
+    fn ordering_and_extremes() {
+        assert!(SimTime::ZERO < SimTime::from_nanos(1));
+        assert!(SimTime::MAX > SimTime::from_secs(1e9));
+        assert_eq!(SimTime::ZERO.max(SimTime::from_ms(1.0)).as_millis(), 1.0);
+        assert_eq!(SimTime::MAX.min(SimTime::ZERO), SimTime::ZERO);
+        assert!(SimTime::ZERO.is_zero());
+        assert!(!SimTime::from_nanos(1).is_zero());
+    }
+
+    #[test]
+    fn display_picks_sensible_units() {
+        assert_eq!(SimTime::from_nanos(12).to_string(), "12ns");
+        assert_eq!(SimTime::from_us(12.0).to_string(), "12.000us");
+        assert_eq!(SimTime::from_ms(12.0).to_string(), "12.000ms");
+        assert_eq!(SimTime::from_secs(1.5).to_string(), "1.500s");
+    }
+
+    #[test]
+    fn sum_accumulates() {
+        let total: SimTime = (1..=4).map(SimTime::from_nanos).sum();
+        assert_eq!(total.as_nanos(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid duration")]
+    fn negative_seconds_panic() {
+        let _ = SimTime::from_secs(-1.0);
+    }
+}

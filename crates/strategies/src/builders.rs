@@ -1,0 +1,282 @@
+//! Shared building blocks for iteration task graphs.
+
+use zerosim_hw::{Cluster, GpuId, MemLoc, Route, SocketId};
+use zerosim_model::GptConfig;
+use zerosim_simkit::{DagBuilder, SimTime, TaskId};
+
+use crate::calib::Calibration;
+use crate::options::TrainOptions;
+
+/// Everything an iteration builder needs to consult.
+#[derive(Debug, Clone, Copy)]
+pub struct IterCtx<'a> {
+    /// The simulated cluster.
+    pub cluster: &'a Cluster,
+    /// The model being trained.
+    pub model: &'a GptConfig,
+    /// Run options.
+    pub opts: &'a TrainOptions,
+    /// Performance-model constants.
+    pub calib: &'a Calibration,
+}
+
+impl<'a> IterCtx<'a> {
+    /// Tokens processed per iteration across the whole run, including all
+    /// gradient-accumulation micro-steps.
+    pub fn total_tokens(&self) -> f64 {
+        self.model
+            .tokens_per_iteration(self.opts.per_gpu_batch, self.opts.num_gpus(self.cluster))
+            * self.opts.grad_accum as f64
+    }
+
+    /// Forward FLOPs of one transformer layer over `tokens` tokens,
+    /// divided across `mp` model-parallel ranks.
+    pub fn layer_fwd_flops(&self, tokens: f64, mp: usize) -> f64 {
+        let h = self.model.hidden_size as f64;
+        let dense = 2.0 * self.model.layer_params() * tokens;
+        let attention = 4.0 * self.model.seq_len as f64 * h * tokens;
+        (dense + attention) / mp as f64
+    }
+
+    /// Forward FLOPs of the embedding + vocabulary projection over
+    /// `tokens` tokens, divided across `mp` ranks.
+    pub fn embedding_fwd_flops(&self, tokens: f64, mp: usize) -> f64 {
+        2.0 * self.model.embedding_params() * tokens / mp as f64
+    }
+
+    /// Deterministic per-task jitter factor in
+    /// `1 ± compute_jitter_frac`, keyed on the iteration seed and the
+    /// task's position in the DAG (SplitMix64).
+    fn jitter(&self, dag: &DagBuilder) -> f64 {
+        let amp = self.calib.compute_jitter_frac;
+        if amp == 0.0 {
+            return 1.0;
+        }
+        let mut z = self
+            .opts
+            .jitter_seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(dag.len() as u64);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let u = (z >> 11) as f64 / (1u64 << 53) as f64;
+        1.0 + amp * (2.0 * u - 1.0)
+    }
+
+    /// Emits one layer's (or phase's) GPU compute: the GEMM span plus a
+    /// short element-wise span, serialized on the GPU.
+    pub fn emit_layer_compute(
+        &self,
+        dag: &mut DagBuilder,
+        gpu: GpuId,
+        flops: f64,
+        label: &str,
+        deps: &[TaskId],
+    ) -> TaskId {
+        let res = self.cluster.gpu_resource(gpu);
+        // A transformer layer issues ~6 GEMM kernels; efficiency is judged
+        // per kernel.
+        let per_kernel = flops / 6.0;
+        let gemm_s = 6.0 * self.calib.kernel_time_s(per_kernel) * self.jitter(dag);
+        let gemm = dag.compute(res, SimTime::from_secs(gemm_s), label, deps);
+        let ew_s = self.calib.elementwise_frac * gemm_s;
+        dag.compute(
+            res,
+            SimTime::from_secs(ew_s.max(self.calib.kernel_overhead_s)),
+            "elementwise",
+            &[gemm],
+        )
+    }
+
+    /// Emits the weight-update (GPU Adam) span for `params` parameters.
+    pub fn emit_gpu_adam(
+        &self,
+        dag: &mut DagBuilder,
+        gpu: GpuId,
+        params: f64,
+        deps: &[TaskId],
+    ) -> TaskId {
+        let res = self.cluster.gpu_resource(gpu);
+        dag.compute(
+            res,
+            SimTime::from_secs(self.calib.gpu_adam_time_s(params)),
+            "weight_update",
+            deps,
+        )
+    }
+
+    /// Emits the CPU Adam span for `params` parameters on `socket`.
+    pub fn emit_cpu_adam(
+        &self,
+        dag: &mut DagBuilder,
+        socket: SocketId,
+        params: f64,
+        deps: &[TaskId],
+    ) -> TaskId {
+        let res = self.cluster.cpu_resource(socket);
+        dag.compute(
+            res,
+            SimTime::from_secs(self.calib.cpu_adam_time_s(params)),
+            "cpu_adam",
+            deps,
+        )
+    }
+
+    /// Emits a host↔device (or host↔host, host↔NVMe) transfer along
+    /// `route`.
+    pub fn emit_transfer(
+        &self,
+        dag: &mut DagBuilder,
+        route: Route,
+        bytes: f64,
+        label: &str,
+        track: u32,
+        deps: &[TaskId],
+    ) -> TaskId {
+        dag.transfer_capped(
+            route.links,
+            bytes.max(1.0),
+            route.latency,
+            route.cap,
+            label,
+            track,
+            deps,
+        )
+    }
+
+    /// The fixed per-iteration overhead delay every GPU chain hangs off.
+    pub fn emit_iteration_prologue(&self, dag: &mut DagBuilder) -> TaskId {
+        dag.delay(SimTime::from_secs(self.calib.iteration_overhead_s), &[])
+    }
+
+    /// Emits the input-pipeline H2D copy for one GPU (token ids plus the
+    /// framework's small per-iteration host traffic), preceded by the
+    /// data-loader's DRAM activity on the GPU's socket.
+    pub fn emit_input_h2d(&self, dag: &mut DagBuilder, gpu: GpuId, deps: &[TaskId]) -> TaskId {
+        let socket = self.cluster.gpu_socket(gpu);
+        let track = self.cluster.gpu_resource(gpu).0 as u32;
+        // Host-side shuffling/bookkeeping: DRAM-only traffic.
+        let dram_route = self.cluster.route(MemLoc::Cpu(socket), MemLoc::Cpu(socket));
+        let prep = self.emit_transfer(
+            dag,
+            dram_route,
+            self.calib.host_dram_bytes_per_iter,
+            "host_prep",
+            track,
+            deps,
+        );
+        let route = self.cluster.route(MemLoc::Cpu(socket), MemLoc::Gpu(gpu));
+        let bytes = (self.opts.per_gpu_batch * self.model.seq_len * 4) as f64
+            + self.calib.host_pcie_bytes_per_iter;
+        self.emit_transfer(dag, route, bytes, "h2d", track, &[prep])
+    }
+
+    /// Socket a rank's host-side partition lives on. A
+    /// `offload_cross_socket_frac` share of ranks gets mis-placed on the
+    /// neighbouring socket, reproducing the paper's observation that
+    /// DeepSpeed's offload path is not NUMA-aware (Sec. V-A3).
+    pub fn offload_socket(&self, rank: usize, gpu: GpuId) -> SocketId {
+        let natural = self.cluster.gpu_socket(gpu);
+        let stride = (1.0 / self.calib.offload_cross_socket_frac.max(1e-9)).round() as usize;
+        if stride > 0 && rank % stride.max(1) == stride.max(1) - 1 {
+            SocketId {
+                node: natural.node,
+                socket: 1 - natural.socket,
+            }
+        } else {
+            natural
+        }
+    }
+
+    /// Number of layers grouped per communication bucket, bounding DAG
+    /// size for very deep models.
+    pub fn comm_bucket_layers(&self) -> usize {
+        self.model.num_layers.div_ceil(48).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zerosim_hw::ClusterSpec;
+
+    fn fixtures() -> (Cluster, GptConfig, TrainOptions, Calibration) {
+        (
+            Cluster::new(ClusterSpec::default()).unwrap(),
+            GptConfig::default(),
+            TrainOptions::single_node(),
+            Calibration::default(),
+        )
+    }
+
+    #[test]
+    fn layer_flops_split_by_mp() {
+        let (c, m, o, k) = fixtures();
+        let ctx = IterCtx {
+            cluster: &c,
+            model: &m,
+            opts: &o,
+            calib: &k,
+        };
+        let f1 = ctx.layer_fwd_flops(4096.0, 1);
+        let f4 = ctx.layer_fwd_flops(4096.0, 4);
+        assert!((f1 / f4 - 4.0).abs() < 1e-12);
+        assert_eq!(ctx.total_tokens(), 16384.0 * o.grad_accum as f64);
+    }
+
+    #[test]
+    fn compute_emission_produces_two_spans() {
+        let (c, m, o, k) = fixtures();
+        let ctx = IterCtx {
+            cluster: &c,
+            model: &m,
+            opts: &o,
+            calib: &k,
+        };
+        let mut dag = DagBuilder::new();
+        let g = GpuId { node: 0, gpu: 0 };
+        ctx.emit_layer_compute(&mut dag, g, 1e11, "gemm", &[]);
+        assert_eq!(dag.len(), 2); // gemm + elementwise
+    }
+
+    #[test]
+    fn offload_socket_misplaces_some_ranks() {
+        let (c, m, o, k) = fixtures();
+        let ctx = IterCtx {
+            cluster: &c,
+            model: &m,
+            opts: &o,
+            calib: &k,
+        };
+        let gpus = o.gpus(&c);
+        let misplaced = gpus
+            .iter()
+            .enumerate()
+            .filter(|(r, g)| ctx.offload_socket(*r, **g) != c.gpu_socket(**g))
+            .count();
+        assert!(misplaced >= 1, "some rank must land cross-socket");
+        assert!(misplaced < gpus.len(), "not all ranks cross-socket");
+    }
+
+    #[test]
+    fn comm_buckets_bound_dag_size() {
+        let (c, _, o, k) = fixtures();
+        let deep = GptConfig::paper_model(659);
+        let ctx = IterCtx {
+            cluster: &c,
+            model: &deep,
+            opts: &o,
+            calib: &k,
+        };
+        assert!(ctx.comm_bucket_layers() >= 13);
+        let shallow = GptConfig::paper_model(26);
+        let ctx2 = IterCtx {
+            cluster: &c,
+            model: &shallow,
+            opts: &o,
+            calib: &k,
+        };
+        assert_eq!(ctx2.comm_bucket_layers(), 1);
+    }
+}

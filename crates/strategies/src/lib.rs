@@ -1,0 +1,224 @@
+//! `zerosim-strategies` — the distributed training strategies the paper
+//! compares: PyTorch DDP, Megatron-LM model parallelism, DeepSpeed ZeRO
+//! stages 1–3, ZeRO-Offload (CPU) and ZeRO-Infinity (NVMe).
+//!
+//! Each [`Strategy`] compiles a model + cluster + options into (a) a
+//! [`MemoryPlan`] describing bytes per tier and (b) a per-iteration task
+//! graph ([`zerosim_simkit::Dag`]) of GPU/CPU compute spans, collectives,
+//! and host/NVMe staging transfers. The simulation engine is strategy-
+//! agnostic: adding a strategy never touches the event loop.
+//!
+//! ```
+//! use zerosim_hw::{Cluster, ClusterSpec};
+//! use zerosim_model::GptConfig;
+//! use zerosim_strategies::{Calibration, Strategy, TrainOptions, ZeroStage};
+//!
+//! # fn main() -> Result<(), String> {
+//! let cluster = Cluster::new(ClusterSpec::default().with_nodes(1))?;
+//! let model = GptConfig::paper_model_with_params(1.4);
+//! let opts = TrainOptions::single_node();
+//! let calib = Calibration::default();
+//!
+//! let ddp = Strategy::Ddp.memory_plan(&cluster, &model, &opts, &calib);
+//! let z3 = Strategy::Zero { stage: ZeroStage::Three }
+//!     .memory_plan(&cluster, &model, &opts, &calib);
+//! assert!(z3.per_gpu_bytes < ddp.per_gpu_bytes);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod builders;
+mod calib;
+mod capability;
+mod ddp;
+mod megatron;
+mod memory;
+mod options;
+mod zero;
+
+pub use builders::IterCtx;
+pub use calib::Calibration;
+pub use capability::ZeroCapability;
+pub use memory::MemoryPlan;
+pub use options::TrainOptions;
+pub use zero::{InfinityPlacement, StateTier, ZeroStage};
+
+use zerosim_hw::Cluster;
+use zerosim_model::GptConfig;
+use zerosim_simkit::Dag;
+
+/// A distributed training strategy.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Strategy {
+    /// PyTorch Distributed Data-Parallel.
+    Ddp,
+    /// Megatron-LM with tensor parallelism of degree `tp`, pipeline depth
+    /// `pp`, and data parallelism over the remaining GPUs.
+    Megatron {
+        /// Tensor-parallel degree (layer slicing; all-reduce per layer).
+        tp: usize,
+        /// Pipeline depth (layer partitioning; activations cross stages).
+        pp: usize,
+    },
+    /// DeepSpeed ZeRO, everything on GPU.
+    Zero {
+        /// Partitioning stage.
+        stage: ZeroStage,
+    },
+    /// ZeRO-Offload: optimizer states and computation on the CPU.
+    ZeroOffload {
+        /// Partitioning stage (1, 2, or 3).
+        stage: ZeroStage,
+        /// Also keep the (ZeRO-3-partitioned) parameters in host memory.
+        offload_params: bool,
+    },
+    /// ZeRO-Infinity: optimizer states on NVMe (requires ZeRO-3).
+    ZeroInfinity {
+        /// Also place parameters on NVMe.
+        offload_params: bool,
+        /// Rank-to-volume assignment.
+        placement: InfinityPlacement,
+    },
+}
+
+impl Strategy {
+    /// Short display name matching the paper's figure legends.
+    pub fn name(&self) -> String {
+        match self {
+            Strategy::Ddp => "PyTorch DDP".into(),
+            Strategy::Megatron { tp, pp } => {
+                if *pp == 1 {
+                    format!("Megatron-LM (MP={tp})")
+                } else {
+                    format!("Megatron-LM (TP={tp},PP={pp})")
+                }
+            }
+            Strategy::Zero { stage } => format!("ZeRO-{}", stage.number()),
+            Strategy::ZeroOffload {
+                stage,
+                offload_params,
+            } => {
+                if *offload_params {
+                    format!("ZeRO-{} (CPU opt+param)", stage.number())
+                } else {
+                    format!("ZeRO-{} (CPU)", stage.number())
+                }
+            }
+            Strategy::ZeroInfinity { offload_params, .. } => {
+                if *offload_params {
+                    "ZeRO-Infinity (NVME opt+param)".into()
+                } else {
+                    "ZeRO-Infinity (NVME opt)".into()
+                }
+            }
+        }
+    }
+
+    /// Megatron with tensor parallelism spanning all GPUs of the run (the
+    /// paper's configuration).
+    pub fn megatron_for(opts: &TrainOptions, cluster: &Cluster) -> Strategy {
+        Strategy::Megatron {
+            tp: opts.num_gpus(cluster),
+            pp: 1,
+        }
+    }
+
+    fn zero_variant(&self) -> Option<zero::ZeroVariant> {
+        match self {
+            Strategy::Zero { stage } => Some(zero::ZeroVariant {
+                stage: *stage,
+                optimizer_tier: StateTier::Gpu,
+                params_tier: StateTier::Gpu,
+                placement: None,
+            }),
+            Strategy::ZeroOffload {
+                stage,
+                offload_params,
+            } => Some(zero::ZeroVariant {
+                stage: *stage,
+                optimizer_tier: StateTier::Cpu,
+                params_tier: if *offload_params {
+                    StateTier::Cpu
+                } else {
+                    StateTier::Gpu
+                },
+                placement: None,
+            }),
+            Strategy::ZeroInfinity {
+                offload_params,
+                placement,
+            } => Some(zero::ZeroVariant {
+                stage: ZeroStage::Three,
+                optimizer_tier: StateTier::Nvme,
+                params_tier: if *offload_params {
+                    StateTier::Nvme
+                } else {
+                    StateTier::Gpu
+                },
+                placement: Some(placement.clone()),
+            }),
+            _ => None,
+        }
+    }
+
+    /// Memory placement for training `model` on `cluster` under `opts`.
+    pub fn memory_plan(
+        &self,
+        cluster: &Cluster,
+        model: &GptConfig,
+        opts: &TrainOptions,
+        calib: &Calibration,
+    ) -> MemoryPlan {
+        let ctx = IterCtx {
+            cluster,
+            model,
+            opts,
+            calib,
+        };
+        match self {
+            Strategy::Ddp => ddp::memory_plan(&ctx),
+            Strategy::Megatron { tp, pp } => megatron::memory_plan(&ctx, *tp, *pp),
+            _ => zero::memory_plan(&ctx, &self.zero_variant().expect("zero family")),
+        }
+    }
+
+    /// Builds the task graph of one training iteration.
+    ///
+    /// # Panics
+    /// Panics if the configuration is inconsistent (e.g. Megatron `mp` not
+    /// equal to the run's GPU count, or NVMe offload without volumes).
+    pub fn build_iteration(
+        &self,
+        cluster: &Cluster,
+        model: &GptConfig,
+        opts: &TrainOptions,
+        calib: &Calibration,
+    ) -> Dag {
+        let ctx = IterCtx {
+            cluster,
+            model,
+            opts,
+            calib,
+        };
+        match self {
+            Strategy::Ddp => ddp::build_iteration(&ctx),
+            Strategy::Megatron { tp, pp } => megatron::build_iteration(&ctx, *tp, *pp),
+            _ => zero::build_iteration(&ctx, &self.zero_variant().expect("zero family")),
+        }
+    }
+
+    /// The ZeRO capability row (Table I), if this is a ZeRO-family
+    /// strategy.
+    pub fn capability(&self) -> Option<ZeroCapability> {
+        match self {
+            Strategy::Zero { stage } | Strategy::ZeroOffload { stage, .. } => {
+                Some(ZeroCapability::for_stage(*stage))
+            }
+            Strategy::ZeroInfinity { .. } => Some(ZeroCapability::for_stage(ZeroStage::Three)),
+            _ => None,
+        }
+    }
+}

@@ -1,0 +1,749 @@
+//! DeepSpeed ZeRO stages 1–3, including the ZeRO-Offload (CPU) and
+//! ZeRO-Infinity (NVMe) placements, as one parameterized builder.
+//!
+//! The three stages partition, respectively: optimizer states, then also
+//! gradients, then also parameters (Table I). Offload variants move the
+//! optimizer (and for stage 3 optionally the parameters) off the GPU; the
+//! iteration graph then includes the host/NVMe staging traffic and the CPU
+//! Adam spans the paper observes during the GPUs' idle time (Sec. V).
+
+use zerosim_collectives::{emit_collective_capped, CollectiveKind, CommGroup};
+use zerosim_hw::{IoDir, MemLoc, SocketId, VolumeId};
+use zerosim_simkit::{Dag, DagBuilder, TaskId};
+
+use crate::builders::IterCtx;
+use crate::memory::MemoryPlan;
+
+/// ZeRO optimization stage (Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ZeroStage {
+    /// Partition optimizer states.
+    One,
+    /// Partition optimizer states + gradients.
+    Two,
+    /// Partition optimizer states + gradients + parameters.
+    Three,
+}
+
+impl ZeroStage {
+    /// Stage number as reported by DeepSpeed configs.
+    pub fn number(self) -> u8 {
+        match self {
+            ZeroStage::One => 1,
+            ZeroStage::Two => 2,
+            ZeroStage::Three => 3,
+        }
+    }
+
+    /// True when gradients are partitioned (stages 2 and 3).
+    pub fn partitions_gradients(self) -> bool {
+        self >= ZeroStage::Two
+    }
+
+    /// True when parameters are partitioned (stage 3).
+    pub fn partitions_parameters(self) -> bool {
+        self == ZeroStage::Three
+    }
+}
+
+/// Where a class of model state lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StateTier {
+    /// GPU HBM.
+    Gpu,
+    /// Host DRAM (ZeRO-Offload).
+    Cpu,
+    /// NVMe storage (ZeRO-Infinity).
+    Nvme,
+}
+
+/// Rank-to-volume mapping for NVMe offload (the UNIX-soft-link trick of
+/// Sec. V-E: each rank writes to an assigned disk/RAID0 volume).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InfinityPlacement {
+    /// Volume used by rank `r` is `rank_volumes[r % len]`.
+    pub rank_volumes: Vec<VolumeId>,
+}
+
+impl InfinityPlacement {
+    /// Creates a placement.
+    ///
+    /// # Panics
+    /// Panics on an empty volume list.
+    pub fn new(rank_volumes: Vec<VolumeId>) -> Self {
+        assert!(!rank_volumes.is_empty(), "placement needs volumes");
+        InfinityPlacement { rank_volumes }
+    }
+
+    /// The volume rank `r` stages through.
+    pub fn volume_for(&self, rank: usize) -> VolumeId {
+        self.rank_volumes[rank % self.rank_volumes.len()]
+    }
+}
+
+/// Fully-resolved ZeRO variant: stage plus state placement.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct ZeroVariant {
+    pub stage: ZeroStage,
+    pub optimizer_tier: StateTier,
+    pub params_tier: StateTier,
+    pub placement: Option<InfinityPlacement>,
+}
+
+impl ZeroVariant {
+    pub(crate) fn validate(&self) {
+        if self.params_tier != StateTier::Gpu {
+            assert_eq!(
+                self.stage,
+                ZeroStage::Three,
+                "parameter offload requires ZeRO-3 (Table I)"
+            );
+        }
+        if self.optimizer_tier == StateTier::Nvme {
+            assert_eq!(
+                self.stage,
+                ZeroStage::Three,
+                "NVMe optimizer offload requires ZeRO-3 (Table I)"
+            );
+        }
+        let needs_placement =
+            self.optimizer_tier == StateTier::Nvme || self.params_tier == StateTier::Nvme;
+        assert_eq!(
+            needs_placement,
+            self.placement.is_some(),
+            "NVMe tiers require a volume placement (and only they do)"
+        );
+    }
+}
+
+/// NVMe traffic per parameter per optimizer step, each direction
+/// (momentum + variance read and written; the FP32 master copy stays in
+/// host DRAM).
+const NVME_RW_BYTES_PER_PARAM: f64 = 8.0;
+
+pub(crate) fn memory_plan(ctx: &IterCtx<'_>, v: &ZeroVariant) -> MemoryPlan {
+    v.validate();
+    let p = ctx.model.num_params();
+    let n = ctx.opts.num_gpus(ctx.cluster) as f64;
+    let m = ctx.model;
+
+    let params_gpu = if v.params_tier == StateTier::Gpu {
+        if v.stage.partitions_parameters() {
+            2.0 * p / n
+        } else {
+            2.0 * p
+        }
+    } else {
+        0.0
+    };
+    let grads_gpu = if v.stage.partitions_gradients() {
+        2.0 * p / n
+    } else {
+        2.0 * p
+    };
+    let optimizer_gpu = if v.optimizer_tier == StateTier::Gpu {
+        12.0 * p / n
+    } else {
+        0.0
+    };
+    let act_full = ctx.calib.act_coeff_ckpt
+        * m.num_layers as f64
+        * m.seq_len as f64
+        * ctx.opts.per_gpu_batch as f64
+        * m.hidden_size as f64
+        * 2.0;
+    // Offload variants also checkpoint activations to host memory
+    // (DeepSpeed `cpu_checkpointing`), keeping only a working set on GPU.
+    let offloaded = v.optimizer_tier != StateTier::Gpu;
+    let act = if offloaded { 0.15 * act_full } else { act_full };
+    let act_cpu_per_node = if offloaded {
+        0.85 * act_full * ctx.cluster.spec().gpus_per_node as f64
+    } else {
+        0.0
+    };
+    let buffers = if v.stage == ZeroStage::Three {
+        ctx.calib.zero3_buffer_bytes
+    } else {
+        ctx.calib.zero12_buffer_bytes
+    };
+    let per_gpu =
+        params_gpu + grads_gpu + optimizer_gpu + act + ctx.calib.gpu_fixed_bytes + buffers;
+
+    let nodes = ctx.opts.nodes as f64;
+    let mut cpu_per_node = ctx.calib.host_base_bytes;
+    match v.optimizer_tier {
+        StateTier::Gpu => {}
+        StateTier::Cpu => cpu_per_node += ctx.calib.offload_cpu_bytes_per_param * p / nodes,
+        StateTier::Nvme => cpu_per_node += ctx.calib.infinity_cpu_bytes_per_param * p / nodes,
+    }
+    if v.params_tier == StateTier::Cpu {
+        cpu_per_node += 6.0 * p / nodes; // fp16 copy + pinned staging
+    }
+    cpu_per_node += act_cpu_per_node;
+    let mut nvme = 0.0;
+    if v.optimizer_tier == StateTier::Nvme {
+        nvme += ctx.calib.infinity_nvme_bytes_per_param * p;
+    }
+    if v.params_tier == StateTier::Nvme {
+        nvme += 2.0 * p;
+    }
+
+    MemoryPlan {
+        per_gpu_bytes: per_gpu,
+        total_gpu_bytes: per_gpu * n,
+        per_node_cpu_bytes: cpu_per_node,
+        total_cpu_bytes: cpu_per_node * nodes,
+        nvme_bytes: nvme,
+        gpu_breakdown: vec![
+            ("params_fp16".into(), params_gpu),
+            ("grads_fp16".into(), grads_gpu),
+            ("optimizer_fp32".into(), optimizer_gpu),
+            ("activations".into(), act),
+            ("buffers".into(), buffers),
+            ("fixed".into(), ctx.calib.gpu_fixed_bytes),
+        ],
+    }
+}
+
+/// Emits a striped volume I/O: one transfer per member drive.
+#[allow(clippy::too_many_arguments)]
+fn emit_volume_io(
+    ctx: &IterCtx<'_>,
+    dag: &mut DagBuilder,
+    vol: VolumeId,
+    socket: SocketId,
+    dir: IoDir,
+    bytes: f64,
+    label: &str,
+    track: u32,
+    deps: &[TaskId],
+) -> TaskId {
+    let routes = ctx.cluster.volume_io_routes(vol, socket, dir);
+    let k = routes.len() as f64;
+    let parts: Vec<TaskId> = routes
+        .into_iter()
+        .map(|r| ctx.emit_transfer(dag, r, bytes / k, label, track, deps))
+        .collect();
+    dag.marker(&parts)
+}
+
+/// The per-layer "transform" stall of ZeRO-3's module hooks.
+fn emit_z3_hook(
+    ctx: &IterCtx<'_>,
+    dag: &mut DagBuilder,
+    gpu: zerosim_hw::GpuId,
+    dep: TaskId,
+) -> TaskId {
+    let res = ctx.cluster.gpu_resource(gpu);
+    dag.compute(
+        res,
+        zerosim_simkit::SimTime::from_secs(ctx.calib.zero3_hook_s_per_layer),
+        "transform",
+        &[dep],
+    )
+}
+
+pub(crate) fn build_iteration(ctx: &IterCtx<'_>, v: &ZeroVariant) -> Dag {
+    v.validate();
+    // CPU offload's automatic placement is not NUMA-aware (Sec. V-A3);
+    // the NVMe placements of Sec. V-E were hand-tuned by the authors, so
+    // Infinity runs stage through each rank's natural socket.
+    let rank_socket = |rank: usize, g: zerosim_hw::GpuId| {
+        if v.optimizer_tier == StateTier::Nvme {
+            ctx.cluster.gpu_socket(g)
+        } else {
+            ctx.offload_socket(rank, g)
+        }
+    };
+    let gpus = ctx.opts.gpus(ctx.cluster);
+    let n = gpus.len();
+    let group = CommGroup::new(gpus.clone());
+    let tokens_gpu = (ctx.opts.per_gpu_batch * ctx.model.seq_len) as f64;
+    let layers = ctx.model.num_layers;
+    let bucket = ctx.comm_bucket_layers();
+    let p = ctx.model.num_params();
+    let shard = p / n as f64;
+
+    let mut dag = DagBuilder::new();
+    let prologue = ctx.emit_iteration_prologue(&mut dag);
+    let mut prev: Vec<TaskId> = gpus
+        .iter()
+        .map(|g| ctx.emit_input_h2d(&mut dag, *g, &[prologue]))
+        .collect();
+
+    let fwd_flops = ctx.layer_fwd_flops(tokens_gpu, 1);
+    // Communication-stream serialization with a prefetch depth of two for
+    // ZeRO-3's parameter gathers (DeepSpeed keeps the next layer's gather
+    // in flight while the current one completes).
+    let mut comm_chain: Vec<TaskId> = Vec::new();
+    let ds_cap = ctx.calib.ds_internode_cap;
+    // ZeRO-3's layer-group gathers use smaller buckets still.
+    let gather_cap = if v.stage.partitions_parameters() {
+        ctx.calib.zero3_internode_cap
+    } else {
+        ds_cap
+    };
+
+    // Helper to fetch a bucket's parameters before use under ZeRO-3.
+    let gather_bucket = |dag: &mut DagBuilder,
+                         prev: &mut Vec<TaskId>,
+                         comm_chain: &mut Vec<TaskId>,
+                         bucket_params: f64| {
+        let bytes = 2.0 * bucket_params;
+        // Prefetch depth 2: this gather waits for the gather two back.
+        let gate = if comm_chain.len() >= 2 {
+            Some(comm_chain[comm_chain.len() - 2])
+        } else {
+            None
+        };
+        let mut fetch_done: Vec<TaskId> = Vec::new();
+        if v.params_tier != StateTier::Gpu {
+            // Each rank pulls its shard from CPU (and NVMe first, if there).
+            for (rank, g) in gpus.iter().enumerate() {
+                let socket = rank_socket(rank, *g);
+                let track = ctx.cluster.gpu_resource(*g).0 as u32;
+                let mut stage_deps: Vec<TaskId> = vec![prologue];
+                stage_deps.extend(gate);
+                let mut last = dag.marker(&stage_deps);
+                if v.params_tier == StateTier::Nvme {
+                    let vol = v
+                        .placement
+                        .as_ref()
+                        .expect("validated placement")
+                        .volume_for(rank);
+                    last = emit_volume_io(
+                        ctx,
+                        dag,
+                        vol,
+                        socket,
+                        IoDir::Read,
+                        bytes / n as f64,
+                        "nvme_read",
+                        track,
+                        &[last],
+                    );
+                }
+                let route = ctx.cluster.route(MemLoc::Cpu(socket), MemLoc::Gpu(*g));
+                let h2d = ctx.emit_transfer(dag, route, bytes / n as f64, "h2d", track, &[last]);
+                fetch_done.push(h2d);
+            }
+        }
+        let mut deps: Vec<TaskId> = Vec::new();
+        deps.extend(gate);
+        deps.extend(fetch_done);
+        if deps.is_empty() {
+            deps.push(prologue);
+        }
+        let h = emit_collective_capped(
+            &mut *dag,
+            ctx.cluster,
+            &group,
+            CollectiveKind::AllGather,
+            bytes,
+            &deps,
+            gather_cap,
+        );
+        comm_chain.push(h.done);
+        for t in prev.iter_mut() {
+            // Compute on every rank now also depends on the gather.
+            *t = dag.marker(&[*t, h.done]);
+        }
+    };
+
+    // ---- Micro-steps (gradient accumulation) ----
+    // ZeRO-3 reduce-scatters every micro-step (partitioned gradients
+    // accumulate in the shards); ZeRO-1/2 and the embedding sync only at
+    // the accumulation boundary.
+    let mut grad_d2h: Vec<Vec<TaskId>> = vec![Vec::new(); n];
+    for micro in 0..ctx.opts.grad_accum {
+        let boundary = micro + 1 == ctx.opts.grad_accum;
+        let reduce_now = boundary || v.stage.partitions_parameters();
+        // ---- Forward ----
+        let mut remaining = layers;
+        while remaining > 0 {
+            let chunk = bucket.min(remaining);
+            remaining -= chunk;
+            let bucket_params = ctx.model.layer_params() * chunk as f64;
+            if v.stage.partitions_parameters() {
+                gather_bucket(&mut dag, &mut prev, &mut comm_chain, bucket_params);
+            }
+            for _l in 0..chunk {
+                for (i, g) in gpus.iter().enumerate() {
+                    prev[i] = ctx.emit_layer_compute(&mut dag, *g, fwd_flops, "gemm", &[prev[i]]);
+                    if v.stage.partitions_parameters() {
+                        prev[i] = emit_z3_hook(ctx, &mut dag, *g, prev[i]);
+                    }
+                }
+            }
+        }
+        let vocab_flops = ctx.embedding_fwd_flops(tokens_gpu, 1);
+        for (i, g) in gpus.iter().enumerate() {
+            prev[i] = ctx.emit_layer_compute(&mut dag, *g, vocab_flops, "gemm", &[prev[i]]);
+        }
+
+        // ---- Backward ----
+        let mut remaining = layers;
+        while remaining > 0 {
+            let chunk = bucket.min(remaining);
+            remaining -= chunk;
+            let bucket_params = ctx.model.layer_params() * chunk as f64;
+            if v.stage.partitions_parameters() {
+                gather_bucket(&mut dag, &mut prev, &mut comm_chain, bucket_params);
+            }
+            for _l in 0..chunk {
+                for (i, g) in gpus.iter().enumerate() {
+                    prev[i] =
+                        ctx.emit_layer_compute(&mut dag, *g, 2.0 * fwd_flops, "gemm", &[prev[i]]);
+                    if v.stage.partitions_parameters() {
+                        prev[i] = emit_z3_hook(ctx, &mut dag, *g, prev[i]);
+                    }
+                }
+            }
+            if !reduce_now {
+                continue;
+            }
+            // Gradient reduction, overlapped with the remaining backward
+            // compute (ZeRO-2/3 reduce-scatter; ZeRO-1 all-reduce).
+            let grad_bytes = 2.0 * bucket_params;
+            let kind = if v.stage.partitions_gradients() {
+                CollectiveKind::ReduceScatter
+            } else {
+                CollectiveKind::AllReduce
+            };
+            let mut deps: Vec<TaskId> = prev.clone();
+            deps.extend(comm_chain.last().copied());
+            let h = emit_collective_capped(
+                &mut dag,
+                ctx.cluster,
+                &group,
+                kind,
+                grad_bytes,
+                &deps,
+                ds_cap,
+            );
+            comm_chain.push(h.done);
+            if boundary && v.optimizer_tier != StateTier::Gpu {
+                for (rank, g) in gpus.iter().enumerate() {
+                    let socket = rank_socket(rank, *g);
+                    let track = ctx.cluster.gpu_resource(*g).0 as u32;
+                    let route = ctx.cluster.route(MemLoc::Gpu(*g), MemLoc::Cpu(socket));
+                    let t = ctx.emit_transfer(
+                        &mut dag,
+                        route,
+                        grad_bytes / n as f64,
+                        "d2h",
+                        track,
+                        &[h.done],
+                    );
+                    grad_d2h[rank].push(t);
+                }
+            }
+        }
+    }
+    // Embedding gradients.
+    let emb_bytes = 2.0 * ctx.model.embedding_params();
+    let kind = if v.stage.partitions_gradients() {
+        CollectiveKind::ReduceScatter
+    } else {
+        CollectiveKind::AllReduce
+    };
+    let mut deps: Vec<TaskId> = prev.clone();
+    deps.extend(comm_chain.last().copied());
+    let h = emit_collective_capped(
+        &mut dag,
+        ctx.cluster,
+        &group,
+        kind,
+        emb_bytes,
+        &deps,
+        ds_cap,
+    );
+    comm_chain.push(h.done);
+    if v.optimizer_tier != StateTier::Gpu {
+        for (rank, g) in gpus.iter().enumerate() {
+            let socket = rank_socket(rank, *g);
+            let track = ctx.cluster.gpu_resource(*g).0 as u32;
+            let route = ctx.cluster.route(MemLoc::Gpu(*g), MemLoc::Cpu(socket));
+            let t = ctx.emit_transfer(
+                &mut dag,
+                route,
+                emb_bytes / n as f64,
+                "d2h",
+                track,
+                &[h.done],
+            );
+            grad_d2h[rank].push(t);
+        }
+    }
+
+    // ---- Optimizer ----
+    let last_comm = *comm_chain.last().expect("at least one gradient collective");
+    let mut post_opt: Vec<TaskId> = Vec::with_capacity(n);
+    for (rank, g) in gpus.iter().enumerate() {
+        let track = ctx.cluster.gpu_resource(*g).0 as u32;
+        let done = match v.optimizer_tier {
+            StateTier::Gpu => ctx.emit_gpu_adam(&mut dag, *g, shard, &[prev[rank], last_comm]),
+            StateTier::Cpu => {
+                let socket = rank_socket(rank, *g);
+                let adam = ctx.emit_cpu_adam(&mut dag, socket, shard, &grad_d2h[rank]);
+                if v.params_tier == StateTier::Gpu {
+                    let route = ctx.cluster.route(MemLoc::Cpu(socket), MemLoc::Gpu(*g));
+                    ctx.emit_transfer(&mut dag, route, 2.0 * shard, "h2d", track, &[adam])
+                } else {
+                    adam
+                }
+            }
+            StateTier::Nvme => {
+                let socket = rank_socket(rank, *g);
+                let vol = v
+                    .placement
+                    .as_ref()
+                    .expect("validated placement")
+                    .volume_for(rank);
+                let read = emit_volume_io(
+                    ctx,
+                    &mut dag,
+                    vol,
+                    socket,
+                    IoDir::Read,
+                    NVME_RW_BYTES_PER_PARAM * shard,
+                    "nvme_read",
+                    track,
+                    &grad_d2h[rank],
+                );
+                let adam = ctx.emit_cpu_adam(&mut dag, socket, shard, &[read]);
+                let write = emit_volume_io(
+                    ctx,
+                    &mut dag,
+                    vol,
+                    socket,
+                    IoDir::Write,
+                    NVME_RW_BYTES_PER_PARAM * shard,
+                    "nvme_write",
+                    track,
+                    &[adam],
+                );
+                if v.params_tier == StateTier::Nvme {
+                    emit_volume_io(
+                        ctx,
+                        &mut dag,
+                        vol,
+                        socket,
+                        IoDir::Write,
+                        2.0 * shard,
+                        "nvme_write",
+                        track,
+                        &[adam],
+                    )
+                } else if v.params_tier == StateTier::Gpu {
+                    let route = ctx.cluster.route(MemLoc::Cpu(socket), MemLoc::Gpu(*g));
+                    let h2d =
+                        ctx.emit_transfer(&mut dag, route, 2.0 * shard, "h2d", track, &[adam]);
+                    dag.marker(&[h2d, write])
+                } else {
+                    write
+                }
+            }
+        };
+        post_opt.push(done);
+    }
+
+    // ---- Post-step parameter all-gather (stages 1 and 2) ----
+    if !v.stage.partitions_parameters() {
+        let mut deps = post_opt.clone();
+        deps.push(last_comm);
+        emit_collective_capped(
+            &mut dag,
+            ctx.cluster,
+            &group,
+            CollectiveKind::AllGather,
+            2.0 * p,
+            &deps,
+            ds_cap,
+        );
+    }
+
+    dag.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calib::Calibration;
+    use crate::options::TrainOptions;
+    use zerosim_hw::{Cluster, ClusterSpec, NvmeId};
+    use zerosim_model::GptConfig;
+    use zerosim_simkit::{DagEngine, SimTime};
+
+    fn plain(stage: ZeroStage) -> ZeroVariant {
+        ZeroVariant {
+            stage,
+            optimizer_tier: StateTier::Gpu,
+            params_tier: StateTier::Gpu,
+            placement: None,
+        }
+    }
+
+    fn fixtures() -> (Cluster, GptConfig, TrainOptions, Calibration) {
+        (
+            Cluster::new(ClusterSpec::default()).unwrap(),
+            GptConfig::default(),
+            TrainOptions::single_node(),
+            Calibration::default(),
+        )
+    }
+
+    fn run(cluster: &mut Cluster, dag: &Dag) -> f64 {
+        let mut eng = DagEngine::new(cluster.resource_slots());
+        eng.run(cluster.net_mut(), dag, SimTime::ZERO, None)
+            .unwrap()
+            .makespan()
+            .as_secs()
+    }
+
+    #[test]
+    fn stage_ordering_and_flags() {
+        assert!(ZeroStage::Two.partitions_gradients());
+        assert!(!ZeroStage::One.partitions_gradients());
+        assert!(ZeroStage::Three.partitions_parameters());
+        assert_eq!(ZeroStage::Three.number(), 3);
+    }
+
+    #[test]
+    fn memory_decreases_with_stage() {
+        let (cluster, model, opts, calib) = fixtures();
+        let ctx = IterCtx {
+            cluster: &cluster,
+            model: &model,
+            opts: &opts,
+            calib: &calib,
+        };
+        let m1 = memory_plan(&ctx, &plain(ZeroStage::One)).per_gpu_bytes;
+        let m2 = memory_plan(&ctx, &plain(ZeroStage::Two)).per_gpu_bytes;
+        let m3 = memory_plan(&ctx, &plain(ZeroStage::Three)).per_gpu_bytes;
+        assert!(m1 > m2, "ZeRO-2 must use less GPU memory than ZeRO-1");
+        assert!(m2 > m3, "ZeRO-3 must use less GPU memory than ZeRO-2");
+    }
+
+    #[test]
+    fn cpu_offload_moves_optimizer_off_gpu() {
+        let (cluster, model, opts, calib) = fixtures();
+        let ctx = IterCtx {
+            cluster: &cluster,
+            model: &model,
+            opts: &opts,
+            calib: &calib,
+        };
+        let gpu_variant = plain(ZeroStage::Two);
+        let mut cpu_variant = plain(ZeroStage::Two);
+        cpu_variant.optimizer_tier = StateTier::Cpu;
+        let pg = memory_plan(&ctx, &gpu_variant);
+        let pc = memory_plan(&ctx, &cpu_variant);
+        assert!(pc.per_gpu_bytes < pg.per_gpu_bytes);
+        assert!(pc.per_node_cpu_bytes > pg.per_node_cpu_bytes);
+    }
+
+    #[test]
+    fn all_plain_stages_execute() {
+        for stage in [ZeroStage::One, ZeroStage::Two, ZeroStage::Three] {
+            let (mut cluster, model, opts, calib) = fixtures();
+            let ctx = IterCtx {
+                cluster: &cluster,
+                model: &model,
+                opts: &opts,
+                calib: &calib,
+            };
+            let dag = build_iteration(&ctx, &plain(stage));
+            let secs = run(&mut cluster, &dag);
+            assert!(secs > 0.1 && secs < 2.0, "{stage:?} took {secs}s");
+        }
+    }
+
+    #[test]
+    fn cpu_offload_is_slower_than_gpu_optimizer() {
+        let (mut cluster, model, opts, calib) = fixtures();
+        let ctx = IterCtx {
+            cluster: &cluster,
+            model: &model,
+            opts: &opts,
+            calib: &calib,
+        };
+        let base_dag = build_iteration(&ctx, &plain(ZeroStage::Two));
+        let base = run(&mut cluster, &base_dag);
+        let mut v = plain(ZeroStage::Two);
+        v.optimizer_tier = StateTier::Cpu;
+        let (mut cluster2, ..) = fixtures();
+        let ctx2 = IterCtx {
+            cluster: &cluster2,
+            model: &model,
+            opts: &opts,
+            calib: &calib,
+        };
+        let dag = build_iteration(&ctx2, &v);
+        let off = run(&mut cluster2, &dag);
+        assert!(
+            off > 1.5 * base,
+            "CPU offload {off}s should be well above GPU {base}s"
+        );
+    }
+
+    #[test]
+    fn nvme_offload_is_slowest() {
+        let (mut cluster, model, opts, calib) = fixtures();
+        let d0 = NvmeId { node: 0, drive: 0 };
+        let d1 = NvmeId { node: 0, drive: 1 };
+        let vol = cluster.create_volume(vec![d0, d1]);
+        let ctx = IterCtx {
+            cluster: &cluster,
+            model: &model,
+            opts: &opts,
+            calib: &calib,
+        };
+        let v = ZeroVariant {
+            stage: ZeroStage::Three,
+            optimizer_tier: StateTier::Nvme,
+            params_tier: StateTier::Gpu,
+            placement: Some(InfinityPlacement::new(vec![vol])),
+        };
+        let dag = build_iteration(&ctx, &v);
+        let nvme_secs = run(&mut cluster, &dag);
+
+        let (mut c2, ..) = fixtures();
+        let ctx2 = IterCtx {
+            cluster: &c2,
+            model: &model,
+            opts: &opts,
+            calib: &calib,
+        };
+        let base_dag = build_iteration(&ctx2, &plain(ZeroStage::Three));
+        let base = run(&mut c2, &base_dag);
+        assert!(
+            nvme_secs > 3.0 * base,
+            "NVMe {nvme_secs}s must dwarf plain ZeRO-3 {base}s"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "requires ZeRO-3")]
+    fn nvme_on_stage2_rejected() {
+        let v = ZeroVariant {
+            stage: ZeroStage::Two,
+            optimizer_tier: StateTier::Nvme,
+            params_tier: StateTier::Gpu,
+            placement: None,
+        };
+        v.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "require a volume placement")]
+    fn nvme_without_placement_rejected() {
+        let v = ZeroVariant {
+            stage: ZeroStage::Three,
+            optimizer_tier: StateTier::Nvme,
+            params_tier: StateTier::Gpu,
+            placement: None,
+        };
+        v.validate();
+    }
+}

@@ -1,0 +1,77 @@
+//! Bandwidth audit: stress the fabric the way the paper's Sec. III-C does
+//! and then watch every interconnect during a real dual-node training run
+//! — answering "is my network the bottleneck?".
+//!
+//! Run with: `cargo run --release --example bandwidth_audit`
+
+use zerosim_core::{RunConfig, TrainingSim};
+use zerosim_hw::{ClusterSpec, LinkClass};
+use zerosim_model::GptConfig;
+use zerosim_perftest::{stress_test, StressScenario};
+use zerosim_report::{downsample, gbps, sparkline, Table};
+use zerosim_strategies::{Strategy, TrainOptions, ZeroStage};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Phase 1: raw fabric stress tests (Fig. 4 methodology).
+    println!("== fabric stress tests ==");
+    let mut t = Table::new(vec!["scenario", "RoCE attained", "of theoretical"]);
+    for scenario in [
+        StressScenario::CpuRoce {
+            cross_socket: false,
+        },
+        StressScenario::CpuRoce { cross_socket: true },
+        StressScenario::GpuRoce {
+            cross_socket: false,
+        },
+        StressScenario::GpuRoce { cross_socket: true },
+    ] {
+        let out = stress_test(scenario);
+        t.row(vec![
+            scenario.label(),
+            format!("{} GBps", gbps(out.class(LinkClass::Roce).avg)),
+            format!("{:.0}%", out.roce_fraction * 100.0),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("cross-socket paths lose ~half their bandwidth to the I/O-die");
+    println!("SerDes-pair contention the paper hypothesizes (Sec. III-C4).\n");
+
+    // Phase 2: what training actually puts on each wire.
+    println!("== dual-node ZeRO-3 training, per-interconnect utilization ==");
+    let mut sim = TrainingSim::new(ClusterSpec::default())?;
+    let report = sim.run(
+        &Strategy::Zero {
+            stage: ZeroStage::Three,
+        },
+        &GptConfig::paper_model_with_params(1.4),
+        &TrainOptions::dual_node(),
+        &RunConfig::default(),
+    )?;
+    println!(
+        "iteration {} at {:.0} TFLOP/s aggregate",
+        report.iter_time,
+        report.throughput_tflops()
+    );
+    for class in LinkClass::TABLE_IV {
+        let stats = report.bandwidth.stats(0, class);
+        let series = report.bandwidth.series(0, class);
+        println!(
+            "  {class:<10} {} avg {} / p90 {} / peak {} GBps",
+            sparkline(&downsample(series, 40), None),
+            gbps(stats.avg),
+            gbps(stats.p90),
+            gbps(stats.peak),
+        );
+    }
+
+    println!("\nhottest wires (avg utilization of capacity):");
+    for hot in report.hot_links.iter().take(8) {
+        println!(
+            "  {:<22} {:>6} GBps  {:>5.1}%",
+            hot.name,
+            gbps(hot.avg),
+            hot.utilization * 100.0
+        );
+    }
+    Ok(())
+}

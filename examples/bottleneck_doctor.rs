@@ -1,0 +1,88 @@
+//! Bottleneck doctor: "my training is slow — where does the time go?"
+//! Decomposes one iteration of every strategy into compute, exposed
+//! communication, exposed staging, and idle, per the worst-affected GPU.
+//!
+//! Run with: `cargo run --release --example bottleneck_doctor [billions] [nodes]`
+
+use zerosim_core::{attribute_worst_gpu, RunConfig, TrainingSim};
+use zerosim_hw::ClusterSpec;
+use zerosim_model::GptConfig;
+use zerosim_report::Table;
+use zerosim_strategies::{Strategy, TrainOptions, ZeroStage};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let billions: f64 = std::env::args()
+        .nth(1)
+        .map(|a| a.parse())
+        .transpose()?
+        .unwrap_or(1.4);
+    let nodes: usize = std::env::args()
+        .nth(2)
+        .map(|a| a.parse())
+        .transpose()?
+        .unwrap_or(2);
+    let model = GptConfig::paper_model_with_params(billions);
+    println!(
+        "bottleneck report: {:.1} B model on {nodes} node(s)\n",
+        model.num_params() / 1e9
+    );
+
+    let mut t = Table::new(vec![
+        "strategy",
+        "iter",
+        "compute %",
+        "exposed comm %",
+        "staging %",
+        "idle %",
+        "bottleneck",
+    ]);
+    let strategies: Vec<Strategy> = vec![
+        Strategy::Ddp,
+        Strategy::Megatron {
+            tp: 4 * nodes,
+            pp: 1,
+        },
+        Strategy::Zero {
+            stage: ZeroStage::Two,
+        },
+        Strategy::Zero {
+            stage: ZeroStage::Three,
+        },
+        Strategy::ZeroOffload {
+            stage: ZeroStage::Two,
+            offload_params: false,
+        },
+    ];
+    for strategy in strategies {
+        let mut sim = TrainingSim::new(ClusterSpec::default())?;
+        let opts = if nodes == 1 {
+            TrainOptions::single_node()
+        } else {
+            TrainOptions::dual_node()
+        };
+        let cfg = RunConfig {
+            allow_overflow: true,
+            ..RunConfig::quick()
+        };
+        let report = sim.run(&strategy, &model, &opts, &cfg)?;
+        let b = attribute_worst_gpu(&report, 4);
+        let pct = |x: zerosim_simkit::SimTime| {
+            format!("{:.0}", 100.0 * x.as_secs() / b.total.as_secs().max(1e-12))
+        };
+        t.row(vec![
+            report.strategy.clone(),
+            report.iter_time.to_string(),
+            pct(b.compute),
+            pct(b.exposed_comm),
+            pct(b.exposed_staging),
+            pct(b.idle),
+            b.bottleneck().into(),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "(percentages are for the GPU carrying the most exposed communication;\n\
+         on ring schedules that is a node-boundary rank)"
+    );
+    Ok(())
+}

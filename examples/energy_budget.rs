@@ -1,0 +1,92 @@
+//! Energy and cost budgeting: "what does a training run actually cost me,
+//! in watts and dollars?" — the economics behind the paper's motivation
+//! (expensive purpose-built clusters, energy and environmental impact).
+//!
+//! Run with: `cargo run --release --example energy_budget [billions]`
+
+use zerosim_core::{CostModel, PowerModel, RunConfig, TrainingSim};
+use zerosim_hw::ClusterSpec;
+use zerosim_model::GptConfig;
+use zerosim_report::Table;
+use zerosim_strategies::{Strategy, TrainOptions, ZeroStage};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let billions: f64 = std::env::args()
+        .nth(1)
+        .map(|a| a.parse())
+        .transpose()?
+        .unwrap_or(11.2);
+    let model = GptConfig::paper_model_with_params(billions);
+    let power = PowerModel::default();
+    let cost = CostModel::default();
+    println!(
+        "budget for fine-tuning a {:.1} B model, 100k iterations:\n",
+        model.num_params() / 1e9
+    );
+
+    let mut t = Table::new(vec![
+        "configuration",
+        "nodes",
+        "wall days",
+        "energy MWh",
+        "capital k$",
+    ]);
+    let candidates: Vec<(&str, Strategy, usize)> = vec![
+        (
+            "Megatron-LM (TP across nodes)",
+            Strategy::Megatron { tp: 8, pp: 1 },
+            2,
+        ),
+        (
+            "Megatron-LM (PP across nodes)",
+            Strategy::Megatron { tp: 4, pp: 2 },
+            2,
+        ),
+        (
+            "ZeRO-3",
+            Strategy::Zero {
+                stage: ZeroStage::Three,
+            },
+            2,
+        ),
+        (
+            "ZeRO-2 CPU offload",
+            Strategy::ZeroOffload {
+                stage: ZeroStage::Two,
+                offload_params: false,
+            },
+            1,
+        ),
+    ];
+    const ITERATIONS: f64 = 100_000.0;
+    for (name, strategy, nodes) in candidates {
+        let mut sim = TrainingSim::new(ClusterSpec::default())?;
+        let opts = if nodes == 1 {
+            TrainOptions::single_node()
+        } else {
+            TrainOptions::dual_node()
+        };
+        let cfg = RunConfig {
+            allow_overflow: true,
+            ..RunConfig::quick()
+        };
+        let report = sim.run(&strategy, &model, &opts, &cfg)?;
+        let energy = power.estimate(&report, 4);
+        let capital = cost.estimate(&report, 4, 2);
+        let wall_days = report.iter_time.as_secs() * ITERATIONS / 86_400.0;
+        let mwh = energy.total_j() * ITERATIONS / 3.6e9;
+        t.row(vec![
+            name.into(),
+            nodes.to_string(),
+            format!("{wall_days:.1}"),
+            format!("{mwh:.2}"),
+            format!("{:.0}", capital.capital_usd / 1000.0),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "The paper's dual-node Megatron configuration is the slowest AND the\n\
+         most energy-hungry way to train this model on this hardware."
+    );
+    Ok(())
+}

@@ -1,0 +1,62 @@
+//! Quickstart: characterize one training configuration on the simulated
+//! two-node cluster and print what the paper would measure for it.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use zerosim_core::{RunConfig, TrainingSim};
+use zerosim_hw::{ClusterSpec, LinkClass};
+use zerosim_model::GptConfig;
+use zerosim_report::{gb, gbps, tflops, Table};
+use zerosim_strategies::{Strategy, TrainOptions, ZeroStage};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The paper's testbed: two XE8545 nodes, four A100-40GB each.
+    let mut sim = TrainingSim::new(ClusterSpec::default())?;
+
+    // The paper's 1.4 B-parameter GPT-2-like model (26 layers, h=2048).
+    let model = GptConfig::paper_model_with_params(1.4);
+    println!(
+        "model: {} layers, {:.2} B parameters\n",
+        model.num_layers,
+        model.num_params() / 1e9
+    );
+
+    let mut table = Table::new(vec![
+        "strategy",
+        "iter time",
+        "TFLOP/s",
+        "GPU GB/gpu",
+        "NVLink avg GBps",
+        "RoCE avg GBps",
+    ]);
+
+    for strategy in [
+        Strategy::Ddp,
+        Strategy::Zero {
+            stage: ZeroStage::One,
+        },
+        Strategy::Zero {
+            stage: ZeroStage::Two,
+        },
+        Strategy::Zero {
+            stage: ZeroStage::Three,
+        },
+    ] {
+        let report = sim.run(
+            &strategy,
+            &model,
+            &TrainOptions::single_node(),
+            &RunConfig::default(),
+        )?;
+        table.row(vec![
+            report.strategy.clone(),
+            report.iter_time.to_string(),
+            tflops(report.throughput_flops()),
+            gb(report.memory.per_gpu_bytes),
+            gbps(report.bandwidth.stats(0, LinkClass::NvLink).avg),
+            gbps(report.bandwidth.stats(0, LinkClass::Roce).avg),
+        ]);
+    }
+    println!("{}", table.render());
+    Ok(())
+}

@@ -1,0 +1,56 @@
+//! ZeroSim — a flow-level simulator of distributed LLM training that
+//! reproduces the ISPASS'24 study *"Bandwidth Characterization of DeepSpeed
+//! on Distributed Large Language Model Training"*.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`simkit`] — discrete-event kernel: flow network, DAG engine, recorders;
+//! * [`hw`] — the simulated two-node XE8545 cluster and its interconnects;
+//! * [`model`] — GPT-2-like workload math (params, FLOPs, memory states);
+//! * [`collectives`] — NCCL-like ring/hierarchical collectives;
+//! * [`strategies`] — DDP, Megatron-LM, ZeRO-1/2/3, ZeRO-Offload, ZeRO-Infinity;
+//! * [`core`] — the characterization engine (throughput, bandwidth, memory,
+//!   timelines) and capacity search;
+//! * [`perftest`] — RoCE latency and bandwidth stress tests;
+//! * [`report`] — tables, terminal charts, paper-style number formats.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use zerosim::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut sim = TrainingSim::new(ClusterSpec::default())?;
+//! let report = sim.run(
+//!     &Strategy::Zero { stage: ZeroStage::Two },
+//!     &GptConfig::paper_model_with_params(1.4),
+//!     &TrainOptions::single_node(),
+//!     &RunConfig::quick(),
+//! )?;
+//! println!("{:.0} TFLOP/s", report.throughput_tflops());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub use zerosim_collectives as collectives;
+pub use zerosim_core as core;
+pub use zerosim_hw as hw;
+pub use zerosim_model as model;
+pub use zerosim_perftest as perftest;
+pub use zerosim_report as report;
+pub use zerosim_simkit as simkit;
+pub use zerosim_strategies as strategies;
+
+/// The types most programs need, in one import.
+pub mod prelude {
+    pub use zerosim_core::{
+        max_model_size, CapacityResult, CoreError, RunConfig, TrainingReport, TrainingSim,
+    };
+    pub use zerosim_hw::{Cluster, ClusterSpec, GpuId, LinkClass, MemLoc, NvmeId, SocketId};
+    pub use zerosim_model::GptConfig;
+    pub use zerosim_strategies::{
+        Calibration, InfinityPlacement, MemoryPlan, Strategy, TrainOptions, ZeroStage,
+    };
+}

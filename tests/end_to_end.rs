@@ -1,0 +1,241 @@
+//! Cross-crate integration tests: conservation laws and consistency
+//! properties of full characterization runs.
+
+use zerosim_core::{profile_tracks, RunConfig, TrainingSim};
+use zerosim_hw::{ClusterSpec, LinkClass};
+use zerosim_model::GptConfig;
+use zerosim_strategies::{Strategy, TrainOptions, ZeroStage};
+
+fn run(strategy: &Strategy, billions: f64, nodes: usize) -> zerosim_core::TrainingReport {
+    let mut sim = TrainingSim::new(ClusterSpec::default()).unwrap();
+    let opts = if nodes == 1 {
+        TrainOptions::single_node()
+    } else {
+        TrainOptions::dual_node()
+    };
+    let cfg = RunConfig {
+        allow_overflow: true,
+        ..RunConfig::default()
+    };
+    sim.run(
+        &strategy.clone(),
+        &GptConfig::paper_model_with_params(billions),
+        &opts,
+        &cfg,
+    )
+    .unwrap()
+}
+
+#[test]
+fn single_node_runs_never_touch_internode_or_nvme_links() {
+    for strategy in [
+        Strategy::Ddp,
+        Strategy::Megatron { tp: 4, pp: 1 },
+        Strategy::Zero {
+            stage: ZeroStage::Three,
+        },
+    ] {
+        let report = run(&strategy, 1.4, 1);
+        for class in [LinkClass::Roce, LinkClass::PcieNic, LinkClass::PcieNvme] {
+            let s = report.bandwidth.stats(0, class);
+            assert_eq!(s.peak, 0.0, "{}: {class} should be idle", report.strategy);
+        }
+    }
+}
+
+#[test]
+fn roce_traffic_is_symmetric_across_nodes() {
+    for strategy in [
+        Strategy::Ddp,
+        Strategy::Zero {
+            stage: ZeroStage::Two,
+        },
+    ] {
+        let report = run(&strategy, 1.4, 2);
+        let a = report.bandwidth.stats(0, LinkClass::Roce).avg;
+        let b = report.bandwidth.stats(1, LinkClass::Roce).avg;
+        assert!(a > 0.0);
+        assert!(
+            (a - b).abs() / a < 0.05,
+            "{}: node0 {a:.3e} vs node1 {b:.3e}",
+            report.strategy
+        );
+    }
+}
+
+#[test]
+fn throughput_below_hardware_peak() {
+    for (strategy, nodes) in [
+        (Strategy::Ddp, 1usize),
+        (
+            Strategy::Zero {
+                stage: ZeroStage::Two,
+            },
+            2,
+        ),
+    ] {
+        let report = run(&strategy, 1.4, nodes);
+        let peak = 312e12 * (4 * nodes) as f64;
+        assert!(report.throughput_flops() < peak);
+        assert!(report.throughput_flops() > 0.05 * peak);
+    }
+}
+
+#[test]
+fn bigger_models_take_longer_but_throughput_rises() {
+    let small = run(
+        &Strategy::Zero {
+            stage: ZeroStage::Two,
+        },
+        0.7,
+        1,
+    );
+    let large = run(
+        &Strategy::Zero {
+            stage: ZeroStage::Two,
+        },
+        2.9,
+        1,
+    );
+    assert!(large.iter_time > small.iter_time);
+    // Table V trend: throughput grows with model size (overheads amortize).
+    assert!(large.throughput_flops() > small.throughput_flops());
+}
+
+#[test]
+fn spans_cover_every_participating_gpu() {
+    let report = run(&Strategy::Ddp, 1.4, 2);
+    let profiles = profile_tracks(&report.spans);
+    let gpu_tracks: Vec<u32> = profiles
+        .iter()
+        .map(|p| p.track)
+        .filter(|t| *t < 8)
+        .collect();
+    assert_eq!(
+        gpu_tracks.len(),
+        8,
+        "all 8 GPUs must appear on the timeline"
+    );
+    for p in profiles.iter().filter(|p| p.track < 8) {
+        assert!(p.label_time("gemm") > zerosim_simkit::SimTime::ZERO);
+    }
+}
+
+#[test]
+fn memory_reports_are_internally_consistent() {
+    let report = run(
+        &Strategy::Zero {
+            stage: ZeroStage::Three,
+        },
+        1.4,
+        1,
+    );
+    let m = &report.memory;
+    assert!(m.total_gpu_bytes >= m.per_gpu_bytes);
+    assert!((m.total() - (m.total_gpu_bytes + m.total_cpu_bytes + m.nvme_bytes)).abs() < 1.0);
+    let breakdown: f64 = m.gpu_breakdown.iter().map(|(_, b)| b).sum();
+    assert!(
+        (breakdown - m.per_gpu_bytes).abs() < 1.0,
+        "breakdown {breakdown} vs per-gpu {}",
+        m.per_gpu_bytes
+    );
+}
+
+#[test]
+fn warmup_does_not_change_measured_throughput_much() {
+    let mut sim = TrainingSim::new(ClusterSpec::default()).unwrap();
+    let model = GptConfig::paper_model_with_params(1.4);
+    let opts = TrainOptions::single_node();
+    let quick = sim
+        .run(&Strategy::Ddp, &model, &opts, &RunConfig::quick())
+        .unwrap()
+        .throughput_flops();
+    let mut sim2 = TrainingSim::new(ClusterSpec::default()).unwrap();
+    let thorough = sim2
+        .run(
+            &Strategy::Ddp,
+            &model,
+            &opts,
+            &RunConfig {
+                warmup_iters: 2,
+                measure_iters: 5,
+                ..RunConfig::default()
+            },
+        )
+        .unwrap()
+        .throughput_flops();
+    let ratio = quick / thorough;
+    assert!((0.95..1.05).contains(&ratio), "quick/thorough = {ratio:.3}");
+}
+
+#[test]
+fn facade_reexports_compile() {
+    // The root crate re-exports the characterization engine.
+    let _ = zerosim::core::TrainingSim::new(ClusterSpec::default()).unwrap();
+}
+
+#[test]
+fn gradient_accumulation_amortizes_communication() {
+    // Four micro-steps, one sync: dual-node DDP should get markedly better
+    // aggregate throughput than syncing every step.
+    let model = GptConfig::paper_model_with_params(1.4);
+    let tput = |accum: usize| {
+        let mut sim = TrainingSim::new(ClusterSpec::default()).unwrap();
+        let opts = TrainOptions::dual_node().with_grad_accum(accum);
+        sim.run(&Strategy::Ddp, &model, &opts, &RunConfig::quick())
+            .unwrap()
+            .throughput_flops()
+    };
+    let plain = tput(1);
+    let accum4 = tput(4);
+    assert!(
+        accum4 > 1.05 * plain,
+        "accum {accum4:.3e} vs plain {plain:.3e}"
+    );
+    // And the single-node case barely changes (comm was already cheap).
+    let single = |accum: usize| {
+        let mut sim = TrainingSim::new(ClusterSpec::default()).unwrap();
+        let opts = TrainOptions::single_node().with_grad_accum(accum);
+        sim.run(&Strategy::Ddp, &model, &opts, &RunConfig::quick())
+            .unwrap()
+            .throughput_flops()
+    };
+    let s1 = single(1);
+    let s4 = single(4);
+    // Accumulation also amortizes the fixed iteration overhead and the
+    // optimizer step, so some single-node gain is expected — just much
+    // less than what slow inter-node fabric would make it.
+    let ratio = s4 / s1;
+    assert!((0.95..1.45).contains(&ratio), "single-node ratio {ratio}");
+}
+
+#[test]
+fn zero3_reduces_every_micro_step() {
+    // With partitioned gradients the reduce-scatter cannot be deferred;
+    // accumulation therefore does not shrink ZeRO-3's RoCE volume per
+    // token the way it does DDP's.
+    let model = GptConfig::paper_model_with_params(1.4);
+    let roce_per_token = |accum: usize| {
+        let mut sim = TrainingSim::new(ClusterSpec::default()).unwrap();
+        let opts = TrainOptions::dual_node().with_grad_accum(accum);
+        let r = sim
+            .run(
+                &Strategy::Zero {
+                    stage: ZeroStage::Three,
+                },
+                &model,
+                &opts,
+                &RunConfig::quick(),
+            )
+            .unwrap();
+        r.bandwidth.stats(0, LinkClass::Roce).avg * r.iter_time.as_secs() / r.tokens_per_iteration
+    };
+    let plain = roce_per_token(1);
+    let accum = roce_per_token(4);
+    // Gather traffic scales with micro-steps; per-token volume stays high
+    // (within 40% of the non-accumulated run, vs DDP's ~4x reduction).
+    assert!(
+        accum > 0.6 * plain,
+        "z3 accum {accum:.3e} vs plain {plain:.3e}"
+    );
+}

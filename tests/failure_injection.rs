@@ -1,0 +1,176 @@
+//! Failure-injection tests: degrade pieces of the simulated cluster and
+//! check that the system responds the way a real operator would expect —
+//! gracefully where the design allows, and with a visible cliff where the
+//! paper says there is one.
+
+use zerosim_core::{RunConfig, TrainingSim};
+use zerosim_hw::{ClusterSpec, NvmeId};
+use zerosim_model::GptConfig;
+use zerosim_strategies::{InfinityPlacement, Strategy, TrainOptions, ZeroStage};
+
+fn tput(spec: ClusterSpec, strategy: &Strategy, billions: f64, nodes: usize) -> f64 {
+    let mut sim = TrainingSim::new(spec).unwrap();
+    let opts = if nodes == 1 {
+        TrainOptions::single_node()
+    } else {
+        TrainOptions::dual_node()
+    };
+    let cfg = RunConfig {
+        allow_overflow: true,
+        ..RunConfig::quick()
+    };
+    sim.run(
+        &strategy.clone(),
+        &GptConfig::paper_model_with_params(billions),
+        &opts,
+        &cfg,
+    )
+    .unwrap()
+    .throughput_tflops()
+}
+
+#[test]
+fn degraded_roce_hurts_dual_node_but_not_single() {
+    let mut degraded = ClusterSpec::default();
+    degraded.bw.roce_dir /= 10.0; // e.g. PFC storms / a flapping link
+
+    let strategy = Strategy::Ddp;
+    let single_ok = tput(ClusterSpec::default(), &strategy, 1.4, 1);
+    let single_bad = tput(degraded.clone(), &strategy, 1.4, 1);
+    assert!(
+        (single_ok - single_bad).abs() / single_ok < 0.01,
+        "single-node must not care about RoCE: {single_ok} vs {single_bad}"
+    );
+
+    let dual_ok = tput(ClusterSpec::default(), &strategy, 1.4, 2);
+    let dual_bad = tput(degraded, &strategy, 1.4, 2);
+    assert!(
+        dual_bad < 0.8 * dual_ok,
+        "dual-node must suffer: {dual_ok} vs {dual_bad}"
+    );
+}
+
+#[test]
+fn slow_nvlink_hurts_megatron_most() {
+    let mut degraded = ClusterSpec::default();
+    degraded.bw.nvlink_pair_dir /= 20.0; // a downgraded (PCIe-class) GPU box
+
+    let megatron_ok = tput(
+        ClusterSpec::default(),
+        &Strategy::Megatron { tp: 4, pp: 1 },
+        1.4,
+        1,
+    );
+    let megatron_bad = tput(
+        degraded.clone(),
+        &Strategy::Megatron { tp: 4, pp: 1 },
+        1.4,
+        1,
+    );
+    let ddp_ok = tput(ClusterSpec::default(), &Strategy::Ddp, 1.4, 1);
+    let ddp_bad = tput(degraded, &Strategy::Ddp, 1.4, 1);
+
+    let megatron_loss = 1.0 - megatron_bad / megatron_ok;
+    let ddp_loss = 1.0 - ddp_bad / ddp_ok;
+    assert!(
+        megatron_loss > ddp_loss,
+        "TP leans hardest on NVLink: megatron -{:.0}% vs ddp -{:.0}%",
+        megatron_loss * 100.0,
+        ddp_loss * 100.0
+    );
+}
+
+#[test]
+fn failed_nvme_drive_degrades_infinity_throughput_gracefully() {
+    // A degraded (firmware-throttled) drive: training continues at a
+    // proportionally lower rate — no cliff, no deadlock.
+    let run_with = |sustained_scale: f64| {
+        let mut spec = ClusterSpec::default();
+        spec.nvme_dev.sustained_write *= sustained_scale;
+        spec.nvme_dev.sustained_read *= sustained_scale;
+        spec.nvme_dev.burst = spec.nvme_dev.burst.max(spec.nvme_dev.sustained_read * 1.01);
+        let mut sim = TrainingSim::new(spec).unwrap();
+        let d = |drive| NvmeId { node: 0, drive };
+        let vol = sim.cluster_mut().create_volume(vec![d(0), d(1)]);
+        let strategy = Strategy::ZeroInfinity {
+            offload_params: false,
+            placement: InfinityPlacement::new(vec![vol]),
+        };
+        let cfg = RunConfig {
+            allow_overflow: true,
+            warmup_iters: 1,
+            measure_iters: 1,
+            ..RunConfig::default()
+        };
+        sim.run(
+            &strategy,
+            &GptConfig::paper_model_with_params(11.4),
+            &TrainOptions::single_node(),
+            &cfg,
+        )
+        .unwrap()
+        .throughput_tflops()
+    };
+    let healthy = run_with(1.0);
+    let throttled = run_with(0.25);
+    assert!(throttled < healthy);
+    assert!(
+        throttled > 0.15 * healthy,
+        "degradation should be proportional-ish: {throttled} vs {healthy}"
+    );
+}
+
+#[test]
+fn single_nic_cluster_still_trains() {
+    // Knock one NIC's worth of bandwidth out by halving RoCE capacity —
+    // the flow solver reroutes nothing (routes are static) but shares the
+    // remaining capacity; training completes with reduced throughput.
+    let mut degraded = ClusterSpec::default();
+    degraded.bw.roce_dir /= 2.0;
+    let ok = tput(
+        ClusterSpec::default(),
+        &Strategy::Zero {
+            stage: ZeroStage::Three,
+        },
+        1.4,
+        2,
+    );
+    let bad = tput(
+        degraded,
+        &Strategy::Zero {
+            stage: ZeroStage::Three,
+        },
+        1.4,
+        2,
+    );
+    assert!(bad > 0.0 && bad <= ok * 1.001, "{bad} vs {ok}");
+}
+
+#[test]
+fn memory_overflow_is_an_error_not_a_crash() {
+    let mut sim = TrainingSim::new(ClusterSpec::default()).unwrap();
+    let err = sim
+        .run(
+            &Strategy::Ddp,
+            &GptConfig::paper_model_with_params(33.3),
+            &TrainOptions::single_node(),
+            &RunConfig::default(),
+        )
+        .unwrap_err();
+    assert!(matches!(err, zerosim_core::CoreError::DoesNotFit { .. }));
+}
+
+#[test]
+fn pathological_iod_contention_floor() {
+    // Cripple the I/O die to 1/10th: cross-socket paths collapse further
+    // but the simulation stays numerically sane.
+    let mut spec = ClusterSpec::default();
+    spec.iod.pcie_pcie /= 10.0;
+    spec.iod.pcie_gpu_xgmi /= 10.0;
+    spec.iod.xgmi_pcie_io /= 10.0;
+    let out = zerosim_perftest::stress_test_on(
+        &spec,
+        zerosim_perftest::StressScenario::GpuRoce { cross_socket: true },
+    );
+    assert!(out.roce_fraction > 0.0 && out.roce_fraction < 0.1);
+}

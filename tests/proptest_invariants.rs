@@ -1,0 +1,428 @@
+//! Property-based tests over the simulation kernel and the domain layers.
+
+use proptest::prelude::*;
+use zerosim_core::max_model_size;
+use zerosim_hw::{Cluster, ClusterSpec, GpuId, MemLoc, SocketId};
+use zerosim_model::GptConfig;
+use zerosim_simkit::{
+    BandwidthRecorder, BandwidthStats, DagBuilder, DagEngine, FlowNet, FlowObserver, LinkId,
+    NullObserver, ResourceId, SimTime, TokenBucket,
+};
+use zerosim_strategies::{Calibration, Strategy, TrainOptions, ZeroStage};
+
+// ---------- flow network ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Max-min fair rates never exceed any crossed link's capacity, and
+    /// every flow gets a positive rate.
+    #[test]
+    fn maxmin_rates_respect_capacities(
+        caps in prop::collection::vec(1.0f64..1e9, 2..6),
+        flows in prop::collection::vec(
+            (prop::collection::vec(0usize..6, 1..4), 1.0f64..1e9),
+            1..8,
+        ),
+    ) {
+        let mut net = FlowNet::new();
+        let links: Vec<LinkId> = caps
+            .iter()
+            .enumerate()
+            .map(|(i, c)| net.add_link(format!("l{i}"), *c))
+            .collect();
+        let mut ids = Vec::new();
+        for (route_idx, bytes) in &flows {
+            let mut route: Vec<LinkId> = route_idx
+                .iter()
+                .map(|i| links[i % links.len()])
+                .collect();
+            route.dedup();
+            ids.push((net.start_flow(&route, *bytes), route));
+        }
+        // Per-flow rates positive.
+        let rates: Vec<f64> = ids
+            .iter()
+            .map(|(id, _)| net.flow_rate(*id).unwrap())
+            .collect();
+        for r in &rates {
+            prop_assert!(*r > 0.0);
+        }
+        // Per-link aggregate within capacity (small numerical slack).
+        for (li, link) in links.iter().enumerate() {
+            let total: f64 = ids
+                .iter()
+                .zip(&rates)
+                .filter(|((_, route), _)| route.contains(link))
+                .map(|(_, r)| *r)
+                .sum();
+            prop_assert!(
+                total <= caps[li] * (1.0 + 1e-9) + 1e-6,
+                "link {li}: {total} > {}",
+                caps[li]
+            );
+        }
+    }
+
+    /// Every byte put into the network comes out: the recorder total per
+    /// link equals the flow volume times the number of times the flow
+    /// crosses that link.
+    #[test]
+    fn bytes_are_conserved(
+        bytes in prop::collection::vec(1.0f64..1e8, 1..6),
+    ) {
+        let mut net = FlowNet::new();
+        let a = net.add_link("a", 1e7);
+        let b = net.add_link("b", 2e7);
+        for v in &bytes {
+            net.start_flow(&[a, b], *v);
+        }
+        let mut rec = BandwidthRecorder::new(SimTime::from_ms(10.0));
+        net.drain(&mut rec);
+        let total: f64 = bytes.iter().sum();
+        prop_assert!((rec.total_bytes(a) - total).abs() < total * 1e-6 + 1.0);
+        prop_assert!((rec.total_bytes(b) - total).abs() < total * 1e-6 + 1.0);
+    }
+
+    /// Completion time is monotone in flow size.
+    #[test]
+    fn drain_time_monotone_in_bytes(size in 1.0f64..1e9, extra in 1.0f64..1e9) {
+        let time_for = |v: f64| {
+            let mut net = FlowNet::new();
+            let l = net.add_link("l", 1e8);
+            net.start_flow(&[l], v);
+            net.drain(&mut NullObserver)
+        };
+        prop_assert!(time_for(size + extra) >= time_for(size));
+    }
+
+    /// Token buckets conserve tokens: serving below the sustained rate
+    /// never drains them.
+    #[test]
+    fn token_bucket_never_drains_below_sustained(
+        cap in 1.0f64..1e10,
+        sustained in 1.0f64..1e9,
+        dt in 0.001f64..100.0,
+    ) {
+        let mut bucket = TokenBucket::new(cap, sustained * 2.0, sustained);
+        bucket.advance(dt, sustained * 0.9);
+        prop_assert!((bucket.tokens() - cap).abs() < 1e-3 * cap + 1e-6);
+    }
+
+    /// Bandwidth stats are ordered: avg ≤ p90 ≤ peak for non-negative
+    /// sample sets.
+    #[test]
+    fn stats_ordering(samples in prop::collection::vec(0.0f64..1e12, 10..100)) {
+        let s = BandwidthStats::from_samples(&samples);
+        prop_assert!(s.avg <= s.peak + 1e-9);
+        prop_assert!(s.p90 <= s.peak + 1e-9);
+    }
+}
+
+// ---------- engine ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// A chain of compute tasks takes exactly the sum of durations;
+    /// independent tasks on distinct resources take the max.
+    #[test]
+    fn engine_chain_vs_parallel(durations in prop::collection::vec(1u64..1_000_000, 2..6)) {
+        let mut net = FlowNet::new();
+        let mut chain = DagBuilder::new();
+        let mut prev = None;
+        for d in &durations {
+            let deps: Vec<_> = prev.into_iter().collect();
+            prev = Some(chain.compute(
+                ResourceId(0),
+                SimTime::from_nanos(*d),
+                "k",
+                &deps,
+            ));
+        }
+        let mut eng = DagEngine::new(vec![1]);
+        let serial = eng
+            .run(&mut net, &chain.build(), SimTime::ZERO, None)
+            .unwrap()
+            .makespan();
+        prop_assert_eq!(serial.as_nanos(), durations.iter().sum::<u64>());
+
+        let mut par = DagBuilder::new();
+        for (i, d) in durations.iter().enumerate() {
+            par.compute(ResourceId(i), SimTime::from_nanos(*d), "k", &[]);
+        }
+        let mut eng = DagEngine::new(vec![1; durations.len()]);
+        let parallel = eng
+            .run(&mut net, &par.build(), SimTime::ZERO, None)
+            .unwrap()
+            .makespan();
+        prop_assert_eq!(parallel.as_nanos(), *durations.iter().max().unwrap());
+    }
+
+    /// The engine finishes every DAG made of valid tasks (no deadlocks),
+    /// and the observer sees exactly the transfer volume.
+    #[test]
+    fn random_dags_complete(
+        spec in prop::collection::vec((0u8..3, 1u64..1_000_000, 1.0f64..1e7), 1..24),
+    ) {
+        let mut net = FlowNet::new();
+        let l0 = net.add_link("l0", 1e8);
+        let l1 = net.add_link("l1", 5e7);
+        let mut b = DagBuilder::new();
+        let mut all = Vec::new();
+        let mut expected_bytes = 0.0;
+        for (kind, dur, bytes) in &spec {
+            // Depend on up to two random-ish earlier tasks.
+            let deps: Vec<_> = all.iter().rev().take((*dur % 3) as usize).copied().collect();
+            let t = match kind {
+                0 => b.compute(ResourceId((*dur % 2) as usize), SimTime::from_nanos(*dur), "c", &deps),
+                1 => {
+                    expected_bytes += *bytes;
+                    b.transfer(vec![l0, l1], *bytes, SimTime::from_nanos(*dur), "x", 0, &deps)
+                }
+                _ => b.delay(SimTime::from_nanos(*dur), &deps),
+            };
+            all.push(t);
+        }
+        struct Tally(f64);
+        impl FlowObserver for Tally {
+            fn on_transfer(&mut self, link: LinkId, _: SimTime, _: f64, bytes: f64) {
+                if link.index() == 0 {
+                    self.0 += bytes;
+                }
+            }
+        }
+        let mut tally = Tally(0.0);
+        let mut eng = DagEngine::new(vec![1, 1]);
+        let out = eng.run(&mut net, &b.build(), SimTime::ZERO, Some(&mut tally));
+        prop_assert!(out.is_ok());
+        prop_assert!((tally.0 - expected_bytes).abs() < expected_bytes * 1e-6 + 1.0);
+    }
+}
+
+// ---------- domain layers ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Parameter counting is strictly monotone in depth and matches the
+    /// closed-form layer delta.
+    #[test]
+    fn params_monotone_in_layers(layers in 1usize..700) {
+        let a = GptConfig::paper_model(layers).num_params();
+        let b = GptConfig::paper_model(layers + 1).num_params();
+        let delta = b - a;
+        prop_assert!((delta - GptConfig::paper_model(1).layer_params()).abs() < 1.0);
+    }
+
+    /// Memory plans grow with model size for every strategy.
+    #[test]
+    fn memory_plans_monotone(layers in 2usize..300) {
+        let cluster = Cluster::new(ClusterSpec::default()).unwrap();
+        let opts = TrainOptions::single_node();
+        let calib = Calibration::default();
+        for strategy in [
+            Strategy::Ddp,
+            Strategy::Megatron { tp: 4, pp: 1 },
+            Strategy::Zero { stage: ZeroStage::Three },
+        ] {
+            let small = strategy.memory_plan(
+                &cluster,
+                &GptConfig::paper_model(layers),
+                &opts,
+                &calib,
+            );
+            let large = strategy.memory_plan(
+                &cluster,
+                &GptConfig::paper_model(layers + 1),
+                &opts,
+                &calib,
+            );
+            prop_assert!(large.per_gpu_bytes > small.per_gpu_bytes);
+        }
+    }
+
+    /// Capacity search is monotone in GPU memory: more HBM never fits a
+    /// smaller model.
+    #[test]
+    fn capacity_monotone_in_gpu_memory(extra_gb in 0.0f64..80.0) {
+        let base = ClusterSpec::default();
+        let mut bigger = base.clone();
+        bigger.mem.gpu_bytes += extra_gb * 1e9;
+        let opts = TrainOptions::single_node();
+        let calib = Calibration::default();
+        let strategy = Strategy::Zero { stage: ZeroStage::Two };
+        let a = max_model_size(&Cluster::new(base).unwrap(), &strategy, &opts, &calib)
+            .unwrap()
+            .params;
+        let b = max_model_size(&Cluster::new(bigger).unwrap(), &strategy, &opts, &calib)
+            .unwrap()
+            .params;
+        prop_assert!(b >= a);
+    }
+
+    /// Routing is total over same-node endpoints and never returns an
+    /// empty path.
+    #[test]
+    fn routes_are_total_and_nonempty(a in 0usize..4, b in 0usize..4, s in 0usize..2) {
+        let cluster = Cluster::new(ClusterSpec::default()).unwrap();
+        let ga = GpuId { node: 0, gpu: a };
+        let gb = GpuId { node: 0, gpu: b };
+        if a != b {
+            let r = cluster.route(MemLoc::Gpu(ga), MemLoc::Gpu(gb));
+            prop_assert!(r.hops() >= 1);
+        }
+        let r = cluster.route(MemLoc::Gpu(ga), MemLoc::Cpu(SocketId { node: 0, socket: s }));
+        prop_assert!(r.hops() >= 2);
+        let r = cluster.route(
+            MemLoc::Cpu(SocketId { node: 0, socket: s }),
+            MemLoc::Nvme(zerosim_hw::NvmeId { node: 0, drive: 0 }),
+        );
+        prop_assert!(r.hops() >= 3);
+    }
+}
+
+// ---------- collectives ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Stepwise and coalesced expansions move identical total bytes for
+    /// every collective kind and buffer size.
+    #[test]
+    fn collective_emitters_agree_on_volume(
+        bytes in 1e6f64..2e9,
+        kind_idx in 0usize..3,
+    ) {
+        use zerosim_collectives::{
+            emit_collective_coalesced, emit_collective_stepwise, CollectiveKind, CommGroup,
+        };
+        let kind = [
+            CollectiveKind::AllReduce,
+            CollectiveKind::AllGather,
+            CollectiveKind::ReduceScatter,
+        ][kind_idx];
+        let cluster = Cluster::new(ClusterSpec::default()).unwrap();
+        let group = CommGroup::new(cluster.node_gpus(0));
+        let mut b1 = DagBuilder::new();
+        emit_collective_stepwise(&mut b1, &cluster, &group, kind, bytes, &[], f64::INFINITY);
+        let mut b2 = DagBuilder::new();
+        emit_collective_coalesced(&mut b2, &cluster, &group, kind, bytes, &[], f64::INFINITY);
+        let v1 = b1.build().total_transfer_bytes();
+        let v2 = b2.build().total_transfer_bytes();
+        prop_assert!((v1 - v2).abs() < 16.0, "{kind:?}: {v1} vs {v2}");
+        // And the analytic per-rank volume matches.
+        let expected = 4.0 * kind.bytes_sent_per_rank(4, bytes);
+        prop_assert!((v1 - expected).abs() < 16.0, "{v1} vs analytic {expected}");
+    }
+
+    /// The hierarchical schedule crosses RoCE with at most the flat ring's
+    /// inter-node volume, and completes with the same membership.
+    #[test]
+    fn hierarchical_crosses_less_roce_than_flat(bytes in 3e8f64..4e9) {
+        use zerosim_collectives::{
+            emit_collective_hierarchical, emit_collective_stepwise, CollectiveKind, CommGroup,
+        };
+        use zerosim_hw::LinkClass;
+        let roce_bytes = |hierarchical: bool, bytes: f64| -> f64 {
+            let mut cluster = Cluster::new(ClusterSpec::default()).unwrap();
+            let group = CommGroup::world(&cluster);
+            let mut b = DagBuilder::new();
+            if hierarchical {
+                emit_collective_hierarchical(
+                    &mut b, &cluster, &group, CollectiveKind::AllReduce, bytes, &[],
+                    f64::INFINITY,
+                );
+            } else {
+                emit_collective_stepwise(
+                    &mut b, &cluster, &group, CollectiveKind::AllReduce, bytes, &[],
+                    f64::INFINITY,
+                );
+            }
+            let dag = b.build();
+            let mut rec = BandwidthRecorder::new(SimTime::from_ms(10.0));
+            let mut eng = DagEngine::new(cluster.resource_slots());
+            eng.run(cluster.net_mut(), &dag, SimTime::ZERO, Some(&mut rec))
+                .unwrap();
+            cluster
+                .links(0, LinkClass::Roce)
+                .iter()
+                .map(|l| rec.total_bytes(*l))
+                .sum()
+        };
+        let flat = roce_bytes(false, bytes);
+        let hier = roce_bytes(true, bytes);
+        prop_assert!(hier < flat, "hierarchical {hier} >= flat {flat}");
+        // Hierarchical all-reduce moves S per node per direction => 2S on
+        // node 0's tx+rx.
+        prop_assert!((hier - 2.0 * bytes).abs() < 0.02 * bytes, "hier {hier} vs 2S {}", 2.0*bytes);
+    }
+
+    /// Collective completion time is monotone in the per-flow inter-node
+    /// cap (a slower effective NCCL never finishes earlier).
+    #[test]
+    fn collective_time_monotone_in_cap(cap_gb in 1.0f64..12.0) {
+        use zerosim_collectives::{emit_collective_capped, CollectiveKind, CommGroup};
+        let time_with = |cap: f64| {
+            let mut cluster = Cluster::new(ClusterSpec::default()).unwrap();
+            let group = CommGroup::world(&cluster);
+            let mut b = DagBuilder::new();
+            emit_collective_capped(
+                &mut b, &cluster, &group, CollectiveKind::AllGather, 1e9, &[], cap,
+            );
+            let dag = b.build();
+            let mut eng = DagEngine::new(cluster.resource_slots());
+            eng.run(cluster.net_mut(), &dag, SimTime::ZERO, None)
+                .unwrap()
+                .makespan()
+                .as_secs()
+        };
+        let slow = time_with(cap_gb * 1e9 / 2.0);
+        let fast = time_with(cap_gb * 1e9);
+        prop_assert!(slow >= fast * 0.999, "slow {slow} < fast {fast}");
+    }
+}
+
+// ---------- token-bucket links under the engine ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random DAGs over a bucketed link always complete, conserve bytes,
+    /// and never finish faster than the burst rate allows or slower than
+    /// the sustained rate demands.
+    #[test]
+    fn bucketed_links_bound_completion_time(
+        transfers in prop::collection::vec(1e6f64..5e9, 1..6),
+        cache in 1e8f64..4e9,
+    ) {
+        let burst = 6e9;
+        let sustained = 2e9;
+        let mut net = FlowNet::new();
+        let dev = net.add_bucketed_link("nvme", TokenBucket::new(cache, burst, sustained));
+        let mut b = DagBuilder::new();
+        let mut prev = None;
+        let total: f64 = transfers.iter().sum();
+        for bytes in &transfers {
+            let deps: Vec<_> = prev.into_iter().collect();
+            prev = Some(b.transfer(vec![dev], *bytes, SimTime::ZERO, "io", 0, &deps));
+        }
+        struct Tally(f64);
+        impl FlowObserver for Tally {
+            fn on_transfer(&mut self, _: LinkId, _: SimTime, _: f64, bytes: f64) {
+                self.0 += bytes;
+            }
+        }
+        let mut tally = Tally(0.0);
+        let mut eng = DagEngine::new(vec![]);
+        let out = eng
+            .run(&mut net, &b.build(), SimTime::ZERO, Some(&mut tally))
+            .unwrap();
+        let secs = out.makespan().as_secs();
+        prop_assert!((tally.0 - total).abs() < total * 1e-6 + 8.0);
+        // Bounds: can't beat the burst rate; can't be slower than
+        // sustained (the cache only ever helps).
+        prop_assert!(secs >= total / burst * 0.999, "{secs} vs {}", total / burst);
+        prop_assert!(secs <= total / sustained * 1.001 + 1e-6);
+    }
+}
