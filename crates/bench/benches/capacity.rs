@@ -1,11 +1,11 @@
 //! Ablation ◆ (DESIGN.md §4.5): cost of the achieved-model-size search.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use zerosim_testkit::bench::Bench;
 use zerosim_core::max_model_size;
 use zerosim_hw::{Cluster, ClusterSpec};
 use zerosim_strategies::{Calibration, Strategy, TrainOptions, ZeroStage};
 
-fn bench_capacity(c: &mut Criterion) {
+fn bench_capacity(c: &mut Bench) {
     let cluster = Cluster::new(ClusterSpec::default()).unwrap();
     let calib = Calibration::default();
     let mut group = c.benchmark_group("capacity_search");
@@ -26,5 +26,4 @@ fn bench_capacity(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_capacity);
-criterion_main!(benches);
+zerosim_testkit::bench_main!(bench_capacity);

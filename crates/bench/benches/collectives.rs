@@ -1,7 +1,7 @@
 //! Ablation ◆ (DESIGN.md §4.2): stepwise vs coalesced vs hierarchical
 //! collective expansion — DAG size and simulated execution cost.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use zerosim_testkit::bench::{Bench, BenchmarkId};
 use zerosim_collectives::{
     emit_collective_coalesced, emit_collective_hierarchical, emit_collective_stepwise,
     CollectiveKind, CommGroup,
@@ -9,7 +9,7 @@ use zerosim_collectives::{
 use zerosim_hw::{Cluster, ClusterSpec};
 use zerosim_simkit::{DagBuilder, DagEngine, SimTime};
 
-fn bench_emission(c: &mut Criterion) {
+fn bench_emission(c: &mut Bench) {
     let mut group = c.benchmark_group("collectives");
     for (name, bytes) in [("64MB", 64e6), ("1GB", 1e9)] {
         group.bench_with_input(
@@ -88,5 +88,4 @@ fn bench_emission(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_emission);
-criterion_main!(benches);
+zerosim_testkit::bench_main!(bench_emission);

@@ -1,12 +1,12 @@
 //! Cost of compiling strategies into task graphs (the per-configuration
 //! setup overhead of every experiment).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use zerosim_testkit::bench::Bench;
 use zerosim_hw::{Cluster, ClusterSpec};
 use zerosim_model::GptConfig;
 use zerosim_strategies::{Calibration, Strategy, TrainOptions, ZeroStage};
 
-fn bench_dag_build(c: &mut Criterion) {
+fn bench_dag_build(c: &mut Bench) {
     let cluster = Cluster::new(ClusterSpec::default()).unwrap();
     let calib = Calibration::default();
     let mut group = c.benchmark_group("dag_build");
@@ -40,5 +40,4 @@ fn bench_dag_build(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_dag_build);
-criterion_main!(benches);
+zerosim_testkit::bench_main!(bench_dag_build);

@@ -1,10 +1,10 @@
 //! Ablation ◆ (DESIGN.md §4.1): cost of the max-min fair progressive
 //! filling solver as flow count grows.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use zerosim_testkit::bench::{Bench, BenchmarkId};
 use zerosim_simkit::{FlowNet, NullObserver};
 
-fn bench_solver(c: &mut Criterion) {
+fn bench_solver(c: &mut Bench) {
     let mut group = c.benchmark_group("flow_solver");
     for flows in [4usize, 16, 64, 256] {
         group.bench_with_input(BenchmarkId::new("drain", flows), &flows, |b, &flows| {
@@ -24,5 +24,4 @@ fn bench_solver(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_solver);
-criterion_main!(benches);
+zerosim_testkit::bench_main!(bench_solver);

@@ -1,13 +1,13 @@
 //! Simulation cost per training iteration for each strategy — the wall
 //! clock the repro harness pays per configuration.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use zerosim_testkit::bench::Bench;
 use zerosim_core::{RunConfig, TrainingSim};
 use zerosim_hw::ClusterSpec;
 use zerosim_model::GptConfig;
 use zerosim_strategies::{Strategy, TrainOptions, ZeroStage};
 
-fn bench_iterations(c: &mut Criterion) {
+fn bench_iterations(c: &mut Bench) {
     let mut group = c.benchmark_group("iteration_sim");
     group.sample_size(10);
     let model = GptConfig::paper_model_with_params(1.4);
@@ -54,5 +54,4 @@ fn bench_iterations(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_iterations);
-criterion_main!(benches);
+zerosim_testkit::bench_main!(bench_iterations);

@@ -1,10 +1,10 @@
 //! Cost of the microbenchmark harness (Fig. 3 / Fig. 4 regeneration).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use zerosim_testkit::bench::Bench;
 use zerosim_hw::ClusterSpec;
 use zerosim_perftest::{latency_sweep, stress_test, RdmaSemantic, StressScenario};
 
-fn bench_perftest(c: &mut Criterion) {
+fn bench_perftest(c: &mut Bench) {
     let mut group = c.benchmark_group("perftest");
     group.bench_function("latency_sweep", |b| {
         let spec = ClusterSpec::default();
@@ -17,5 +17,4 @@ fn bench_perftest(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_perftest);
-criterion_main!(benches);
+zerosim_testkit::bench_main!(bench_perftest);

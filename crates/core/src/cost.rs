@@ -5,12 +5,10 @@
 //! Costs are list-price-class estimates for the paper's era of hardware;
 //! what matters for the analysis is their ratio, not their absolute value.
 
-use serde::{Deserialize, Serialize};
-
 use crate::report::TrainingReport;
 
 /// Capital cost of the cluster pieces, USD.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CostModel {
     /// One A100-SXM4-40GB module.
     pub gpu_usd: f64,
@@ -71,6 +69,11 @@ impl CostModel {
             throughput_flops: report.throughput_flops(),
         }
     }
+}
+
+// JSON codec (in-house serde replacement; see crates/testkit).
+zerosim_testkit::impl_json! {
+    struct CostModel { gpu_usd, node_base_usd, nvme_usd, switch_port_usd }
 }
 
 #[cfg(test)]

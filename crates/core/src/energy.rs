@@ -6,14 +6,12 @@
 //! power during their spans and idle power otherwise, plus a constant
 //! node platform draw (fans, VRs, switches).
 
-use serde::{Deserialize, Serialize};
-
 use crate::report::TrainingReport;
 use crate::timeline::profile_tracks;
 
 /// Device power draws, watts. Defaults follow the paper's hardware: 400 W
 /// A100-SXM4 modules (Table II), 280 W EPYC 7763 sockets.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PowerModel {
     /// GPU draw while executing kernels.
     pub gpu_busy_w: f64,
@@ -114,6 +112,11 @@ impl PowerModel {
             iter_secs: total_secs,
         }
     }
+}
+
+// JSON codec (in-house serde replacement; see crates/testkit).
+zerosim_testkit::impl_json! {
+    struct PowerModel { gpu_busy_w, gpu_idle_w, cpu_busy_w, cpu_idle_w, node_base_w }
 }
 
 #[cfg(test)]

@@ -1,8 +1,6 @@
 //! Cluster specification: every capacity, latency, and layout knob, with
 //! defaults set to the paper's testbed (Tables II and III).
 
-use serde::{Deserialize, Serialize};
-
 /// Per-direction (or, for DRAM, half-duplex aggregate) link bandwidths in
 /// bytes/second.
 ///
@@ -14,7 +12,7 @@ use serde::{Deserialize, Serialize};
 /// * NVLink 3.0: 4 links × 25 GBps per direction per GPU pair → 100 GBps;
 /// * RoCE: 200 Gbps per direction per NIC, derated to the 93% the paper's
 ///   same-socket stress test attains (protocol + PFC overhead).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinkBandwidths {
     /// Half-duplex aggregate DRAM bandwidth per socket.
     pub dram_socket: f64,
@@ -59,7 +57,7 @@ impl Default for LinkBandwidths {
 /// | same-socket GPU-RoCE | (PCIe-GPU, PCIe-NIC) @13 GBps ×2 GPUs | 52% |
 /// | cross-socket CPU-RoCE | (xGMI, PCIe-NIC) @23.5 GBps | 47% |
 /// | cross-socket GPU-RoCE | (PCIe-GPU, xGMI) @10.5 GBps ×2 GPUs | 42% |
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct IodModel {
     /// Pair capacity when both sets are PCIe (bytes/second, bidirectional
     /// pooled).
@@ -90,7 +88,7 @@ impl Default for IodModel {
 /// Writes land in an on-drive DRAM cache at the burst rate until the cache
 /// fills, then drop to the NAND sustained rate; reads stream from NAND.
 /// Both directions are modelled as token-bucket links.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NvmeDeviceModel {
     /// DRAM cache capacity absorbing write bursts, bytes.
     pub cache_bytes: f64,
@@ -117,7 +115,7 @@ impl Default for NvmeDeviceModel {
 }
 
 /// Startup latencies for the fixed interconnects, seconds.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LatencyModel {
     /// GPU↔GPU NVLink hop.
     pub nvlink_s: f64,
@@ -141,7 +139,7 @@ impl Default for LatencyModel {
 }
 
 /// Memory tier capacities.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MemoryCapacities {
     /// HBM per GPU, bytes (A100 SXM4 40 GB).
     pub gpu_bytes: f64,
@@ -162,7 +160,7 @@ impl Default for MemoryCapacities {
 }
 
 /// Placement of one scratch NVMe drive.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct NvmeDrivePlacement {
     /// Socket the drive's PCIe lanes terminate on.
     pub socket: usize,
@@ -181,7 +179,7 @@ pub struct NvmeDrivePlacement {
 /// assert_eq!(single.nodes, 1);
 /// assert_eq!(single.gpus_per_node, 4);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClusterSpec {
     /// Number of compute nodes.
     pub nodes: usize,
@@ -291,6 +289,20 @@ impl ClusterSpec {
     }
 }
 
+// JSON codec (in-house serde replacement; see crates/testkit).
+zerosim_testkit::impl_json! {
+    struct LinkBandwidths {
+        dram_socket, xgmi_dir, pcie_gpu_dir, pcie_nic_dir, pcie_nvme_dir,
+        nvlink_pair_dir, roce_dir,
+    }
+    struct IodModel { pcie_pcie, pcie_gpu_xgmi, xgmi_pcie_io, crossing_latency_s }
+    struct NvmeDeviceModel { cache_bytes, burst, sustained_write, sustained_read, latency_s }
+    struct LatencyModel { nvlink_s, pcie_s, xgmi_s, roce_s }
+    struct MemoryCapacities { gpu_bytes, cpu_bytes_per_node, nvme_bytes_per_drive }
+    struct NvmeDrivePlacement { socket }
+    struct ClusterSpec { nodes, gpus_per_node, bw, iod, nvme_dev, nvme_layout, lat, mem }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -336,7 +348,16 @@ mod tests {
 
     #[test]
     fn spec_implements_serde_bounds() {
-        fn assert_serde<T: serde::Serialize + for<'de> serde::Deserialize<'de>>() {}
+        // The in-house replacement for the old `serde` bound check: the
+        // spec must satisfy the codec traits *and* survive a full
+        // text round trip (render → parse → decode → compare).
+        fn assert_serde<T: zerosim_testkit::ToJson + zerosim_testkit::FromJson>() {}
         assert_serde::<ClusterSpec>();
+
+        use zerosim_testkit::{FromJson, ToJson};
+        let spec = ClusterSpec::default();
+        let text = spec.to_json_string();
+        let round = ClusterSpec::from_json_str(&text).expect("spec JSON must decode");
+        assert_eq!(spec, round, "ClusterSpec must round-trip through JSON");
     }
 }

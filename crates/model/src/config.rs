@@ -5,10 +5,8 @@
 //! precision (FP16), per-GPU batch size 16, and a variable number of layers
 //! used to scale the model until it no longer fits.
 
-use serde::{Deserialize, Serialize};
-
 /// Configuration of a GPT-2-like decoder-only transformer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct GptConfig {
     /// Number of transformer layers.
     pub num_layers: usize,
@@ -120,6 +118,13 @@ impl Default for GptConfig {
     /// The paper's 1.4 B-parameter model (26 layers).
     fn default() -> Self {
         GptConfig::paper_model(26)
+    }
+}
+
+// JSON codec (in-house serde replacement; see crates/testkit).
+zerosim_testkit::impl_json! {
+    struct GptConfig {
+        num_layers, hidden_size, num_heads, seq_len, max_pos_embeddings, vocab_size,
     }
 }
 

@@ -12,8 +12,6 @@
 //! degree. This module provides the raw byte quantities; the `strategies`
 //! crate applies partitioning.
 
-use serde::{Deserialize, Serialize};
-
 use crate::config::GptConfig;
 
 /// Bytes per parameter in FP16.
@@ -22,7 +20,7 @@ pub const FP16_BYTES: f64 = 2.0;
 pub const ADAM_FP32_BYTES: f64 = 12.0;
 
 /// Model-state byte totals for the *whole* (unpartitioned) model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ModelStates {
     /// FP16 parameter bytes (2 P).
     pub params: f64,
@@ -78,6 +76,11 @@ impl GptConfig {
 /// context, framework allocator slack, cuBLAS/NCCL workspaces. Calibrated
 /// jointly with [`GptConfig::activation_bytes`].
 pub const GPU_FIXED_OVERHEAD_BYTES: f64 = 4.0e9;
+
+// JSON codec (in-house serde replacement; see crates/testkit).
+zerosim_testkit::impl_json! {
+    struct ModelStates { params, grads, optimizer }
+}
 
 #[cfg(test)]
 mod tests {

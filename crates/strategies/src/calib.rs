@@ -6,10 +6,8 @@
 //! a specific observation in the paper; EXPERIMENTS.md records the
 //! paper-vs-simulated numbers the final values produce.
 
-use serde::{Deserialize, Serialize};
-
 /// Tunable constants of the training performance/memory model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Calibration {
     /// Peak FP16 Tensor-Core throughput per GPU (A100: 312 TFLOP/s).
     pub gpu_peak_flops: f64,
@@ -161,6 +159,21 @@ impl Calibration {
     /// Wall time of a CPU (socket) Adam update over `params` parameters.
     pub fn cpu_adam_time_s(&self, params: f64) -> f64 {
         params / self.cpu_adam_params_per_s
+    }
+}
+
+// JSON codec (in-house serde replacement; see crates/testkit).
+zerosim_testkit::impl_json! {
+    struct Calibration {
+        gpu_peak_flops, gemm_eff_max, gemm_eff_half_flops, iteration_overhead_s,
+        kernel_overhead_s, elementwise_frac, gpu_adam_params_per_s,
+        cpu_adam_params_per_s, act_coeff_ckpt, act_coeff_nockpt, gpu_fixed_bytes,
+        zero12_buffer_bytes, zero3_buffer_bytes, offload_cpu_bytes_per_param,
+        infinity_cpu_bytes_per_param, infinity_nvme_bytes_per_param,
+        host_base_bytes, offload_cross_socket_frac, ds_internode_cap,
+        nccl_internode_cap, megatron_internode_cap, zero3_internode_cap,
+        host_dram_bytes_per_iter, host_pcie_bytes_per_iter,
+        compute_jitter_frac, zero3_hook_s_per_layer,
     }
 }
 

@@ -1,14 +1,13 @@
 //! Memory placement plans: how many bytes each tier holds under a given
 //! strategy, and whether the placement fits the hardware.
 
-use serde::{Deserialize, Serialize};
 use zerosim_hw::Cluster;
 
 /// Per-tier memory requirement of a training configuration.
 ///
 /// Quantities are totals across the run (the paper reports per-node and
 /// total figures; per-GPU peaks decide feasibility).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MemoryPlan {
     /// Peak bytes on the most-loaded GPU.
     pub per_gpu_bytes: f64,
@@ -54,6 +53,14 @@ impl MemoryPlan {
             return Some("nvme");
         }
         None
+    }
+}
+
+// JSON codec (in-house serde replacement; see crates/testkit).
+zerosim_testkit::impl_json! {
+    struct MemoryPlan {
+        per_gpu_bytes, total_gpu_bytes, per_node_cpu_bytes, total_cpu_bytes,
+        nvme_bytes, gpu_breakdown,
     }
 }
 

@@ -1,10 +1,9 @@
 //! Training-run options shared by every strategy.
 
-use serde::{Deserialize, Serialize};
 use zerosim_hw::{Cluster, GpuId};
 
 /// Options for a simulated training run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TrainOptions {
     /// Sequences per GPU per iteration (the paper uses 16 everywhere).
     pub per_gpu_batch: usize,
@@ -79,6 +78,11 @@ impl TrainOptions {
     pub fn num_gpus(&self, cluster: &Cluster) -> usize {
         self.nodes * cluster.spec().gpus_per_node
     }
+}
+
+// JSON codec (in-house serde replacement; see crates/testkit).
+zerosim_testkit::impl_json! {
+    struct TrainOptions { per_gpu_batch, nodes, jitter_seed, grad_accum }
 }
 
 #[cfg(test)]

@@ -1,0 +1,415 @@
+//! Micro-benchmark harness for `harness = false` bench targets.
+//!
+//! A drop-in (API-compatible-enough) replacement for the slice of
+//! criterion the workspace used: groups, `bench_function` /
+//! `bench_with_input`, `BenchmarkId`, and an `iter` closure. Each
+//! benchmark is measured as:
+//!
+//! 1. **warmup** — the closure runs until the warmup budget elapses,
+//!    which also calibrates how many iterations fit in one sample;
+//! 2. **samples** — `samples` batches are timed; each batch runs the
+//!    calibrated iteration count and records mean ns/iter;
+//! 3. **report** — min / median / p90 per-iteration times are printed in
+//!    an aligned table as each benchmark finishes.
+//!
+//! # CLI
+//!
+//! Bench binaries accept (and ignore unknown) libtest/cargo flags:
+//!
+//! * `--quick` (or env `ZEROSIM_BENCH_QUICK=1`) — tiny budgets, for CI
+//!   smoke runs;
+//! * `--warmup-ms N`, `--sample-ms N`, `--samples N` — explicit budgets;
+//! * `--bench`, `--test` — accepted for cargo compatibility, no effect;
+//! * any bare argument — substring filter on `group/benchmark` names.
+//!
+//! `cargo bench -p zerosim-bench --bench flow_solver -- --quick` runs the
+//! flow-solver benches in smoke mode.
+
+use std::time::{Duration, Instant};
+
+/// Re-export so bench files can `use zerosim_testkit::bench::black_box`.
+pub use std::hint::black_box;
+
+/// One benchmark's summary statistics, in nanoseconds per iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// `group/name` label.
+    pub id: String,
+    /// Fastest sample.
+    pub min_ns: f64,
+    /// Median sample.
+    pub median_ns: f64,
+    /// 90th-percentile sample.
+    pub p90_ns: f64,
+    /// Samples taken.
+    pub samples: usize,
+    /// Iterations per sample.
+    pub iters_per_sample: u64,
+}
+
+/// Top-level harness state: parsed CLI options plus collected results.
+pub struct Bench {
+    filter: Option<String>,
+    warmup: Duration,
+    sample_target: Duration,
+    samples: usize,
+    quiet: bool,
+    results: Vec<Summary>,
+}
+
+impl Default for Bench {
+    fn default() -> Self {
+        Bench {
+            filter: None,
+            warmup: Duration::from_millis(300),
+            sample_target: Duration::from_millis(10),
+            samples: 30,
+            quiet: false,
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Bench {
+    /// Harness with default budgets and no filter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Parses `std::env::args`, honouring the flags described in the
+    /// module docs and ignoring everything it does not understand.
+    pub fn from_args() -> Self {
+        let mut b = Bench::new();
+        if std::env::var("ZEROSIM_BENCH_QUICK").map(|v| v != "0").unwrap_or(false) {
+            b.set_quick();
+        }
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < args.len() {
+            let arg = args[i].as_str();
+            match arg {
+                "--quick" => b.set_quick(),
+                "--quiet" => b.quiet = true,
+                "--warmup-ms" | "--sample-ms" | "--samples" => {
+                    if let Some(v) = args.get(i + 1).and_then(|v| v.parse::<u64>().ok()) {
+                        match arg {
+                            "--warmup-ms" => b.warmup = Duration::from_millis(v),
+                            "--sample-ms" => b.sample_target = Duration::from_millis(v),
+                            _ => b.samples = v.max(1) as usize,
+                        }
+                        i += 1;
+                    }
+                }
+                // cargo/libtest compatibility flags: accepted, ignored.
+                "--bench" | "--test" | "--nocapture" | "--exact" => {}
+                _ => {
+                    if !arg.starts_with('-') {
+                        b.filter = Some(arg.to_string());
+                    }
+                }
+            }
+            i += 1;
+        }
+        b
+    }
+
+    fn set_quick(&mut self) {
+        self.warmup = Duration::from_millis(20);
+        self.sample_target = Duration::from_millis(2);
+        self.samples = 8;
+    }
+
+    /// Starts a named benchmark group.
+    pub fn group(&mut self, name: impl Into<String>) -> Group<'_> {
+        Group {
+            bench: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// Alias for [`Bench::group`] — criterion API parity, so bench files
+    /// port with only an import change.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> Group<'_> {
+        self.group(name)
+    }
+
+    /// All summaries collected so far.
+    pub fn results(&self) -> &[Summary] {
+        &self.results
+    }
+
+    /// Prints the closing line. Called by [`crate::bench_main!`].
+    pub fn finish(&self) {
+        if !self.quiet {
+            println!("\n{} benchmark(s) complete", self.results.len());
+        }
+    }
+
+    fn run_one(
+        &mut self,
+        id: String,
+        sample_size: Option<usize>,
+        f: &mut dyn FnMut(&mut Bencher),
+    ) {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            warmup: self.warmup,
+            sample_target: self.sample_target,
+            samples: sample_size.unwrap_or(self.samples),
+            sample_ns: Vec::new(),
+            iters_per_sample: 0,
+        };
+        f(&mut bencher);
+        let mut ns = bencher.sample_ns;
+        if ns.is_empty() {
+            // The closure never called `iter`; nothing to report.
+            return;
+        }
+        ns.sort_by(|a, b| a.partial_cmp(b).expect("sample times are finite"));
+        let summary = Summary {
+            id,
+            min_ns: ns[0],
+            median_ns: percentile(&ns, 50.0),
+            p90_ns: percentile(&ns, 90.0),
+            samples: ns.len(),
+            iters_per_sample: bencher.iters_per_sample,
+        };
+        if !self.quiet {
+            println!(
+                "{:<44} median {:>10}  p90 {:>10}  min {:>10}  ({} samples × {} iters)",
+                summary.id,
+                fmt_ns(summary.median_ns),
+                fmt_ns(summary.p90_ns),
+                fmt_ns(summary.min_ns),
+                summary.samples,
+                summary.iters_per_sample,
+            );
+        }
+        self.results.push(summary);
+    }
+}
+
+/// Percentile over a pre-sorted slice (nearest-rank with interpolation).
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+/// Human-readable nanoseconds.
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// A benchmark group: shares the group name prefix and an optional
+/// per-group sample-size override (criterion's `sample_size`).
+pub struct Group<'a> {
+    bench: &'a mut Bench,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl Group<'_> {
+    /// Overrides the number of timed samples for benchmarks in this
+    /// group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    /// Runs a benchmark; the closure receives a [`Bencher`] and must
+    /// call [`Bencher::iter`].
+    pub fn bench_function(&mut self, id: impl Into<BenchId>, mut f: impl FnMut(&mut Bencher)) {
+        let full = format!("{}/{}", self.name, id.into().0);
+        self.bench.run_one(full, self.sample_size, &mut f);
+    }
+
+    /// Runs a benchmark parameterized by `input` (criterion's
+    /// `bench_with_input`).
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        let full = format!("{}/{}", self.name, id.into().0);
+        self.bench.run_one(full, self.sample_size, &mut |b| f(b, input));
+    }
+
+    /// Ends the group (no-op; exists for criterion API parity).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: plain string or `BenchmarkId::new(fn, param)`.
+#[derive(Debug, Clone)]
+pub struct BenchId(pub String);
+
+impl From<&str> for BenchId {
+    fn from(s: &str) -> Self {
+        BenchId(s.to_string())
+    }
+}
+
+impl From<String> for BenchId {
+    fn from(s: String) -> Self {
+        BenchId(s)
+    }
+}
+
+/// Criterion-compatible two-part benchmark id.
+pub struct BenchmarkId;
+
+impl BenchmarkId {
+    /// `function_name/parameter` id.
+    #[allow(clippy::new_ret_no_self)]
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> BenchId {
+        BenchId(format!("{function}/{parameter}"))
+    }
+}
+
+/// Passed to the benchmark closure; times the workload.
+pub struct Bencher {
+    warmup: Duration,
+    sample_target: Duration,
+    samples: usize,
+    sample_ns: Vec<f64>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Times `f`: warmup + calibration, then `samples` timed batches.
+    /// The closure's return value is passed through [`black_box`] so the
+    /// optimizer cannot delete the workload.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        // Warmup and calibration: run until the warmup budget elapses,
+        // counting iterations to size one sample batch.
+        let warmup_start = Instant::now();
+        let mut warmup_iters: u64 = 0;
+        loop {
+            black_box(f());
+            warmup_iters += 1;
+            if warmup_start.elapsed() >= self.warmup {
+                break;
+            }
+        }
+        let per_iter = warmup_start.elapsed().as_secs_f64() / warmup_iters as f64;
+        let iters = ((self.sample_target.as_secs_f64() / per_iter).ceil() as u64).max(1);
+        self.iters_per_sample = iters;
+
+        self.sample_ns.clear();
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = t0.elapsed().as_secs_f64();
+            self.sample_ns.push(elapsed * 1e9 / iters as f64);
+        }
+    }
+}
+
+/// Declares the `main` of a `harness = false` bench target:
+///
+/// ```ignore
+/// fn bench_solver(c: &mut zerosim_testkit::bench::Bench) { /* … */ }
+/// zerosim_testkit::bench_main!(bench_solver);
+/// ```
+#[macro_export]
+macro_rules! bench_main {
+    ($($bench_fn:path),+ $(,)?) => {
+        fn main() {
+            let mut harness = $crate::bench::Bench::from_args();
+            $($bench_fn(&mut harness);)+
+            harness.finish();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_bench() -> Bench {
+        let mut b = Bench::new();
+        b.warmup = Duration::from_micros(200);
+        b.sample_target = Duration::from_micros(50);
+        b.samples = 5;
+        b.quiet = true;
+        b
+    }
+
+    #[test]
+    fn collects_ordered_statistics() {
+        let mut b = quick_bench();
+        {
+            let mut g = b.group("g");
+            g.bench_function("work", |bencher| {
+                bencher.iter(|| (0..100u64).sum::<u64>());
+            });
+            g.finish();
+        }
+        let r = &b.results()[0];
+        assert_eq!(r.id, "g/work");
+        assert!(r.min_ns > 0.0);
+        assert!(r.min_ns <= r.median_ns + 1e-9);
+        assert!(r.median_ns <= r.p90_ns + 1e-9);
+        assert_eq!(r.samples, 5);
+        assert!(r.iters_per_sample >= 1);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut b = quick_bench();
+        b.filter = Some("keep".into());
+        {
+            let mut g = b.group("g");
+            g.bench_function("keep_me", |bencher| bencher.iter(|| 1 + 1));
+            g.bench_function("skip_me", |bencher| bencher.iter(|| 1 + 1));
+            g.finish();
+        }
+        assert_eq!(b.results().len(), 1);
+        assert_eq!(b.results()[0].id, "g/keep_me");
+    }
+
+    #[test]
+    fn benchmark_id_formats_two_parts() {
+        let id = BenchmarkId::new("drain", 64);
+        assert_eq!(id.0, "drain/64");
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert!((percentile(&v, 0.0) - 1.0).abs() < 1e-12);
+        assert!((percentile(&v, 100.0) - 4.0).abs() < 1e-12);
+        assert!((percentile(&v, 50.0) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fmt_ns_scales_units() {
+        assert_eq!(fmt_ns(12.34), "12.3 ns");
+        assert_eq!(fmt_ns(12_340.0), "12.34 µs");
+        assert_eq!(fmt_ns(12_340_000.0), "12.34 ms");
+    }
+}

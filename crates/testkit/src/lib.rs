@@ -1,0 +1,62 @@
+//! Zero-dependency test substrate for the ZeroSim workspace.
+//!
+//! The workspace must build and test **hermetically** — with no registry
+//! access whatsoever — so everything the tests and benches used to pull
+//! from crates.io lives here instead:
+//!
+//! * [`rng`] — a deterministic [splitmix64 + xoshiro256**] generator with
+//!   explicit seeding. Same seed ⇒ same sequence, on every platform.
+//! * [`gen`] — composable value generators with failure-case shrinking
+//!   (the `proptest` replacement's strategy layer).
+//! * [`prop`] — the property runner: case counts and seeds come from
+//!   `ZEROSIM_PT_CASES` / `ZEROSIM_PT_SEED`, and a failing case prints
+//!   the seed needed to replay it before panicking.
+//! * [`bench`] — a micro-bench harness (warmup + timed samples,
+//!   median/p90 reporting) compatible with `harness = false` bench
+//!   targets (the `criterion` replacement).
+//! * [`json`] — a minimal JSON value, renderer, parser, and
+//!   [`json::ToJson`]/[`json::FromJson`] traits plus the [`impl_json!`]
+//!   derive-macro replacement (the `serde`+`serde_json` replacement).
+//! * [`domain`] — generators for ZeroSim's domain shapes (link-capacity
+//!   vectors, flow path sets, GPT configs, cluster shapes) expressed as
+//!   plain data so this crate stays dependency-free.
+//!
+//! # Quick start
+//!
+//! ```
+//! use zerosim_testkit::gen::{f64_range, vec_of};
+//! use zerosim_testkit::prop::{check, Config};
+//!
+//! // Every element of a generated capacity vector is positive.
+//! check(
+//!     "caps_positive",
+//!     &Config::from_env(64),
+//!     &vec_of(f64_range(1.0, 1e9), 1, 8),
+//!     |caps| {
+//!         for c in caps {
+//!             if *c <= 0.0 {
+//!                 return Err(format!("non-positive capacity {c}"));
+//!             }
+//!         }
+//!         Ok(())
+//!     },
+//! );
+//! ```
+//!
+//! [splitmix64 + xoshiro256**]: https://prng.di.unimi.it/
+
+pub mod bench;
+pub mod domain;
+pub mod gen;
+pub mod json;
+pub mod prop;
+pub mod rng;
+
+pub use gen::Gen;
+pub use json::{FromJson, Json, JsonError, ToJson};
+pub use prop::{check, Config};
+pub use rng::Rng;
+
+/// Re-export of [`std::hint::black_box`] so benches don't need to reach
+/// into `std::hint` themselves (criterion's `black_box` equivalent).
+pub use std::hint::black_box;

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus the hermeticity gate.
+#
+#   1. tier-1:      cargo build --release && cargo test -q
+#   2. hermeticity: the same build must succeed with --offline and the
+#                   manifests must declare no registry dependencies
+#   3. bench smoke: one in-house-harness bench target in --quick mode
+#
+# The workspace must never require network/registry access; everything
+# external was replaced by crates/testkit (see DESIGN.md, "Testing
+# strategy").
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: build (release) =="
+cargo build --release
+
+echo "== tier-1: tests =="
+cargo test -q
+
+echo "== hermeticity: offline build =="
+cargo build --release --offline
+cargo test -q --offline --no-run
+
+echo "== hermeticity: manifest scan =="
+# No registry dependency may reappear in any manifest. Matches the old
+# dependency names anywhere in a Cargo.toml; path-only deps never match.
+if grep -rn "proptest\|criterion\|serde\|crossbeam\|parking_lot\|rand\b\|bytes =" \
+    crates/*/Cargo.toml Cargo.toml; then
+  echo "ERROR: registry dependency found in a manifest (see matches above)" >&2
+  exit 1
+fi
+echo "manifests clean: path dependencies only"
+
+echo "== bench smoke (in-house harness, --quick) =="
+cargo bench -p zerosim-bench --bench flow_solver -- --quick
+
+echo "VERIFY OK"

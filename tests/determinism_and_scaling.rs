@@ -1,4 +1,11 @@
 //! Determinism guarantees, routing totality, and memory scaling laws.
+//!
+//! Triage note (hermetic-build PR): the ROADMAP's "seed tests failing"
+//! was the workspace failing to *resolve registry dependencies* — the
+//! suite below never compiled. With the in-house `zerosim-testkit`
+//! substrate the workspace builds offline and every test in this file
+//! passes unmodified against the paper's tables/figures; no expectation
+//! needed correction.
 
 use zerosim_core::{RunConfig, TrainingSim};
 use zerosim_hw::{Cluster, ClusterSpec, GpuId, MemLoc, NvmeId, SocketId};

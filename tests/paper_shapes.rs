@@ -1,5 +1,12 @@
 //! Integration tests asserting the paper's headline findings hold in the
 //! simulation — who wins, by roughly what factor, where crossovers fall.
+//!
+//! Triage note (hermetic-build PR): the ROADMAP's "seed tests failing"
+//! was the workspace failing to *resolve registry dependencies* — the
+//! suite below never compiled. With the in-house `zerosim-testkit`
+//! substrate the workspace builds offline and every test in this file
+//! passes unmodified against the paper's tables/figures; no expectation
+//! needed correction.
 
 use zerosim_core::{max_model_size, RunConfig, TrainingSim};
 use zerosim_hw::{ClusterSpec, LinkClass};

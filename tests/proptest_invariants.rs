@@ -1,6 +1,10 @@
 //! Property-based tests over the simulation kernel and the domain layers.
+//!
+//! Ported from `proptest` to the in-house `zerosim-testkit` harness so the
+//! workspace tests hermetically (no registry access). Semantics of every
+//! property are unchanged; all now run ≥ 64 cases (the seed suite ran some
+//! at 16–32). Tune with `ZEROSIM_PT_CASES` / replay with `ZEROSIM_PT_SEED`.
 
-use proptest::prelude::*;
 use zerosim_core::max_model_size;
 use zerosim_hw::{Cluster, ClusterSpec, GpuId, MemLoc, SocketId};
 use zerosim_model::GptConfig;
@@ -9,21 +13,19 @@ use zerosim_simkit::{
     NullObserver, ResourceId, SimTime, TokenBucket,
 };
 use zerosim_strategies::{Calibration, Strategy, TrainOptions, ZeroStage};
+use zerosim_testkit::domain::{flow_paths, link_caps};
+use zerosim_testkit::gen::{f64_range, tuple3, u64_range, usize_range, vec_of};
+use zerosim_testkit::{prop, prop_assert, prop_assert_eq};
 
 // ---------- flow network ----------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
+prop! {
     /// Max-min fair rates never exceed any crossed link's capacity, and
     /// every flow gets a positive rate.
-    #[test]
+    #[cases(64)]
     fn maxmin_rates_respect_capacities(
-        caps in prop::collection::vec(1.0f64..1e9, 2..6),
-        flows in prop::collection::vec(
-            (prop::collection::vec(0usize..6, 1..4), 1.0f64..1e9),
-            1..8,
-        ),
+        caps in link_caps(2, 5),
+        flows in flow_paths(6, 1, 7),
     ) {
         let mut net = FlowNet::new();
         let links: Vec<LinkId> = caps
@@ -67,10 +69,8 @@ proptest! {
     /// Every byte put into the network comes out: the recorder total per
     /// link equals the flow volume times the number of times the flow
     /// crosses that link.
-    #[test]
-    fn bytes_are_conserved(
-        bytes in prop::collection::vec(1.0f64..1e8, 1..6),
-    ) {
+    #[cases(64)]
+    fn bytes_are_conserved(bytes in vec_of(f64_range(1.0, 1e8), 1, 5)) {
         let mut net = FlowNet::new();
         let a = net.add_link("a", 1e7);
         let b = net.add_link("b", 2e7);
@@ -85,8 +85,11 @@ proptest! {
     }
 
     /// Completion time is monotone in flow size.
-    #[test]
-    fn drain_time_monotone_in_bytes(size in 1.0f64..1e9, extra in 1.0f64..1e9) {
+    #[cases(64)]
+    fn drain_time_monotone_in_bytes(
+        size in f64_range(1.0, 1e9),
+        extra in f64_range(1.0, 1e9),
+    ) {
         let time_for = |v: f64| {
             let mut net = FlowNet::new();
             let l = net.add_link("l", 1e8);
@@ -98,11 +101,11 @@ proptest! {
 
     /// Token buckets conserve tokens: serving below the sustained rate
     /// never drains them.
-    #[test]
+    #[cases(64)]
     fn token_bucket_never_drains_below_sustained(
-        cap in 1.0f64..1e10,
-        sustained in 1.0f64..1e9,
-        dt in 0.001f64..100.0,
+        cap in f64_range(1.0, 1e10),
+        sustained in f64_range(1.0, 1e9),
+        dt in f64_range(0.001, 100.0),
     ) {
         let mut bucket = TokenBucket::new(cap, sustained * 2.0, sustained);
         bucket.advance(dt, sustained * 0.9);
@@ -111,8 +114,8 @@ proptest! {
 
     /// Bandwidth stats are ordered: avg ≤ p90 ≤ peak for non-negative
     /// sample sets.
-    #[test]
-    fn stats_ordering(samples in prop::collection::vec(0.0f64..1e12, 10..100)) {
+    #[cases(64)]
+    fn stats_ordering(samples in vec_of(f64_range(0.0, 1e12), 10, 99)) {
         let s = BandwidthStats::from_samples(&samples);
         prop_assert!(s.avg <= s.peak + 1e-9);
         prop_assert!(s.p90 <= s.peak + 1e-9);
@@ -121,13 +124,11 @@ proptest! {
 
 // ---------- engine ----------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
+prop! {
     /// A chain of compute tasks takes exactly the sum of durations;
     /// independent tasks on distinct resources take the max.
-    #[test]
-    fn engine_chain_vs_parallel(durations in prop::collection::vec(1u64..1_000_000, 2..6)) {
+    #[cases(64)]
+    fn engine_chain_vs_parallel(durations in vec_of(u64_range(1, 1_000_000), 2, 5)) {
         let mut net = FlowNet::new();
         let mut chain = DagBuilder::new();
         let mut prev = None;
@@ -161,9 +162,13 @@ proptest! {
 
     /// The engine finishes every DAG made of valid tasks (no deadlocks),
     /// and the observer sees exactly the transfer volume.
-    #[test]
+    #[cases(64)]
     fn random_dags_complete(
-        spec in prop::collection::vec((0u8..3, 1u64..1_000_000, 1.0f64..1e7), 1..24),
+        spec in vec_of(
+            tuple3(usize_range(0, 3), u64_range(1, 1_000_000), f64_range(1.0, 1e7)),
+            1,
+            23,
+        ),
     ) {
         let mut net = FlowNet::new();
         let l0 = net.add_link("l0", 1e8);
@@ -202,13 +207,11 @@ proptest! {
 
 // ---------- domain layers ----------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
+prop! {
     /// Parameter counting is strictly monotone in depth and matches the
     /// closed-form layer delta.
-    #[test]
-    fn params_monotone_in_layers(layers in 1usize..700) {
+    #[cases(64)]
+    fn params_monotone_in_layers(layers in usize_range(1, 700)) {
         let a = GptConfig::paper_model(layers).num_params();
         let b = GptConfig::paper_model(layers + 1).num_params();
         let delta = b - a;
@@ -216,8 +219,8 @@ proptest! {
     }
 
     /// Memory plans grow with model size for every strategy.
-    #[test]
-    fn memory_plans_monotone(layers in 2usize..300) {
+    #[cases(64)]
+    fn memory_plans_monotone(layers in usize_range(2, 300)) {
         let cluster = Cluster::new(ClusterSpec::default()).unwrap();
         let opts = TrainOptions::single_node();
         let calib = Calibration::default();
@@ -244,8 +247,8 @@ proptest! {
 
     /// Capacity search is monotone in GPU memory: more HBM never fits a
     /// smaller model.
-    #[test]
-    fn capacity_monotone_in_gpu_memory(extra_gb in 0.0f64..80.0) {
+    #[cases(64)]
+    fn capacity_monotone_in_gpu_memory(extra_gb in f64_range(0.0, 80.0)) {
         let base = ClusterSpec::default();
         let mut bigger = base.clone();
         bigger.mem.gpu_bytes += extra_gb * 1e9;
@@ -263,8 +266,12 @@ proptest! {
 
     /// Routing is total over same-node endpoints and never returns an
     /// empty path.
-    #[test]
-    fn routes_are_total_and_nonempty(a in 0usize..4, b in 0usize..4, s in 0usize..2) {
+    #[cases(64)]
+    fn routes_are_total_and_nonempty(
+        a in usize_range(0, 4),
+        b in usize_range(0, 4),
+        s in usize_range(0, 2),
+    ) {
         let cluster = Cluster::new(ClusterSpec::default()).unwrap();
         let ga = GpuId { node: 0, gpu: a };
         let gb = GpuId { node: 0, gpu: b };
@@ -284,15 +291,13 @@ proptest! {
 
 // ---------- collectives ----------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
+prop! {
     /// Stepwise and coalesced expansions move identical total bytes for
     /// every collective kind and buffer size.
-    #[test]
+    #[cases(64)]
     fn collective_emitters_agree_on_volume(
-        bytes in 1e6f64..2e9,
-        kind_idx in 0usize..3,
+        bytes in f64_range(1e6, 2e9),
+        kind_idx in usize_range(0, 3),
     ) {
         use zerosim_collectives::{
             emit_collective_coalesced, emit_collective_stepwise, CollectiveKind, CommGroup,
@@ -318,8 +323,8 @@ proptest! {
 
     /// The hierarchical schedule crosses RoCE with at most the flat ring's
     /// inter-node volume, and completes with the same membership.
-    #[test]
-    fn hierarchical_crosses_less_roce_than_flat(bytes in 3e8f64..4e9) {
+    #[cases(64)]
+    fn hierarchical_crosses_less_roce_than_flat(bytes in f64_range(3e8, 4e9)) {
         use zerosim_collectives::{
             emit_collective_hierarchical, emit_collective_stepwise, CollectiveKind, CommGroup,
         };
@@ -360,8 +365,8 @@ proptest! {
 
     /// Collective completion time is monotone in the per-flow inter-node
     /// cap (a slower effective NCCL never finishes earlier).
-    #[test]
-    fn collective_time_monotone_in_cap(cap_gb in 1.0f64..12.0) {
+    #[cases(64)]
+    fn collective_time_monotone_in_cap(cap_gb in f64_range(1.0, 12.0)) {
         use zerosim_collectives::{emit_collective_capped, CollectiveKind, CommGroup};
         let time_with = |cap: f64| {
             let mut cluster = Cluster::new(ClusterSpec::default()).unwrap();
@@ -385,16 +390,14 @@ proptest! {
 
 // ---------- token-bucket links under the engine ----------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
+prop! {
     /// Random DAGs over a bucketed link always complete, conserve bytes,
     /// and never finish faster than the burst rate allows or slower than
     /// the sustained rate demands.
-    #[test]
+    #[cases(64)]
     fn bucketed_links_bound_completion_time(
-        transfers in prop::collection::vec(1e6f64..5e9, 1..6),
-        cache in 1e8f64..4e9,
+        transfers in vec_of(f64_range(1e6, 5e9), 1, 5),
+        cache in f64_range(1e8, 4e9),
     ) {
         let burst = 6e9;
         let sustained = 2e9;
