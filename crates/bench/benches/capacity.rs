@@ -1,9 +1,9 @@
 //! Ablation ◆ (DESIGN.md §4.5): cost of the achieved-model-size search.
 
-use zerosim_testkit::bench::Bench;
 use zerosim_core::max_model_size;
 use zerosim_hw::{Cluster, ClusterSpec};
 use zerosim_strategies::{Calibration, Strategy, TrainOptions, ZeroStage};
+use zerosim_testkit::bench::Bench;
 
 fn bench_capacity(c: &mut Bench) {
     let cluster = Cluster::new(ClusterSpec::default()).unwrap();

@@ -1,13 +1,13 @@
 //! Ablation ◆ (DESIGN.md §4.2): stepwise vs coalesced vs hierarchical
 //! collective expansion — DAG size and simulated execution cost.
 
-use zerosim_testkit::bench::{Bench, BenchmarkId};
 use zerosim_collectives::{
     emit_collective_coalesced, emit_collective_hierarchical, emit_collective_stepwise,
     CollectiveKind, CommGroup,
 };
 use zerosim_hw::{Cluster, ClusterSpec};
 use zerosim_simkit::{DagBuilder, DagEngine, SimTime};
+use zerosim_testkit::bench::{Bench, BenchmarkId};
 
 fn bench_emission(c: &mut Bench) {
     let mut group = c.benchmark_group("collectives");

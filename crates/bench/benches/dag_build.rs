@@ -1,16 +1,19 @@
 //! Cost of compiling strategies into task graphs (the per-configuration
-//! setup overhead of every experiment).
+//! setup overhead of every experiment), split by pipeline stage:
+//!
+//! * `dag_build/*` — the full one-shot pipeline (plan → lower → stamp),
+//!   what the seed implementation paid on **every** iteration;
+//! * `plan_cache/lower_*` — the lowering a cached run pays **once**;
+//! * `plan_cache/stamp_*` — the per-iteration re-stamp, which must stay
+//!   orders of magnitude cheaper than lowering for the cache to matter.
 
-use zerosim_testkit::bench::Bench;
 use zerosim_hw::{Cluster, ClusterSpec};
 use zerosim_model::GptConfig;
-use zerosim_strategies::{Calibration, Strategy, TrainOptions, ZeroStage};
+use zerosim_strategies::{lower, Calibration, Strategy, StrategyPlan, TrainOptions, ZeroStage};
+use zerosim_testkit::bench::Bench;
 
-fn bench_dag_build(c: &mut Bench) {
-    let cluster = Cluster::new(ClusterSpec::default()).unwrap();
-    let calib = Calibration::default();
-    let mut group = c.benchmark_group("dag_build");
-    for (name, strategy, billions, nodes) in [
+fn configs() -> Vec<(&'static str, Strategy, f64, usize)> {
+    vec![
         ("ddp_1p4", Strategy::Ddp, 1.4, 1usize),
         (
             "zero3_6p6",
@@ -26,7 +29,14 @@ fn bench_dag_build(c: &mut Bench) {
             11.2,
             2,
         ),
-    ] {
+    ]
+}
+
+fn bench_dag_build(c: &mut Bench) {
+    let cluster = Cluster::new(ClusterSpec::default()).unwrap();
+    let calib = Calibration::default();
+    let mut group = c.benchmark_group("dag_build");
+    for (name, strategy, billions, nodes) in configs() {
         let model = GptConfig::paper_model_with_params(billions);
         let opts = if nodes == 1 {
             TrainOptions::single_node()
@@ -34,10 +44,48 @@ fn bench_dag_build(c: &mut Bench) {
             TrainOptions::dual_node()
         };
         group.bench_function(name, |b| {
-            b.iter(|| strategy.build_iteration(&cluster, &model, &opts, &calib).len());
+            b.iter(|| {
+                strategy
+                    .build_iteration(&cluster, &model, &opts, &calib)
+                    .unwrap()
+                    .len()
+            });
         });
     }
     group.finish();
 }
 
-zerosim_testkit::bench_main!(bench_dag_build);
+fn bench_plan_cache(c: &mut Bench) {
+    let cluster = Cluster::new(ClusterSpec::default()).unwrap();
+    let calib = Calibration::default();
+    let mut group = c.benchmark_group("plan_cache");
+    for (name, strategy, billions, nodes) in configs() {
+        let model = GptConfig::paper_model_with_params(billions);
+        let opts = if nodes == 1 {
+            TrainOptions::single_node()
+        } else {
+            TrainOptions::dual_node()
+        };
+        let ctx = zerosim_strategies::IterCtx {
+            cluster: &cluster,
+            model: &model,
+            opts: &opts,
+            calib: &calib,
+        };
+        let plan = strategy.plan_iteration(&ctx).unwrap();
+        group.bench_function(format!("lower_{name}").as_str(), |b| {
+            b.iter(|| lower(&plan, &cluster, &calib).unwrap().len());
+        });
+        let mut lowered = lower(&plan, &cluster, &calib).unwrap();
+        let mut seed = 0u64;
+        group.bench_function(format!("stamp_{name}").as_str(), |b| {
+            b.iter(|| {
+                seed += 1;
+                lowered.stamp(seed).len()
+            });
+        });
+    }
+    group.finish();
+}
+
+zerosim_testkit::bench_main!(bench_dag_build, bench_plan_cache);

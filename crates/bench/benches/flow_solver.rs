@@ -1,8 +1,8 @@
 //! Ablation ◆ (DESIGN.md §4.1): cost of the max-min fair progressive
 //! filling solver as flow count grows.
 
-use zerosim_testkit::bench::{Bench, BenchmarkId};
 use zerosim_simkit::{FlowNet, NullObserver};
+use zerosim_testkit::bench::{Bench, BenchmarkId};
 
 fn bench_solver(c: &mut Bench) {
     let mut group = c.benchmark_group("flow_solver");

@@ -1,11 +1,11 @@
 //! Simulation cost per training iteration for each strategy — the wall
 //! clock the repro harness pays per configuration.
 
-use zerosim_testkit::bench::Bench;
 use zerosim_core::{RunConfig, TrainingSim};
 use zerosim_hw::ClusterSpec;
 use zerosim_model::GptConfig;
 use zerosim_strategies::{Strategy, TrainOptions, ZeroStage};
+use zerosim_testkit::bench::Bench;
 
 fn bench_iterations(c: &mut Bench) {
     let mut group = c.benchmark_group("iteration_sim");

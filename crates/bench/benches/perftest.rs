@@ -1,8 +1,8 @@
 //! Cost of the microbenchmark harness (Fig. 3 / Fig. 4 regeneration).
 
-use zerosim_testkit::bench::Bench;
 use zerosim_hw::ClusterSpec;
 use zerosim_perftest::{latency_sweep, stress_test, RdmaSemantic, StressScenario};
+use zerosim_testkit::bench::Bench;
 
 fn bench_perftest(c: &mut Bench) {
     let mut group = c.benchmark_group("perftest");

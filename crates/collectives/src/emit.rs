@@ -117,30 +117,96 @@ pub fn emit_collective_capped(
     deps: &[TaskId],
     internode_cap: f64,
 ) -> CollectiveHandle {
-    // Below ~8 MB per rank-chunk the ring is latency-bound and the
-    // step-accurate expansion buys nothing; coalesce to keep DAGs small.
-    const COALESCE_BELOW_CHUNK: f64 = 8e6;
-    // Above ~30 MB per rank-chunk, multi-node NCCL switches to the
-    // hierarchical (intra-node ring + inter-node exchange) schedule that
-    // crosses RoCE with S/2–S bytes instead of the flat ring's 1.75 S.
-    // DDP's ~25 MB gradient buckets and Megatron's small activation
-    // all-reduces stay on flat rings; ZeRO's whole-model-state collectives
-    // go hierarchical.
-    const HIERARCHICAL_MIN_CHUNK: f64 = 30e6;
+    if uses_hierarchical_schedule(group, kind, bytes) {
+        return emit_collective_hierarchical(dag, cluster, group, kind, bytes, deps, internode_cap);
+    }
     let n = group.len().max(1) as f64;
-    if group.splits_into_equal_nodes()
+    if bytes / n < COALESCE_BELOW_CHUNK {
+        emit_collective_coalesced(dag, cluster, group, kind, bytes, deps, internode_cap)
+    } else {
+        emit_collective_stepwise(dag, cluster, group, kind, bytes, deps, internode_cap)
+    }
+}
+
+/// Below ~8 MB per rank-chunk the ring is latency-bound and the
+/// step-accurate expansion buys nothing; coalesce to keep DAGs small.
+const COALESCE_BELOW_CHUNK: f64 = 8e6;
+
+/// Above ~30 MB per rank-chunk, multi-node NCCL switches to the
+/// hierarchical (intra-node ring + inter-node exchange) schedule that
+/// crosses RoCE with S/2–S bytes instead of the flat ring's 1.75 S.
+/// DDP's ~25 MB gradient buckets and Megatron's small activation
+/// all-reduces stay on flat rings; ZeRO's whole-model-state collectives
+/// go hierarchical.
+const HIERARCHICAL_MIN_CHUNK: f64 = 30e6;
+
+/// True when [`emit_collective_capped`] would pick the hierarchical
+/// (intra-node + inter-node exchange) schedule for this collective.
+pub fn uses_hierarchical_schedule(group: &CommGroup, kind: CollectiveKind, bytes: f64) -> bool {
+    let n = group.len().max(1) as f64;
+    group.splits_into_equal_nodes()
         && bytes / n >= HIERARCHICAL_MIN_CHUNK
         && matches!(
             kind,
             CollectiveKind::AllReduce | CollectiveKind::AllGather | CollectiveKind::ReduceScatter
         )
-    {
-        return emit_collective_hierarchical(dag, cluster, group, kind, bytes, deps, internode_cap);
+}
+
+/// Closed-form total wire volume (bytes summed over every transfer task)
+/// that [`emit_collective_capped`] emits for this collective — the
+/// machine-checkable conservation law behind the paper's Table IV
+/// analysis.
+///
+/// Flat ring schedules move `n · bytes_sent_per_rank(n, S)` in total
+/// (all-reduce: `2 (n−1) · S / n` per rank). The hierarchical schedule is
+/// accounted by mirroring its recursion: per-node intra collectives plus
+/// the inter-node exchange. Per-flow 1-byte floors for degenerate sizes
+/// are ignored; callers comparing against an emitted DAG should allow a
+/// few KiB of slack.
+pub fn wire_bytes(group: &CommGroup, kind: CollectiveKind, bytes: f64) -> f64 {
+    let n = group.len();
+    if n <= 1 {
+        return 0.0;
     }
-    if bytes / n < COALESCE_BELOW_CHUNK {
-        emit_collective_coalesced(dag, cluster, group, kind, bytes, deps, internode_cap)
-    } else {
-        emit_collective_stepwise(dag, cluster, group, kind, bytes, deps, internode_cap)
+    let flat = |ranks: usize, k: CollectiveKind, s: f64| -> f64 {
+        ranks as f64 * k.bytes_sent_per_rank(ranks, s)
+    };
+    if !uses_hierarchical_schedule(group, kind, bytes) {
+        return flat(n, kind, bytes);
+    }
+    let parts = group.node_partition();
+    let m = parts.len(); // nodes
+    let g = parts[0].len(); // ranks per node
+    let intra = |k: CollectiveKind, s: f64| -> f64 { m as f64 * flat(g, k, s) };
+    // Inter-node exchange of `per_rank` bytes per column (see
+    // `emit_collective_hierarchical`): pairwise both ways on two nodes,
+    // a ring per column beyond that.
+    let exchange = |per_rank: f64, ring_kind: CollectiveKind| -> f64 {
+        if m == 2 {
+            2.0 * g as f64 * per_rank
+        } else {
+            let col_size = match ring_kind {
+                CollectiveKind::AllReduce => per_rank,
+                _ => per_rank * m as f64,
+            };
+            g as f64 * flat(m, ring_kind, col_size)
+        }
+    };
+    match kind {
+        CollectiveKind::AllReduce => {
+            intra(CollectiveKind::ReduceScatter, bytes)
+                + exchange(bytes / g as f64, CollectiveKind::AllReduce)
+                + intra(CollectiveKind::AllGather, bytes)
+        }
+        CollectiveKind::AllGather => {
+            exchange(bytes / n as f64, CollectiveKind::AllGather)
+                + intra(CollectiveKind::AllGather, bytes)
+        }
+        CollectiveKind::ReduceScatter => {
+            intra(CollectiveKind::ReduceScatter, bytes)
+                + exchange(bytes / n as f64, CollectiveKind::ReduceScatter)
+        }
+        other => flat(n, other, bytes),
     }
 }
 

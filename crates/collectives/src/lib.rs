@@ -31,6 +31,7 @@ mod group;
 
 pub use emit::{
     emit_collective, emit_collective_capped, emit_collective_coalesced,
-    emit_collective_hierarchical, emit_collective_stepwise, CollectiveHandle, CollectiveKind,
+    emit_collective_hierarchical, emit_collective_stepwise, uses_hierarchical_schedule, wire_bytes,
+    CollectiveHandle, CollectiveKind,
 };
 pub use group::{ring_route, CommGroup};

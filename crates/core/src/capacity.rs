@@ -5,7 +5,7 @@
 
 use zerosim_hw::Cluster;
 use zerosim_model::GptConfig;
-use zerosim_strategies::{Calibration, Strategy, TrainOptions};
+use zerosim_strategies::{Calibration, IterCtx, StrategyPlan, TrainOptions};
 
 /// Result of a capacity search.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -25,18 +25,27 @@ impl CapacityResult {
 
 /// Finds the largest paper-shaped model `strategy` can fit.
 ///
-/// Returns `None` when even a single layer does not fit.
+/// Returns `None` when even a single layer does not fit. Configurations
+/// the strategy rejects ([`zerosim_strategies::StrategyError`]) count as
+/// not fitting.
 pub fn max_model_size(
     cluster: &Cluster,
-    strategy: &Strategy,
+    strategy: &dyn StrategyPlan,
     opts: &TrainOptions,
     calib: &Calibration,
 ) -> Option<CapacityResult> {
     let fits = |layers: usize| -> bool {
         let model = GptConfig::paper_model(layers);
+        let ctx = IterCtx {
+            cluster,
+            model: &model,
+            opts,
+            calib,
+        };
         strategy
-            .memory_plan(cluster, &model, opts, calib)
-            .fits(cluster)
+            .plan_memory(&ctx)
+            .map(|m| m.fits(cluster))
+            .unwrap_or(false)
     };
     if !fits(1) {
         return None;
@@ -72,7 +81,7 @@ pub fn max_model_size(
 mod tests {
     use super::*;
     use zerosim_hw::ClusterSpec;
-    use zerosim_strategies::ZeroStage;
+    use zerosim_strategies::{Strategy, ZeroStage};
 
     fn fixtures() -> (Cluster, TrainOptions, Calibration) {
         (

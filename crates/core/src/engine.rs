@@ -6,10 +6,10 @@
 use zerosim_hw::{Cluster, ClusterSpec, LinkClass};
 use zerosim_model::GptConfig;
 use zerosim_simkit::{BandwidthRecorder, DagEngine, SimTime};
-use zerosim_strategies::{Calibration, Strategy, TrainOptions};
+use zerosim_strategies::{lower, Calibration, IterCtx, StrategyPlan, TrainOptions};
 
 use crate::error::CoreError;
-use crate::report::{BandwidthReport, TrainingReport};
+use crate::report::{rank_hot_links, BandwidthReport, TrainingReport};
 
 /// How a characterization run samples and averages.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -115,18 +115,31 @@ impl TrainingSim {
 
     /// Characterizes one training configuration.
     ///
+    /// The strategy's [`zerosim_strategies::IterPlan`] is lowered to a
+    /// task graph **once**; each warm-up and measured iteration only
+    /// re-stamps the jitter-seeded compute durations
+    /// ([`zerosim_strategies::LoweredPlan::stamp`]) before execution.
+    ///
     /// # Errors
-    /// [`CoreError::DoesNotFit`] if the memory plan overflows a tier (and
-    /// `cfg.allow_overflow` is false); [`CoreError::Sim`] if the DAG
-    /// deadlocks (cannot happen for the built-in strategies).
+    /// [`CoreError::InvalidConfig`] if the strategy rejects the
+    /// configuration; [`CoreError::DoesNotFit`] if the memory plan
+    /// overflows a tier (and `cfg.allow_overflow` is false);
+    /// [`CoreError::Sim`] if the DAG deadlocks (cannot happen for the
+    /// built-in strategies).
     pub fn run(
         &mut self,
-        strategy: &Strategy,
+        strategy: &dyn StrategyPlan,
         model: &GptConfig,
         opts: &TrainOptions,
         cfg: &RunConfig,
     ) -> Result<TrainingReport, CoreError> {
-        let memory = strategy.memory_plan(&self.cluster, model, opts, &self.calib);
+        let ctx = IterCtx {
+            cluster: &self.cluster,
+            model,
+            opts,
+            calib: &self.calib,
+        };
+        let memory = strategy.plan_memory(&ctx)?;
         if !cfg.allow_overflow {
             if let Some(tier) = memory.bottleneck(&self.cluster) {
                 let requested = match tier {
@@ -138,17 +151,22 @@ impl TrainingSim {
             }
         }
 
+        // Plan + lower once: structure is iteration-invariant.
+        let plan = strategy.plan_iteration(&ctx)?;
+        let mut lowered = lower(&plan, &self.cluster, &self.calib)?;
+        let plan_lowerings = 1usize;
+
         let mut engine = DagEngine::new(self.cluster.resource_slots());
 
-        // Warm-up (unrecorded). Each iteration gets its own jitter seed so
-        // the measured window shows realistic run-to-run variation.
+        // Warm-up (unrecorded). Each iteration re-stamps with its own
+        // jitter seed so the measured window shows realistic run-to-run
+        // variation.
         let mut t = SimTime::ZERO;
-        let mut seed = 0u64;
+        let mut seed = opts.jitter_seed;
         for _ in 0..cfg.warmup_iters {
-            let o = opts.with_jitter_seed(seed);
+            let dag = lowered.stamp(seed);
             seed += 1;
-            let dag = strategy.build_iteration(&self.cluster, model, &o, &self.calib);
-            t = engine.run(self.cluster.net_mut(), &dag, t, None)?.finished;
+            t = engine.run(self.cluster.net_mut(), dag, t, None)?.finished;
         }
         engine.take_spans(); // discard warm-up spans
 
@@ -157,10 +175,9 @@ impl TrainingSim {
         let mut total = SimTime::ZERO;
         let n_measured = cfg.measure_iters.max(1);
         for _ in 0..n_measured {
-            let o = opts.with_jitter_seed(seed);
+            let dag = lowered.stamp(seed);
             seed += 1;
-            let dag = strategy.build_iteration(&self.cluster, model, &o, &self.calib);
-            let out = engine.run(self.cluster.net_mut(), &dag, t, Some(&mut rec))?;
+            let out = engine.run(self.cluster.net_mut(), dag, t, Some(&mut rec))?;
             total += out.makespan();
             t = out.finished;
         }
@@ -178,35 +195,12 @@ impl TrainingSim {
         }
 
         // Per-link "hot wires" ranking across every physical link class.
-        let window = total.as_secs().max(1e-12);
-        let mut hot_links: Vec<crate::report::HotLink> = Vec::new();
-        for node in 0..opts.nodes {
-            for class in LinkClass::TABLE_IV {
-                for &link in self.cluster.links(node, class) {
-                    let avg = rec.total_bytes(link) / window;
-                    if avg <= 0.0 {
-                        continue;
-                    }
-                    let cap = self.cluster.net().link_capacity(link);
-                    hot_links.push(crate::report::HotLink {
-                        name: self.cluster.net().link_name(link).to_string(),
-                        avg,
-                        utilization: avg / cap,
-                    });
-                }
-            }
-        }
-        hot_links.sort_by(|a, b| {
-            b.utilization
-                .partial_cmp(&a.utilization)
-                .expect("utilization is finite")
-        });
-        hot_links.truncate(16);
+        let hot_links = rank_hot_links(&self.cluster, opts.nodes, &rec, total.as_secs());
 
         let tokens = model.tokens_per_iteration(opts.per_gpu_batch, opts.num_gpus(&self.cluster))
             * opts.grad_accum as f64;
         Ok(TrainingReport {
-            strategy: strategy.name(),
+            strategy: strategy.display_name(),
             model_params: model.num_params(),
             nodes: opts.nodes,
             iter_time,
@@ -216,6 +210,7 @@ impl TrainingSim {
             bandwidth,
             spans: engine.take_spans(),
             hot_links,
+            plan_lowerings,
         })
     }
 }
@@ -223,6 +218,7 @@ impl TrainingSim {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use zerosim_strategies::Strategy;
 
     fn sim() -> TrainingSim {
         TrainingSim::new(ClusterSpec::default()).unwrap()
@@ -247,6 +243,23 @@ mod tests {
         let nvl = report.bandwidth.stats(0, LinkClass::NvLink);
         assert!(nvl.avg > 1e9, "NVLink avg {} too low", nvl.avg);
         assert!(!report.spans.spans().is_empty());
+        // The lower-once / re-stamp cache: 4 iterations, one lowering.
+        assert_eq!(report.plan_lowerings, 1);
+    }
+
+    #[test]
+    fn infeasible_strategy_config_is_a_typed_error() {
+        let mut s = sim();
+        let err = s
+            .run(
+                &Strategy::Megatron { tp: 3, pp: 1 },
+                &GptConfig::paper_model_with_params(1.4),
+                &TrainOptions::single_node(),
+                &RunConfig::quick(),
+            )
+            .unwrap_err();
+        assert!(matches!(err, CoreError::InvalidConfig(_)), "{err}");
+        assert!(err.to_string().contains("must divide the GPU count"));
     }
 
     #[test]

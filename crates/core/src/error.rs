@@ -4,6 +4,7 @@ use std::error::Error;
 use std::fmt;
 
 use zerosim_simkit::SimError;
+use zerosim_strategies::StrategyError;
 
 /// Errors from running a training characterization.
 #[derive(Debug, Clone, PartialEq)]
@@ -20,6 +21,9 @@ pub enum CoreError {
     },
     /// The cluster specification was invalid.
     BadCluster(String),
+    /// The strategy rejected the training configuration (bad parallel
+    /// layout, state placement violating Table I, invalid plan).
+    InvalidConfig(StrategyError),
 }
 
 impl fmt::Display for CoreError {
@@ -32,6 +36,7 @@ impl fmt::Display for CoreError {
                 requested / 1e9
             ),
             CoreError::BadCluster(msg) => write!(f, "invalid cluster: {msg}"),
+            CoreError::InvalidConfig(e) => write!(f, "invalid configuration: {e}"),
         }
     }
 }
@@ -40,6 +45,7 @@ impl Error for CoreError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             CoreError::Sim(e) => Some(e),
+            CoreError::InvalidConfig(e) => Some(e),
             _ => None,
         }
     }
@@ -48,6 +54,12 @@ impl Error for CoreError {
 impl From<SimError> for CoreError {
     fn from(e: SimError) -> Self {
         CoreError::Sim(e)
+    }
+}
+
+impl From<StrategyError> for CoreError {
+    fn from(e: StrategyError) -> Self {
+        CoreError::InvalidConfig(e)
     }
 }
 
@@ -66,5 +78,8 @@ mod tests {
         let s = CoreError::Sim(SimError::Deadlock { pending: 1 });
         assert!(Error::source(&s).is_some());
         assert!(CoreError::BadCluster("x".into()).to_string().contains("x"));
+        let c = CoreError::from(StrategyError::layout("tp=3"));
+        assert!(c.to_string().contains("tp=3"));
+        assert!(Error::source(&c).is_some());
     }
 }

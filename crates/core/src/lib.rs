@@ -53,4 +53,7 @@ pub use report::{BandwidthReport, HotLink, TrainingReport};
 pub use timeline::{profile_tracks, to_chrome_trace, TrackProfile};
 
 // Re-export the pieces callers need alongside the engine.
-pub use zerosim_strategies::{Calibration, Strategy, TrainOptions};
+pub use zerosim_strategies::{
+    Calibration, IterCtx, IterPlan, LoweredPlan, Strategy, StrategyError, StrategyPlan,
+    StrategyRegistry, TrainOptions,
+};

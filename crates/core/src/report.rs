@@ -3,8 +3,8 @@
 
 use std::collections::BTreeMap;
 
-use zerosim_hw::LinkClass;
-use zerosim_simkit::{BandwidthStats, SimTime, SpanLog};
+use zerosim_hw::{Cluster, LinkClass};
+use zerosim_simkit::{BandwidthRecorder, BandwidthStats, SimTime, SpanLog};
 use zerosim_strategies::MemoryPlan;
 
 /// Bandwidth statistics per (node, interconnect class) plus the raw
@@ -80,6 +80,43 @@ pub struct HotLink {
     pub utilization: f64,
 }
 
+/// How many entries [`rank_hot_links`] keeps.
+pub(crate) const HOT_LINKS_TOP: usize = 16;
+
+/// Ranks every active physical link by average utilization over the
+/// measured window (descending, top [`HOT_LINKS_TOP`]).
+///
+/// Total order via [`f64::total_cmp`]: a pathological NaN utilization
+/// (zero-capacity link) sorts last instead of panicking mid-report.
+pub(crate) fn rank_hot_links(
+    cluster: &Cluster,
+    nodes: usize,
+    rec: &BandwidthRecorder,
+    window_secs: f64,
+) -> Vec<HotLink> {
+    let window = window_secs.max(1e-12);
+    let mut hot_links: Vec<HotLink> = Vec::new();
+    for node in 0..nodes {
+        for class in LinkClass::TABLE_IV {
+            for &link in cluster.links(node, class) {
+                let avg = rec.total_bytes(link) / window;
+                if avg <= 0.0 {
+                    continue;
+                }
+                let cap = cluster.net().link_capacity(link);
+                hot_links.push(HotLink {
+                    name: cluster.net().link_name(link).to_string(),
+                    avg,
+                    utilization: avg / cap,
+                });
+            }
+        }
+    }
+    hot_links.sort_by(|a, b| b.utilization.total_cmp(&a.utilization));
+    hot_links.truncate(HOT_LINKS_TOP);
+    hot_links
+}
+
 /// Everything measured for one training configuration.
 #[derive(Debug, Clone)]
 pub struct TrainingReport {
@@ -103,6 +140,9 @@ pub struct TrainingReport {
     pub spans: SpanLog,
     /// Busiest individual links, sorted by utilization descending.
     pub hot_links: Vec<HotLink>,
+    /// How many times the iteration plan was lowered to a task graph for
+    /// this run (1 when the lower-once / re-stamp cache works).
+    pub plan_lowerings: usize,
 }
 
 impl TrainingReport {
@@ -180,6 +220,7 @@ mod tests {
             bandwidth: BandwidthReport::new(SimTime::from_ms(50.0)),
             spans: SpanLog::new(),
             hot_links: Vec::new(),
+            plan_lowerings: 1,
         };
         assert!((report.throughput_tflops() - 400.0).abs() < 1e-9);
         assert!((report.model_billions() - 1.4).abs() < 1e-12);

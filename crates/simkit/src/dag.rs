@@ -126,6 +126,24 @@ impl Dag {
             .sum()
     }
 
+    /// Overwrites the duration of an existing compute task.
+    ///
+    /// This is the engine-facing half of the strategies' lower-once /
+    /// re-stamp pipeline: DAG *structure* (topology, routes, byte
+    /// volumes) is iteration-invariant, while jittered compute durations
+    /// change per iteration seed. Re-stamping durations in place avoids
+    /// rebuilding the whole graph every iteration.
+    ///
+    /// # Panics
+    /// Panics if `task` does not belong to this DAG or is not a
+    /// [`TaskKind::Compute`] task.
+    pub fn set_compute_duration(&mut self, task: TaskId, duration: SimTime) {
+        match &mut self.tasks[task.0].kind {
+            TaskKind::Compute { duration: d, .. } => *d = duration,
+            other => panic!("task {task:?} is not a compute task (got {other:?})"),
+        }
+    }
+
     /// Total busy time requested from `resource` by compute tasks.
     pub fn compute_demand(&self, resource: ResourceId) -> SimTime {
         self.tasks
@@ -345,6 +363,28 @@ mod tests {
         let dag = b.build();
         let ids: Vec<TaskId> = dag.task_ids().collect();
         assert_eq!(ids, vec![a, c]);
+    }
+
+    #[test]
+    fn restamping_updates_compute_durations_in_place() {
+        let mut b = DagBuilder::new();
+        let r = ResourceId(0);
+        let t = b.compute(r, SimTime::from_ms(2.0), "gemm", &[]);
+        let mut dag = b.build();
+        assert_eq!(dag.compute_demand(r), SimTime::from_ms(2.0));
+        dag.set_compute_duration(t, SimTime::from_ms(5.0));
+        assert_eq!(dag.compute_demand(r), SimTime::from_ms(5.0));
+        // Structure untouched.
+        assert_eq!(dag.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a compute task")]
+    fn restamping_a_marker_panics() {
+        let mut b = DagBuilder::new();
+        let m = b.marker(&[]);
+        let mut dag = b.build();
+        dag.set_compute_duration(m, SimTime::from_ms(1.0));
     }
 
     #[test]

@@ -1,13 +1,21 @@
-//! Shared building blocks for iteration task graphs.
+//! Shared building blocks for iteration plans.
+//!
+//! [`IterCtx`] carries the read-only inputs of strategy compilation and
+//! the pure performance-model arithmetic; [`PlanCtx`] wraps it with an
+//! in-progress [`IterPlan`] and the semantic op emitters that replaced
+//! the seed implementation's raw `DagBuilder` helpers.
 
-use zerosim_hw::{Cluster, GpuId, MemLoc, Route, SocketId};
+use std::ops::Deref;
+
+use zerosim_collectives::{CollectiveKind, CommGroup};
+use zerosim_hw::{Cluster, GpuId, IoDir, MemLoc, SocketId, VolumeId};
 use zerosim_model::GptConfig;
-use zerosim_simkit::{DagBuilder, SimTime, TaskId};
 
 use crate::calib::Calibration;
 use crate::options::TrainOptions;
+use crate::plan::{IterPlan, OpId, PhaseStage, PlanOp};
 
-/// Everything an iteration builder needs to consult.
+/// Everything an iteration planner needs to consult.
 #[derive(Debug, Clone, Copy)]
 pub struct IterCtx<'a> {
     /// The simulated cluster.
@@ -44,134 +52,6 @@ impl<'a> IterCtx<'a> {
         2.0 * self.model.embedding_params() * tokens / mp as f64
     }
 
-    /// Deterministic per-task jitter factor in
-    /// `1 ± compute_jitter_frac`, keyed on the iteration seed and the
-    /// task's position in the DAG (SplitMix64).
-    fn jitter(&self, dag: &DagBuilder) -> f64 {
-        let amp = self.calib.compute_jitter_frac;
-        if amp == 0.0 {
-            return 1.0;
-        }
-        let mut z = self
-            .opts
-            .jitter_seed
-            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-            .wrapping_add(dag.len() as u64);
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^= z >> 31;
-        let u = (z >> 11) as f64 / (1u64 << 53) as f64;
-        1.0 + amp * (2.0 * u - 1.0)
-    }
-
-    /// Emits one layer's (or phase's) GPU compute: the GEMM span plus a
-    /// short element-wise span, serialized on the GPU.
-    pub fn emit_layer_compute(
-        &self,
-        dag: &mut DagBuilder,
-        gpu: GpuId,
-        flops: f64,
-        label: &str,
-        deps: &[TaskId],
-    ) -> TaskId {
-        let res = self.cluster.gpu_resource(gpu);
-        // A transformer layer issues ~6 GEMM kernels; efficiency is judged
-        // per kernel.
-        let per_kernel = flops / 6.0;
-        let gemm_s = 6.0 * self.calib.kernel_time_s(per_kernel) * self.jitter(dag);
-        let gemm = dag.compute(res, SimTime::from_secs(gemm_s), label, deps);
-        let ew_s = self.calib.elementwise_frac * gemm_s;
-        dag.compute(
-            res,
-            SimTime::from_secs(ew_s.max(self.calib.kernel_overhead_s)),
-            "elementwise",
-            &[gemm],
-        )
-    }
-
-    /// Emits the weight-update (GPU Adam) span for `params` parameters.
-    pub fn emit_gpu_adam(
-        &self,
-        dag: &mut DagBuilder,
-        gpu: GpuId,
-        params: f64,
-        deps: &[TaskId],
-    ) -> TaskId {
-        let res = self.cluster.gpu_resource(gpu);
-        dag.compute(
-            res,
-            SimTime::from_secs(self.calib.gpu_adam_time_s(params)),
-            "weight_update",
-            deps,
-        )
-    }
-
-    /// Emits the CPU Adam span for `params` parameters on `socket`.
-    pub fn emit_cpu_adam(
-        &self,
-        dag: &mut DagBuilder,
-        socket: SocketId,
-        params: f64,
-        deps: &[TaskId],
-    ) -> TaskId {
-        let res = self.cluster.cpu_resource(socket);
-        dag.compute(
-            res,
-            SimTime::from_secs(self.calib.cpu_adam_time_s(params)),
-            "cpu_adam",
-            deps,
-        )
-    }
-
-    /// Emits a host↔device (or host↔host, host↔NVMe) transfer along
-    /// `route`.
-    pub fn emit_transfer(
-        &self,
-        dag: &mut DagBuilder,
-        route: Route,
-        bytes: f64,
-        label: &str,
-        track: u32,
-        deps: &[TaskId],
-    ) -> TaskId {
-        dag.transfer_capped(
-            route.links,
-            bytes.max(1.0),
-            route.latency,
-            route.cap,
-            label,
-            track,
-            deps,
-        )
-    }
-
-    /// The fixed per-iteration overhead delay every GPU chain hangs off.
-    pub fn emit_iteration_prologue(&self, dag: &mut DagBuilder) -> TaskId {
-        dag.delay(SimTime::from_secs(self.calib.iteration_overhead_s), &[])
-    }
-
-    /// Emits the input-pipeline H2D copy for one GPU (token ids plus the
-    /// framework's small per-iteration host traffic), preceded by the
-    /// data-loader's DRAM activity on the GPU's socket.
-    pub fn emit_input_h2d(&self, dag: &mut DagBuilder, gpu: GpuId, deps: &[TaskId]) -> TaskId {
-        let socket = self.cluster.gpu_socket(gpu);
-        let track = self.cluster.gpu_resource(gpu).0 as u32;
-        // Host-side shuffling/bookkeeping: DRAM-only traffic.
-        let dram_route = self.cluster.route(MemLoc::Cpu(socket), MemLoc::Cpu(socket));
-        let prep = self.emit_transfer(
-            dag,
-            dram_route,
-            self.calib.host_dram_bytes_per_iter,
-            "host_prep",
-            track,
-            deps,
-        );
-        let route = self.cluster.route(MemLoc::Cpu(socket), MemLoc::Gpu(gpu));
-        let bytes = (self.opts.per_gpu_batch * self.model.seq_len * 4) as f64
-            + self.calib.host_pcie_bytes_per_iter;
-        self.emit_transfer(dag, route, bytes, "h2d", track, &[prep])
-    }
-
     /// Socket a rank's host-side partition lives on. A
     /// `offload_cross_socket_frac` share of ranks gets mis-placed on the
     /// neighbouring socket, reproducing the paper's observation that
@@ -193,6 +73,213 @@ impl<'a> IterCtx<'a> {
     /// size for very deep models.
     pub fn comm_bucket_layers(&self) -> usize {
         self.model.num_layers.div_ceil(48).max(1)
+    }
+
+    /// The span-log track for a GPU (its resource index, by convention).
+    pub fn gpu_track(&self, gpu: GpuId) -> u32 {
+        self.cluster.gpu_resource(gpu).0 as u32
+    }
+}
+
+/// An [`IterCtx`] plus the [`IterPlan`] being emitted.
+///
+/// Strategies describe one training iteration through these emitters;
+/// none of them touches simkit. The expansion into tasks (collective ring
+/// schedules, tier routing, jittered durations) happens later in
+/// [`crate::lower::lower`].
+#[derive(Debug)]
+pub struct PlanCtx<'a> {
+    ctx: IterCtx<'a>,
+    plan: IterPlan,
+}
+
+impl<'a> Deref for PlanCtx<'a> {
+    type Target = IterCtx<'a>;
+    fn deref(&self) -> &IterCtx<'a> {
+        &self.ctx
+    }
+}
+
+impl<'a> PlanCtx<'a> {
+    /// Starts an empty plan (in the input phase) for `ctx`.
+    pub fn new(ctx: IterCtx<'a>) -> Self {
+        PlanCtx {
+            ctx,
+            plan: IterPlan::new(),
+        }
+    }
+
+    /// Finalizes the plan.
+    pub fn finish(self) -> IterPlan {
+        self.plan
+    }
+
+    /// Enters a new phase; subsequent ops carry this label.
+    pub fn set_phase(&mut self, stage: PhaseStage, micro: u32) {
+        self.plan.set_phase(stage, micro);
+    }
+
+    /// Number of ops emitted so far.
+    pub fn len(&self) -> usize {
+        self.plan.len()
+    }
+
+    /// True when no ops have been emitted yet.
+    pub fn is_empty(&self) -> bool {
+        self.plan.is_empty()
+    }
+
+    /// The fixed per-iteration overhead every chain hangs off.
+    pub fn prologue(&mut self) -> OpId {
+        self.plan.push(PlanOp::Overhead, &[])
+    }
+
+    /// One layer's (or fused phase's) GPU compute: GEMM + element-wise
+    /// spans, serialized on the GPU.
+    pub fn layer_compute(
+        &mut self,
+        gpu: GpuId,
+        flops: f64,
+        label: &'static str,
+        deps: &[OpId],
+    ) -> OpId {
+        self.plan
+            .push(PlanOp::LayerCompute { gpu, flops, label }, deps)
+    }
+
+    /// A fixed-duration (un-jittered) GPU span.
+    pub fn fixed_compute(
+        &mut self,
+        gpu: GpuId,
+        secs: f64,
+        label: &'static str,
+        deps: &[OpId],
+    ) -> OpId {
+        self.plan
+            .push(PlanOp::FixedCompute { gpu, secs, label }, deps)
+    }
+
+    /// The weight-update (GPU Adam) op for `params` parameters.
+    pub fn gpu_adam(&mut self, gpu: GpuId, params: f64, deps: &[OpId]) -> OpId {
+        self.plan.push(
+            PlanOp::OptimizerStep {
+                device: crate::plan::OptimizerDevice::Gpu(gpu),
+                params,
+            },
+            deps,
+        )
+    }
+
+    /// The CPU Adam op for `params` parameters on `socket`.
+    pub fn cpu_adam(&mut self, socket: SocketId, params: f64, deps: &[OpId]) -> OpId {
+        self.plan.push(
+            PlanOp::OptimizerStep {
+                device: crate::plan::OptimizerDevice::Cpu(socket),
+                params,
+            },
+            deps,
+        )
+    }
+
+    /// A collective over `group` with a per-flow inter-node rate ceiling
+    /// (`f64::INFINITY` for raw RDMA-grade NCCL).
+    pub fn collective(
+        &mut self,
+        kind: CollectiveKind,
+        group: CommGroup,
+        bytes: f64,
+        cap: f64,
+        deps: &[OpId],
+    ) -> OpId {
+        self.plan.push(
+            PlanOp::Collective {
+                kind,
+                group,
+                bytes,
+                cap,
+            },
+            deps,
+        )
+    }
+
+    /// A point-to-point transfer between memory tiers; the route is
+    /// resolved by the hardware model at lowering time.
+    pub fn transfer(
+        &mut self,
+        src: MemLoc,
+        dst: MemLoc,
+        bytes: f64,
+        label: &'static str,
+        track: u32,
+        deps: &[OpId],
+    ) -> OpId {
+        self.plan.push(
+            PlanOp::TierTransfer {
+                src,
+                dst,
+                bytes,
+                label,
+                track,
+            },
+            deps,
+        )
+    }
+
+    /// A striped read/write against an NVMe volume from `socket`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn volume_io(
+        &mut self,
+        volume: VolumeId,
+        socket: SocketId,
+        dir: IoDir,
+        bytes: f64,
+        label: &'static str,
+        track: u32,
+        deps: &[OpId],
+    ) -> OpId {
+        self.plan.push(
+            PlanOp::VolumeIo {
+                volume,
+                socket,
+                dir,
+                bytes,
+                label,
+                track,
+            },
+            deps,
+        )
+    }
+
+    /// A zero-cost join point over `deps`.
+    pub fn barrier(&mut self, deps: &[OpId]) -> OpId {
+        self.plan.push(PlanOp::Barrier, deps)
+    }
+
+    /// The input-pipeline H2D staging for one GPU (token ids plus the
+    /// framework's small per-iteration host traffic), preceded by the
+    /// data-loader's DRAM activity on the GPU's socket.
+    pub fn input_h2d(&mut self, gpu: GpuId, deps: &[OpId]) -> OpId {
+        let socket = self.ctx.cluster.gpu_socket(gpu);
+        let track = self.ctx.gpu_track(gpu);
+        // Host-side shuffling/bookkeeping: DRAM-only traffic.
+        let prep = self.transfer(
+            MemLoc::Cpu(socket),
+            MemLoc::Cpu(socket),
+            self.ctx.calib.host_dram_bytes_per_iter,
+            "host_prep",
+            track,
+            deps,
+        );
+        let bytes = (self.ctx.opts.per_gpu_batch * self.ctx.model.seq_len * 4) as f64
+            + self.ctx.calib.host_pcie_bytes_per_iter;
+        self.transfer(
+            MemLoc::Cpu(socket),
+            MemLoc::Gpu(gpu),
+            bytes,
+            "h2d",
+            track,
+            &[prep],
+        )
     }
 }
 
@@ -226,7 +313,7 @@ mod tests {
     }
 
     #[test]
-    fn compute_emission_produces_two_spans() {
+    fn input_h2d_emits_prep_then_copy() {
         let (c, m, o, k) = fixtures();
         let ctx = IterCtx {
             cluster: &c,
@@ -234,10 +321,24 @@ mod tests {
             opts: &o,
             calib: &k,
         };
-        let mut dag = DagBuilder::new();
+        let mut p = PlanCtx::new(ctx);
+        assert!(p.is_empty());
+        let pro = p.prologue();
         let g = GpuId { node: 0, gpu: 0 };
-        ctx.emit_layer_compute(&mut dag, g, 1e11, "gemm", &[]);
-        assert_eq!(dag.len(), 2); // gemm + elementwise
+        p.input_h2d(g, &[pro]);
+        assert_eq!(p.len(), 3); // prologue + host_prep + h2d
+        let plan = p.finish();
+        assert!(matches!(
+            plan.nodes()[1].op,
+            PlanOp::TierTransfer {
+                label: "host_prep",
+                ..
+            }
+        ));
+        assert!(matches!(
+            plan.nodes()[2].op,
+            PlanOp::TierTransfer { label: "h2d", .. }
+        ));
     }
 
     #[test]

@@ -4,21 +4,22 @@
 //! gradients are all-reduced in buckets overlapped with the backward pass;
 //! the optimizer runs on-GPU over the full parameter set.
 
-use zerosim_collectives::{emit_collective_capped, CollectiveKind, CommGroup};
+use zerosim_collectives::{CollectiveKind, CommGroup};
 use zerosim_model::ModelStates;
-use zerosim_simkit::{Dag, DagBuilder, TaskId};
 
-use crate::builders::IterCtx;
+use crate::builders::{IterCtx, PlanCtx};
+use crate::error::StrategyError;
 use crate::memory::MemoryPlan;
+use crate::plan::{IterPlan, OpId, PhaseStage};
 
 /// Builds the memory plan for DDP.
-pub(crate) fn memory_plan(ctx: &IterCtx<'_>) -> MemoryPlan {
+pub(crate) fn memory_plan(ctx: &IterCtx<'_>) -> Result<MemoryPlan, StrategyError> {
     let p = ctx.model.num_params();
     let states = ModelStates::for_params(p);
     let act = act_bytes(ctx);
     let per_gpu = states.total() + act + ctx.calib.gpu_fixed_bytes;
     let n = ctx.opts.num_gpus(ctx.cluster) as f64;
-    MemoryPlan {
+    Ok(MemoryPlan {
         per_gpu_bytes: per_gpu,
         total_gpu_bytes: per_gpu * n,
         per_node_cpu_bytes: ctx.calib.host_base_bytes,
@@ -31,7 +32,7 @@ pub(crate) fn memory_plan(ctx: &IterCtx<'_>) -> MemoryPlan {
             ("activations".into(), act),
             ("fixed".into(), ctx.calib.gpu_fixed_bytes),
         ],
-    }
+    })
 }
 
 fn act_bytes(ctx: &IterCtx<'_>) -> f64 {
@@ -45,96 +46,95 @@ fn act_bytes(ctx: &IterCtx<'_>) -> f64 {
         * 2.0
 }
 
-/// Builds one DDP training iteration.
-pub(crate) fn build_iteration(ctx: &IterCtx<'_>) -> Dag {
+/// Describes one DDP training iteration as an [`IterPlan`].
+pub(crate) fn plan_iteration(ctx: &IterCtx<'_>) -> Result<IterPlan, StrategyError> {
     let gpus = ctx.opts.gpus(ctx.cluster);
     let group = CommGroup::new(gpus.clone());
     let tokens_gpu = (ctx.opts.per_gpu_batch * ctx.model.seq_len) as f64;
     let layers = ctx.model.num_layers;
     let bucket = ctx.comm_bucket_layers();
 
-    let mut dag = DagBuilder::new();
-    let prologue = ctx.emit_iteration_prologue(&mut dag);
-    let mut prev: Vec<TaskId> = gpus
-        .iter()
-        .map(|g| ctx.emit_input_h2d(&mut dag, *g, &[prologue]))
-        .collect();
+    let mut p = PlanCtx::new(*ctx);
+    let prologue = p.prologue();
+    let mut prev: Vec<OpId> = gpus.iter().map(|g| p.input_h2d(*g, &[prologue])).collect();
 
     let fwd_flops = ctx.layer_fwd_flops(tokens_gpu, 1);
     let vocab_flops = ctx.embedding_fwd_flops(tokens_gpu, 1);
-    let mut comm_chain: Vec<TaskId> = Vec::new();
+    let mut comm_chain: Vec<OpId> = Vec::new();
     for micro in 0..ctx.opts.grad_accum {
         // Gradients accumulate locally; only the last micro-step syncs
         // (`torch.nn.parallel.DistributedDataParallel.no_sync`).
         let sync = micro + 1 == ctx.opts.grad_accum;
 
         // Forward.
+        p.set_phase(PhaseStage::Forward, micro as u32);
         for _l in 0..layers {
             for (i, g) in gpus.iter().enumerate() {
-                prev[i] = ctx.emit_layer_compute(&mut dag, *g, fwd_flops, "gemm", &[prev[i]]);
+                prev[i] = p.layer_compute(*g, fwd_flops, "gemm", &[prev[i]]);
             }
         }
         // Vocabulary projection + loss.
         for (i, g) in gpus.iter().enumerate() {
-            prev[i] = ctx.emit_layer_compute(&mut dag, *g, vocab_flops, "gemm", &[prev[i]]);
+            prev[i] = p.layer_compute(*g, vocab_flops, "gemm", &[prev[i]]);
         }
 
         // Backward with bucketed, overlapped gradient all-reduce.
+        p.set_phase(PhaseStage::Backward, micro as u32);
         let mut remaining = layers;
         while remaining > 0 {
             let chunk = bucket.min(remaining);
             remaining -= chunk;
             for _l in 0..chunk {
                 for (i, g) in gpus.iter().enumerate() {
-                    prev[i] =
-                        ctx.emit_layer_compute(&mut dag, *g, 2.0 * fwd_flops, "gemm", &[prev[i]]);
+                    prev[i] = p.layer_compute(*g, 2.0 * fwd_flops, "gemm", &[prev[i]]);
                 }
             }
             if !sync {
                 continue;
             }
             let grad_bytes = 2.0 * ctx.model.layer_params() * chunk as f64;
-            let mut deps: Vec<TaskId> = prev.clone();
+            let mut deps: Vec<OpId> = prev.clone();
             deps.extend(comm_chain.last().copied());
-            let h = emit_collective_capped(
-                &mut dag,
-                ctx.cluster,
-                &group,
+            let h = p.collective(
                 CollectiveKind::AllReduce,
+                group.clone(),
                 grad_bytes,
-                &deps,
                 ctx.calib.nccl_internode_cap,
+                &deps,
             );
-            comm_chain.push(h.done);
+            comm_chain.push(h);
         }
     }
     // Embedding gradients.
-    let mut deps: Vec<TaskId> = prev.clone();
+    let mut deps: Vec<OpId> = prev.clone();
     deps.extend(comm_chain.last().copied());
-    let h = emit_collective_capped(
-        &mut dag,
-        ctx.cluster,
-        &group,
+    let h = p.collective(
         CollectiveKind::AllReduce,
+        group,
         2.0 * ctx.model.embedding_params(),
-        &deps,
         ctx.calib.nccl_internode_cap,
+        &deps,
     );
-    comm_chain.push(h.done);
+    comm_chain.push(h);
 
     // Optimizer: full parameter set on every GPU.
-    let p = ctx.model.num_params();
+    p.set_phase(
+        PhaseStage::Step,
+        ctx.opts.grad_accum.saturating_sub(1) as u32,
+    );
+    let params = ctx.model.num_params();
     let last_comm = *comm_chain.last().expect("at least one bucket");
     for (i, g) in gpus.iter().enumerate() {
-        ctx.emit_gpu_adam(&mut dag, *g, p, &[prev[i], last_comm]);
+        p.gpu_adam(*g, params, &[prev[i], last_comm]);
     }
-    dag.build()
+    Ok(p.finish())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::calib::Calibration;
+    use crate::lower::lower;
     use crate::options::TrainOptions;
     use zerosim_hw::{Cluster, ClusterSpec};
     use zerosim_model::GptConfig;
@@ -152,10 +152,13 @@ mod tests {
             opts: &opts,
             calib: &calib,
         };
-        let dag = build_iteration(&ctx);
+        let plan = plan_iteration(&ctx).unwrap();
+        assert!(plan.validate(&cluster).is_ok());
+        let mut lowered = lower(&plan, &cluster, &calib).unwrap();
+        let dag = lowered.stamp(opts.jitter_seed);
         let mut eng = DagEngine::new(cluster.resource_slots());
         let out = eng
-            .run(cluster.net_mut(), &dag, SimTime::ZERO, None)
+            .run(cluster.net_mut(), dag, SimTime::ZERO, None)
             .unwrap();
         let secs = out.makespan().as_secs();
         // The 1.4 B model iterates in hundreds of milliseconds.
@@ -174,7 +177,7 @@ mod tests {
             opts: &opts,
             calib: &calib,
         };
-        let plan = memory_plan(&ctx);
+        let plan = memory_plan(&ctx).unwrap();
         let p = model.num_params();
         assert!(plan.per_gpu_bytes > 16.0 * p);
         assert!(plan.fits(&cluster), "1.4B DDP must fit");
@@ -186,7 +189,7 @@ mod tests {
             calib: &calib,
         };
         assert!(
-            !memory_plan(&ctx_big).fits(&cluster),
+            !memory_plan(&ctx_big).unwrap().fits(&cluster),
             "2.9B DDP must not fit"
         );
     }

@@ -2,11 +2,22 @@
 //! compares: PyTorch DDP, Megatron-LM model parallelism, DeepSpeed ZeRO
 //! stages 1–3, ZeRO-Offload (CPU) and ZeRO-Infinity (NVMe).
 //!
-//! Each [`Strategy`] compiles a model + cluster + options into (a) a
-//! [`MemoryPlan`] describing bytes per tier and (b) a per-iteration task
-//! graph ([`zerosim_simkit::Dag`]) of GPU/CPU compute spans, collectives,
-//! and host/NVMe staging transfers. The simulation engine is strategy-
-//! agnostic: adding a strategy never touches the event loop.
+//! Strategy compilation is a two-stage pipeline:
+//!
+//! 1. **Planning** — a [`StrategyPlan`] implementation (the [`Strategy`]
+//!    enum covers the paper's matrix) compiles model + cluster + options
+//!    into a [`MemoryPlan`] (bytes per tier) and an [`IterPlan`]: a typed
+//!    IR of semantic operations (layer compute, collectives, tier
+//!    transfers, optimizer steps) with explicit dependencies and phase
+//!    labels. [`IterPlan::validate`] machine-checks the paper's
+//!    conservation laws against the cluster.
+//! 2. **Lowering** — [`lower`] compiles the plan once per configuration
+//!    to a simkit task graph; [`LoweredPlan::stamp`] re-stamps only the
+//!    jitter-seeded compute durations per iteration.
+//!
+//! The simulation engine is strategy-agnostic: it sees `&dyn
+//! StrategyPlan` and the lowered DAG, so adding a strategy never touches
+//! the event loop.
 //!
 //! ```
 //! use zerosim_hw::{Cluster, ClusterSpec};
@@ -19,9 +30,12 @@
 //! let opts = TrainOptions::single_node();
 //! let calib = Calibration::default();
 //!
-//! let ddp = Strategy::Ddp.memory_plan(&cluster, &model, &opts, &calib);
+//! let ddp = Strategy::Ddp
+//!     .memory_plan(&cluster, &model, &opts, &calib)
+//!     .map_err(|e| e.to_string())?;
 //! let z3 = Strategy::Zero { stage: ZeroStage::Three }
-//!     .memory_plan(&cluster, &model, &opts, &calib);
+//!     .memory_plan(&cluster, &model, &opts, &calib)
+//!     .map_err(|e| e.to_string())?;
 //! assert!(z3.per_gpu_bytes < ddp.per_gpu_bytes);
 //! # Ok(())
 //! # }
@@ -34,21 +48,61 @@ mod builders;
 mod calib;
 mod capability;
 mod ddp;
+mod error;
+mod lower;
 mod megatron;
 mod memory;
 mod options;
+mod plan;
+mod registry;
 mod zero;
 
-pub use builders::IterCtx;
+pub use builders::{IterCtx, PlanCtx};
 pub use calib::Calibration;
 pub use capability::ZeroCapability;
+pub use error::StrategyError;
+pub use lower::{lower, LoweredPlan};
 pub use memory::MemoryPlan;
 pub use options::TrainOptions;
+pub use plan::{IterPlan, OpId, OptimizerDevice, Phase, PhaseStage, PlanNode, PlanOp};
+pub use registry::StrategyRegistry;
 pub use zero::{InfinityPlacement, StateTier, ZeroStage};
+
+use std::fmt::Debug;
 
 use zerosim_hw::Cluster;
 use zerosim_model::GptConfig;
 use zerosim_simkit::Dag;
+
+/// The seam between strategy semantics and the simulation engine.
+///
+/// Implementations describe *what* one training iteration does — as an
+/// [`IterPlan`] of semantic ops plus a [`MemoryPlan`] — and never touch
+/// simkit. The engine lowers the plan once per configuration and
+/// re-stamps durations per iteration; out-of-tree strategies plug in
+/// through a [`StrategyRegistry`].
+pub trait StrategyPlan: Debug {
+    /// Short display name matching the paper's figure legends.
+    fn display_name(&self) -> String;
+
+    /// Memory placement for the context's (cluster, model, options).
+    ///
+    /// # Errors
+    /// [`StrategyError`] when the configuration is infeasible (bad
+    /// layout, placement violating Table I, ...).
+    fn plan_memory(&self, ctx: &IterCtx<'_>) -> Result<MemoryPlan, StrategyError>;
+
+    /// Describes one training iteration as an [`IterPlan`].
+    ///
+    /// # Errors
+    /// [`StrategyError`] when the configuration is infeasible.
+    fn plan_iteration(&self, ctx: &IterCtx<'_>) -> Result<IterPlan, StrategyError>;
+
+    /// The ZeRO capability row (Table I), for ZeRO-family strategies.
+    fn capability(&self) -> Option<ZeroCapability> {
+        None
+    }
+}
 
 /// A distributed training strategy.
 #[derive(Debug, Clone, PartialEq)]
@@ -165,49 +219,53 @@ impl Strategy {
     }
 
     /// Memory placement for training `model` on `cluster` under `opts`.
+    ///
+    /// # Errors
+    /// [`StrategyError`] when the configuration is infeasible.
     pub fn memory_plan(
         &self,
         cluster: &Cluster,
         model: &GptConfig,
         opts: &TrainOptions,
         calib: &Calibration,
-    ) -> MemoryPlan {
+    ) -> Result<MemoryPlan, StrategyError> {
         let ctx = IterCtx {
             cluster,
             model,
             opts,
             calib,
         };
-        match self {
-            Strategy::Ddp => ddp::memory_plan(&ctx),
-            Strategy::Megatron { tp, pp } => megatron::memory_plan(&ctx, *tp, *pp),
-            _ => zero::memory_plan(&ctx, &self.zero_variant().expect("zero family")),
-        }
+        self.plan_memory(&ctx)
     }
 
-    /// Builds the task graph of one training iteration.
+    /// Builds the task graph of one training iteration by planning,
+    /// lowering, and stamping with `opts.jitter_seed`.
     ///
-    /// # Panics
-    /// Panics if the configuration is inconsistent (e.g. Megatron `mp` not
-    /// equal to the run's GPU count, or NVMe offload without volumes).
+    /// One-shot convenience: the characterization engine instead lowers
+    /// once and re-stamps per iteration (see [`lower`] /
+    /// [`LoweredPlan::stamp`]).
+    ///
+    /// # Errors
+    /// [`StrategyError`] when the configuration is infeasible (e.g.
+    /// Megatron `tp × pp` not dividing the GPU count, or NVMe offload
+    /// without volumes).
     pub fn build_iteration(
         &self,
         cluster: &Cluster,
         model: &GptConfig,
         opts: &TrainOptions,
         calib: &Calibration,
-    ) -> Dag {
+    ) -> Result<Dag, StrategyError> {
         let ctx = IterCtx {
             cluster,
             model,
             opts,
             calib,
         };
-        match self {
-            Strategy::Ddp => ddp::build_iteration(&ctx),
-            Strategy::Megatron { tp, pp } => megatron::build_iteration(&ctx, *tp, *pp),
-            _ => zero::build_iteration(&ctx, &self.zero_variant().expect("zero family")),
-        }
+        let plan = self.plan_iteration(&ctx)?;
+        let mut lowered = lower(&plan, cluster, calib)?;
+        lowered.stamp(opts.jitter_seed);
+        Ok(lowered.into_dag())
     }
 
     /// The ZeRO capability row (Table I), if this is a ZeRO-family
@@ -220,5 +278,103 @@ impl Strategy {
             Strategy::ZeroInfinity { .. } => Some(ZeroCapability::for_stage(ZeroStage::Three)),
             _ => None,
         }
+    }
+}
+
+impl StrategyPlan for Strategy {
+    fn display_name(&self) -> String {
+        self.name()
+    }
+
+    fn plan_memory(&self, ctx: &IterCtx<'_>) -> Result<MemoryPlan, StrategyError> {
+        match self {
+            Strategy::Ddp => ddp::memory_plan(ctx),
+            Strategy::Megatron { tp, pp } => megatron::memory_plan(ctx, *tp, *pp),
+            _ => {
+                let v = self.zero_variant().ok_or_else(|| {
+                    StrategyError::placement("strategy has no ZeRO state placement")
+                })?;
+                zero::memory_plan(ctx, &v)
+            }
+        }
+    }
+
+    fn plan_iteration(&self, ctx: &IterCtx<'_>) -> Result<IterPlan, StrategyError> {
+        match self {
+            Strategy::Ddp => ddp::plan_iteration(ctx),
+            Strategy::Megatron { tp, pp } => megatron::plan_iteration(ctx, *tp, *pp),
+            _ => {
+                let v = self.zero_variant().ok_or_else(|| {
+                    StrategyError::placement("strategy has no ZeRO state placement")
+                })?;
+                zero::plan_iteration(ctx, &v)
+            }
+        }
+    }
+
+    fn capability(&self) -> Option<ZeroCapability> {
+        Strategy::capability(self)
+    }
+}
+
+#[cfg(test)]
+mod strategy_plan_tests {
+    use super::*;
+    use zerosim_hw::ClusterSpec;
+
+    #[test]
+    fn trait_and_inherent_apis_agree() {
+        let cluster = Cluster::new(ClusterSpec::default()).unwrap();
+        let model = GptConfig::default();
+        let opts = TrainOptions::single_node();
+        let calib = Calibration::default();
+        let ctx = IterCtx {
+            cluster: &cluster,
+            model: &model,
+            opts: &opts,
+            calib: &calib,
+        };
+        let s = Strategy::Zero {
+            stage: ZeroStage::Three,
+        };
+        let dyn_s: &dyn StrategyPlan = &s;
+        assert_eq!(dyn_s.display_name(), s.name());
+        let m1 = dyn_s.plan_memory(&ctx).unwrap();
+        let m2 = s.memory_plan(&cluster, &model, &opts, &calib).unwrap();
+        assert_eq!(m1.per_gpu_bytes, m2.per_gpu_bytes);
+        assert!(dyn_s.capability().is_some());
+        assert!(StrategyPlan::capability(&Strategy::Ddp).is_none());
+    }
+
+    #[test]
+    fn build_iteration_stamps_with_the_options_seed() {
+        let cluster = Cluster::new(ClusterSpec::default()).unwrap();
+        let model = GptConfig::default();
+        let opts = TrainOptions::single_node();
+        let calib = Calibration::default();
+        let dag = Strategy::Ddp
+            .build_iteration(&cluster, &model, &opts, &calib)
+            .unwrap();
+        let ctx = IterCtx {
+            cluster: &cluster,
+            model: &model,
+            opts: &opts,
+            calib: &calib,
+        };
+        let plan = Strategy::Ddp.plan_iteration(&ctx).unwrap();
+        let mut lowered = lower(&plan, &cluster, &calib).unwrap();
+        let stamped = lowered.stamp(opts.jitter_seed);
+        assert_eq!(dag.len(), stamped.len());
+    }
+
+    #[test]
+    fn megatron_infeasible_layout_is_an_error_not_a_panic() {
+        let cluster = Cluster::new(ClusterSpec::default()).unwrap();
+        let model = GptConfig::default();
+        let opts = TrainOptions::single_node();
+        let calib = Calibration::default();
+        let s = Strategy::Megatron { tp: 3, pp: 1 };
+        assert!(s.build_iteration(&cluster, &model, &opts, &calib).is_err());
+        assert!(s.memory_plan(&cluster, &model, &opts, &calib).is_err());
     }
 }

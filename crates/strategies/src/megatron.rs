@@ -15,13 +15,14 @@
 
 #![allow(clippy::needless_range_loop)] // (r, s, t) indexing over 3-D chains reads better
 
-use zerosim_collectives::{emit_collective, emit_collective_capped, CollectiveKind, CommGroup};
+use zerosim_collectives::{CollectiveKind, CommGroup};
 use zerosim_hw::{GpuId, MemLoc};
 use zerosim_model::ModelStates;
-use zerosim_simkit::{Dag, DagBuilder, TaskId};
 
-use crate::builders::IterCtx;
+use crate::builders::{IterCtx, PlanCtx};
+use crate::error::StrategyError;
 use crate::memory::MemoryPlan;
+use crate::plan::{IterPlan, OpId, PhaseStage};
 
 /// Microbatches per iteration for a pipeline depth of `pp` (the paper's
 /// nsys timeline shows four; deeper pipelines need at least `pp` to keep
@@ -39,19 +40,21 @@ struct Layout {
 }
 
 impl Layout {
-    fn resolve(ctx: &IterCtx<'_>, tp: usize, pp: usize) -> Layout {
+    fn resolve(ctx: &IterCtx<'_>, tp: usize, pp: usize) -> Result<Layout, StrategyError> {
         let n = ctx.opts.num_gpus(ctx.cluster);
-        assert!(tp >= 1 && pp >= 1, "tp and pp must be at least 1");
-        assert_eq!(
-            n % (tp * pp),
-            0,
-            "tp ({tp}) × pp ({pp}) must divide the GPU count ({n})"
-        );
-        Layout {
+        if tp < 1 || pp < 1 {
+            return Err(StrategyError::layout("tp and pp must be at least 1"));
+        }
+        if !n.is_multiple_of(tp * pp) {
+            return Err(StrategyError::layout(format!(
+                "tp ({tp}) × pp ({pp}) must divide the GPU count ({n})"
+            )));
+        }
+        Ok(Layout {
             tp,
             pp,
             dp: n / (tp * pp),
-        }
+        })
     }
 
     /// GPU of (replica, stage, tp-rank) in node-major rank order: stages
@@ -64,8 +67,12 @@ impl Layout {
 }
 
 /// Builds the memory plan for Megatron with the given degrees.
-pub(crate) fn memory_plan(ctx: &IterCtx<'_>, tp: usize, pp: usize) -> MemoryPlan {
-    let layout = Layout::resolve(ctx, tp, pp);
+pub(crate) fn memory_plan(
+    ctx: &IterCtx<'_>,
+    tp: usize,
+    pp: usize,
+) -> Result<MemoryPlan, StrategyError> {
+    let layout = Layout::resolve(ctx, tp, pp)?;
     let mp = (layout.tp * layout.pp) as f64;
     let p = ctx.model.num_params();
     let states = ModelStates::for_params(p / mp);
@@ -83,7 +90,7 @@ pub(crate) fn memory_plan(ctx: &IterCtx<'_>, tp: usize, pp: usize) -> MemoryPlan
         / mp;
     let per_gpu = states.total() + act + ctx.calib.gpu_fixed_bytes;
     let n = ctx.opts.num_gpus(ctx.cluster) as f64;
-    MemoryPlan {
+    Ok(MemoryPlan {
         per_gpu_bytes: per_gpu,
         total_gpu_bytes: per_gpu * n,
         per_node_cpu_bytes: ctx.calib.host_base_bytes,
@@ -94,24 +101,31 @@ pub(crate) fn memory_plan(ctx: &IterCtx<'_>, tp: usize, pp: usize) -> MemoryPlan
             ("activations".into(), act),
             ("fixed".into(), ctx.calib.gpu_fixed_bytes),
         ],
-    }
+    })
 }
 
-/// Builds one Megatron training iteration with tensor-parallel degree
-/// `tp` and pipeline depth `pp` (data parallelism fills the remainder).
+/// Describes one Megatron training iteration (tensor-parallel degree
+/// `tp`, pipeline depth `pp`, data parallelism over the remainder) as an
+/// [`IterPlan`].
 ///
-/// # Panics
-/// Panics if `tp × pp` does not divide the participating GPU count, or if
-/// the model has fewer layers than pipeline stages.
-pub(crate) fn build_iteration(ctx: &IterCtx<'_>, tp: usize, pp: usize) -> Dag {
-    let layout = Layout::resolve(ctx, tp, pp);
+/// # Errors
+/// [`StrategyError::InvalidLayout`] if `tp × pp` does not divide the
+/// participating GPU count, or if the model has fewer layers than
+/// pipeline stages.
+pub(crate) fn plan_iteration(
+    ctx: &IterCtx<'_>,
+    tp: usize,
+    pp: usize,
+) -> Result<IterPlan, StrategyError> {
+    let layout = Layout::resolve(ctx, tp, pp)?;
     let gpus = ctx.opts.gpus(ctx.cluster);
     let layers = ctx.model.num_layers;
-    assert!(
-        layers >= layout.pp,
-        "model has {layers} layers but the pipeline has {} stages",
-        layout.pp
-    );
+    if layers < layout.pp {
+        return Err(StrategyError::layout(format!(
+            "model has {layers} layers but the pipeline has {} stages",
+            layout.pp
+        )));
+    }
 
     // Gradient accumulation just means more pipeline microbatches before
     // the optimizer step; the per-layer tensor-parallel all-reduces still
@@ -142,34 +156,34 @@ pub(crate) fn build_iteration(ctx: &IterCtx<'_>, tp: usize, pp: usize) -> Dag {
     let fwd_flops = ctx.layer_fwd_flops(tokens_mb, layout.tp);
     let vocab_flops = ctx.embedding_fwd_flops(tokens_mb, layout.tp);
 
-    let mut dag = DagBuilder::new();
-    let prologue = ctx.emit_iteration_prologue(&mut dag);
+    let mut p = PlanCtx::new(*ctx);
+    let prologue = p.prologue();
 
     // TP communication groups per (replica, stage).
     let tp_group = |r: usize, s: usize| {
         CommGroup::new((0..layout.tp).map(|t| layout.gpu(&gpus, r, s, t)).collect())
     };
 
-    // Per (replica, stage, tp-rank): last emitted task on that GPU.
-    let mut chain: Vec<Vec<Vec<TaskId>>> =
+    // Per (replica, stage, tp-rank): last emitted op on that GPU.
+    let mut chain: Vec<Vec<Vec<OpId>>> =
         vec![vec![vec![prologue; layout.tp]; layout.pp]; layout.dp];
     for r in 0..layout.dp {
         for s in 0..layout.pp {
             for t in 0..layout.tp {
-                chain[r][s][t] =
-                    ctx.emit_input_h2d(&mut dag, layout.gpu(&gpus, r, s, t), &[prologue]);
+                chain[r][s][t] = p.input_h2d(layout.gpu(&gpus, r, s, t), &[prologue]);
             }
         }
     }
 
     // Forward completion markers per (mb, replica, stage), needed by the
     // backward passes.
-    let mut fwd_marker: Vec<Vec<Vec<TaskId>>> = vec![vec![Vec::new(); layout.dp]; mb_count];
+    let mut fwd_marker: Vec<Vec<Vec<OpId>>> = vec![vec![Vec::new(); layout.dp]; mb_count];
 
     // ---- Forward passes (all microbatches) ----
     for mb in 0..mb_count {
+        p.set_phase(PhaseStage::Forward, mb as u32);
         for r in 0..layout.dp {
-            let mut boundary_in: Option<Vec<TaskId>> = None; // per tp-rank
+            let mut boundary_in: Option<Vec<OpId>> = None; // per tp-rank
             for s in 0..layout.pp {
                 let group = tp_group(r, s);
                 if let Some(prev_stage) = boundary_in.take() {
@@ -177,13 +191,12 @@ pub(crate) fn build_iteration(ctx: &IterCtx<'_>, tp: usize, pp: usize) -> Dag {
                     for t in 0..layout.tp {
                         let src = layout.gpu(&gpus, r, s - 1, t);
                         let dst = layout.gpu(&gpus, r, s, t);
-                        let route = ctx.cluster.route(MemLoc::Gpu(src), MemLoc::Gpu(dst));
-                        chain[r][s][t] = ctx.emit_transfer(
-                            &mut dag,
-                            route,
+                        chain[r][s][t] = p.transfer(
+                            MemLoc::Gpu(src),
+                            MemLoc::Gpu(dst),
                             boundary_bytes,
                             "p2p_act",
-                            ctx.cluster.gpu_resource(src).0 as u32,
+                            ctx.gpu_track(src),
                             &[prev_stage[t], chain[r][s][t]],
                         );
                     }
@@ -191,27 +204,19 @@ pub(crate) fn build_iteration(ctx: &IterCtx<'_>, tp: usize, pp: usize) -> Dag {
                 for _l in 0..stage_layers(s) {
                     for t in 0..layout.tp {
                         let g = layout.gpu(&gpus, r, s, t);
-                        chain[r][s][t] = ctx.emit_layer_compute(
-                            &mut dag,
-                            g,
-                            fwd_flops,
-                            "gemm",
-                            &[chain[r][s][t]],
-                        );
+                        chain[r][s][t] = p.layer_compute(g, fwd_flops, "gemm", &[chain[r][s][t]]);
                     }
                     if layout.tp > 1 {
-                        let deps: Vec<TaskId> = chain[r][s].clone();
-                        let h = emit_collective_capped(
-                            &mut dag,
-                            ctx.cluster,
-                            &group,
+                        let deps: Vec<OpId> = chain[r][s].clone();
+                        let h = p.collective(
                             CollectiveKind::AllReduce,
+                            group.clone(),
                             ar_bytes_per_layer,
-                            &deps,
                             ctx.calib.megatron_internode_cap,
+                            &deps,
                         );
                         for t in 0..layout.tp {
-                            chain[r][s][t] = h.done;
+                            chain[r][s][t] = h;
                         }
                     }
                 }
@@ -219,16 +224,11 @@ pub(crate) fn build_iteration(ctx: &IterCtx<'_>, tp: usize, pp: usize) -> Dag {
                     // Vocabulary projection + loss on the last stage.
                     for t in 0..layout.tp {
                         let g = layout.gpu(&gpus, r, s, t);
-                        chain[r][s][t] = ctx.emit_layer_compute(
-                            &mut dag,
-                            g,
-                            vocab_flops,
-                            "gemm",
-                            &[chain[r][s][t]],
-                        );
+                        chain[r][s][t] = p.layer_compute(g, vocab_flops, "gemm", &[chain[r][s][t]]);
                     }
                 }
-                fwd_marker[mb][r].push(dag.marker(&chain[r][s]));
+                let deps: Vec<OpId> = chain[r][s].clone();
+                fwd_marker[mb][r].push(p.barrier(&deps));
                 boundary_in = Some(chain[r][s].clone());
             }
         }
@@ -236,21 +236,21 @@ pub(crate) fn build_iteration(ctx: &IterCtx<'_>, tp: usize, pp: usize) -> Dag {
 
     // ---- Backward passes (reverse stage order per microbatch) ----
     for mb in 0..mb_count {
+        p.set_phase(PhaseStage::Backward, mb as u32);
         for r in 0..layout.dp {
-            let mut boundary_grad: Option<Vec<TaskId>> = None;
+            let mut boundary_grad: Option<Vec<OpId>> = None;
             for s in (0..layout.pp).rev() {
                 let group = tp_group(r, s);
                 if let Some(next_stage) = boundary_grad.take() {
                     for t in 0..layout.tp {
                         let src = layout.gpu(&gpus, r, s + 1, t);
                         let dst = layout.gpu(&gpus, r, s, t);
-                        let route = ctx.cluster.route(MemLoc::Gpu(src), MemLoc::Gpu(dst));
-                        chain[r][s][t] = ctx.emit_transfer(
-                            &mut dag,
-                            route,
+                        chain[r][s][t] = p.transfer(
+                            MemLoc::Gpu(src),
+                            MemLoc::Gpu(dst),
                             boundary_bytes,
                             "p2p_grad",
-                            ctx.cluster.gpu_resource(src).0 as u32,
+                            ctx.gpu_track(src),
                             &[next_stage[t], chain[r][s][t]],
                         );
                     }
@@ -258,32 +258,25 @@ pub(crate) fn build_iteration(ctx: &IterCtx<'_>, tp: usize, pp: usize) -> Dag {
                 // Backward follows this stage's forward of the same mb.
                 let fm = fwd_marker[mb][r][s];
                 for t in 0..layout.tp {
-                    chain[r][s][t] = dag.marker(&[chain[r][s][t], fm]);
+                    chain[r][s][t] = p.barrier(&[chain[r][s][t], fm]);
                 }
                 for _l in 0..stage_layers(s) {
                     for t in 0..layout.tp {
                         let g = layout.gpu(&gpus, r, s, t);
-                        chain[r][s][t] = ctx.emit_layer_compute(
-                            &mut dag,
-                            g,
-                            2.0 * fwd_flops,
-                            "gemm",
-                            &[chain[r][s][t]],
-                        );
+                        chain[r][s][t] =
+                            p.layer_compute(g, 2.0 * fwd_flops, "gemm", &[chain[r][s][t]]);
                     }
                     if layout.tp > 1 {
-                        let deps: Vec<TaskId> = chain[r][s].clone();
-                        let h = emit_collective_capped(
-                            &mut dag,
-                            ctx.cluster,
-                            &group,
+                        let deps: Vec<OpId> = chain[r][s].clone();
+                        let h = p.collective(
                             CollectiveKind::AllReduce,
+                            group.clone(),
                             ar_bytes_per_layer,
-                            &deps,
                             ctx.calib.megatron_internode_cap,
+                            &deps,
                         );
                         for t in 0..layout.tp {
-                            chain[r][s][t] = h.done;
+                            chain[r][s][t] = h;
                         }
                     }
                 }
@@ -299,39 +292,41 @@ pub(crate) fn build_iteration(ctx: &IterCtx<'_>, tp: usize, pp: usize) -> Dag {
             for t in 0..layout.tp {
                 let ranks: Vec<GpuId> =
                     (0..layout.dp).map(|r| layout.gpu(&gpus, r, s, t)).collect();
-                let deps: Vec<TaskId> = (0..layout.dp).map(|r| chain[r][s][t]).collect();
+                let deps: Vec<OpId> = (0..layout.dp).map(|r| chain[r][s][t]).collect();
                 let group = CommGroup::new(ranks);
-                let h = emit_collective(
-                    &mut dag,
-                    ctx.cluster,
-                    &group,
+                // Uncapped: the raw RDMA-grade NCCL path.
+                let h = p.collective(
                     CollectiveKind::AllReduce,
+                    group,
                     2.0 * shard,
+                    f64::INFINITY,
                     &deps,
                 );
                 for r in 0..layout.dp {
-                    chain[r][s][t] = h.done;
+                    chain[r][s][t] = h;
                 }
             }
         }
     }
 
     // ---- Optimizer on each GPU over its model shard ----
+    p.set_phase(PhaseStage::Step, mb_count.saturating_sub(1) as u32);
     for r in 0..layout.dp {
         for s in 0..layout.pp {
             for t in 0..layout.tp {
                 let g = layout.gpu(&gpus, r, s, t);
-                ctx.emit_gpu_adam(&mut dag, g, shard, &[chain[r][s][t]]);
+                p.gpu_adam(g, shard, &[chain[r][s][t]]);
             }
         }
     }
-    dag.build()
+    Ok(p.finish())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::calib::Calibration;
+    use crate::lower::lower;
     use crate::options::TrainOptions;
     use zerosim_hw::{Cluster, ClusterSpec};
     use zerosim_model::GptConfig;
@@ -352,9 +347,12 @@ mod tests {
             opts: &opts,
             calib: &calib,
         };
-        let dag = build_iteration(&ctx, tp, pp);
+        let plan = plan_iteration(&ctx, tp, pp).unwrap();
+        assert!(plan.validate(&cluster).is_ok());
+        let mut lowered = lower(&plan, &cluster, &calib).unwrap();
+        let dag = lowered.stamp(opts.jitter_seed);
         let mut eng = DagEngine::new(cluster.resource_slots());
-        eng.run(cluster.net_mut(), &dag, SimTime::ZERO, None)
+        eng.run(cluster.net_mut(), dag, SimTime::ZERO, None)
             .unwrap()
             .makespan()
             .as_secs()
@@ -413,7 +411,7 @@ mod tests {
             opts: &opts,
             calib: &calib,
         };
-        let plan = memory_plan(&ctx, 4, 1);
+        let plan = memory_plan(&ctx, 4, 1).unwrap();
         assert!(plan.fits(&cluster), "Megatron fits ~5.5B on one node");
         let too_big = GptConfig::paper_model(140);
         let ctx2 = IterCtx {
@@ -422,16 +420,15 @@ mod tests {
             opts: &opts,
             calib: &calib,
         };
-        assert!(!memory_plan(&ctx2, 4, 1).fits(&cluster));
+        assert!(!memory_plan(&ctx2, 4, 1).unwrap().fits(&cluster));
         // TP and PP slice model states identically.
-        let tp_plan = memory_plan(&ctx, 4, 1);
-        let pp_plan = memory_plan(&ctx, 1, 4);
+        let tp_plan = memory_plan(&ctx, 4, 1).unwrap();
+        let pp_plan = memory_plan(&ctx, 1, 4).unwrap();
         assert!((tp_plan.gpu_breakdown[0].1 - pp_plan.gpu_breakdown[0].1).abs() < 1.0);
     }
 
     #[test]
-    #[should_panic(expected = "must divide the GPU count")]
-    fn invalid_layout_panics() {
+    fn invalid_layout_is_rejected() {
         let cluster = Cluster::new(ClusterSpec::default()).unwrap();
         let model = GptConfig::default();
         let opts = TrainOptions::single_node();
@@ -442,6 +439,28 @@ mod tests {
             opts: &opts,
             calib: &calib,
         };
-        build_iteration(&ctx, 3, 1);
+        let err = plan_iteration(&ctx, 3, 1).unwrap_err();
+        assert!(
+            err.to_string().contains("must divide the GPU count"),
+            "{err}"
+        );
+        let err = plan_iteration(&ctx, 0, 1).unwrap_err();
+        assert!(err.to_string().contains("at least 1"), "{err}");
+    }
+
+    #[test]
+    fn deep_pipeline_needs_enough_layers() {
+        let cluster = Cluster::new(ClusterSpec::default()).unwrap();
+        let model = GptConfig::paper_model(2);
+        let opts = TrainOptions::single_node();
+        let calib = Calibration::default();
+        let ctx = IterCtx {
+            cluster: &cluster,
+            model: &model,
+            opts: &opts,
+            calib: &calib,
+        };
+        let err = plan_iteration(&ctx, 1, 4).unwrap_err();
+        assert!(err.to_string().contains("pipeline has"), "{err}");
     }
 }

@@ -1,18 +1,19 @@
 //! DeepSpeed ZeRO stages 1–3, including the ZeRO-Offload (CPU) and
-//! ZeRO-Infinity (NVMe) placements, as one parameterized builder.
+//! ZeRO-Infinity (NVMe) placements, as one parameterized planner.
 //!
 //! The three stages partition, respectively: optimizer states, then also
 //! gradients, then also parameters (Table I). Offload variants move the
 //! optimizer (and for stage 3 optionally the parameters) off the GPU; the
-//! iteration graph then includes the host/NVMe staging traffic and the CPU
+//! iteration plan then includes the host/NVMe staging traffic and the CPU
 //! Adam spans the paper observes during the GPUs' idle time (Sec. V).
 
-use zerosim_collectives::{emit_collective_capped, CollectiveKind, CommGroup};
-use zerosim_hw::{IoDir, MemLoc, SocketId, VolumeId};
-use zerosim_simkit::{Dag, DagBuilder, TaskId};
+use zerosim_collectives::{CollectiveKind, CommGroup};
+use zerosim_hw::{IoDir, MemLoc, VolumeId};
 
-use crate::builders::IterCtx;
+use crate::builders::{IterCtx, PlanCtx};
+use crate::error::StrategyError;
 use crate::memory::MemoryPlan;
+use crate::plan::{IterPlan, OpId, PhaseStage};
 
 /// ZeRO optimization stage (Table I).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -91,28 +92,29 @@ pub(crate) struct ZeroVariant {
 }
 
 impl ZeroVariant {
-    pub(crate) fn validate(&self) {
-        if self.params_tier != StateTier::Gpu {
-            assert_eq!(
-                self.stage,
-                ZeroStage::Three,
-                "parameter offload requires ZeRO-3 (Table I)"
-            );
+    /// Checks the placement against Table I; every violation the seed
+    /// implementation asserted on is now a typed [`StrategyError`].
+    pub(crate) fn validate(&self) -> Result<(), StrategyError> {
+        if self.params_tier != StateTier::Gpu && self.stage != ZeroStage::Three {
+            return Err(StrategyError::placement(format!(
+                "parameter offload requires ZeRO-3 (Table I), got stage {}",
+                self.stage.number()
+            )));
         }
-        if self.optimizer_tier == StateTier::Nvme {
-            assert_eq!(
-                self.stage,
-                ZeroStage::Three,
-                "NVMe optimizer offload requires ZeRO-3 (Table I)"
-            );
+        if self.optimizer_tier == StateTier::Nvme && self.stage != ZeroStage::Three {
+            return Err(StrategyError::placement(format!(
+                "NVMe optimizer offload requires ZeRO-3 (Table I), got stage {}",
+                self.stage.number()
+            )));
         }
         let needs_placement =
             self.optimizer_tier == StateTier::Nvme || self.params_tier == StateTier::Nvme;
-        assert_eq!(
-            needs_placement,
-            self.placement.is_some(),
-            "NVMe tiers require a volume placement (and only they do)"
-        );
+        if needs_placement != self.placement.is_some() {
+            return Err(StrategyError::placement(
+                "NVMe tiers require a volume placement (and only they do)",
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -121,8 +123,8 @@ impl ZeroVariant {
 /// host DRAM).
 const NVME_RW_BYTES_PER_PARAM: f64 = 8.0;
 
-pub(crate) fn memory_plan(ctx: &IterCtx<'_>, v: &ZeroVariant) -> MemoryPlan {
-    v.validate();
+pub(crate) fn memory_plan(ctx: &IterCtx<'_>, v: &ZeroVariant) -> Result<MemoryPlan, StrategyError> {
+    v.validate()?;
     let p = ctx.model.num_params();
     let n = ctx.opts.num_gpus(ctx.cluster) as f64;
     let m = ctx.model;
@@ -188,7 +190,7 @@ pub(crate) fn memory_plan(ctx: &IterCtx<'_>, v: &ZeroVariant) -> MemoryPlan {
         nvme += 2.0 * p;
     }
 
-    MemoryPlan {
+    Ok(MemoryPlan {
         per_gpu_bytes: per_gpu,
         total_gpu_bytes: per_gpu * n,
         per_node_cpu_bytes: cpu_per_node,
@@ -202,49 +204,15 @@ pub(crate) fn memory_plan(ctx: &IterCtx<'_>, v: &ZeroVariant) -> MemoryPlan {
             ("buffers".into(), buffers),
             ("fixed".into(), ctx.calib.gpu_fixed_bytes),
         ],
-    }
+    })
 }
 
-/// Emits a striped volume I/O: one transfer per member drive.
-#[allow(clippy::too_many_arguments)]
-fn emit_volume_io(
+/// Describes one ZeRO training iteration as an [`IterPlan`].
+pub(crate) fn plan_iteration(
     ctx: &IterCtx<'_>,
-    dag: &mut DagBuilder,
-    vol: VolumeId,
-    socket: SocketId,
-    dir: IoDir,
-    bytes: f64,
-    label: &str,
-    track: u32,
-    deps: &[TaskId],
-) -> TaskId {
-    let routes = ctx.cluster.volume_io_routes(vol, socket, dir);
-    let k = routes.len() as f64;
-    let parts: Vec<TaskId> = routes
-        .into_iter()
-        .map(|r| ctx.emit_transfer(dag, r, bytes / k, label, track, deps))
-        .collect();
-    dag.marker(&parts)
-}
-
-/// The per-layer "transform" stall of ZeRO-3's module hooks.
-fn emit_z3_hook(
-    ctx: &IterCtx<'_>,
-    dag: &mut DagBuilder,
-    gpu: zerosim_hw::GpuId,
-    dep: TaskId,
-) -> TaskId {
-    let res = ctx.cluster.gpu_resource(gpu);
-    dag.compute(
-        res,
-        zerosim_simkit::SimTime::from_secs(ctx.calib.zero3_hook_s_per_layer),
-        "transform",
-        &[dep],
-    )
-}
-
-pub(crate) fn build_iteration(ctx: &IterCtx<'_>, v: &ZeroVariant) -> Dag {
-    v.validate();
+    v: &ZeroVariant,
+) -> Result<IterPlan, StrategyError> {
+    v.validate()?;
     // CPU offload's automatic placement is not NUMA-aware (Sec. V-A3);
     // the NVMe placements of Sec. V-E were hand-tuned by the authors, so
     // Infinity runs stage through each rank's natural socket.
@@ -261,21 +229,18 @@ pub(crate) fn build_iteration(ctx: &IterCtx<'_>, v: &ZeroVariant) -> Dag {
     let tokens_gpu = (ctx.opts.per_gpu_batch * ctx.model.seq_len) as f64;
     let layers = ctx.model.num_layers;
     let bucket = ctx.comm_bucket_layers();
-    let p = ctx.model.num_params();
-    let shard = p / n as f64;
+    let params = ctx.model.num_params();
+    let shard = params / n as f64;
 
-    let mut dag = DagBuilder::new();
-    let prologue = ctx.emit_iteration_prologue(&mut dag);
-    let mut prev: Vec<TaskId> = gpus
-        .iter()
-        .map(|g| ctx.emit_input_h2d(&mut dag, *g, &[prologue]))
-        .collect();
+    let mut p = PlanCtx::new(*ctx);
+    let prologue = p.prologue();
+    let mut prev: Vec<OpId> = gpus.iter().map(|g| p.input_h2d(*g, &[prologue])).collect();
 
     let fwd_flops = ctx.layer_fwd_flops(tokens_gpu, 1);
     // Communication-stream serialization with a prefetch depth of two for
     // ZeRO-3's parameter gathers (DeepSpeed keeps the next layer's gather
     // in flight while the current one completes).
-    let mut comm_chain: Vec<TaskId> = Vec::new();
+    let mut comm_chain: Vec<OpId> = Vec::new();
     let ds_cap = ctx.calib.ds_internode_cap;
     // ZeRO-3's layer-group gathers use smaller buckets still.
     let gather_cap = if v.stage.partitions_parameters() {
@@ -285,9 +250,9 @@ pub(crate) fn build_iteration(ctx: &IterCtx<'_>, v: &ZeroVariant) -> Dag {
     };
 
     // Helper to fetch a bucket's parameters before use under ZeRO-3.
-    let gather_bucket = |dag: &mut DagBuilder,
-                         prev: &mut Vec<TaskId>,
-                         comm_chain: &mut Vec<TaskId>,
+    let gather_bucket = |p: &mut PlanCtx<'_>,
+                         prev: &mut Vec<OpId>,
+                         comm_chain: &mut Vec<OpId>,
                          bucket_params: f64| {
         let bytes = 2.0 * bucket_params;
         // Prefetch depth 2: this gather waits for the gather two back.
@@ -296,24 +261,22 @@ pub(crate) fn build_iteration(ctx: &IterCtx<'_>, v: &ZeroVariant) -> Dag {
         } else {
             None
         };
-        let mut fetch_done: Vec<TaskId> = Vec::new();
+        let mut fetch_done: Vec<OpId> = Vec::new();
         if v.params_tier != StateTier::Gpu {
             // Each rank pulls its shard from CPU (and NVMe first, if there).
             for (rank, g) in gpus.iter().enumerate() {
                 let socket = rank_socket(rank, *g);
-                let track = ctx.cluster.gpu_resource(*g).0 as u32;
-                let mut stage_deps: Vec<TaskId> = vec![prologue];
+                let track = ctx.gpu_track(*g);
+                let mut stage_deps: Vec<OpId> = vec![prologue];
                 stage_deps.extend(gate);
-                let mut last = dag.marker(&stage_deps);
+                let mut last = p.barrier(&stage_deps);
                 if v.params_tier == StateTier::Nvme {
                     let vol = v
                         .placement
                         .as_ref()
                         .expect("validated placement")
                         .volume_for(rank);
-                    last = emit_volume_io(
-                        ctx,
-                        dag,
+                    last = p.volume_io(
                         vol,
                         socket,
                         IoDir::Read,
@@ -323,30 +286,34 @@ pub(crate) fn build_iteration(ctx: &IterCtx<'_>, v: &ZeroVariant) -> Dag {
                         &[last],
                     );
                 }
-                let route = ctx.cluster.route(MemLoc::Cpu(socket), MemLoc::Gpu(*g));
-                let h2d = ctx.emit_transfer(dag, route, bytes / n as f64, "h2d", track, &[last]);
+                let h2d = p.transfer(
+                    MemLoc::Cpu(socket),
+                    MemLoc::Gpu(*g),
+                    bytes / n as f64,
+                    "h2d",
+                    track,
+                    &[last],
+                );
                 fetch_done.push(h2d);
             }
         }
-        let mut deps: Vec<TaskId> = Vec::new();
+        let mut deps: Vec<OpId> = Vec::new();
         deps.extend(gate);
         deps.extend(fetch_done);
         if deps.is_empty() {
             deps.push(prologue);
         }
-        let h = emit_collective_capped(
-            &mut *dag,
-            ctx.cluster,
-            &group,
+        let h = p.collective(
             CollectiveKind::AllGather,
+            group.clone(),
             bytes,
-            &deps,
             gather_cap,
+            &deps,
         );
-        comm_chain.push(h.done);
+        comm_chain.push(h);
         for t in prev.iter_mut() {
             // Compute on every rank now also depends on the gather.
-            *t = dag.marker(&[*t, h.done]);
+            *t = p.barrier(&[*t, h]);
         }
     };
 
@@ -354,48 +321,59 @@ pub(crate) fn build_iteration(ctx: &IterCtx<'_>, v: &ZeroVariant) -> Dag {
     // ZeRO-3 reduce-scatters every micro-step (partitioned gradients
     // accumulate in the shards); ZeRO-1/2 and the embedding sync only at
     // the accumulation boundary.
-    let mut grad_d2h: Vec<Vec<TaskId>> = vec![Vec::new(); n];
+    let mut grad_d2h: Vec<Vec<OpId>> = vec![Vec::new(); n];
     for micro in 0..ctx.opts.grad_accum {
         let boundary = micro + 1 == ctx.opts.grad_accum;
         let reduce_now = boundary || v.stage.partitions_parameters();
         // ---- Forward ----
+        p.set_phase(PhaseStage::Forward, micro as u32);
         let mut remaining = layers;
         while remaining > 0 {
             let chunk = bucket.min(remaining);
             remaining -= chunk;
             let bucket_params = ctx.model.layer_params() * chunk as f64;
             if v.stage.partitions_parameters() {
-                gather_bucket(&mut dag, &mut prev, &mut comm_chain, bucket_params);
+                gather_bucket(&mut p, &mut prev, &mut comm_chain, bucket_params);
             }
             for _l in 0..chunk {
                 for (i, g) in gpus.iter().enumerate() {
-                    prev[i] = ctx.emit_layer_compute(&mut dag, *g, fwd_flops, "gemm", &[prev[i]]);
+                    prev[i] = p.layer_compute(*g, fwd_flops, "gemm", &[prev[i]]);
                     if v.stage.partitions_parameters() {
-                        prev[i] = emit_z3_hook(ctx, &mut dag, *g, prev[i]);
+                        prev[i] = p.fixed_compute(
+                            *g,
+                            ctx.calib.zero3_hook_s_per_layer,
+                            "transform",
+                            &[prev[i]],
+                        );
                     }
                 }
             }
         }
         let vocab_flops = ctx.embedding_fwd_flops(tokens_gpu, 1);
         for (i, g) in gpus.iter().enumerate() {
-            prev[i] = ctx.emit_layer_compute(&mut dag, *g, vocab_flops, "gemm", &[prev[i]]);
+            prev[i] = p.layer_compute(*g, vocab_flops, "gemm", &[prev[i]]);
         }
 
         // ---- Backward ----
+        p.set_phase(PhaseStage::Backward, micro as u32);
         let mut remaining = layers;
         while remaining > 0 {
             let chunk = bucket.min(remaining);
             remaining -= chunk;
             let bucket_params = ctx.model.layer_params() * chunk as f64;
             if v.stage.partitions_parameters() {
-                gather_bucket(&mut dag, &mut prev, &mut comm_chain, bucket_params);
+                gather_bucket(&mut p, &mut prev, &mut comm_chain, bucket_params);
             }
             for _l in 0..chunk {
                 for (i, g) in gpus.iter().enumerate() {
-                    prev[i] =
-                        ctx.emit_layer_compute(&mut dag, *g, 2.0 * fwd_flops, "gemm", &[prev[i]]);
+                    prev[i] = p.layer_compute(*g, 2.0 * fwd_flops, "gemm", &[prev[i]]);
                     if v.stage.partitions_parameters() {
-                        prev[i] = emit_z3_hook(ctx, &mut dag, *g, prev[i]);
+                        prev[i] = p.fixed_compute(
+                            *g,
+                            ctx.calib.zero3_hook_s_per_layer,
+                            "transform",
+                            &[prev[i]],
+                        );
                     }
                 }
             }
@@ -410,30 +388,21 @@ pub(crate) fn build_iteration(ctx: &IterCtx<'_>, v: &ZeroVariant) -> Dag {
             } else {
                 CollectiveKind::AllReduce
             };
-            let mut deps: Vec<TaskId> = prev.clone();
+            let mut deps: Vec<OpId> = prev.clone();
             deps.extend(comm_chain.last().copied());
-            let h = emit_collective_capped(
-                &mut dag,
-                ctx.cluster,
-                &group,
-                kind,
-                grad_bytes,
-                &deps,
-                ds_cap,
-            );
-            comm_chain.push(h.done);
+            let h = p.collective(kind, group.clone(), grad_bytes, ds_cap, &deps);
+            comm_chain.push(h);
             if boundary && v.optimizer_tier != StateTier::Gpu {
                 for (rank, g) in gpus.iter().enumerate() {
                     let socket = rank_socket(rank, *g);
-                    let track = ctx.cluster.gpu_resource(*g).0 as u32;
-                    let route = ctx.cluster.route(MemLoc::Gpu(*g), MemLoc::Cpu(socket));
-                    let t = ctx.emit_transfer(
-                        &mut dag,
-                        route,
+                    let track = ctx.gpu_track(*g);
+                    let t = p.transfer(
+                        MemLoc::Gpu(*g),
+                        MemLoc::Cpu(socket),
                         grad_bytes / n as f64,
                         "d2h",
                         track,
-                        &[h.done],
+                        &[h],
                     );
                     grad_d2h[rank].push(t);
                 }
@@ -447,48 +416,49 @@ pub(crate) fn build_iteration(ctx: &IterCtx<'_>, v: &ZeroVariant) -> Dag {
     } else {
         CollectiveKind::AllReduce
     };
-    let mut deps: Vec<TaskId> = prev.clone();
+    let mut deps: Vec<OpId> = prev.clone();
     deps.extend(comm_chain.last().copied());
-    let h = emit_collective_capped(
-        &mut dag,
-        ctx.cluster,
-        &group,
-        kind,
-        emb_bytes,
-        &deps,
-        ds_cap,
-    );
-    comm_chain.push(h.done);
+    let h = p.collective(kind, group.clone(), emb_bytes, ds_cap, &deps);
+    comm_chain.push(h);
     if v.optimizer_tier != StateTier::Gpu {
         for (rank, g) in gpus.iter().enumerate() {
             let socket = rank_socket(rank, *g);
-            let track = ctx.cluster.gpu_resource(*g).0 as u32;
-            let route = ctx.cluster.route(MemLoc::Gpu(*g), MemLoc::Cpu(socket));
-            let t = ctx.emit_transfer(
-                &mut dag,
-                route,
+            let track = ctx.gpu_track(*g);
+            let t = p.transfer(
+                MemLoc::Gpu(*g),
+                MemLoc::Cpu(socket),
                 emb_bytes / n as f64,
                 "d2h",
                 track,
-                &[h.done],
+                &[h],
             );
             grad_d2h[rank].push(t);
         }
     }
 
     // ---- Optimizer ----
+    p.set_phase(
+        PhaseStage::Step,
+        ctx.opts.grad_accum.saturating_sub(1) as u32,
+    );
     let last_comm = *comm_chain.last().expect("at least one gradient collective");
-    let mut post_opt: Vec<TaskId> = Vec::with_capacity(n);
+    let mut post_opt: Vec<OpId> = Vec::with_capacity(n);
     for (rank, g) in gpus.iter().enumerate() {
-        let track = ctx.cluster.gpu_resource(*g).0 as u32;
+        let track = ctx.gpu_track(*g);
         let done = match v.optimizer_tier {
-            StateTier::Gpu => ctx.emit_gpu_adam(&mut dag, *g, shard, &[prev[rank], last_comm]),
+            StateTier::Gpu => p.gpu_adam(*g, shard, &[prev[rank], last_comm]),
             StateTier::Cpu => {
                 let socket = rank_socket(rank, *g);
-                let adam = ctx.emit_cpu_adam(&mut dag, socket, shard, &grad_d2h[rank]);
+                let adam = p.cpu_adam(socket, shard, &grad_d2h[rank]);
                 if v.params_tier == StateTier::Gpu {
-                    let route = ctx.cluster.route(MemLoc::Cpu(socket), MemLoc::Gpu(*g));
-                    ctx.emit_transfer(&mut dag, route, 2.0 * shard, "h2d", track, &[adam])
+                    p.transfer(
+                        MemLoc::Cpu(socket),
+                        MemLoc::Gpu(*g),
+                        2.0 * shard,
+                        "h2d",
+                        track,
+                        &[adam],
+                    )
                 } else {
                     adam
                 }
@@ -500,9 +470,7 @@ pub(crate) fn build_iteration(ctx: &IterCtx<'_>, v: &ZeroVariant) -> Dag {
                     .as_ref()
                     .expect("validated placement")
                     .volume_for(rank);
-                let read = emit_volume_io(
-                    ctx,
-                    &mut dag,
+                let read = p.volume_io(
                     vol,
                     socket,
                     IoDir::Read,
@@ -511,10 +479,8 @@ pub(crate) fn build_iteration(ctx: &IterCtx<'_>, v: &ZeroVariant) -> Dag {
                     track,
                     &grad_d2h[rank],
                 );
-                let adam = ctx.emit_cpu_adam(&mut dag, socket, shard, &[read]);
-                let write = emit_volume_io(
-                    ctx,
-                    &mut dag,
+                let adam = p.cpu_adam(socket, shard, &[read]);
+                let write = p.volume_io(
                     vol,
                     socket,
                     IoDir::Write,
@@ -524,9 +490,7 @@ pub(crate) fn build_iteration(ctx: &IterCtx<'_>, v: &ZeroVariant) -> Dag {
                     &[adam],
                 );
                 if v.params_tier == StateTier::Nvme {
-                    emit_volume_io(
-                        ctx,
-                        &mut dag,
+                    p.volume_io(
                         vol,
                         socket,
                         IoDir::Write,
@@ -536,10 +500,15 @@ pub(crate) fn build_iteration(ctx: &IterCtx<'_>, v: &ZeroVariant) -> Dag {
                         &[adam],
                     )
                 } else if v.params_tier == StateTier::Gpu {
-                    let route = ctx.cluster.route(MemLoc::Cpu(socket), MemLoc::Gpu(*g));
-                    let h2d =
-                        ctx.emit_transfer(&mut dag, route, 2.0 * shard, "h2d", track, &[adam]);
-                    dag.marker(&[h2d, write])
+                    let h2d = p.transfer(
+                        MemLoc::Cpu(socket),
+                        MemLoc::Gpu(*g),
+                        2.0 * shard,
+                        "h2d",
+                        track,
+                        &[adam],
+                    );
+                    p.barrier(&[h2d, write])
                 } else {
                     write
                 }
@@ -552,28 +521,27 @@ pub(crate) fn build_iteration(ctx: &IterCtx<'_>, v: &ZeroVariant) -> Dag {
     if !v.stage.partitions_parameters() {
         let mut deps = post_opt.clone();
         deps.push(last_comm);
-        emit_collective_capped(
-            &mut dag,
-            ctx.cluster,
-            &group,
+        p.collective(
             CollectiveKind::AllGather,
-            2.0 * p,
-            &deps,
+            group,
+            2.0 * params,
             ds_cap,
+            &deps,
         );
     }
 
-    dag.build()
+    Ok(p.finish())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::calib::Calibration;
+    use crate::lower::lower;
     use crate::options::TrainOptions;
     use zerosim_hw::{Cluster, ClusterSpec, NvmeId};
     use zerosim_model::GptConfig;
-    use zerosim_simkit::{DagEngine, SimTime};
+    use zerosim_simkit::{Dag, DagEngine, SimTime};
 
     fn plain(stage: ZeroStage) -> ZeroVariant {
         ZeroVariant {
@@ -591,6 +559,14 @@ mod tests {
             TrainOptions::single_node(),
             Calibration::default(),
         )
+    }
+
+    fn build(ctx: &IterCtx<'_>, v: &ZeroVariant) -> Dag {
+        let plan = plan_iteration(ctx, v).unwrap();
+        assert!(plan.validate(ctx.cluster).is_ok());
+        let mut lowered = lower(&plan, ctx.cluster, ctx.calib).unwrap();
+        lowered.stamp(ctx.opts.jitter_seed);
+        lowered.into_dag()
     }
 
     fn run(cluster: &mut Cluster, dag: &Dag) -> f64 {
@@ -618,9 +594,15 @@ mod tests {
             opts: &opts,
             calib: &calib,
         };
-        let m1 = memory_plan(&ctx, &plain(ZeroStage::One)).per_gpu_bytes;
-        let m2 = memory_plan(&ctx, &plain(ZeroStage::Two)).per_gpu_bytes;
-        let m3 = memory_plan(&ctx, &plain(ZeroStage::Three)).per_gpu_bytes;
+        let m1 = memory_plan(&ctx, &plain(ZeroStage::One))
+            .unwrap()
+            .per_gpu_bytes;
+        let m2 = memory_plan(&ctx, &plain(ZeroStage::Two))
+            .unwrap()
+            .per_gpu_bytes;
+        let m3 = memory_plan(&ctx, &plain(ZeroStage::Three))
+            .unwrap()
+            .per_gpu_bytes;
         assert!(m1 > m2, "ZeRO-2 must use less GPU memory than ZeRO-1");
         assert!(m2 > m3, "ZeRO-3 must use less GPU memory than ZeRO-2");
     }
@@ -637,8 +619,8 @@ mod tests {
         let gpu_variant = plain(ZeroStage::Two);
         let mut cpu_variant = plain(ZeroStage::Two);
         cpu_variant.optimizer_tier = StateTier::Cpu;
-        let pg = memory_plan(&ctx, &gpu_variant);
-        let pc = memory_plan(&ctx, &cpu_variant);
+        let pg = memory_plan(&ctx, &gpu_variant).unwrap();
+        let pc = memory_plan(&ctx, &cpu_variant).unwrap();
         assert!(pc.per_gpu_bytes < pg.per_gpu_bytes);
         assert!(pc.per_node_cpu_bytes > pg.per_node_cpu_bytes);
     }
@@ -653,7 +635,7 @@ mod tests {
                 opts: &opts,
                 calib: &calib,
             };
-            let dag = build_iteration(&ctx, &plain(stage));
+            let dag = build(&ctx, &plain(stage));
             let secs = run(&mut cluster, &dag);
             assert!(secs > 0.1 && secs < 2.0, "{stage:?} took {secs}s");
         }
@@ -668,7 +650,7 @@ mod tests {
             opts: &opts,
             calib: &calib,
         };
-        let base_dag = build_iteration(&ctx, &plain(ZeroStage::Two));
+        let base_dag = build(&ctx, &plain(ZeroStage::Two));
         let base = run(&mut cluster, &base_dag);
         let mut v = plain(ZeroStage::Two);
         v.optimizer_tier = StateTier::Cpu;
@@ -679,7 +661,7 @@ mod tests {
             opts: &opts,
             calib: &calib,
         };
-        let dag = build_iteration(&ctx2, &v);
+        let dag = build(&ctx2, &v);
         let off = run(&mut cluster2, &dag);
         assert!(
             off > 1.5 * base,
@@ -705,7 +687,7 @@ mod tests {
             params_tier: StateTier::Gpu,
             placement: Some(InfinityPlacement::new(vec![vol])),
         };
-        let dag = build_iteration(&ctx, &v);
+        let dag = build(&ctx, &v);
         let nvme_secs = run(&mut cluster, &dag);
 
         let (mut c2, ..) = fixtures();
@@ -715,7 +697,7 @@ mod tests {
             opts: &opts,
             calib: &calib,
         };
-        let base_dag = build_iteration(&ctx2, &plain(ZeroStage::Three));
+        let base_dag = build(&ctx2, &plain(ZeroStage::Three));
         let base = run(&mut c2, &base_dag);
         assert!(
             nvme_secs > 3.0 * base,
@@ -724,7 +706,6 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "requires ZeRO-3")]
     fn nvme_on_stage2_rejected() {
         let v = ZeroVariant {
             stage: ZeroStage::Two,
@@ -732,11 +713,11 @@ mod tests {
             params_tier: StateTier::Gpu,
             placement: None,
         };
-        v.validate();
+        let e = v.validate().unwrap_err();
+        assert!(e.to_string().contains("requires ZeRO-3"));
     }
 
     #[test]
-    #[should_panic(expected = "require a volume placement")]
     fn nvme_without_placement_rejected() {
         let v = ZeroVariant {
             stage: ZeroStage::Three,
@@ -744,6 +725,7 @@ mod tests {
             params_tier: StateTier::Gpu,
             placement: None,
         };
-        v.validate();
+        let e = v.validate().unwrap_err();
+        assert!(e.to_string().contains("require a volume placement"));
     }
 }

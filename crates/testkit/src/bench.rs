@@ -80,7 +80,10 @@ impl Bench {
     /// module docs and ignoring everything it does not understand.
     pub fn from_args() -> Self {
         let mut b = Bench::new();
-        if std::env::var("ZEROSIM_BENCH_QUICK").map(|v| v != "0").unwrap_or(false) {
+        if std::env::var("ZEROSIM_BENCH_QUICK")
+            .map(|v| v != "0")
+            .unwrap_or(false)
+        {
             b.set_quick();
         }
         let args: Vec<String> = std::env::args().skip(1).collect();
@@ -146,12 +149,7 @@ impl Bench {
         }
     }
 
-    fn run_one(
-        &mut self,
-        id: String,
-        sample_size: Option<usize>,
-        f: &mut dyn FnMut(&mut Bencher),
-    ) {
+    fn run_one(&mut self, id: String, sample_size: Option<usize>, f: &mut dyn FnMut(&mut Bencher)) {
         if let Some(filter) = &self.filter {
             if !id.contains(filter.as_str()) {
                 return;
@@ -254,7 +252,8 @@ impl Group<'_> {
         mut f: impl FnMut(&mut Bencher, &I),
     ) {
         let full = format!("{}/{}", self.name, id.into().0);
-        self.bench.run_one(full, self.sample_size, &mut |b| f(b, input));
+        self.bench
+            .run_one(full, self.sample_size, &mut |b| f(b, input));
     }
 
     /// Ends the group (no-op; exists for criterion API parity).

@@ -211,7 +211,10 @@ mod tests {
             nvme_drives: 3,
         };
         for cand in g.shrink(&v) {
-            assert!(cand.gpus_per_node % 2 == 0, "shrink broke evenness: {cand:?}");
+            assert!(
+                cand.gpus_per_node % 2 == 0,
+                "shrink broke evenness: {cand:?}"
+            );
             assert!(cand.nodes >= 1);
         }
     }

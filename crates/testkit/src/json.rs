@@ -138,10 +138,7 @@ impl Json {
         let v = p.value()?;
         p.skip_ws();
         if p.pos != p.bytes.len() {
-            return Err(JsonError::new(format!(
-                "trailing input at byte {}",
-                p.pos
-            )));
+            return Err(JsonError::new(format!("trailing input at byte {}", p.pos)));
         }
         Ok(v)
     }
@@ -565,7 +562,10 @@ mod tests {
     #[test]
     fn nested_structures_round_trip() {
         let v = Json::Obj(vec![
-            ("caps".into(), Json::Arr(vec![Json::Num(1e9), Json::Num(2.5)])),
+            (
+                "caps".into(),
+                Json::Arr(vec![Json::Num(1e9), Json::Num(2.5)]),
+            ),
             (
                 "meta".into(),
                 Json::Obj(vec![("name".into(), Json::Str("roce".into()))]),

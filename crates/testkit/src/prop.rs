@@ -168,8 +168,13 @@ where
         let mut case_rng = rng.fork();
         let value = gen.generate(&mut case_rng);
         if let Err(first_msg) = property(&value) {
-            let (minimal, message, shrink_steps) =
-                shrink_failure(gen, &property, value.clone(), first_msg, config.max_shrink_steps);
+            let (minimal, message, shrink_steps) = shrink_failure(
+                gen,
+                &property,
+                value.clone(),
+                first_msg,
+                config.max_shrink_steps,
+            );
             return Err(Failure {
                 case,
                 seed: config.seed,
@@ -458,7 +463,7 @@ mod tests {
         }
 
         fn macro_single_binder(v in u64_range(5, 50)) {
-            crate::prop_assert!(v >= 5 && v < 50, "v = {v}");
+            crate::prop_assert!((5..50).contains(&v), "v = {v}");
         }
     }
 }

@@ -68,10 +68,7 @@ impl Rng {
     /// Next raw 64-bit output.
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
-        let result = self.s[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];
@@ -132,7 +129,10 @@ impl Rng {
     /// Panics if the range is empty or not finite.
     #[inline]
     pub fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
-        assert!(lo < hi && lo.is_finite() && hi.is_finite(), "bad range [{lo}, {hi})");
+        assert!(
+            lo < hi && lo.is_finite() && hi.is_finite(),
+            "bad range [{lo}, {hi})"
+        );
         let v = lo + self.next_f64() * (hi - lo);
         // Guard against hi itself appearing through rounding.
         if v >= hi {
@@ -202,7 +202,7 @@ mod tests {
     fn golden_sequence_is_stable_across_builds() {
         // Frozen constants recorded at testkit introduction. These pin
         // the concrete xoshiro256** + splitmix64 implementation.
-        let mut rng = Rng::new(0xD15E_A5E0_0F_CAFE);
+        let mut rng = Rng::new(0x00D1_5EA5_E00F_CAFE);
         let got: Vec<u64> = (0..4).map(|_| rng.next_u64()).collect();
         assert_eq!(
             got,
@@ -214,7 +214,7 @@ mod tests {
             ]
         );
         // Different seeds diverge immediately.
-        let mut other = Rng::new(0xD15E_A5E0_0F_CAFF);
+        let mut other = Rng::new(0x00D1_5EA5_E00F_CAFF);
         assert_ne!(got[0], other.next_u64());
     }
 

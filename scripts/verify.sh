@@ -1,16 +1,25 @@
 #!/usr/bin/env bash
-# Tier-1 verification plus the hermeticity gate.
+# Tier-1 verification plus the hermeticity and hygiene gates.
 #
-#   1. tier-1:      cargo build --release && cargo test -q
-#   2. hermeticity: the same build must succeed with --offline and the
+#   1. hygiene:     cargo fmt --check && cargo clippy -D warnings
+#   2. tier-1:      cargo build --release && cargo test -q
+#   3. hermeticity: the same build must succeed with --offline and the
 #                   manifests must declare no registry dependencies
-#   3. bench smoke: one in-house-harness bench target in --quick mode
+#   4. bench smoke: in-house-harness bench targets in --quick mode,
+#                   including the plan-cache (lower-once / re-stamp)
+#                   regression check
 #
 # The workspace must never require network/registry access; everything
 # external was replaced by crates/testkit (see DESIGN.md, "Testing
 # strategy").
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+echo "== hygiene: rustfmt =="
+cargo fmt --check
+
+echo "== hygiene: clippy (all targets, -D warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== tier-1: build (release) =="
 cargo build --release
@@ -34,5 +43,14 @@ echo "manifests clean: path dependencies only"
 
 echo "== bench smoke (in-house harness, --quick) =="
 cargo bench -p zerosim-bench --bench flow_solver -- --quick
+
+echo "== plan-cache smoke: lowering amortized, re-stamp cheap =="
+# dag_build benches the full plan→lower→stamp pipeline next to the cached
+# lower-once + re-stamp split; a run that silently falls back to
+# rebuilding DAGs per iteration would show up here as stamp ≈ build.
+cargo bench -p zerosim-bench --bench dag_build -- --quick
+# The engine must report exactly one lowering per characterization run
+# (ddp_run_produces_sane_report asserts report.plan_lowerings == 1).
+cargo test -q -p zerosim-core ddp_run_produces_sane_report
 
 echo "VERIFY OK"

@@ -175,12 +175,14 @@ fn cpu_offload_consolidates_dual_node() {
         stage: ZeroStage::Two,
         offload_params: false,
     };
-    let plan = offload.memory_plan(
-        sim.cluster(),
-        &model,
-        &TrainOptions::single_node(),
-        sim.calibration(),
-    );
+    let plan = offload
+        .memory_plan(
+            sim.cluster(),
+            &model,
+            &TrainOptions::single_node(),
+            sim.calibration(),
+        )
+        .unwrap();
     assert!(plan.fits(sim.cluster()), "11.4B must fit with CPU offload");
     let z2_cpu = sim
         .run(

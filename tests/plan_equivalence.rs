@@ -1,0 +1,311 @@
+//! Golden equivalence of the iteration-plan pipeline.
+//!
+//! The IR refactor must be **observationally invisible**: for every paper
+//! strategy configuration, lowering a cached plan once and re-stamping
+//! per seed has to produce the same simulated numbers — makespan, total
+//! wire bytes, task count — as building a fresh DAG per iteration
+//! (tolerance 0). Plus the plan-level conservation properties the
+//! validator enforces, checked per strategy family by the testkit
+//! harness.
+
+use zerosim_hw::{Cluster, ClusterSpec, NvmeId};
+use zerosim_model::GptConfig;
+use zerosim_simkit::{DagEngine, SimTime};
+use zerosim_strategies::{
+    lower, Calibration, InfinityPlacement, IterCtx, Strategy, StrategyPlan, StrategyRegistry,
+    TrainOptions, ZeroStage,
+};
+use zerosim_testkit::gen::{u64_range, usize_range};
+use zerosim_testkit::{prop, prop_assert};
+
+/// The paper's strategy matrix (plus NVMe variants needing volumes).
+fn paper_configs() -> Vec<(Strategy, usize)> {
+    vec![
+        (Strategy::Ddp, 1),
+        (Strategy::Ddp, 2),
+        (Strategy::Megatron { tp: 4, pp: 1 }, 1),
+        (Strategy::Megatron { tp: 8, pp: 1 }, 2),
+        (Strategy::Megatron { tp: 4, pp: 2 }, 2),
+        (
+            Strategy::Zero {
+                stage: ZeroStage::One,
+            },
+            1,
+        ),
+        (
+            Strategy::Zero {
+                stage: ZeroStage::Two,
+            },
+            1,
+        ),
+        (
+            Strategy::Zero {
+                stage: ZeroStage::Three,
+            },
+            1,
+        ),
+        (
+            Strategy::Zero {
+                stage: ZeroStage::Three,
+            },
+            2,
+        ),
+        (
+            Strategy::ZeroOffload {
+                stage: ZeroStage::Two,
+                offload_params: false,
+            },
+            1,
+        ),
+        (
+            Strategy::ZeroOffload {
+                stage: ZeroStage::Three,
+                offload_params: true,
+            },
+            1,
+        ),
+    ]
+}
+
+fn infinity_cluster() -> (Cluster, Strategy) {
+    let mut cluster = Cluster::new(ClusterSpec::default()).unwrap();
+    let d = |drive| NvmeId { node: 0, drive };
+    let vol = cluster.create_volume(vec![d(0), d(1)]);
+    let strategy = Strategy::ZeroInfinity {
+        offload_params: true,
+        placement: InfinityPlacement::new(vec![vol]),
+    };
+    (cluster, strategy)
+}
+
+fn opts_for(nodes: usize) -> TrainOptions {
+    if nodes == 1 {
+        TrainOptions::single_node()
+    } else {
+        TrainOptions::dual_node()
+    }
+}
+
+/// Makespan + total wire bytes + task count of one stamped execution.
+fn observe(cluster: &Cluster, dag: &zerosim_simkit::Dag) -> (f64, f64, usize) {
+    let mut fresh = Cluster::new(cluster.spec().clone()).unwrap();
+    let mut eng = DagEngine::new(fresh.resource_slots());
+    let out = eng.run(fresh.net_mut(), dag, SimTime::ZERO, None).unwrap();
+    (
+        out.makespan().as_secs(),
+        dag.total_transfer_bytes(),
+        dag.len(),
+    )
+}
+
+fn assert_equivalent(cluster: &Cluster, strategy: &Strategy, opts: &TrainOptions) {
+    let model = GptConfig::paper_model_with_params(1.4);
+    let calib = Calibration::default();
+    let ctx = IterCtx {
+        cluster,
+        model: &model,
+        opts,
+        calib: &calib,
+    };
+    let plan = strategy.plan_iteration(&ctx).unwrap();
+    plan.validate(cluster).unwrap();
+    let mut cached = lower(&plan, cluster, &calib).unwrap();
+    for seed in [0u64, 1, 7, 42] {
+        // Cached: lower once, re-stamp per seed.
+        let (mk_a, bytes_a, len_a) = observe(cluster, cached.stamp(seed));
+        // Fresh: full plan → lower → stamp pipeline per seed (what the
+        // seed implementation did every iteration).
+        let o = opts.with_jitter_seed(seed);
+        let dag = strategy
+            .build_iteration(cluster, &model, &o, &calib)
+            .unwrap();
+        let (mk_b, bytes_b, len_b) = observe(cluster, &dag);
+        // Tolerance 0: bit-identical structure and timing.
+        assert_eq!(len_a, len_b, "{} task count", strategy.name());
+        assert_eq!(bytes_a, bytes_b, "{} wire bytes", strategy.name());
+        assert_eq!(mk_a, mk_b, "{} makespan (seed {seed})", strategy.name());
+    }
+}
+
+#[test]
+fn restamped_plans_match_fresh_builds_for_every_paper_config() {
+    let cluster = Cluster::new(ClusterSpec::default()).unwrap();
+    for (strategy, nodes) in paper_configs() {
+        assert_equivalent(&cluster, &strategy, &opts_for(nodes));
+    }
+}
+
+#[test]
+fn restamped_plan_matches_fresh_build_for_zero_infinity() {
+    let (cluster, strategy) = infinity_cluster();
+    assert_equivalent(&cluster, &strategy, &opts_for(1));
+}
+
+#[test]
+fn zero3_moves_about_fifty_percent_more_collective_payload_than_ddp() {
+    // Sec. IV-C1: ZeRO-3 adds parameter all-gathers (forward *and*
+    // backward re-gather in this DeepSpeed configuration) on top of the
+    // gradient reduction all strategies share — at least 50% more
+    // collective payload than DDP, and bounded by the 3-pass worst case.
+    let cluster = Cluster::new(ClusterSpec::default()).unwrap();
+    let model = GptConfig::paper_model_with_params(1.4);
+    let opts = TrainOptions::single_node();
+    let calib = Calibration::default();
+    let ctx = IterCtx {
+        cluster: &cluster,
+        model: &model,
+        opts: &opts,
+        calib: &calib,
+    };
+    let payload = |s: &Strategy| s.plan_iteration(&ctx).unwrap().collective_payload_bytes();
+    let ddp = payload(&Strategy::Ddp);
+    let z3 = payload(&Strategy::Zero {
+        stage: ZeroStage::Three,
+    });
+    let ratio = z3 / ddp;
+    assert!(
+        (1.5..=3.05).contains(&ratio),
+        "z3/ddp payload ratio {ratio:.3}, expected ≥1.5"
+    );
+}
+
+#[test]
+fn registry_covers_the_paper_matrix_and_all_plans_validate() {
+    let cluster = Cluster::new(ClusterSpec::default()).unwrap();
+    let model = GptConfig::paper_model_with_params(1.4);
+    let opts = TrainOptions::single_node();
+    let calib = Calibration::default();
+    let ctx = IterCtx {
+        cluster: &cluster,
+        model: &model,
+        opts: &opts,
+        calib: &calib,
+    };
+    let reg = StrategyRegistry::paper();
+    assert!(reg.len() >= 7);
+    for (name, s) in reg.iter() {
+        let plan = s.plan_iteration(&ctx).unwrap_or_else(|e| {
+            panic!("{name}: {e}");
+        });
+        plan.validate(&cluster).unwrap();
+        assert_eq!(s.display_name(), name);
+    }
+}
+
+// ---------- per-family validation properties ----------
+
+prop! {
+    /// DDP plans validate for any depth/batch/accumulation combination.
+    #[cases(48)]
+    fn ddp_plans_always_validate(
+        layers in usize_range(1, 120),
+        batch in usize_range(1, 8),
+        accum in usize_range(1, 4),
+    ) {
+        let cluster = Cluster::new(ClusterSpec::default()).unwrap();
+        let model = GptConfig::paper_model(layers);
+        let mut opts = TrainOptions::single_node();
+        opts.per_gpu_batch = batch;
+        opts.grad_accum = accum;
+        let calib = Calibration::default();
+        let ctx = IterCtx { cluster: &cluster, model: &model, opts: &opts, calib: &calib };
+        let plan = Strategy::Ddp.plan_iteration(&ctx).unwrap();
+        prop_assert!(plan.validate(&cluster).is_ok());
+        // Gradient payload: one all-reduce per bucket covering every
+        // layer and embedding parameter exactly once (the final norm's
+        // handful of parameters ride inside the last bucket's fusion).
+        let expected =
+            2.0 * (model.num_layers as f64 * model.layer_params() + model.embedding_params());
+        let got = plan.collective_payload_bytes();
+        prop_assert!((got - expected).abs() / expected < 1e-9);
+    }
+
+    /// Megatron plans validate for every feasible (tp, pp) split of the
+    /// single-node GPU count.
+    #[cases(48)]
+    fn megatron_plans_always_validate(
+        layers in usize_range(4, 80),
+        pick in usize_range(0, 5),
+    ) {
+        let (tp, pp) = [(4, 1), (2, 2), (1, 4), (2, 1), (1, 1), (4, 1)][pick];
+        let cluster = Cluster::new(ClusterSpec::default()).unwrap();
+        let model = GptConfig::paper_model(layers);
+        let opts = TrainOptions::single_node();
+        let calib = Calibration::default();
+        let ctx = IterCtx { cluster: &cluster, model: &model, opts: &opts, calib: &calib };
+        let plan = Strategy::Megatron { tp, pp }.plan_iteration(&ctx).unwrap();
+        prop_assert!(plan.validate(&cluster).is_ok());
+    }
+
+    /// ZeRO plans validate across stages and node counts, and stage 3
+    /// always moves at least as much collective payload as stage 1.
+    #[cases(48)]
+    fn zero_plans_always_validate(
+        layers in usize_range(1, 120),
+        stage_idx in usize_range(0, 3),
+        seed in u64_range(0, u64::MAX),
+    ) {
+        let stage = [ZeroStage::One, ZeroStage::Two, ZeroStage::Three][stage_idx];
+        let cluster = Cluster::new(ClusterSpec::default()).unwrap();
+        let model = GptConfig::paper_model(layers);
+        let opts = TrainOptions::single_node().with_jitter_seed(seed);
+        let calib = Calibration::default();
+        let ctx = IterCtx { cluster: &cluster, model: &model, opts: &opts, calib: &calib };
+        let s = Strategy::Zero { stage };
+        let plan = s.plan_iteration(&ctx).unwrap();
+        prop_assert!(plan.validate(&cluster).is_ok());
+        let z1 = Strategy::Zero { stage: ZeroStage::One }
+            .plan_iteration(&ctx)
+            .unwrap();
+        prop_assert!(
+            plan.collective_payload_bytes() >= z1.collective_payload_bytes() * (1.0 - 1e-9)
+        );
+    }
+
+    /// ZeRO-Offload plans validate and always stage bytes through the
+    /// host (CPU Adam traffic), unlike GPU-resident ZeRO.
+    #[cases(48)]
+    fn zero_offload_plans_always_validate(
+        layers in usize_range(1, 80),
+        stage_idx in usize_range(0, 3),
+        offload_params in usize_range(0, 2),
+    ) {
+        let stage = [ZeroStage::One, ZeroStage::Two, ZeroStage::Three][stage_idx];
+        // Parameter offload requires ZeRO-3 (Table I).
+        let offload_params = offload_params == 1 && stage == ZeroStage::Three;
+        let cluster = Cluster::new(ClusterSpec::default()).unwrap();
+        let model = GptConfig::paper_model(layers);
+        let opts = TrainOptions::single_node();
+        let calib = Calibration::default();
+        let ctx = IterCtx { cluster: &cluster, model: &model, opts: &opts, calib: &calib };
+        let s = Strategy::ZeroOffload { stage, offload_params };
+        let plan = s.plan_iteration(&ctx).unwrap();
+        prop_assert!(plan.validate(&cluster).is_ok());
+        let resident = Strategy::Zero { stage }.plan_iteration(&ctx).unwrap();
+        prop_assert!(plan.staging_bytes() > resident.staging_bytes());
+    }
+
+    /// ZeRO-Infinity plans validate whenever a volume placement exists,
+    /// and are rejected with a typed error when it is missing.
+    #[cases(32)]
+    fn zero_infinity_plans_validate_with_volumes(
+        layers in usize_range(1, 80),
+        offload_params in usize_range(0, 2),
+    ) {
+        let mut cluster = Cluster::new(ClusterSpec::default()).unwrap();
+        let d = |drive| NvmeId { node: 0, drive };
+        let vol = cluster.create_volume(vec![d(0), d(1)]);
+        let model = GptConfig::paper_model(layers);
+        let opts = TrainOptions::single_node();
+        let calib = Calibration::default();
+        let ctx = IterCtx { cluster: &cluster, model: &model, opts: &opts, calib: &calib };
+        let s = Strategy::ZeroInfinity {
+            offload_params: offload_params == 1,
+            placement: InfinityPlacement::new(vec![vol]),
+        };
+        let plan = s.plan_iteration(&ctx).unwrap();
+        prop_assert!(plan.validate(&cluster).is_ok());
+        // NVMe traffic must actually hit the volume.
+        prop_assert!(plan.staging_bytes() > 0.0);
+    }
+}

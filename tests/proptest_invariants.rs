@@ -229,18 +229,17 @@ prop! {
             Strategy::Megatron { tp: 4, pp: 1 },
             Strategy::Zero { stage: ZeroStage::Three },
         ] {
-            let small = strategy.memory_plan(
-                &cluster,
-                &GptConfig::paper_model(layers),
-                &opts,
-                &calib,
-            );
-            let large = strategy.memory_plan(
-                &cluster,
-                &GptConfig::paper_model(layers + 1),
-                &opts,
-                &calib,
-            );
+            let small = strategy
+                .memory_plan(&cluster, &GptConfig::paper_model(layers), &opts, &calib)
+                .unwrap();
+            let large = strategy
+                .memory_plan(
+                    &cluster,
+                    &GptConfig::paper_model(layers + 1),
+                    &opts,
+                    &calib,
+                )
+                .unwrap();
             prop_assert!(large.per_gpu_bytes > small.per_gpu_bytes);
         }
     }
