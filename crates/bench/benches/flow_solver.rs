@@ -15,7 +15,7 @@ fn bench_solver(c: &mut Bench) {
                     .collect();
                 for f in 0..flows {
                     let route = [links[f % 16], links[(f * 7 + 3) % 16]];
-                    net.start_flow(&route, 1e6 + f as f64);
+                    net.start_flow(&route, 1e6 + f as f64).unwrap();
                 }
                 net.drain(&mut NullObserver)
             });

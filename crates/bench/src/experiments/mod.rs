@@ -4,6 +4,7 @@
 pub mod extensions;
 pub mod micro;
 pub mod offload;
+pub mod resilience;
 pub mod scorecard;
 pub mod setup;
 pub mod train;

@@ -1,0 +1,326 @@
+//! Resilience experiment: the paper's five strategy families swept under
+//! a canonical fault matrix — healthy, RoCE at 50% and at 10%, one
+//! straggling GPU at 0.7×, an NVMe stall window, and a node loss at
+//! mid-run with checkpoint/restart recovery — plus a ZeRO-Infinity
+//! NVMe-stall study where the staging tier is actually on the critical
+//! path.
+//!
+//! Every cell reports *goodput*: useful model FLOP/s net of replayed
+//! iterations, checkpoint traffic, and recovery time. Identical seeds and
+//! schedules produce byte-identical reports ([`TrainingReport::digest`]).
+//!
+//! The RoCE@50% column is the experiment's quiet headline: it changes
+//! nothing, because the paper's dual-node collectives are protocol-bound
+//! far below line rate (ext5) — the wire only becomes the bottleneck once
+//! it degrades below the ~27% attainment of Table IV, which is why the
+//! RoCE@10% brownout column collapses.
+
+use zerosim_core::{
+    CheckpointSink, FaultConfig, FaultScenario, RecoveryPolicy, RunConfig, TrainingReport,
+    TrainingSim,
+};
+use zerosim_hw::{GpuId, LinkClass};
+use zerosim_model::GptConfig;
+use zerosim_report::Table;
+use zerosim_strategies::Strategy;
+
+use crate::data;
+use crate::data::NvmeConfig;
+
+/// Model size used by the fault matrix (the paper's 1.4 B baseline).
+pub const MATRIX_BILLIONS: f64 = 1.4;
+
+/// Nodes used by the fault matrix (dual-node so RoCE and node loss bite).
+pub const MATRIX_NODES: usize = 2;
+
+/// Seed stamped onto every schedule of the matrix.
+pub const MATRIX_SEED: u64 = 42;
+
+fn matrix_run_config() -> RunConfig {
+    RunConfig {
+        warmup_iters: 0,
+        measure_iters: 4,
+        ..RunConfig::default()
+    }
+}
+
+/// The canonical fault matrix, parameterized by the healthy run's wall
+/// time so faults land mid-run regardless of strategy speed.
+pub fn fault_matrix_scenarios(wall_secs: f64) -> Vec<FaultScenario> {
+    vec![
+        FaultScenario::Healthy,
+        FaultScenario::DegradeClass {
+            node: 0,
+            class: LinkClass::Roce,
+            factor: 0.5,
+            at_s: 0.25 * wall_secs,
+            dur_s: None,
+        },
+        FaultScenario::DegradeClass {
+            node: 0,
+            class: LinkClass::Roce,
+            factor: 0.1,
+            at_s: 0.25 * wall_secs,
+            dur_s: None,
+        },
+        FaultScenario::Straggler {
+            gpu: GpuId { node: 0, gpu: 1 },
+            factor: 0.7,
+            at_s: 0.0,
+        },
+        FaultScenario::NvmeStall {
+            node: 0,
+            factor: 0.05,
+            at_s: 0.25 * wall_secs,
+            dur_s: 0.25 * wall_secs,
+        },
+        FaultScenario::NodeLoss {
+            node: 1,
+            at_s: 0.55 * wall_secs,
+        },
+    ]
+}
+
+/// Runs one strategy under one scenario and returns the report.
+pub fn run_cell(
+    strategy: &Strategy,
+    model: &GptConfig,
+    scenario: &FaultScenario,
+) -> TrainingReport {
+    let mut sim = data::sim();
+    let schedule = scenario.compile(sim.cluster(), MATRIX_SEED);
+    let faults = match scenario {
+        FaultScenario::NodeLoss { .. } => FaultConfig::new(
+            schedule,
+            RecoveryPolicy::every(2).with_restart_delay(1.0),
+            CheckpointSink::Dram,
+        ),
+        _ => FaultConfig::without_checkpoints(schedule),
+    };
+    sim.run_resilient(
+        strategy,
+        model,
+        &data::opts(MATRIX_NODES),
+        &matrix_run_config(),
+        &faults,
+    )
+    .expect("matrix configurations fit and recover")
+}
+
+fn matrix_rows() -> Vec<(&'static str, Vec<TrainingReport>)> {
+    let model = GptConfig::paper_model_with_params(MATRIX_BILLIONS);
+    let mut rows = Vec::new();
+    for (name, strategy) in data::baselines(MATRIX_NODES) {
+        // The healthy run anchors the fault times for this strategy.
+        let healthy = run_cell(&strategy, &model, &FaultScenario::Healthy);
+        let wall = healthy
+            .resilience
+            .as_ref()
+            .expect("resilient runs carry metrics")
+            .wall_time
+            .as_secs();
+        let mut reports = vec![healthy];
+        for scenario in fault_matrix_scenarios(wall).into_iter().skip(1) {
+            reports.push(run_cell(&strategy, &model, &scenario));
+        }
+        rows.push((name, reports));
+    }
+    rows
+}
+
+/// Runs the ZeRO-Infinity NVMe-stall study: config B (two-drive RAID0
+/// scratch), healthy vs. a mid-run device stall at 5% service rate.
+/// Returns (healthy, stalled) reports.
+pub fn infinity_stall_cells() -> (TrainingReport, TrainingReport) {
+    let run = |scenario: &dyn Fn(f64) -> FaultScenario| {
+        let (mut sim, placement): (TrainingSim, _) = NvmeConfig::B.build();
+        // Healthy pre-pass to anchor the stall window.
+        let strategy = NvmeConfig::B.strategy(placement);
+        let model = GptConfig::paper_model_with_params(MATRIX_BILLIONS);
+        let probe = {
+            let schedule = FaultScenario::Healthy.compile(sim.cluster(), MATRIX_SEED);
+            sim.run_resilient(
+                &strategy,
+                &model,
+                &data::opts(1),
+                &matrix_run_config(),
+                &FaultConfig::without_checkpoints(schedule),
+            )
+            .expect("infinity config fits")
+        };
+        let wall = probe
+            .resilience
+            .as_ref()
+            .expect("resilient runs carry metrics")
+            .wall_time
+            .as_secs();
+        let schedule = scenario(wall).compile(sim.cluster(), MATRIX_SEED);
+        sim.run_resilient(
+            &strategy,
+            &model,
+            &data::opts(1),
+            &matrix_run_config(),
+            &FaultConfig::without_checkpoints(schedule),
+        )
+        .expect("infinity config fits")
+    };
+    let healthy = run(&|_| FaultScenario::Healthy);
+    let stalled = run(&|wall| FaultScenario::NvmeStall {
+        node: 0,
+        factor: 0.05,
+        at_s: 0.25 * wall,
+        dur_s: 0.5 * wall,
+    });
+    (healthy, stalled)
+}
+
+/// The goodput table: strategy × fault scenario, in TFLOP/s.
+pub fn goodput_table() -> String {
+    let mut t = Table::new(vec![
+        "strategy",
+        "healthy",
+        "RoCE@50%",
+        "RoCE@10%",
+        "straggler 0.7x",
+        "NVMe stall",
+        "node loss",
+    ]);
+    let mut detail = Table::new(vec![
+        "strategy",
+        "p50",
+        "p99",
+        "replayed",
+        "ckpts",
+        "recoveries",
+        "TTR",
+    ]);
+    for (name, reports) in matrix_rows() {
+        let mut row = vec![name.to_string()];
+        for r in &reports {
+            let m = r.resilience.as_ref().expect("metrics");
+            row.push(format!("{:.1}", m.goodput_tflops()));
+        }
+        t.row(row);
+        let loss = reports
+            .last()
+            .and_then(|r| r.resilience.as_ref())
+            .expect("node-loss cell");
+        detail.row(vec![
+            name.to_string(),
+            format!("{:.0} ms", loss.iter_p50.as_millis()),
+            format!("{:.0} ms", loss.iter_p99.as_millis()),
+            format!("{}", loss.replayed_iterations),
+            format!("{}", loss.checkpoints_taken),
+            format!("{}", loss.recoveries),
+            format!("{:.2} s", loss.time_to_recover().as_secs()),
+        ]);
+    }
+    let (inf_healthy, inf_stalled) = infinity_stall_cells();
+    let mut inf = Table::new(vec!["ZeRO-Infinity (config B)", "goodput", "p50", "p99"]);
+    for (label, r) in [("healthy", &inf_healthy), ("NVMe stall@5%", &inf_stalled)] {
+        let m = r.resilience.as_ref().expect("metrics");
+        inf.row(vec![
+            label.to_string(),
+            format!("{:.1} TFLOP/s", m.goodput_tflops()),
+            format!("{:.0} ms", m.iter_p50.as_millis()),
+            format!("{:.0} ms", m.iter_p99.as_millis()),
+        ]);
+    }
+    format!(
+        "Fault matrix — goodput (TFLOP/s) at {MATRIX_BILLIONS} B on {MATRIX_NODES} nodes:\n{}\n\
+         RoCE@50% is free: dual-node collectives are protocol-bound far below\n\
+         line rate (ext5), so the wire only binds once it degrades past the\n\
+         ~27% attainment of Table IV — hence the RoCE@10% collapse.\n\
+         The NVMe stall is invisible to strategies that never touch the\n\
+         staging tier; it lands on ZeRO-Infinity, whose optimizer state\n\
+         lives behind the stalled drives:\n{}\n\
+         Node-loss recovery detail (checkpoint every 2 iterations, DRAM sink):\n{}",
+        t.render(),
+        inf.render(),
+        detail.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn straggler_cell_loses_goodput_but_stays_deterministic() {
+        let model = GptConfig::paper_model_with_params(MATRIX_BILLIONS);
+        let strategy = Strategy::Ddp;
+        let healthy = run_cell(&strategy, &model, &FaultScenario::Healthy);
+        let scenario = FaultScenario::Straggler {
+            gpu: GpuId { node: 0, gpu: 1 },
+            factor: 0.7,
+            at_s: 0.0,
+        };
+        let a = run_cell(&strategy, &model, &scenario);
+        let b = run_cell(&strategy, &model, &scenario);
+        assert_eq!(a.digest(), b.digest(), "same seed+schedule, same bytes");
+        assert_eq!(a.resilience, b.resilience);
+        let hm = healthy.resilience.as_ref().unwrap();
+        let sm = a.resilience.as_ref().unwrap();
+        assert!(
+            sm.goodput_flops < hm.goodput_flops,
+            "straggler goodput {} must trail healthy {}",
+            sm.goodput_flops,
+            hm.goodput_flops
+        );
+        assert_eq!(sm.faults_applied, 1);
+    }
+
+    #[test]
+    fn nvme_stall_bites_zero_infinity_but_not_ddp() {
+        // DDP never touches the staging tier: the stall is invisible.
+        let model = GptConfig::paper_model_with_params(MATRIX_BILLIONS);
+        let healthy = run_cell(&Strategy::Ddp, &model, &FaultScenario::Healthy);
+        let wall = healthy.resilience.as_ref().unwrap().wall_time.as_secs();
+        let stalled = run_cell(
+            &Strategy::Ddp,
+            &model,
+            &FaultScenario::NvmeStall {
+                node: 0,
+                factor: 0.05,
+                at_s: 0.25 * wall,
+                dur_s: 0.25 * wall,
+            },
+        );
+        let hm = healthy.resilience.as_ref().unwrap();
+        let dm = stalled.resilience.as_ref().unwrap();
+        assert_eq!(hm.goodput_flops, dm.goodput_flops, "DDP ignores NVMe");
+        // ZeRO-Infinity stages optimizer state through the stalled drives.
+        let (inf_healthy, inf_stalled) = infinity_stall_cells();
+        let ihm = inf_healthy.resilience.as_ref().unwrap();
+        let ism = inf_stalled.resilience.as_ref().unwrap();
+        assert!(ism.faults_applied >= 1, "stall events must fire");
+        assert!(
+            ism.goodput_flops < 0.95 * ihm.goodput_flops,
+            "stalled goodput {} must trail healthy {}",
+            ism.goodput_flops,
+            ihm.goodput_flops
+        );
+    }
+
+    #[test]
+    fn node_loss_cell_recovers_for_zero3() {
+        let model = GptConfig::paper_model_with_params(MATRIX_BILLIONS);
+        let strategy = Strategy::Zero {
+            stage: zerosim_strategies::ZeroStage::Three,
+        };
+        let healthy = run_cell(&strategy, &model, &FaultScenario::Healthy);
+        let wall = healthy.resilience.as_ref().unwrap().wall_time.as_secs();
+        let loss = run_cell(
+            &strategy,
+            &model,
+            &FaultScenario::NodeLoss {
+                node: 1,
+                at_s: 0.55 * wall,
+            },
+        );
+        let m = loss.resilience.as_ref().unwrap();
+        assert_eq!(m.recoveries, 1);
+        assert!(m.checkpoints_taken >= 1);
+        assert!(m.goodput_flops < healthy.resilience.as_ref().unwrap().goodput_flops);
+    }
+}

@@ -11,7 +11,7 @@ pub mod experiments;
 
 /// All artifact ids: the paper's tables and figures in paper order,
 /// followed by the extension studies (`ext1`–`ext5`).
-pub const ARTIFACTS: [&str; 30] = [
+pub const ARTIFACTS: [&str; 31] = [
     "fig1",
     "fig2",
     "table1",
@@ -41,6 +41,7 @@ pub const ARTIFACTS: [&str; 30] = [
     "ext8",
     "ext9",
     "ext10",
+    "ext11",
     "scorecard",
 ];
 
@@ -49,7 +50,7 @@ pub const ARTIFACTS: [&str; 30] = [
 /// # Panics
 /// Panics on an unknown id (the `repro` binary validates first).
 pub fn render(id: &str) -> String {
-    use experiments::{extensions, micro, offload, scorecard, setup, train};
+    use experiments::{extensions, micro, offload, resilience, scorecard, setup, train};
     match id {
         "fig1" => setup::fig1(),
         "fig2" => setup::fig2(),
@@ -80,6 +81,7 @@ pub fn render(id: &str) -> String {
         "ext8" => extensions::ext8_horizontal_vs_vertical(),
         "ext9" => extensions::ext9_grad_accum(),
         "ext10" => extensions::ext10_hidden_size(),
+        "ext11" => resilience::goodput_table(),
         "scorecard" => scorecard::scorecard(),
         other => panic!("unknown artifact id {other:?}"),
     }

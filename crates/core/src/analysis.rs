@@ -119,13 +119,15 @@ pub fn attribute_all_gpus(report: &TrainingReport, gpus_per_node: usize) -> Vec<
 pub fn attribute_worst_gpu(report: &TrainingReport, gpus_per_node: usize) -> TimeBreakdown {
     attribute_all_gpus(report, gpus_per_node)
         .into_iter()
-        .max_by(|a, b| {
-            a.exposed_comm
-                .as_secs()
-                .partial_cmp(&b.exposed_comm.as_secs())
-                .expect("finite")
+        .max_by_key(|a| a.exposed_comm)
+        .unwrap_or(TimeBreakdown {
+            track: 0,
+            compute: SimTime::ZERO,
+            exposed_comm: SimTime::ZERO,
+            exposed_staging: SimTime::ZERO,
+            idle: SimTime::ZERO,
+            total: SimTime::ZERO,
         })
-        .expect("at least one GPU")
 }
 
 #[cfg(test)]

@@ -5,11 +5,14 @@
 
 use zerosim_hw::{Cluster, ClusterSpec, LinkClass};
 use zerosim_model::GptConfig;
-use zerosim_simkit::{BandwidthRecorder, DagEngine, SimTime};
-use zerosim_strategies::{lower, Calibration, IterCtx, StrategyPlan, TrainOptions};
+use zerosim_simkit::{BandwidthRecorder, Dag, DagEngine, FlowObserver, SimTime};
+use zerosim_strategies::{
+    lower, plan_checkpoint, plan_restore, Calibration, IterCtx, StrategyPlan, TrainOptions,
+};
 
 use crate::error::CoreError;
-use crate::report::{rank_hot_links, BandwidthReport, TrainingReport};
+use crate::faults::FaultConfig;
+use crate::report::{rank_hot_links, BandwidthReport, ResilienceMetrics, TrainingReport};
 
 /// How a characterization run samples and averages.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -211,6 +214,271 @@ impl TrainingSim {
             spans: engine.take_spans(),
             hot_links,
             plan_lowerings,
+            resilience: None,
+        })
+    }
+
+    /// Characterizes one training configuration under a fault schedule,
+    /// with checkpoint/restart recovery.
+    ///
+    /// Semantics match [`TrainingSim::run`] exactly when `faults` is
+    /// [`FaultConfig::healthy`] — same seed sequence, same recorder
+    /// origin, byte-identical [`TrainingReport::digest`]. On top of that:
+    ///
+    /// * the fault schedule is consumed by one [`zerosim_simkit::FaultCursor`]
+    ///   shared across all iterations, so the virtual clock and the fault
+    ///   clock stay aligned;
+    /// * every `policy.checkpoint_interval` committed iterations, the
+    ///   strategy's checkpoint plan (state snapshot to `sink`) runs on the
+    ///   same engine — lowered once, like the iteration plan;
+    /// * a node loss aborts the in-flight iteration; the run restarts
+    ///   after `policy.restart_delay_s`, replays the restore plan if a
+    ///   snapshot exists, rolls back to the last committed checkpoint,
+    ///   and replays the lost iterations — up to `policy.max_recoveries`
+    ///   times.
+    ///
+    /// The returned report carries [`ResilienceMetrics`] (goodput,
+    /// iteration-time percentiles, replay/recovery accounting, and the
+    /// schedule digest). When the call returns — success or
+    /// [`CoreError::RecoveryExhausted`] — every link is restored to its
+    /// nominal capacity, so the same simulator can run further
+    /// characterizations; the faults belong to the run, not the cluster.
+    ///
+    /// # Errors
+    /// Everything [`TrainingSim::run`] returns, plus
+    /// [`CoreError::RecoveryExhausted`] when node losses outrun the
+    /// recovery budget.
+    pub fn run_resilient(
+        &mut self,
+        strategy: &dyn StrategyPlan,
+        model: &GptConfig,
+        opts: &TrainOptions,
+        cfg: &RunConfig,
+        faults: &FaultConfig,
+    ) -> Result<TrainingReport, CoreError> {
+        let ctx = IterCtx {
+            cluster: &self.cluster,
+            model,
+            opts,
+            calib: &self.calib,
+        };
+        let memory = strategy.plan_memory(&ctx)?;
+        if !cfg.allow_overflow {
+            if let Some(tier) = memory.bottleneck(&self.cluster) {
+                let requested = match tier {
+                    "gpu" => memory.per_gpu_bytes,
+                    "cpu" => memory.per_node_cpu_bytes,
+                    _ => memory.nvme_bytes,
+                };
+                return Err(CoreError::DoesNotFit { tier, requested });
+            }
+        }
+
+        // Plan + lower once, as in `run`; checkpoint and restore plans
+        // are likewise lowered exactly once.
+        let plan = strategy.plan_iteration(&ctx)?;
+        let mut lowered = lower(&plan, &self.cluster, &self.calib)?;
+        let plan_lowerings = 1usize;
+        let ckpt_dags: Option<(Dag, Dag)> = if faults.policy.checkpoint_interval > 0 {
+            let save = plan_checkpoint(&ctx, &faults.sink);
+            let restore = plan_restore(&ctx, &faults.sink);
+            save.validate(&self.cluster)?;
+            restore.validate(&self.cluster)?;
+            Some((
+                lower(&save, &self.cluster, &self.calib)?.into_dag(),
+                lower(&restore, &self.cluster, &self.calib)?.into_dag(),
+            ))
+        } else {
+            None
+        };
+
+        let mut engine = DagEngine::new(self.cluster.resource_slots());
+        let mut cursor = faults.schedule.cursor();
+        let scheduled_faults = cursor.remaining();
+
+        let mut t = SimTime::ZERO;
+        let mut seed = opts.jitter_seed;
+        let n_measured = cfg.measure_iters.max(1);
+        let target = cfg.warmup_iters + n_measured;
+
+        // Accounting.
+        let mut completed: Vec<SimTime> = Vec::new(); // every finished execution
+        let mut committed_times: Vec<SimTime> = Vec::new(); // surviving commits
+        let mut executed = 0usize;
+        let mut committed = 0usize;
+        let mut replayed = 0usize;
+        let mut recoveries = 0usize;
+        let mut checkpoints_taken = 0usize;
+        let mut checkpoint_time = SimTime::ZERO;
+        let mut recovery_time = SimTime::ZERO;
+        let mut last_ckpt_commit = 0usize;
+
+        let mut rec: Option<BandwidthRecorder> = None;
+        let mut measure_start = SimTime::ZERO;
+
+        // Reborrows the recorder as a flow observer for one engine call.
+        macro_rules! obs {
+            () => {
+                rec.as_mut().map(|r| r as &mut dyn FlowObserver)
+            };
+        }
+        // Node-loss recovery: charge the restart delay, replay the restore
+        // traffic (itself interruptible), roll back to the last committed
+        // checkpoint, and yield the time at which training resumes.
+        macro_rules! recover {
+            ($fault_at:expr) => {{
+                let mut fault_at = $fault_at;
+                loop {
+                    recoveries += 1;
+                    if recoveries > faults.policy.max_recoveries {
+                        self.cluster.net_mut().restore_all_links();
+                        return Err(CoreError::RecoveryExhausted {
+                            budget: faults.policy.max_recoveries,
+                        });
+                    }
+                    let mut resume = fault_at + SimTime::from_secs(faults.policy.restart_delay_s);
+                    replayed += committed - last_ckpt_commit;
+                    committed = last_ckpt_commit;
+                    committed_times.truncate(last_ckpt_commit);
+                    if checkpoints_taken > 0 {
+                        if let Some((_, restore)) = &ckpt_dags {
+                            let out = engine.run_faulted(
+                                self.cluster.net_mut(),
+                                restore,
+                                resume,
+                                obs!(),
+                                &mut cursor,
+                            )?;
+                            if out.interrupted {
+                                // A second loss mid-restore: restart again.
+                                recovery_time += out.finished - fault_at;
+                                fault_at = out.finished;
+                                continue;
+                            }
+                            resume = out.finished;
+                        }
+                    }
+                    recovery_time += resume - fault_at;
+                    break resume;
+                }
+            }};
+        }
+
+        while committed < target {
+            // Entering the measured window: discard warm-up spans and
+            // anchor the recorder, exactly as `run` does. Once created,
+            // the recorder keeps counting through replays and recoveries
+            // (hardware counters do not pause for a crash).
+            if rec.is_none() && committed >= cfg.warmup_iters {
+                engine.take_spans();
+                measure_start = t;
+                rec = Some(BandwidthRecorder::with_origin(cfg.bucket, t));
+            }
+
+            let dag = lowered.stamp(seed);
+            seed += 1;
+            executed += 1;
+            let out = engine.run_faulted(self.cluster.net_mut(), dag, t, obs!(), &mut cursor)?;
+            if out.interrupted {
+                t = recover!(out.finished);
+                continue;
+            }
+            let makespan = out.makespan();
+            t = out.finished;
+            completed.push(makespan);
+            committed_times.push(makespan);
+            committed += 1;
+
+            // Checkpoint cadence (also taken during warm-up: faults do
+            // not wait for the measured window).
+            if let Some((save, _)) = &ckpt_dags {
+                if committed.is_multiple_of(faults.policy.checkpoint_interval) {
+                    let out =
+                        engine.run_faulted(self.cluster.net_mut(), save, t, obs!(), &mut cursor)?;
+                    if out.interrupted {
+                        t = recover!(out.finished);
+                        continue;
+                    }
+                    checkpoint_time += out.makespan();
+                    t = out.finished;
+                    checkpoints_taken += 1;
+                    last_ckpt_commit = committed;
+                }
+            }
+        }
+
+        // Leave the cluster healthy: faults belong to this run, not to the
+        // simulator. (The straggler scale dies with the local engine; link
+        // scales live in the network and must be reset explicitly.)
+        self.cluster.net_mut().restore_all_links();
+
+        // Mean over the surviving measured iterations (identical to
+        // `run`'s arithmetic when nothing faults).
+        let mut total = SimTime::ZERO;
+        for &mk in &committed_times[cfg.warmup_iters..] {
+            total += mk;
+        }
+        let iter_time = total / (n_measured as u64);
+        let measured_wall = t - measure_start;
+
+        let rec = rec.unwrap_or_else(|| BandwidthRecorder::with_origin(cfg.bucket, t));
+        let mut bandwidth = BandwidthReport::new(cfg.bucket);
+        for node in 0..opts.nodes {
+            for class in LinkClass::TABLE_IV {
+                let links = self.cluster.links(node, class);
+                let stats = rec.stats(links);
+                let series = rec.aggregate_series(links);
+                bandwidth.insert(node, class, stats, series);
+            }
+        }
+        let hot_links = rank_hot_links(&self.cluster, opts.nodes, &rec, measured_wall.as_secs());
+
+        let tokens = model.tokens_per_iteration(opts.per_gpu_batch, opts.num_gpus(&self.cluster))
+            * opts.grad_accum as f64;
+        let flops_per_iteration = model.iteration_flops(tokens).total();
+
+        let mut sorted = completed.clone();
+        sorted.sort_unstable();
+        let percentile = |q: f64| -> SimTime {
+            if sorted.is_empty() {
+                return SimTime::ZERO;
+            }
+            let idx = ((q * sorted.len() as f64).ceil() as usize)
+                .saturating_sub(1)
+                .min(sorted.len() - 1);
+            sorted[idx]
+        };
+        let resilience = ResilienceMetrics {
+            goodput_flops: flops_per_iteration * n_measured as f64
+                / measured_wall.as_secs().max(1e-12),
+            iter_p50: percentile(0.50),
+            iter_p90: percentile(0.90),
+            iter_p99: percentile(0.99),
+            executed_iterations: executed,
+            committed_iterations: committed,
+            replayed_iterations: replayed,
+            checkpoints_taken,
+            checkpoint_time,
+            recoveries,
+            recovery_time,
+            faults_applied: scheduled_faults - cursor.remaining(),
+            wall_time: t,
+            schedule_digest: faults.schedule.digest(),
+        };
+
+        Ok(TrainingReport {
+            strategy: strategy.display_name(),
+            model_params: model.num_params(),
+            nodes: opts.nodes,
+            iter_time,
+            flops_per_iteration,
+            tokens_per_iteration: tokens,
+            memory,
+            bandwidth,
+            spans: engine.take_spans(),
+            hot_links,
+            plan_lowerings,
+            resilience: Some(resilience),
         })
     }
 }
@@ -292,6 +560,150 @@ mod tests {
             )
             .unwrap();
         assert!(r.throughput_tflops() > 0.0);
+    }
+
+    #[test]
+    fn resilient_run_without_faults_matches_plain_run() {
+        let model = GptConfig::paper_model_with_params(1.4);
+        let opts = TrainOptions::single_node();
+        let cfg = RunConfig::default();
+        let plain = sim().run(&Strategy::Ddp, &model, &opts, &cfg).unwrap();
+        let resilient = sim()
+            .run_resilient(&Strategy::Ddp, &model, &opts, &cfg, &FaultConfig::healthy())
+            .unwrap();
+        assert_eq!(plain.digest(), resilient.digest());
+        assert_eq!(plain.iter_time, resilient.iter_time);
+        let m = resilient.resilience.as_ref().unwrap();
+        assert_eq!(m.recoveries, 0);
+        assert_eq!(m.replayed_iterations, 0);
+        assert_eq!(m.faults_applied, 0);
+        // Equal up to the nanosecond truncation of the mean iteration time.
+        let rel = (m.goodput_flops - resilient.throughput_flops()).abs() / m.goodput_flops;
+        assert!(rel < 1e-6, "goodput deviates: rel {rel}");
+        assert_eq!(resilient.plan_lowerings, 1);
+    }
+
+    #[test]
+    fn node_loss_recovers_from_checkpoint_and_replays() {
+        use crate::faults::{FaultConfig, FaultScenario};
+        use zerosim_strategies::{CheckpointSink, RecoveryPolicy};
+
+        let model = GptConfig::paper_model_with_params(1.4);
+        let opts = TrainOptions::single_node();
+        let cfg = RunConfig {
+            warmup_iters: 0,
+            measure_iters: 6,
+            ..RunConfig::default()
+        };
+        // Find a healthy iteration time, then kill the node mid-run.
+        let mut s = sim();
+        let healthy = s
+            .run_resilient(&Strategy::Ddp, &model, &opts, &cfg, &FaultConfig::healthy())
+            .unwrap();
+        let wall = healthy.resilience.as_ref().unwrap().wall_time.as_secs();
+        let schedule = FaultScenario::NodeLoss {
+            node: 0,
+            at_s: 0.55 * wall,
+        }
+        .compile(s.cluster(), 42);
+        let faults = FaultConfig::new(
+            schedule,
+            RecoveryPolicy::every(2).with_restart_delay(0.5),
+            CheckpointSink::Dram,
+        );
+        let mut s2 = sim();
+        let faulted = s2
+            .run_resilient(&Strategy::Ddp, &model, &opts, &cfg, &faults)
+            .unwrap();
+        let m = faulted.resilience.as_ref().unwrap();
+        assert_eq!(m.recoveries, 1);
+        assert_eq!(m.faults_applied, 1);
+        // Lost work is bounded by the checkpoint interval (zero when the
+        // loss lands right after a checkpoint commit).
+        assert!(m.replayed_iterations <= faults.policy.checkpoint_interval);
+        assert!(m.checkpoints_taken >= 1);
+        assert!(m.recovery_time >= SimTime::from_secs(0.5));
+        assert!(m.time_to_recover() >= SimTime::from_secs(0.5));
+        assert_eq!(m.committed_iterations, 6);
+        assert!(m.executed_iterations > 6);
+        // Replay + recovery strictly reduce goodput below the healthy run.
+        assert!(
+            m.goodput_flops < healthy.resilience.as_ref().unwrap().goodput_flops,
+            "goodput under node loss must drop"
+        );
+        assert_eq!(faulted.plan_lowerings, 1);
+
+        // Same seed + same schedule => byte-identical reports.
+        let mut s3 = sim();
+        let again = s3
+            .run_resilient(&Strategy::Ddp, &model, &opts, &cfg, &faults)
+            .unwrap();
+        assert_eq!(faulted.digest(), again.digest());
+        assert_eq!(faulted.resilience, again.resilience);
+    }
+
+    #[test]
+    fn node_loss_without_recovery_budget_is_a_typed_error() {
+        use crate::faults::{FaultConfig, FaultScenario};
+
+        let model = GptConfig::paper_model_with_params(1.4);
+        let opts = TrainOptions::single_node();
+        let mut s = sim();
+        let schedule = FaultScenario::NodeLoss { node: 0, at_s: 0.1 }.compile(s.cluster(), 0);
+        let err = s
+            .run_resilient(
+                &Strategy::Ddp,
+                &model,
+                &opts,
+                &RunConfig::quick(),
+                &FaultConfig::without_checkpoints(schedule),
+            )
+            .unwrap_err();
+        assert!(matches!(err, CoreError::RecoveryExhausted { budget: 0 }));
+    }
+
+    #[test]
+    fn straggler_stretches_iteration_tail() {
+        use crate::faults::{FaultConfig, FaultScenario};
+        use zerosim_hw::GpuId;
+
+        let model = GptConfig::paper_model_with_params(1.4);
+        let opts = TrainOptions::single_node();
+        let cfg = RunConfig {
+            warmup_iters: 0,
+            measure_iters: 4,
+            ..RunConfig::default()
+        };
+        let mut s = sim();
+        let healthy = s
+            .run_resilient(&Strategy::Ddp, &model, &opts, &cfg, &FaultConfig::healthy())
+            .unwrap();
+        let schedule = FaultScenario::Straggler {
+            gpu: GpuId { node: 0, gpu: 1 },
+            factor: 0.5,
+            at_s: 0.0,
+        }
+        .compile(s.cluster(), 0);
+        let mut s2 = sim();
+        let slow = s2
+            .run_resilient(
+                &Strategy::Ddp,
+                &model,
+                &opts,
+                &cfg,
+                &FaultConfig::without_checkpoints(schedule),
+            )
+            .unwrap();
+        let hm = healthy.resilience.as_ref().unwrap();
+        let sm = slow.resilience.as_ref().unwrap();
+        assert!(
+            sm.iter_p50 > hm.iter_p50,
+            "straggler must stretch iterations: {} vs {}",
+            sm.iter_p50,
+            hm.iter_p50
+        );
+        assert!(sm.goodput_flops < hm.goodput_flops);
+        assert!(sm.iter_p99 >= sm.iter_p50);
     }
 
     #[test]

@@ -24,6 +24,12 @@ pub enum CoreError {
     /// The strategy rejected the training configuration (bad parallel
     /// layout, state placement violating Table I, invalid plan).
     InvalidConfig(StrategyError),
+    /// Node losses outran the recovery budget of the fault policy (see
+    /// [`crate::FaultConfig`]).
+    RecoveryExhausted {
+        /// The `max_recoveries` budget that was exhausted.
+        budget: usize,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -37,6 +43,10 @@ impl fmt::Display for CoreError {
             ),
             CoreError::BadCluster(msg) => write!(f, "invalid cluster: {msg}"),
             CoreError::InvalidConfig(e) => write!(f, "invalid configuration: {e}"),
+            CoreError::RecoveryExhausted { budget } => write!(
+                f,
+                "node loss exhausted the recovery budget ({budget} recoveries)"
+            ),
         }
     }
 }
@@ -81,5 +91,8 @@ mod tests {
         let c = CoreError::from(StrategyError::layout("tp=3"));
         assert!(c.to_string().contains("tp=3"));
         assert!(Error::source(&c).is_some());
+        let r = CoreError::RecoveryExhausted { budget: 2 };
+        assert!(r.to_string().contains("2 recoveries"));
+        assert!(Error::source(&r).is_none());
     }
 }

@@ -40,6 +40,7 @@ mod cost;
 mod energy;
 mod engine;
 mod error;
+mod faults;
 mod report;
 mod timeline;
 
@@ -49,11 +50,13 @@ pub use cost::{CostModel, CostReport};
 pub use energy::{EnergyReport, PowerModel};
 pub use engine::{RunConfig, TrainingSim};
 pub use error::CoreError;
-pub use report::{BandwidthReport, HotLink, TrainingReport};
+pub use faults::{FaultConfig, FaultScenario};
+pub use report::{BandwidthReport, HotLink, ResilienceMetrics, TrainingReport};
 pub use timeline::{profile_tracks, to_chrome_trace, TrackProfile};
 
 // Re-export the pieces callers need alongside the engine.
+pub use zerosim_simkit::{FaultKind, FaultSchedule};
 pub use zerosim_strategies::{
-    Calibration, IterCtx, IterPlan, LoweredPlan, Strategy, StrategyError, StrategyPlan,
-    StrategyRegistry, TrainOptions,
+    Calibration, CheckpointSink, IterCtx, IterPlan, LoweredPlan, RecoveryPolicy, Strategy,
+    StrategyError, StrategyPlan, StrategyRegistry, TrainOptions,
 };

@@ -117,6 +117,66 @@ pub(crate) fn rank_hot_links(
     hot_links
 }
 
+/// Resilience accounting for a faulted run (see
+/// [`crate::TrainingSim::run_resilient`]).
+///
+/// All counters include the warm-up window: faults do not distinguish
+/// between warm-up and measured iterations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResilienceMetrics {
+    /// Useful FLOP/s over the measured window: committed model FLOPs
+    /// divided by wall time *including* replayed iterations, checkpoint
+    /// traffic, restart delays, and restore traffic. Equals
+    /// [`TrainingReport::throughput_flops`] when nothing faults.
+    pub goodput_flops: f64,
+    /// Median duration over every *completed* iteration execution
+    /// (committed or later rolled back).
+    pub iter_p50: SimTime,
+    /// 90th-percentile completed-iteration duration.
+    pub iter_p90: SimTime,
+    /// 99th-percentile completed-iteration duration.
+    pub iter_p99: SimTime,
+    /// Iteration executions started (including ones aborted by a fault).
+    pub executed_iterations: usize,
+    /// Iterations committed at the end of the run (warm-up + measured).
+    pub committed_iterations: usize,
+    /// Committed-then-lost iterations replayed after node losses.
+    pub replayed_iterations: usize,
+    /// Checkpoint snapshots committed.
+    pub checkpoints_taken: usize,
+    /// Simulated time spent writing checkpoints.
+    pub checkpoint_time: SimTime,
+    /// Node-loss recoveries performed.
+    pub recoveries: usize,
+    /// Total simulated time from each fault to training resuming
+    /// (restart delay + restore traffic).
+    pub recovery_time: SimTime,
+    /// Fault events consumed from the schedule during the run.
+    pub faults_applied: usize,
+    /// End-to-end simulated wall time (warm-up included).
+    pub wall_time: SimTime,
+    /// [`zerosim_simkit::FaultSchedule::digest`] of the schedule driving
+    /// the run, tying the report to its fault provenance.
+    pub schedule_digest: u64,
+}
+
+impl ResilienceMetrics {
+    /// Goodput in TFLOP/s.
+    pub fn goodput_tflops(&self) -> f64 {
+        self.goodput_flops / 1e12
+    }
+
+    /// Mean time-to-recover per node loss ([`SimTime::ZERO`] when the run
+    /// never faulted).
+    pub fn time_to_recover(&self) -> SimTime {
+        if self.recoveries == 0 {
+            SimTime::ZERO
+        } else {
+            self.recovery_time / (self.recoveries as u64)
+        }
+    }
+}
+
 /// Everything measured for one training configuration.
 #[derive(Debug, Clone)]
 pub struct TrainingReport {
@@ -143,6 +203,9 @@ pub struct TrainingReport {
     /// How many times the iteration plan was lowered to a task graph for
     /// this run (1 when the lower-once / re-stamp cache works).
     pub plan_lowerings: usize,
+    /// Resilience accounting; `Some` for [`crate::TrainingSim::run_resilient`]
+    /// runs, `None` for plain characterization runs.
+    pub resilience: Option<ResilienceMetrics>,
 }
 
 impl TrainingReport {
@@ -161,6 +224,80 @@ impl TrainingReport {
     pub fn model_billions(&self) -> f64 {
         self.model_params / 1e9
     }
+
+    /// A stable 64-bit fingerprint of the *measurement payload*: strategy,
+    /// timing, FLOPs, memory plan, every bandwidth stat and sample, every
+    /// timeline span, the hot-link ranking, and the lowering count.
+    ///
+    /// The [`TrainingReport::resilience`] bookkeeping is deliberately
+    /// excluded so a fault-free resilient run can be compared bit-for-bit
+    /// against a plain [`crate::TrainingSim::run`] (compare `resilience`
+    /// separately via its `PartialEq`). Equal digests mean byte-identical
+    /// measurements.
+    pub fn digest(&self) -> u64 {
+        let mut h = mix_str(0x5153_u64, &self.strategy);
+        h = mix(h, self.model_params.to_bits());
+        h = mix(h, self.nodes as u64);
+        h = mix(h, self.iter_time.as_nanos());
+        h = mix(h, self.flops_per_iteration.to_bits());
+        h = mix(h, self.tokens_per_iteration.to_bits());
+        for b in [
+            self.memory.per_gpu_bytes,
+            self.memory.total_gpu_bytes,
+            self.memory.per_node_cpu_bytes,
+            self.memory.total_cpu_bytes,
+            self.memory.nvme_bytes,
+        ] {
+            h = mix(h, b.to_bits());
+        }
+        for (label, bytes) in &self.memory.gpu_breakdown {
+            h = mix_str(h, label);
+            h = mix(h, bytes.to_bits());
+        }
+        h = mix(h, self.bandwidth.bucket.as_nanos());
+        for ((node, class), stats) in &self.bandwidth.stats {
+            h = mix_str(mix(h, *node as u64), &class.to_string());
+            h = mix(h, stats.avg.to_bits());
+            h = mix(h, stats.p90.to_bits());
+            h = mix(h, stats.peak.to_bits());
+        }
+        for ((node, class), series) in &self.bandwidth.series {
+            h = mix_str(mix(h, *node as u64), &class.to_string());
+            for s in series {
+                h = mix(h, s.to_bits());
+            }
+        }
+        for span in self.spans.spans() {
+            h = mix_str(mix(h, span.track as u64), &span.label);
+            h = mix(h, span.start.as_nanos());
+            h = mix(h, span.end.as_nanos());
+        }
+        for hot in &self.hot_links {
+            h = mix_str(h, &hot.name);
+            h = mix(h, hot.avg.to_bits());
+            h = mix(h, hot.utilization.to_bits());
+        }
+        mix(h, self.plan_lowerings as u64)
+    }
+}
+
+/// SplitMix64-style mixing step used by [`TrainingReport::digest`].
+fn mix(h: u64, v: u64) -> u64 {
+    let mut z = h ^ v.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn mix_str(h: u64, s: &str) -> u64 {
+    let mut h = mix(h, s.len() as u64);
+    for chunk in s.as_bytes().chunks(8) {
+        let mut buf = [0u8; 8];
+        buf[..chunk.len()].copy_from_slice(chunk);
+        h = mix(h, u64::from_le_bytes(buf));
+    }
+    h
 }
 
 #[cfg(test)]
@@ -200,6 +337,62 @@ mod tests {
         assert!(r.tiled_series(0, LinkClass::Roce, 5.0).is_empty());
     }
 
+    fn blank_report() -> TrainingReport {
+        TrainingReport {
+            strategy: "x".into(),
+            model_params: 1.4e9,
+            nodes: 1,
+            iter_time: SimTime::from_ms(500.0),
+            flops_per_iteration: 2.0e14,
+            tokens_per_iteration: 16384.0,
+            memory: MemoryPlan {
+                per_gpu_bytes: 0.0,
+                total_gpu_bytes: 0.0,
+                per_node_cpu_bytes: 0.0,
+                total_cpu_bytes: 0.0,
+                nvme_bytes: 0.0,
+                gpu_breakdown: vec![],
+            },
+            bandwidth: BandwidthReport::new(SimTime::from_ms(50.0)),
+            spans: SpanLog::new(),
+            hot_links: Vec::new(),
+            plan_lowerings: 1,
+            resilience: None,
+        }
+    }
+
+    #[test]
+    fn digest_is_stable_and_sensitive() {
+        let a = blank_report();
+        let mut b = blank_report();
+        assert_eq!(a.digest(), b.digest());
+        b.iter_time = SimTime::from_ms(501.0);
+        assert_ne!(a.digest(), b.digest());
+        let mut c = blank_report();
+        c.resilience = Some(ResilienceMetrics {
+            goodput_flops: 1.0,
+            iter_p50: SimTime::ZERO,
+            iter_p90: SimTime::ZERO,
+            iter_p99: SimTime::ZERO,
+            executed_iterations: 0,
+            committed_iterations: 0,
+            replayed_iterations: 0,
+            checkpoints_taken: 0,
+            checkpoint_time: SimTime::ZERO,
+            recoveries: 0,
+            recovery_time: SimTime::ZERO,
+            faults_applied: 0,
+            wall_time: SimTime::ZERO,
+            schedule_digest: 0,
+        });
+        // Resilience bookkeeping is excluded from the measurement digest.
+        assert_eq!(a.digest(), c.digest());
+        assert_eq!(
+            c.resilience.as_ref().unwrap().time_to_recover(),
+            SimTime::ZERO
+        );
+    }
+
     #[test]
     fn throughput_math() {
         let report = TrainingReport {
@@ -221,6 +414,7 @@ mod tests {
             spans: SpanLog::new(),
             hot_links: Vec::new(),
             plan_lowerings: 1,
+            resilience: None,
         };
         assert!((report.throughput_tflops() - 400.0).abs() < 1e-9);
         assert!((report.model_billions() - 1.4).abs() < 1e-12);

@@ -105,6 +105,26 @@ impl TokenBucket {
     pub fn refill(&mut self) {
         self.tokens = self.capacity_bytes;
     }
+
+    /// Replaces the burst and sustained rates in place while preserving the
+    /// current token fill (the cache does not forget how full it is when the
+    /// device slows down). Used by fault injection to degrade and restore a
+    /// bucketed link mid-run.
+    ///
+    /// # Panics
+    /// Same validity conditions as [`TokenBucket::new`].
+    pub fn set_rates(&mut self, burst_rate: f64, sustained_rate: f64) {
+        assert!(
+            burst_rate.is_finite() && sustained_rate.is_finite(),
+            "token bucket rates must be finite"
+        );
+        assert!(
+            burst_rate >= sustained_rate && sustained_rate >= 0.0,
+            "burst rate must be at least the sustained rate"
+        );
+        self.burst_rate = burst_rate;
+        self.sustained_rate = sustained_rate;
+    }
 }
 
 #[cfg(test)]
@@ -175,5 +195,27 @@ mod tests {
     #[should_panic(expected = "burst rate must be at least")]
     fn invalid_rates_panic() {
         let _ = TokenBucket::new(1e9, 1e9, 2e9);
+    }
+
+    #[test]
+    fn set_rates_preserves_token_fill() {
+        let mut b = bucket();
+        b.advance(1.0, 6e9); // drains 4 GB of tokens -> 4 GB left
+        assert_eq!(b.tokens(), 4e9);
+        b.set_rates(3e9, 1e9); // degrade to half rates
+        assert_eq!(b.tokens(), 4e9);
+        assert_eq!(b.burst_rate(), 3e9);
+        assert_eq!(b.sustained_rate(), 1e9);
+        assert_eq!(b.current_rate(), 3e9); // still has tokens -> burst
+        b.set_rates(6e9, 2e9); // restore
+        assert_eq!(b.tokens(), 4e9);
+        assert_eq!(b.current_rate(), 6e9);
+    }
+
+    #[test]
+    #[should_panic(expected = "burst rate must be at least")]
+    fn set_rates_validates() {
+        let mut b = bucket();
+        b.set_rates(1e9, 2e9);
     }
 }

@@ -12,6 +12,7 @@ use std::collections::{BinaryHeap, HashMap, VecDeque};
 
 use crate::dag::{Dag, TaskId, TaskKind};
 use crate::error::SimError;
+use crate::fault::{FaultCursor, FaultKind};
 use crate::flow::{FlowId, FlowNet, FlowObserver};
 use crate::record::SpanLog;
 use crate::time::SimTime;
@@ -56,10 +57,16 @@ struct ResourceState {
 pub struct RunOutcome {
     /// Time at which the run began.
     pub started: SimTime,
-    /// Time at which the last task finished.
+    /// Time at which the last task finished (or, for an interrupted run,
+    /// the time of the interrupting fault).
     pub finished: SimTime,
-    /// Per-task completion times, indexed by [`TaskId::index`].
+    /// Per-task completion times, indexed by [`TaskId::index`]. Tasks that
+    /// never finished (interrupted run) report [`SimTime::ZERO`].
     pub task_finish: Vec<SimTime>,
+    /// True when a [`FaultKind::NodeLoss`] aborted the run before every
+    /// task finished. The work of this run is lost; a resilience layer
+    /// models restart-from-checkpoint and replay.
+    pub interrupted: bool,
 }
 
 impl RunOutcome {
@@ -96,6 +103,24 @@ pub struct DagEngine {
     slot_counts: Vec<usize>,
     spans: SpanLog,
     seq: u64,
+    /// Per-resource service-rate factor (1.0 = nominal). Mutated by
+    /// [`FaultKind::SlowResource`] / [`FaultKind::RestoreResource`] events
+    /// and persistent across runs, so a straggler stays slow from iteration
+    /// to iteration until explicitly restored.
+    resource_scale: Vec<f64>,
+}
+
+/// Stretches a compute duration by the inverse of a service-rate factor.
+///
+/// `scale == 1.0` is an exact no-op (bit-identical to the unscaled
+/// duration), which is what keeps fault-free runs byte-identical to the
+/// pre-fault-injection engine.
+fn scale_duration(scale: f64, d: SimTime) -> SimTime {
+    if scale == 1.0 {
+        d
+    } else {
+        SimTime::from_nanos((d.as_nanos() as f64 / scale).round() as u64)
+    }
 }
 
 impl DagEngine {
@@ -109,11 +134,21 @@ impl DagEngine {
             slot_counts.iter().all(|&s| s > 0),
             "every resource needs at least one slot"
         );
+        let n = slot_counts.len();
         DagEngine {
             slot_counts,
             spans: SpanLog::new(),
             seq: 0,
+            resource_scale: vec![1.0; n],
         }
+    }
+
+    /// Current service-rate factor of resource `resource` (1.0 = nominal).
+    ///
+    /// # Panics
+    /// Panics if `resource` is out of range.
+    pub fn resource_scale(&self, resource: usize) -> f64 {
+        self.resource_scale[resource]
     }
 
     /// Timeline spans accumulated across all runs so far.
@@ -140,7 +175,44 @@ impl DagEngine {
         net: &mut FlowNet,
         dag: &Dag,
         start: SimTime,
+        obs: Option<&mut dyn FlowObserver>,
+    ) -> Result<RunOutcome, SimError> {
+        self.run_faulted(net, dag, start, obs, &mut FaultCursor::empty())
+    }
+
+    /// Executes `dag` starting at `start` while consuming due events from
+    /// `faults`.
+    ///
+    /// Fault times are first-class event candidates: the engine advances
+    /// virtual time to the earliest of the timer heap, the flow network,
+    /// and the next fault, so a link rescale takes effect exactly at its
+    /// scheduled instant and in-flight flows re-converge to the new max-min
+    /// fair allocation from that point on. Events at the same instant are
+    /// ordered: finished work is retired first, then faults apply, then
+    /// newly ready tasks launch (under the post-fault service rates).
+    ///
+    /// A [`FaultKind::NodeLoss`] aborts the run at its firing time: flows
+    /// this run started are cancelled (bytes already moved stay moved) and
+    /// the returned outcome has [`RunOutcome::interrupted`] set. The cursor
+    /// keeps its position across calls, so one schedule spans a whole
+    /// multi-iteration simulation on a continuous clock.
+    ///
+    /// With an exhausted cursor this is exactly [`DagEngine::run`]: the
+    /// fault hooks are bit-level no-ops, which keeps healthy runs
+    /// byte-identical to the pre-fault-injection engine.
+    ///
+    /// # Errors
+    /// Same conditions as [`DagEngine::run`], plus the [`SimError`]s of
+    /// [`FlowNet::scale_link`] / [`FlowNet::set_link_cap`] for malformed
+    /// link events and [`SimError::BadRateFactor`] /
+    /// [`SimError::UnknownResource`] for malformed resource events.
+    pub fn run_faulted(
+        &mut self,
+        net: &mut FlowNet,
+        dag: &Dag,
+        start: SimTime,
         mut obs: Option<&mut dyn FlowObserver>,
+        faults: &mut FaultCursor,
     ) -> Result<RunOutcome, SimError> {
         let n = dag.len();
         let mut indeg: Vec<usize> = (0..n).map(|i| dag.preds(TaskId(i)).len()).collect();
@@ -159,6 +231,7 @@ impl DagEngine {
         let mut task_finish: Vec<SimTime> = vec![SimTime::ZERO; n];
         let mut finished = 0usize;
         let mut now = start;
+        let mut interrupted = false;
 
         // Validates resources up front so the error is immediate.
         for t in dag.task_ids() {
@@ -187,7 +260,8 @@ impl DagEngine {
                         if let TaskKind::Compute { duration, .. } = &dag.task(next).kind {
                             self.seq += 1;
                             heap.push(Event {
-                                at: now + *duration,
+                                at: now
+                                    + scale_duration(self.resource_scale[resource.0], *duration),
                                 seq: self.seq,
                                 kind: EventKind::TaskDone(next),
                             });
@@ -213,7 +287,7 @@ impl DagEngine {
                     route, bytes, cap, ..
                 } = &dag.task(t).kind
                 {
-                    let fid = net.start_flow_capped(route, *bytes, *cap);
+                    let fid = net.start_flow_capped(route, *bytes, *cap)?;
                     flow_task.insert(fid, t);
                 }
             }};
@@ -230,6 +304,59 @@ impl DagEngine {
                 return Err(SimError::EventLimit {
                     budget: event_budget,
                 });
+            }
+            // Apply every fault due at (or before) the current clock before
+            // launching new work, so tasks that become ready at a fault
+            // instant start under the post-fault service rates and a node
+            // loss pre-empts them entirely. Events left over from an
+            // aborted previous run (e.g. a restore that fired while a node
+            // was rebooting) are caught up here as well.
+            let mut lost_node = false;
+            while let Some(ev) = faults.next_due(now) {
+                match &ev.kind {
+                    FaultKind::SetLinkCap {
+                        link,
+                        bytes_per_sec,
+                    } => net.set_link_cap(*link, *bytes_per_sec)?,
+                    FaultKind::ScaleLink { link, factor } => net.scale_link(*link, *factor)?,
+                    FaultKind::RestoreLink { link } => net.restore_link(*link)?,
+                    FaultKind::SlowResource { resource, factor } => {
+                        if *resource >= self.resource_scale.len() {
+                            return Err(SimError::UnknownResource {
+                                resource: *resource,
+                            });
+                        }
+                        if !(factor.is_finite() && *factor > 0.0) {
+                            return Err(SimError::BadRateFactor {
+                                resource: *resource,
+                            });
+                        }
+                        self.resource_scale[*resource] = *factor;
+                    }
+                    FaultKind::RestoreResource { resource } => {
+                        if *resource >= self.resource_scale.len() {
+                            return Err(SimError::UnknownResource {
+                                resource: *resource,
+                            });
+                        }
+                        self.resource_scale[*resource] = 1.0;
+                    }
+                    FaultKind::NodeLoss { .. } => {
+                        lost_node = true;
+                        break;
+                    }
+                }
+            }
+            if lost_node {
+                // Abandon the run: in-flight transfers this run started are
+                // torn down (bytes already moved stay observed), pending
+                // tasks never finish. Recovery — restart-from-checkpoint and
+                // replay — is modelled by the caller.
+                for (fid, _) in flow_task.drain() {
+                    net.cancel_flow(fid);
+                }
+                interrupted = true;
+                break;
             }
             // Launch everything that is ready.
             while let Some(t) = ready.pop_front() {
@@ -250,7 +377,8 @@ impl DagEngine {
                             rs.free_slots -= 1;
                             self.seq += 1;
                             heap.push(Event {
-                                at: now + *duration,
+                                at: now
+                                    + scale_duration(self.resource_scale[resource.0], *duration),
                                 seq: self.seq,
                                 kind: EventKind::TaskDone(t),
                             });
@@ -277,21 +405,19 @@ impl DagEngine {
                 break;
             }
 
-            // Next event: earliest of timer heap and flow-network events.
+            // Next event: earliest of timer heap, flow-network events, and
+            // the next scheduled fault (all strictly in the future — due
+            // faults were consumed above, due timers fired below).
             let timer_at = heap.peek().map(|e| e.at);
             let flow_at = net.next_event_in().map(|dt| {
                 let ns = (dt * 1e9).ceil().max(1.0) as u64;
                 now + SimTime::from_nanos(ns)
             });
-            let t_next = match (timer_at, flow_at) {
-                (Some(a), Some(b)) => a.min(b),
-                (Some(a), None) => a,
-                (None, Some(b)) => b,
-                (None, None) => {
-                    return Err(SimError::Deadlock {
-                        pending: n - finished,
-                    });
-                }
+            let fault_at = faults.peek_at();
+            let Some(t_next) = [timer_at, flow_at, fault_at].into_iter().flatten().min() else {
+                return Err(SimError::Deadlock {
+                    pending: n - finished,
+                });
             };
 
             // Advance the network to t_next.
@@ -308,9 +434,14 @@ impl DagEngine {
                 // Foreign (background) flows complete silently.
             }
 
-            // Fire all timer events scheduled exactly at t_next.
-            while heap.peek().is_some_and(|e| e.at <= now) {
-                let ev = heap.pop().expect("peeked");
+            // Fire all timer events scheduled exactly at t_next. Pop first
+            // and push back when not yet due, which keeps this loop free of
+            // a peek-then-pop unwrap.
+            while let Some(ev) = heap.pop() {
+                if ev.at > now {
+                    heap.push(ev);
+                    break;
+                }
                 match ev.kind {
                     EventKind::TaskDone(t) => finish_task!(t),
                     EventKind::FlowStart(t) => start_flow_for!(t),
@@ -322,6 +453,7 @@ impl DagEngine {
             started: start,
             finished: now,
             task_finish,
+            interrupted,
         })
     }
 
@@ -519,7 +651,7 @@ mod budget_tests {
         // the engine must neither adopt nor stall on it.
         let mut net = FlowNet::new();
         let shared = net.add_link("shared", 100.0);
-        net.start_flow(&[shared], 1_000_000.0); // background
+        net.start_flow(&[shared], 1_000_000.0).unwrap(); // background
         let mut b = DagBuilder::new();
         b.transfer(vec![shared], 100.0, SimTime::ZERO, "fg", 0, &[]);
         let dag = b.build();
@@ -540,6 +672,165 @@ mod budget_tests {
         let e = SimError::EventLimit { budget: 7 };
         assert!(e.to_string().contains('7'));
         assert_eq!(e, SimError::EventLimit { budget: 7 });
+    }
+
+    #[test]
+    fn straggler_stretches_compute() {
+        use crate::fault::{FaultKind, FaultSchedule};
+        let mut net = FlowNet::new();
+        let mut b = DagBuilder::new();
+        b.compute(ResourceId(0), SimTime::from_ms(10.0), "k", &[]);
+        let dag = b.build();
+        let mut eng = DagEngine::new(vec![1]);
+        let sched = FaultSchedule::new(0).at(
+            0.0,
+            FaultKind::SlowResource {
+                resource: 0,
+                factor: 0.5,
+            },
+        );
+        let mut cur = sched.cursor();
+        let out = eng
+            .run_faulted(&mut net, &dag, SimTime::ZERO, None, &mut cur)
+            .unwrap();
+        // Half speed -> twice as long.
+        assert_eq!(out.makespan(), SimTime::from_ms(20.0));
+        assert!(!out.interrupted);
+        assert_eq!(eng.resource_scale(0), 0.5);
+        // The slowdown persists across runs until restored.
+        let out2 = eng
+            .run_faulted(&mut net, &dag, out.finished, None, &mut cur)
+            .unwrap();
+        assert_eq!(out2.makespan(), SimTime::from_ms(20.0));
+    }
+
+    #[test]
+    fn link_degradation_mid_run_stretches_transfer() {
+        use crate::fault::{FaultKind, FaultSchedule};
+        let mut net = FlowNet::new();
+        let l = net.add_link("roce", 100.0);
+        let mut b = DagBuilder::new();
+        b.transfer(vec![l], 100.0, SimTime::ZERO, "x", 0, &[]);
+        let dag = b.build();
+        // Degrade to 50% at t = 0.5 s: 50 bytes move in the first half
+        // second, the remaining 50 take 1 s -> 1.5 s total.
+        let sched = FaultSchedule::new(0).at(
+            0.5,
+            FaultKind::ScaleLink {
+                link: l,
+                factor: 0.5,
+            },
+        );
+        let mut cur = sched.cursor();
+        let mut eng = DagEngine::new(vec![]);
+        let out = eng
+            .run_faulted(&mut net, &dag, SimTime::ZERO, None, &mut cur)
+            .unwrap();
+        let secs = out.makespan().as_secs();
+        assert!((secs - 1.5).abs() < 1e-6, "got {secs}");
+    }
+
+    #[test]
+    fn node_loss_interrupts_and_cancels_flows() {
+        use crate::fault::{FaultKind, FaultSchedule};
+        let mut net = FlowNet::new();
+        let l = net.add_link("roce", 100.0);
+        let mut b = DagBuilder::new();
+        b.transfer(vec![l], 1000.0, SimTime::ZERO, "x", 0, &[]);
+        let dag = b.build();
+        let sched = FaultSchedule::new(0).at(2.0, FaultKind::NodeLoss { node: 1 });
+        let mut cur = sched.cursor();
+        let mut eng = DagEngine::new(vec![]);
+        let out = eng
+            .run_faulted(&mut net, &dag, SimTime::ZERO, None, &mut cur)
+            .unwrap();
+        assert!(out.interrupted);
+        assert_eq!(out.finished, SimTime::from_secs(2.0));
+        // The in-flight flow was cancelled, not leaked as background.
+        assert_eq!(net.flow_count(), 0);
+        assert_eq!(cur.remaining(), 0);
+    }
+
+    #[test]
+    fn flap_window_recovers() {
+        use crate::fault::FaultSchedule;
+        let mut net = FlowNet::new();
+        let l = net.add_link("roce", 100.0);
+        let mut b = DagBuilder::new();
+        b.transfer(vec![l], 200.0, SimTime::ZERO, "x", 0, &[]);
+        let dag = b.build();
+        // Down (to the flap floor) during [1, 2): ~100 bytes before, ~0.1
+        // bytes during, rest after -> just under 3 s total.
+        let sched = FaultSchedule::new(0).flap(l, 1.0, 1.0);
+        let mut cur = sched.cursor();
+        let mut eng = DagEngine::new(vec![]);
+        let out = eng
+            .run_faulted(&mut net, &dag, SimTime::ZERO, None, &mut cur)
+            .unwrap();
+        let secs = out.makespan().as_secs();
+        assert!(secs > 2.9 && secs < 3.1, "got {secs}");
+        // Healthy run of the same DAG takes 2 s.
+        let healthy = DagEngine::new(vec![])
+            .run(&mut net, &dag, SimTime::ZERO, None)
+            .unwrap();
+        assert!((healthy.makespan().as_secs() - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_cursor_matches_plain_run() {
+        let mut net = FlowNet::new();
+        let l = net.add_link("l", 100.0);
+        let mut b = DagBuilder::new();
+        let c = b.compute(ResourceId(0), SimTime::from_ms(3.0), "gemm", &[]);
+        b.transfer(vec![l], 150.0, SimTime::from_us(10.0), "x", 0, &[c]);
+        let dag = b.build();
+        let mut e1 = DagEngine::new(vec![1]);
+        let a = e1.run(&mut net, &dag, SimTime::ZERO, None).unwrap();
+        let mut e2 = DagEngine::new(vec![1]);
+        let b2 = e2
+            .run_faulted(
+                &mut net,
+                &dag,
+                SimTime::ZERO,
+                None,
+                &mut crate::fault::FaultCursor::empty(),
+            )
+            .unwrap();
+        assert_eq!(a.finished, b2.finished);
+        assert_eq!(a.task_finish, b2.task_finish);
+        assert!(!a.interrupted && !b2.interrupted);
+    }
+
+    #[test]
+    fn bad_fault_events_surface_typed_errors() {
+        use crate::fault::{FaultKind, FaultSchedule};
+        let mut net = FlowNet::new();
+        let mut b = DagBuilder::new();
+        b.compute(ResourceId(0), SimTime::from_ms(1.0), "k", &[]);
+        let dag = b.build();
+        let mut eng = DagEngine::new(vec![1]);
+        let sched = FaultSchedule::new(0).at(
+            0.0,
+            FaultKind::SlowResource {
+                resource: 9,
+                factor: 0.5,
+            },
+        );
+        let err = eng
+            .run_faulted(&mut net, &dag, SimTime::ZERO, None, &mut sched.cursor())
+            .unwrap_err();
+        assert_eq!(err, SimError::UnknownResource { resource: 9 });
+        let sched = FaultSchedule::new(0).at(
+            0.0,
+            FaultKind::SlowResource {
+                resource: 0,
+                factor: 0.0,
+            },
+        );
+        let err = eng
+            .run_faulted(&mut net, &dag, SimTime::ZERO, None, &mut sched.cursor())
+            .unwrap_err();
+        assert_eq!(err, SimError::BadRateFactor { resource: 0 });
     }
 
     #[test]

@@ -23,6 +23,28 @@ pub enum SimError {
         /// The budget that was exhausted.
         budget: u64,
     },
+    /// A flow was started with an empty route.
+    EmptyRoute,
+    /// A flow route (or a fault event) referenced a link that does not
+    /// belong to this network.
+    UnknownLink {
+        /// Index of the unknown link.
+        link: usize,
+    },
+    /// A flow was started with a non-finite or non-positive byte count.
+    NonPositiveFlow,
+    /// A flow was started with a non-positive or NaN rate cap.
+    NonPositiveCap,
+    /// A link capacity rescale used a non-finite or non-positive value.
+    BadCapacity {
+        /// Index of the link being rescaled.
+        link: usize,
+    },
+    /// A fault event used a non-finite or non-positive service-rate factor.
+    BadRateFactor {
+        /// Index of the resource being rescaled.
+        resource: usize,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -36,6 +58,27 @@ impl fmt::Display for SimError {
             }
             SimError::EventLimit { budget } => {
                 write!(f, "simulation exceeded its event budget of {budget}")
+            }
+            SimError::EmptyRoute => {
+                write!(f, "flow route must contain at least one link")
+            }
+            SimError::UnknownLink { link } => {
+                write!(f, "route references unknown link {link}")
+            }
+            SimError::NonPositiveFlow => {
+                write!(f, "flow size must be finite and positive")
+            }
+            SimError::NonPositiveCap => {
+                write!(f, "flow cap must be positive")
+            }
+            SimError::BadCapacity { link } => {
+                write!(f, "link capacity must be finite and positive (link {link})")
+            }
+            SimError::BadRateFactor { resource } => {
+                write!(
+                    f,
+                    "resource rate factor must be finite and positive (resource {resource})"
+                )
             }
         }
     }
@@ -57,6 +100,24 @@ mod tests {
             SimError::UnknownResource { resource: 7 }.to_string(),
             "compute task references unknown resource 7"
         );
+        assert_eq!(
+            SimError::EmptyRoute.to_string(),
+            "flow route must contain at least one link"
+        );
+        assert_eq!(
+            SimError::UnknownLink { link: 9 }.to_string(),
+            "route references unknown link 9"
+        );
+        assert_eq!(
+            SimError::NonPositiveCap.to_string(),
+            "flow cap must be positive"
+        );
+        assert!(SimError::BadCapacity { link: 2 }
+            .to_string()
+            .contains("finite and positive"));
+        assert!(SimError::BadRateFactor { resource: 3 }
+            .to_string()
+            .contains("rate factor"));
     }
 
     #[test]

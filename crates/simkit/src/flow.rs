@@ -14,6 +14,7 @@
 use std::collections::BTreeMap;
 
 use crate::bucket::TokenBucket;
+use crate::error::SimError;
 use crate::time::SimTime;
 
 /// Identifies a link within a [`FlowNet`].
@@ -54,6 +55,11 @@ impl Capacity {
 struct LinkState {
     name: String,
     capacity: Capacity,
+    /// The capacity the link was created with; fault injection rescales
+    /// `capacity` relative to this pristine value and restores from it.
+    nominal: Capacity,
+    /// Current fault scale relative to `nominal` (1.0 = healthy).
+    scale: f64,
     /// Aggregate rate of flows currently crossing this link, refreshed by
     /// [`FlowNet::recompute_rates`].
     demand: f64,
@@ -98,8 +104,8 @@ const EPS_BYTES: f64 = 0.5;
 ///
 /// let mut net = FlowNet::new();
 /// let l = net.add_link("pcie", 64e9);
-/// let a = net.start_flow(&[l], 64e9); // 1 s alone
-/// let b = net.start_flow(&[l], 64e9); // shares fairly
+/// let a = net.start_flow(&[l], 64e9).unwrap(); // 1 s alone
+/// let b = net.start_flow(&[l], 64e9).unwrap(); // shares fairly
 /// let (dt, done) = net.advance_to_next_event(SimTime::ZERO, &mut NullObserver).unwrap();
 /// assert!((dt - 2.0).abs() < 1e-9); // both finish together after 2 s
 /// assert_eq!(done, vec![a, b]);
@@ -139,7 +145,9 @@ impl FlowNet {
         let id = LinkId(self.links.len());
         self.links.push(LinkState {
             name,
+            nominal: capacity.clone(),
             capacity,
+            scale: 1.0,
             demand: 0.0,
         });
         id
@@ -176,10 +184,12 @@ impl FlowNet {
 
     /// Starts a flow of `bytes` along `route` and returns its id.
     ///
-    /// # Panics
-    /// Panics if the route is empty, references an unknown link, or `bytes`
-    /// is not finite and positive.
-    pub fn start_flow(&mut self, route: &[LinkId], bytes: f64) -> FlowId {
+    /// # Errors
+    /// Returns [`SimError::EmptyRoute`] for an empty route,
+    /// [`SimError::UnknownLink`] when the route references a link that does
+    /// not belong to this network, and [`SimError::NonPositiveFlow`] when
+    /// `bytes` is not finite and positive.
+    pub fn start_flow(&mut self, route: &[LinkId], bytes: f64) -> Result<FlowId, SimError> {
         self.start_flow_capped(route, bytes, f64::INFINITY)
     }
 
@@ -188,24 +198,28 @@ impl FlowNet {
     /// spare capacity). Used to model path-specific degradation such as the
     /// EPYC I/O-die SerDes-pair contention.
     ///
-    /// # Panics
-    /// Same conditions as [`FlowNet::start_flow`], plus a non-positive or
-    /// NaN `cap`.
-    pub fn start_flow_capped(&mut self, route: &[LinkId], bytes: f64, cap: f64) -> FlowId {
-        assert!(
-            !route.is_empty(),
-            "flow route must contain at least one link"
-        );
-        assert!(
-            bytes.is_finite() && bytes > 0.0,
-            "flow size must be finite and positive (got {bytes})"
-        );
-        assert!(cap > 0.0 && !cap.is_nan(), "flow cap must be positive");
+    /// # Errors
+    /// Same conditions as [`FlowNet::start_flow`], plus
+    /// [`SimError::NonPositiveCap`] for a non-positive or NaN `cap`.
+    pub fn start_flow_capped(
+        &mut self,
+        route: &[LinkId],
+        bytes: f64,
+        cap: f64,
+    ) -> Result<FlowId, SimError> {
+        if route.is_empty() {
+            return Err(SimError::EmptyRoute);
+        }
+        if !(bytes.is_finite() && bytes > 0.0) {
+            return Err(SimError::NonPositiveFlow);
+        }
+        if cap.is_nan() || cap <= 0.0 {
+            return Err(SimError::NonPositiveCap);
+        }
         for l in route {
-            assert!(
-                l.0 < self.links.len(),
-                "route references unknown link {l:?}"
-            );
+            if l.0 >= self.links.len() {
+                return Err(SimError::UnknownLink { link: l.0 });
+            }
         }
         let id = FlowId(self.next_flow);
         self.next_flow += 1;
@@ -219,7 +233,107 @@ impl FlowNet {
             },
         );
         self.rates_dirty = true;
-        id
+        Ok(id)
+    }
+
+    /// Removes an active flow without completing it (the bytes already moved
+    /// stay moved; the remainder is abandoned). Returns `true` if the flow
+    /// was active. Used when a node loss aborts a run mid-flight.
+    pub fn cancel_flow(&mut self, flow: FlowId) -> bool {
+        let removed = self.flows.remove(&flow).is_some();
+        if removed {
+            self.rates_dirty = true;
+        }
+        removed
+    }
+
+    /// Rescales `link` to `factor` times its *nominal* (creation-time)
+    /// capacity. The factor is absolute, not cumulative: two successive
+    /// `scale_link(l, 0.5)` calls leave the link at half capacity, and
+    /// `scale_link(l, 1.0)` restores it. For token-bucket links both the
+    /// burst and sustained rates are scaled while the token fill is
+    /// preserved, so a degraded NVMe device does not forget how much cache
+    /// headroom it had. In-flight flows re-converge to the new max-min fair
+    /// allocation at the next rate refresh.
+    ///
+    /// # Errors
+    /// Returns [`SimError::UnknownLink`] for a foreign link id and
+    /// [`SimError::BadCapacity`] for a non-finite or non-positive factor.
+    pub fn scale_link(&mut self, link: LinkId, factor: f64) -> Result<(), SimError> {
+        if link.0 >= self.links.len() {
+            return Err(SimError::UnknownLink { link: link.0 });
+        }
+        if !(factor.is_finite() && factor > 0.0) {
+            return Err(SimError::BadCapacity { link: link.0 });
+        }
+        let l = &mut self.links[link.0];
+        l.capacity = match (&l.nominal, &mut l.capacity) {
+            (Capacity::Fixed(c), _) => Capacity::Fixed(c * factor),
+            (Capacity::Bucketed(n), Capacity::Bucketed(live)) => {
+                let mut b = live.clone();
+                b.set_rates(n.burst_rate() * factor, n.sustained_rate() * factor);
+                Capacity::Bucketed(b)
+            }
+            // A link never changes kind, but stay total: rebuild from the
+            // nominal bucket.
+            (Capacity::Bucketed(n), _) => {
+                let mut b = n.clone();
+                b.set_rates(n.burst_rate() * factor, n.sustained_rate() * factor);
+                Capacity::Bucketed(b)
+            }
+        };
+        l.scale = factor;
+        self.rates_dirty = true;
+        Ok(())
+    }
+
+    /// Sets the capacity of `link` to an absolute `bytes_per_sec`. For
+    /// fixed links this replaces the rate; for token-bucket links the value
+    /// is interpreted as the new *sustained* rate and the burst rate is
+    /// scaled proportionally (token fill preserved).
+    ///
+    /// # Errors
+    /// Same conditions as [`FlowNet::scale_link`].
+    pub fn set_link_cap(&mut self, link: LinkId, bytes_per_sec: f64) -> Result<(), SimError> {
+        if link.0 >= self.links.len() {
+            return Err(SimError::UnknownLink { link: link.0 });
+        }
+        if !(bytes_per_sec.is_finite() && bytes_per_sec > 0.0) {
+            return Err(SimError::BadCapacity { link: link.0 });
+        }
+        let nominal = match &self.links[link.0].nominal {
+            Capacity::Fixed(c) => *c,
+            Capacity::Bucketed(b) => b.sustained_rate(),
+        };
+        self.scale_link(link, bytes_per_sec / nominal)
+    }
+
+    /// Restores `link` to its nominal capacity (equivalent to
+    /// `scale_link(link, 1.0)`).
+    ///
+    /// # Errors
+    /// Returns [`SimError::UnknownLink`] for a foreign link id.
+    pub fn restore_link(&mut self, link: LinkId) -> Result<(), SimError> {
+        self.scale_link(link, 1.0)
+    }
+
+    /// Restores every link to its nominal capacity. Used by callers that
+    /// inject faults for one characterization run and want the network
+    /// healthy again afterwards.
+    pub fn restore_all_links(&mut self) {
+        for i in 0..self.links.len() {
+            // In-range by construction; `scale_link(·, 1.0)` cannot fail.
+            let _ = self.restore_link(LinkId(i));
+        }
+    }
+
+    /// Current fault scale of `link` relative to its nominal capacity
+    /// (1.0 = healthy).
+    ///
+    /// # Panics
+    /// Panics if `link` does not belong to this network.
+    pub fn link_scale(&self, link: LinkId) -> f64 {
+        self.links[link.0].scale
     }
 
     /// Remaining bytes of `flow`, or `None` once it has completed.
@@ -279,14 +393,15 @@ impl FlowNet {
                 }
             }
 
-            let cap_wins = match (cap_best, link_best) {
-                (Some((c, _)), Some((s, _))) => c <= s,
-                (Some(_), None) => true,
-                _ => false,
+            // The winning cap carries its values through the match, so no
+            // later unwrap is needed.
+            let cap_winner = match (cap_best, link_best) {
+                (Some((c, i)), Some((s, _))) if c <= s => Some((c, i)),
+                (Some((c, i)), None) => Some((c, i)),
+                _ => None,
             };
 
-            if cap_wins {
-                let (cap, i) = cap_best.expect("cap_wins implies cap_best");
+            if let Some((cap, i)) = cap_winner {
                 unfixed[i] = false;
                 remaining_unfixed -= 1;
                 let id = ids[i];
@@ -460,7 +575,7 @@ mod tests {
         let mut net = FlowNet::new();
         let fast = net.add_link("fast", 100.0);
         let slow = net.add_link("slow", 10.0);
-        net.start_flow(&[fast, slow], 100.0);
+        net.start_flow(&[fast, slow], 100.0).unwrap();
         assert!((drain_time(&mut net) - 10.0).abs() < 1e-9);
     }
 
@@ -468,8 +583,8 @@ mod tests {
     fn two_flows_share_fairly() {
         let mut net = FlowNet::new();
         let l = net.add_link("l", 10.0);
-        let a = net.start_flow(&[l], 50.0);
-        net.start_flow(&[l], 100.0);
+        let a = net.start_flow(&[l], 50.0).unwrap();
+        net.start_flow(&[l], 100.0).unwrap();
         // Both run at 5 B/s; a finishes at t=10, then b runs at 10 B/s.
         let mut t = 0.0;
         let (dt, done) = net
@@ -492,8 +607,8 @@ mod tests {
         let mut net = FlowNet::new();
         let shared = net.add_link("shared", 10.0);
         let private = net.add_link("private", 2.0);
-        let a = net.start_flow(&[private, shared], 100.0);
-        let b = net.start_flow(&[shared], 100.0);
+        let a = net.start_flow(&[private, shared], 100.0).unwrap();
+        let b = net.start_flow(&[shared], 100.0).unwrap();
         assert!((net.flow_rate(a).unwrap() - 2.0).abs() < 1e-9);
         assert!((net.flow_rate(b).unwrap() - 8.0).abs() < 1e-9);
     }
@@ -502,8 +617,8 @@ mod tests {
     fn rates_rebalance_after_completion() {
         let mut net = FlowNet::new();
         let l = net.add_link("l", 10.0);
-        net.start_flow(&[l], 10.0);
-        let b = net.start_flow(&[l], 100.0);
+        net.start_flow(&[l], 10.0).unwrap();
+        let b = net.start_flow(&[l], 100.0).unwrap();
         net.advance_to_next_event(SimTime::ZERO, &mut NullObserver)
             .unwrap();
         assert!((net.flow_rate(b).unwrap() - 10.0).abs() < 1e-9);
@@ -520,7 +635,7 @@ mod tests {
         let mut net = FlowNet::new();
         let a = net.add_link("a", 7.0);
         let b = net.add_link("b", 13.0);
-        net.start_flow(&[a, b], 42.0);
+        net.start_flow(&[a, b], 42.0).unwrap();
         let mut tally = Tally(0.0);
         net.drain(&mut tally);
         // Counted once per link on the 2-hop route.
@@ -534,7 +649,7 @@ mod tests {
         // moved 12.5 bytes; remaining 17.5 bytes at 2 B/s = 8.75 s.
         let mut net = FlowNet::new();
         let l = net.add_bucketed_link("nvme", TokenBucket::new(10.0, 10.0, 2.0));
-        net.start_flow(&[l], 30.0);
+        net.start_flow(&[l], 30.0).unwrap();
         let t = drain_time(&mut net);
         assert!((t - (1.25 + 8.75)).abs() < 1e-6, "t = {t}");
     }
@@ -543,12 +658,12 @@ mod tests {
     fn bucket_refills_between_bursts() {
         let mut net = FlowNet::new();
         let l = net.add_bucketed_link("nvme", TokenBucket::new(10.0, 10.0, 2.0));
-        net.start_flow(&[l], 10.0); // exactly drains the burst headroom? 10 bytes at 10 B/s = 1 s, draining 8 tokens
+        net.start_flow(&[l], 10.0).unwrap(); // exactly drains the burst headroom? 10 bytes at 10 B/s = 1 s, draining 8 tokens
         let t1 = drain_time(&mut net);
         assert!((t1 - 1.0).abs() < 1e-6);
         // Idle 4 s -> refills 8 tokens.
         net.advance(SimTime::from_secs(t1), 4.0, &mut NullObserver);
-        net.start_flow(&[l], 10.0);
+        net.start_flow(&[l], 10.0).unwrap();
         let t2 = drain_time(&mut net);
         assert!(
             (t2 - 1.0).abs() < 1e-6,
@@ -560,8 +675,8 @@ mod tests {
     fn per_flow_cap_limits_rate() {
         let mut net = FlowNet::new();
         let l = net.add_link("l", 100.0);
-        let capped = net.start_flow_capped(&[l], 100.0, 10.0);
-        let free = net.start_flow(&[l], 100.0);
+        let capped = net.start_flow_capped(&[l], 100.0, 10.0).unwrap();
+        let free = net.start_flow(&[l], 100.0).unwrap();
         assert!((net.flow_rate(capped).unwrap() - 10.0).abs() < 1e-9);
         // The uncapped flow picks up the slack.
         assert!((net.flow_rate(free).unwrap() - 90.0).abs() < 1e-9);
@@ -571,34 +686,54 @@ mod tests {
     fn cap_larger_than_share_is_inert() {
         let mut net = FlowNet::new();
         let l = net.add_link("l", 100.0);
-        let a = net.start_flow_capped(&[l], 100.0, 1000.0);
-        let b = net.start_flow(&[l], 100.0);
+        let a = net.start_flow_capped(&[l], 100.0, 1000.0).unwrap();
+        let b = net.start_flow(&[l], 100.0).unwrap();
         assert!((net.flow_rate(a).unwrap() - 50.0).abs() < 1e-9);
         assert!((net.flow_rate(b).unwrap() - 50.0).abs() < 1e-9);
     }
 
     #[test]
-    #[should_panic(expected = "flow cap must be positive")]
-    fn zero_cap_panics() {
+    fn zero_cap_is_an_error() {
         let mut net = FlowNet::new();
         let l = net.add_link("l", 100.0);
-        net.start_flow_capped(&[l], 1.0, 0.0);
+        let err = net.start_flow_capped(&[l], 1.0, 0.0).unwrap_err();
+        assert_eq!(err, SimError::NonPositiveCap);
+        assert!(err.to_string().contains("flow cap must be positive"));
+        assert_eq!(net.flow_count(), 0, "rejected flow must not be admitted");
     }
 
     #[test]
-    #[should_panic(expected = "route must contain at least one link")]
-    fn empty_route_panics() {
+    fn empty_route_is_an_error() {
         let mut net = FlowNet::new();
-        net.start_flow(&[], 1.0);
+        let err = net.start_flow(&[], 1.0).unwrap_err();
+        assert_eq!(err, SimError::EmptyRoute);
+        assert!(err
+            .to_string()
+            .contains("route must contain at least one link"));
     }
 
     #[test]
-    #[should_panic(expected = "unknown link")]
-    fn unknown_link_panics() {
+    fn unknown_link_is_an_error() {
         let mut net = FlowNet::new();
         let mut other = FlowNet::new();
         let l = other.add_link("elsewhere", 1.0);
-        net.start_flow(&[l], 1.0);
+        let err = net.start_flow(&[l], 1.0).unwrap_err();
+        assert_eq!(err, SimError::UnknownLink { link: l.index() });
+        assert!(err.to_string().contains("unknown link"));
+    }
+
+    #[test]
+    fn non_positive_bytes_is_an_error() {
+        let mut net = FlowNet::new();
+        let l = net.add_link("l", 100.0);
+        assert_eq!(
+            net.start_flow(&[l], 0.0).unwrap_err(),
+            SimError::NonPositiveFlow
+        );
+        assert_eq!(
+            net.start_flow(&[l], f64::NAN).unwrap_err(),
+            SimError::NonPositiveFlow
+        );
     }
 
     #[test]
@@ -609,7 +744,99 @@ mod tests {
         assert_eq!(net.link_capacity(l), 25e9);
         assert_eq!(net.link_count(), 1);
         assert_eq!(net.flow_count(), 0);
-        net.start_flow(&[l], 1.0);
+        net.start_flow(&[l], 1.0).unwrap();
         assert!((net.link_demand(l) - 25e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn scale_link_rebalances_in_flight_flows() {
+        let mut net = FlowNet::new();
+        let l = net.add_link("roce", 10.0);
+        let f = net.start_flow(&[l], 100.0).unwrap();
+        assert!((net.flow_rate(f).unwrap() - 10.0).abs() < 1e-9);
+        net.scale_link(l, 0.5).unwrap();
+        assert!((net.flow_rate(f).unwrap() - 5.0).abs() < 1e-9);
+        assert_eq!(net.link_scale(l), 0.5);
+        net.restore_link(l).unwrap();
+        assert!((net.flow_rate(f).unwrap() - 10.0).abs() < 1e-9);
+        assert_eq!(net.link_scale(l), 1.0);
+        assert_eq!(net.link_capacity(l), 10.0);
+    }
+
+    #[test]
+    fn scale_link_is_absolute_not_cumulative() {
+        let mut net = FlowNet::new();
+        let l = net.add_link("roce", 10.0);
+        net.scale_link(l, 0.5).unwrap();
+        net.scale_link(l, 0.5).unwrap();
+        assert_eq!(net.link_capacity(l), 5.0);
+    }
+
+    #[test]
+    fn degraded_link_stretches_completion() {
+        // 100 bytes over a 10 B/s link degraded to 5 B/s after 4 s:
+        // 40 bytes move in the first phase, the remaining 60 take 12 s.
+        let mut net = FlowNet::new();
+        let l = net.add_link("roce", 10.0);
+        net.start_flow(&[l], 100.0).unwrap();
+        net.advance(SimTime::ZERO, 4.0, &mut NullObserver);
+        net.scale_link(l, 0.5).unwrap();
+        let t = net.drain(&mut NullObserver);
+        assert!((t - 12.0).abs() < 1e-9, "t = {t}");
+    }
+
+    #[test]
+    fn set_link_cap_is_absolute() {
+        let mut net = FlowNet::new();
+        let l = net.add_link("roce", 10.0);
+        net.set_link_cap(l, 2.5).unwrap();
+        assert_eq!(net.link_capacity(l), 2.5);
+        assert_eq!(net.link_scale(l), 0.25);
+    }
+
+    #[test]
+    fn scale_bucketed_link_preserves_tokens() {
+        let mut net = FlowNet::new();
+        let l = net.add_bucketed_link("nvme", TokenBucket::new(10.0, 10.0, 2.0));
+        net.start_flow(&[l], 100.0).unwrap();
+        // Drain half the tokens: serving at 10 while sustaining 2 drains
+        // 8 tokens/s -> 0.625 s drains 5 tokens.
+        net.advance(SimTime::ZERO, 0.625, &mut NullObserver);
+        net.scale_link(l, 0.5).unwrap();
+        // Burst rate halves but the device still has burst headroom left.
+        assert_eq!(net.link_capacity(l), 5.0);
+        net.restore_link(l).unwrap();
+        assert_eq!(net.link_capacity(l), 10.0);
+    }
+
+    #[test]
+    fn scale_link_rejects_bad_input() {
+        let mut net = FlowNet::new();
+        let l = net.add_link("l", 10.0);
+        assert_eq!(
+            net.scale_link(l, 0.0).unwrap_err(),
+            SimError::BadCapacity { link: l.index() }
+        );
+        assert_eq!(
+            net.scale_link(LinkId(7), 0.5).unwrap_err(),
+            SimError::UnknownLink { link: 7 }
+        );
+        assert_eq!(
+            net.set_link_cap(l, f64::INFINITY).unwrap_err(),
+            SimError::BadCapacity { link: l.index() }
+        );
+    }
+
+    #[test]
+    fn cancel_flow_releases_bandwidth() {
+        let mut net = FlowNet::new();
+        let l = net.add_link("l", 10.0);
+        let a = net.start_flow(&[l], 100.0).unwrap();
+        let b = net.start_flow(&[l], 100.0).unwrap();
+        assert!((net.flow_rate(b).unwrap() - 5.0).abs() < 1e-9);
+        assert!(net.cancel_flow(a));
+        assert!(!net.cancel_flow(a), "second cancel is a no-op");
+        assert!((net.flow_rate(b).unwrap() - 10.0).abs() < 1e-9);
+        assert_eq!(net.flow_count(), 1);
     }
 }

@@ -47,6 +47,7 @@ pub mod bucket;
 pub mod dag;
 pub mod engine;
 mod error;
+pub mod fault;
 pub mod flow;
 pub mod record;
 mod time;
@@ -55,6 +56,7 @@ pub use bucket::TokenBucket;
 pub use dag::{Dag, DagBuilder, ResourceId, TaskId, TaskKind};
 pub use engine::{DagEngine, RunOutcome};
 pub use error::SimError;
+pub use fault::{FaultCursor, FaultEvent, FaultKind, FaultSchedule, FLAP_FLOOR};
 pub use flow::{FlowId, FlowNet, FlowObserver, LinkId, NullObserver};
 pub use record::{BandwidthRecorder, BandwidthStats, Span, SpanLog};
 pub use time::SimTime;

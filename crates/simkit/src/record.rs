@@ -64,7 +64,7 @@ impl BandwidthStats {
 ///
 /// let mut net = FlowNet::new();
 /// let l = net.add_link("pcie", 100.0);
-/// net.start_flow(&[l], 200.0);
+/// net.start_flow(&[l], 200.0).unwrap();
 /// let mut rec = BandwidthRecorder::new(SimTime::from_secs(1.0));
 /// net.drain(&mut rec);
 /// let series = rec.series(l);
@@ -312,7 +312,7 @@ mod tests {
     fn recorder_buckets_constant_flow() {
         let mut net = FlowNet::new();
         let l = net.add_link("l", 100.0);
-        net.start_flow(&[l], 250.0);
+        net.start_flow(&[l], 250.0).unwrap();
         let mut rec = BandwidthRecorder::new(SimTime::from_secs(1.0));
         net.drain(&mut rec);
         let s = rec.series(l);

@@ -109,6 +109,15 @@ impl<'a> PlanCtx<'a> {
         }
     }
 
+    /// Starts an empty checkpoint/restore plan for `ctx`; all emitted ops
+    /// carry the [`PhaseStage::Checkpoint`] phase label.
+    pub fn new_checkpoint(ctx: IterCtx<'a>) -> Self {
+        PlanCtx {
+            ctx,
+            plan: IterPlan::new_checkpoint(),
+        }
+    }
+
     /// Finalizes the plan.
     pub fn finish(self) -> IterPlan {
         self.plan

@@ -55,6 +55,7 @@ mod memory;
 mod options;
 mod plan;
 mod registry;
+mod resilience;
 mod zero;
 
 pub use builders::{IterCtx, PlanCtx};
@@ -64,8 +65,11 @@ pub use error::StrategyError;
 pub use lower::{lower, LoweredPlan};
 pub use memory::MemoryPlan;
 pub use options::TrainOptions;
-pub use plan::{IterPlan, OpId, OptimizerDevice, Phase, PhaseStage, PlanNode, PlanOp};
+pub use plan::{IterPlan, OpId, OptimizerDevice, Phase, PhaseStage, PlanKind, PlanNode, PlanOp};
 pub use registry::StrategyRegistry;
+pub use resilience::{
+    plan_checkpoint, plan_restore, snapshot_bytes_per_rank, CheckpointSink, RecoveryPolicy,
+};
 pub use zero::{InfinityPlacement, StateTier, ZeroStage};
 
 use std::fmt::Debug;

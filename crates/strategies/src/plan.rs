@@ -46,6 +46,23 @@ pub enum PhaseStage {
     Backward,
     /// Optimizer step and post-step parameter redistribution.
     Step,
+    /// Checkpoint/restore traffic (state snapshots to DRAM/NVMe); only
+    /// used by [`PlanKind::Checkpoint`] plans.
+    Checkpoint,
+}
+
+/// What a plan describes: a training iteration or a checkpoint/restore
+/// state movement.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum PlanKind {
+    /// One training iteration (forward/backward/step). Must contain at
+    /// least one optimizer step.
+    #[default]
+    Iteration,
+    /// A checkpoint snapshot or restore: pure state movement between
+    /// memory tiers. Must move at least one byte of state and must not
+    /// contain optimizer steps.
+    Checkpoint,
 }
 
 /// Phase label: stage plus the gradient-accumulation micro-step.
@@ -175,6 +192,7 @@ pub struct PlanNode {
 pub struct IterPlan {
     nodes: Vec<PlanNode>,
     phase: Option<Phase>,
+    kind: PlanKind,
 }
 
 impl IterPlan {
@@ -183,7 +201,27 @@ impl IterPlan {
         IterPlan {
             nodes: Vec::new(),
             phase: Some(Phase::INPUT),
+            kind: PlanKind::Iteration,
         }
+    }
+
+    /// Creates an empty checkpoint/restore plan. Ops default to the
+    /// [`PhaseStage::Checkpoint`] phase; validation requires state
+    /// movement instead of an optimizer step.
+    pub fn new_checkpoint() -> Self {
+        IterPlan {
+            nodes: Vec::new(),
+            phase: Some(Phase {
+                micro: 0,
+                stage: PhaseStage::Checkpoint,
+            }),
+            kind: PlanKind::Checkpoint,
+        }
+    }
+
+    /// What this plan describes.
+    pub fn kind(&self) -> PlanKind {
+        self.kind
     }
 
     /// Enters a new phase; subsequent ops carry this label.
@@ -283,7 +321,11 @@ impl IterPlan {
     ///   (all-reduce `2 (n−1)/n · S` per rank; the hierarchical schedule
     ///   never exceeds the flat-ring volume);
     /// * optimizer steps carry positive parameter counts, run in the
-    ///   `Step` phase, and at least one exists.
+    ///   `Step` phase, and at least one exists ([`PlanKind::Iteration`]
+    ///   plans only);
+    /// * [`PlanKind::Checkpoint`] plans contain no optimizer step, move
+    ///   at least one tier-transfer or volume-I/O payload, and keep all
+    ///   ops in the [`PhaseStage::Checkpoint`] phase.
     pub fn validate(&self, cluster: &Cluster) -> Result<(), StrategyError> {
         let spec = cluster.spec();
         let gpu_ok = |g: &GpuId| g.node < spec.nodes && g.gpu < spec.gpus_per_node;
@@ -296,7 +338,18 @@ impl IterPlan {
         let err = |i: usize, msg: String| Err(StrategyError::plan(format!("op {i}: {msg}")));
 
         let mut optimizer_steps = 0usize;
+        let mut state_moves = 0usize;
         for (i, node) in self.nodes.iter().enumerate() {
+            if self.kind == PlanKind::Checkpoint {
+                if node.phase.stage != PhaseStage::Checkpoint {
+                    return err(i, "checkpoint-plan op outside the Checkpoint phase".into());
+                }
+                if matches!(node.op, PlanOp::OptimizerStep { .. }) {
+                    return err(i, "checkpoint plan contains an optimizer step".into());
+                }
+            } else if node.phase.stage == PhaseStage::Checkpoint {
+                return err(i, "iteration-plan op in the Checkpoint phase".into());
+            }
             for d in &node.deps {
                 if d.0 >= i {
                     return err(i, format!("dependency {} does not precede it", d.0));
@@ -376,6 +429,9 @@ impl IterPlan {
                     if !(bytes.is_finite() && *bytes >= 0.0) {
                         return err(i, format!("bad transfer bytes {bytes}"));
                     }
+                    if *bytes > 0.0 {
+                        state_moves += 1;
+                    }
                 }
                 PlanOp::VolumeIo {
                     volume,
@@ -392,13 +448,25 @@ impl IterPlan {
                     if !(bytes.is_finite() && *bytes >= 0.0) {
                         return err(i, format!("bad volume I/O bytes {bytes}"));
                     }
+                    if *bytes > 0.0 {
+                        state_moves += 1;
+                    }
                 }
             }
         }
-        if optimizer_steps == 0 {
-            return Err(StrategyError::plan(
-                "iteration plan contains no optimizer step",
-            ));
+        match self.kind {
+            PlanKind::Iteration => {
+                if optimizer_steps == 0 {
+                    return Err(StrategyError::plan(
+                        "iteration plan contains no optimizer step",
+                    ));
+                }
+            }
+            PlanKind::Checkpoint => {
+                if state_moves == 0 {
+                    return Err(StrategyError::plan("checkpoint plan moves no state"));
+                }
+            }
         }
         Ok(())
     }
@@ -524,5 +592,58 @@ mod tests {
     fn forward_dependency_panics() {
         let mut p = IterPlan::new();
         p.push(PlanOp::Overhead, &[OpId(3)]);
+    }
+
+    #[test]
+    fn checkpoint_plan_validates_without_optimizer() {
+        let c = cluster();
+        let mut p = IterPlan::new_checkpoint();
+        assert_eq!(p.kind(), PlanKind::Checkpoint);
+        let d2h = p.push(
+            PlanOp::TierTransfer {
+                src: MemLoc::Gpu(gpu0()),
+                dst: MemLoc::Cpu(SocketId { node: 0, socket: 0 }),
+                bytes: 1e9,
+                label: "ckpt_d2h",
+                track: 0,
+            },
+            &[],
+        );
+        p.push(PlanOp::Barrier, &[d2h]);
+        assert!(p.validate(&c).is_ok());
+    }
+
+    #[test]
+    fn checkpoint_plan_must_move_state() {
+        let c = cluster();
+        let mut p = IterPlan::new_checkpoint();
+        p.push(PlanOp::Barrier, &[]);
+        let e = p.validate(&c).unwrap_err();
+        assert!(e.to_string().contains("moves no state"));
+    }
+
+    #[test]
+    fn checkpoint_plan_rejects_optimizer_step() {
+        let c = cluster();
+        let mut p = IterPlan::new_checkpoint();
+        p.push(
+            PlanOp::OptimizerStep {
+                device: OptimizerDevice::Gpu(gpu0()),
+                params: 1.0,
+            },
+            &[],
+        );
+        let e = p.validate(&c).unwrap_err();
+        assert!(e.to_string().contains("optimizer step"));
+    }
+
+    #[test]
+    fn iteration_plan_rejects_checkpoint_phase() {
+        let c = cluster();
+        let mut p = IterPlan::new();
+        p.set_phase(PhaseStage::Checkpoint, 0);
+        p.push(PlanOp::Overhead, &[]);
+        let e = p.validate(&c).unwrap_err();
+        assert!(e.to_string().contains("Checkpoint phase"));
     }
 }

@@ -53,4 +53,13 @@ cargo bench -p zerosim-bench --bench dag_build -- --quick
 # (ddp_run_produces_sane_report asserts report.plan_lowerings == 1).
 cargo test -q -p zerosim-core ddp_run_produces_sane_report
 
+echo "== resilience smoke: fault matrix deterministic, goodput bounded =="
+# One small fault-matrix cell, run twice with the same seed + schedule:
+# byte-identical digests, and faulted goodput strictly below healthy
+# (straggler cell, 1.4 B dual-node).
+cargo test -q -p zerosim-bench straggler_cell_loses_goodput_but_stays_deterministic
+# An empty schedule must not perturb a run: run_resilient == run,
+# digest-for-digest, across every golden paper configuration.
+cargo test -q --test resilience fault_free_resilient_runs_are_byte_identical_for_every_paper_config
+
 echo "VERIFY OK"

@@ -40,7 +40,7 @@ prop! {
                 .map(|i| links[i % links.len()])
                 .collect();
             route.dedup();
-            ids.push((net.start_flow(&route, *bytes), route));
+            ids.push((net.start_flow(&route, *bytes).unwrap(), route));
         }
         // Per-flow rates positive.
         let rates: Vec<f64> = ids
@@ -75,7 +75,7 @@ prop! {
         let a = net.add_link("a", 1e7);
         let b = net.add_link("b", 2e7);
         for v in &bytes {
-            net.start_flow(&[a, b], *v);
+            net.start_flow(&[a, b], *v).unwrap();
         }
         let mut rec = BandwidthRecorder::new(SimTime::from_ms(10.0));
         net.drain(&mut rec);
@@ -93,7 +93,7 @@ prop! {
         let time_for = |v: f64| {
             let mut net = FlowNet::new();
             let l = net.add_link("l", 1e8);
-            net.start_flow(&[l], v);
+            net.start_flow(&[l], v).unwrap();
             net.drain(&mut NullObserver)
         };
         prop_assert!(time_for(size + extra) >= time_for(size));

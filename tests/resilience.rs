@@ -1,0 +1,309 @@
+//! Resilience invariants across the stack: fault-free resilient runs are
+//! byte-identical to plain runs for every golden paper configuration;
+//! degrade-then-restore windows never speed a run up; node-loss replay is
+//! bounded by the checkpoint interval; and identical seeds + schedules
+//! reproduce identical reports under faults.
+
+use zerosim_core::{
+    CheckpointSink, FaultConfig, FaultScenario, RecoveryPolicy, RunConfig, TrainingSim,
+};
+use zerosim_hw::{ClusterSpec, LinkClass, NvmeDrivePlacement, NvmeId};
+use zerosim_model::GptConfig;
+use zerosim_simkit::{DagBuilder, DagEngine, FaultKind, FaultSchedule, FlowNet, SimTime, TaskId};
+use zerosim_strategies::{InfinityPlacement, Strategy, TrainOptions, ZeroStage};
+use zerosim_testkit::gen::{f64_range, usize_range};
+use zerosim_testkit::{prop, prop_assert};
+
+/// The golden strategy × node-count matrix of `tests/plan_equivalence.rs`.
+fn paper_configs() -> Vec<(Strategy, usize)> {
+    vec![
+        (Strategy::Ddp, 1),
+        (Strategy::Ddp, 2),
+        (Strategy::Megatron { tp: 4, pp: 1 }, 1),
+        (Strategy::Megatron { tp: 8, pp: 1 }, 2),
+        (Strategy::Megatron { tp: 4, pp: 2 }, 2),
+        (
+            Strategy::Zero {
+                stage: ZeroStage::One,
+            },
+            1,
+        ),
+        (
+            Strategy::Zero {
+                stage: ZeroStage::Two,
+            },
+            1,
+        ),
+        (
+            Strategy::Zero {
+                stage: ZeroStage::Three,
+            },
+            1,
+        ),
+        (
+            Strategy::Zero {
+                stage: ZeroStage::Three,
+            },
+            2,
+        ),
+        (
+            Strategy::ZeroOffload {
+                stage: ZeroStage::Two,
+                offload_params: false,
+            },
+            1,
+        ),
+        (
+            Strategy::ZeroOffload {
+                stage: ZeroStage::Three,
+                offload_params: true,
+            },
+            1,
+        ),
+    ]
+}
+
+/// The 12th golden config: ZeRO-Infinity on a two-drive RAID0 scratch.
+fn infinity_sim() -> (TrainingSim, Strategy) {
+    let s = |socket| NvmeDrivePlacement { socket };
+    let spec = ClusterSpec::default().with_nvme_layout(vec![s(1), s(1)]);
+    let mut sim = TrainingSim::new(spec).unwrap();
+    let d = |drive| NvmeId { node: 0, drive };
+    let vol = sim.cluster_mut().create_volume(vec![d(0), d(1)]);
+    let strategy = Strategy::ZeroInfinity {
+        offload_params: false,
+        placement: InfinityPlacement::new(vec![vol; 4]),
+    };
+    (sim, strategy)
+}
+
+fn opts_for(nodes: usize) -> TrainOptions {
+    if nodes == 1 {
+        TrainOptions::single_node()
+    } else {
+        TrainOptions::dual_node()
+    }
+}
+
+fn quick_cfg() -> RunConfig {
+    RunConfig {
+        allow_overflow: true,
+        ..RunConfig::quick()
+    }
+}
+
+// ---------- fault-free byte identity ----------
+
+#[test]
+fn fault_free_resilient_runs_are_byte_identical_for_every_paper_config() {
+    let model = GptConfig::paper_model_with_params(1.4);
+    for (strategy, nodes) in paper_configs() {
+        let opts = opts_for(nodes);
+        let mut plain_sim = TrainingSim::new(ClusterSpec::default()).unwrap();
+        let plain = plain_sim
+            .run(&strategy, &model, &opts, &quick_cfg())
+            .unwrap();
+        let mut res_sim = TrainingSim::new(ClusterSpec::default()).unwrap();
+        let resilient = res_sim
+            .run_resilient(
+                &strategy,
+                &model,
+                &opts,
+                &quick_cfg(),
+                &FaultConfig::healthy(),
+            )
+            .unwrap();
+        assert_eq!(
+            plain.digest(),
+            resilient.digest(),
+            "{} on {nodes} node(s): empty schedule must not perturb the run",
+            strategy.name()
+        );
+        let m = resilient.resilience.expect("resilient runs carry metrics");
+        assert_eq!(m.faults_applied, 0);
+        assert_eq!(m.replayed_iterations, 0);
+        assert_eq!(m.recoveries, 0);
+    }
+}
+
+#[test]
+fn fault_free_resilient_run_is_byte_identical_for_zero_infinity() {
+    let model = GptConfig::paper_model_with_params(1.4);
+    let (mut plain_sim, strategy) = infinity_sim();
+    let plain = plain_sim
+        .run(
+            &strategy,
+            &model,
+            &TrainOptions::single_node(),
+            &quick_cfg(),
+        )
+        .unwrap();
+    let (mut res_sim, _) = infinity_sim();
+    let resilient = res_sim
+        .run_resilient(
+            &strategy,
+            &model,
+            &TrainOptions::single_node(),
+            &quick_cfg(),
+            &FaultConfig::healthy(),
+        )
+        .unwrap();
+    assert_eq!(plain.digest(), resilient.digest());
+}
+
+// ---------- degraded links ----------
+
+#[test]
+fn deep_roce_brownout_slows_dual_node_megatron_deterministically() {
+    let model = GptConfig::paper_model_with_params(1.4);
+    let strategy = Strategy::Megatron { tp: 8, pp: 1 };
+    let opts = TrainOptions::dual_node();
+    let cfg = RunConfig {
+        warmup_iters: 0,
+        measure_iters: 3,
+        ..RunConfig::default()
+    };
+    let mut sim = TrainingSim::new(ClusterSpec::default()).unwrap();
+    let healthy = sim
+        .run_resilient(&strategy, &model, &opts, &cfg, &FaultConfig::healthy())
+        .unwrap();
+    let hm = healthy.resilience.as_ref().unwrap();
+    let scenario = FaultScenario::DegradeClass {
+        node: 0,
+        class: LinkClass::Roce,
+        factor: 0.1,
+        at_s: 0.25 * hm.wall_time.as_secs(),
+        dur_s: None,
+    };
+    let schedule = scenario.compile(sim.cluster(), 42);
+    let run = |sim: &mut TrainingSim| {
+        sim.run_resilient(
+            &strategy,
+            &model,
+            &opts,
+            &cfg,
+            &FaultConfig::without_checkpoints(schedule.clone()),
+        )
+        .unwrap()
+    };
+    let a = run(&mut sim);
+    let b = run(&mut sim);
+    assert_eq!(a.digest(), b.digest(), "same seed + schedule, same bytes");
+    assert_eq!(a.resilience, b.resilience);
+    let am = a.resilience.as_ref().unwrap();
+    assert!(am.faults_applied > 0, "brownout events must fire");
+    assert!(
+        am.goodput_flops < 0.9 * hm.goodput_flops,
+        "TP=8 dual-node is RoCE-bound below the protocol cap: {} vs {}",
+        am.goodput_flops,
+        hm.goodput_flops
+    );
+    assert!(am.wall_time > hm.wall_time);
+}
+
+prop! {
+    /// A degrade window (scale to `factor`, restore `dur` later) can only
+    /// slow a run down, never speed it up — for any onset, depth, and
+    /// length, including windows entirely after the healthy makespan.
+    #[cases(64)]
+    fn degrade_then_restore_never_decreases_makespan(
+        factor in f64_range(0.05, 1.0),
+        at in f64_range(0.0, 1.2),
+        dur in f64_range(0.01, 1.5),
+    ) {
+        // Four chained 25-byte transfers over a 100 B/s wire: healthy
+        // makespan exactly 1 s.
+        let build = || {
+            let mut net = FlowNet::new();
+            let l = net.add_link("wire", 100.0);
+            let mut b = DagBuilder::new();
+            let mut prev: Vec<TaskId> = Vec::new();
+            for _ in 0..4 {
+                let t = b.transfer(vec![l], 25.0, SimTime::ZERO, "x", 0, &prev);
+                prev = vec![t];
+            }
+            (net, b.build(), l)
+        };
+        let (mut net, dag, _) = build();
+        let mut eng = DagEngine::new(vec![]);
+        let healthy = eng
+            .run(&mut net, &dag, SimTime::ZERO, None)
+            .unwrap()
+            .makespan();
+        let (mut net2, dag2, link) = build();
+        let sched = FaultSchedule::new(1)
+            .at(at, FaultKind::ScaleLink { link, factor })
+            .at(at + dur, FaultKind::RestoreLink { link });
+        let mut cur = sched.cursor();
+        let mut eng2 = DagEngine::new(vec![]);
+        let faulted = eng2
+            .run_faulted(&mut net2, &dag2, SimTime::ZERO, None, &mut cur)
+            .unwrap()
+            .makespan();
+        prop_assert!(
+            faulted.as_secs() + 1e-9 >= healthy.as_secs(),
+            "degrade window sped the run up: {} < {}",
+            faulted.as_secs(),
+            healthy.as_secs()
+        );
+        // A window that overlaps the transfer at a real slowdown must bite.
+        if factor < 0.999 && at < healthy.as_secs() {
+            prop_assert!(
+                faulted > healthy,
+                "overlapping slowdown had no effect: factor {factor}, at {at}"
+            );
+        }
+    }
+}
+
+// ---------- checkpoint/restart ----------
+
+prop! {
+    /// After a node loss, the iterations lost to replay never exceed the
+    /// checkpoint interval, and goodput never exceeds the healthy run's.
+    #[cases(6)]
+    fn replay_loss_is_bounded_by_the_checkpoint_interval(
+        interval in usize_range(1, 5),
+        frac in f64_range(0.15, 0.85),
+    ) {
+        let model = GptConfig::paper_model_with_params(1.4);
+        let strategy = Strategy::Ddp;
+        let opts = TrainOptions::dual_node();
+        let cfg = RunConfig {
+            warmup_iters: 0,
+            measure_iters: 5,
+            ..RunConfig::default()
+        };
+        let mut sim = TrainingSim::new(ClusterSpec::default()).unwrap();
+        let healthy = sim
+            .run_resilient(&strategy, &model, &opts, &cfg, &FaultConfig::healthy())
+            .unwrap();
+        let hm = healthy.resilience.as_ref().unwrap();
+        let schedule = FaultScenario::NodeLoss {
+            node: 1,
+            at_s: frac * hm.wall_time.as_secs(),
+        }
+        .compile(sim.cluster(), 9);
+        let faults = FaultConfig::new(
+            schedule,
+            RecoveryPolicy::every(interval).with_restart_delay(0.25),
+            CheckpointSink::Dram,
+        );
+        let lost = sim
+            .run_resilient(&strategy, &model, &opts, &cfg, &faults)
+            .unwrap();
+        let m = lost.resilience.as_ref().unwrap();
+        prop_assert!(m.recoveries == 1, "one loss, one recovery: {}", m.recoveries);
+        prop_assert!(
+            m.replayed_iterations <= interval,
+            "replayed {} > interval {interval}",
+            m.replayed_iterations
+        );
+        prop_assert!(
+            m.goodput_flops < hm.goodput_flops,
+            "recovery is never free: {} vs {}",
+            m.goodput_flops,
+            hm.goodput_flops
+        );
+    }
+}
