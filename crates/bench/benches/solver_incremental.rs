@@ -1,0 +1,160 @@
+//! Solver refactor scorecard (DESIGN.md §9): full vs. incremental
+//! max-min solve cost on the dual-node ZeRO-3 11.4 B configuration, and
+//! parallel-sweep speedup on the ext11 fault-matrix sweep.
+//!
+//! Emits `BENCH_solver.json` at the repository root with:
+//!
+//! * `solver`: wall-clock per mode, [`SolverStats`] work counters, the
+//!   links-touched-per-solve reduction, and a digest-equality check —
+//!   the refactor must change *cost only*, never results.
+//! * `sweep`: ext11 rendered at 1 and 8 workers, wall-clock speedup,
+//!   byte-identity of the two renderings, and the machine's core count
+//!   (speedup is honest, not normalized: on a 1-core box it hovers
+//!   near 1×, while the links-touched reduction is hardware-invariant).
+//!
+//! Run with `cargo bench -p zerosim-bench --bench solver_incremental`;
+//! `--quick` (or `ZEROSIM_BENCH_QUICK=1`) drops to single-iteration
+//! timing for CI smoke.
+
+use std::time::Instant;
+
+use zerosim_core::{RunConfig, TrainingReport, TrainingSim};
+use zerosim_hw::ClusterSpec;
+use zerosim_model::GptConfig;
+use zerosim_strategies::{Strategy, TrainOptions, ZeroStage};
+use zerosim_testkit::json::Json;
+
+/// One characterization run of dual-node ZeRO-3 at 11.4 B parameters.
+///
+/// `full_solve` selects the pre-refactor cost profile (global re-solve on
+/// every perturbation). Shadow verification is disabled in both modes so
+/// the timing compares the solvers themselves, not the cross-check.
+fn zero3_11b_run(full_solve: bool) -> TrainingReport {
+    let mut sim = TrainingSim::new(ClusterSpec::default()).expect("default spec valid");
+    sim.cluster_mut().net_mut().set_shadow_verify(false);
+    sim.cluster_mut().net_mut().set_full_solve(full_solve);
+    let strategy = Strategy::Zero {
+        stage: ZeroStage::Three,
+    };
+    let model = GptConfig::paper_model_with_params(11.4);
+    let run = RunConfig {
+        allow_overflow: true,
+        ..RunConfig::quick()
+    };
+    sim.run(&strategy, &model, &TrainOptions::dual_node(), &run)
+        .expect("dual-node ZeRO-3 11.4 B runs")
+}
+
+/// Times `f` over `iters` runs, returning (best wall seconds, last value).
+fn time_best<T>(iters: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        let value = f();
+        best = best.min(t0.elapsed().as_secs_f64());
+        last = Some(value);
+    }
+    (best, last.expect("at least one iteration"))
+}
+
+fn num(v: f64) -> Json {
+    Json::Num(v)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick")
+        || std::env::var("ZEROSIM_BENCH_QUICK")
+            .map(|v| v == "1")
+            .unwrap_or(false);
+    let solver_iters = if quick { 1 } else { 3 };
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    // Part 1: full vs. incremental solve cost, identical results.
+    let (full_s, full) = time_best(solver_iters, || zero3_11b_run(true));
+    let (inc_s, inc) = time_best(solver_iters, || zero3_11b_run(false));
+    assert_eq!(
+        full.digest(),
+        inc.digest(),
+        "full and incremental solves must agree bit-for-bit"
+    );
+    let reduction = full.solver.mean_links_per_solve() / inc.solver.mean_links_per_solve();
+    println!("solver: dual-node ZeRO-3 11.4 B (quick run, shadow off)");
+    println!(
+        "  full        {:>8.3} s  {:>9.1} links/solve  ({} solves)",
+        full_s,
+        full.solver.mean_links_per_solve(),
+        full.solver.solves
+    );
+    println!(
+        "  incremental {:>8.3} s  {:>9.1} links/solve  ({} solves, {} full)",
+        inc_s,
+        inc.solver.mean_links_per_solve(),
+        inc.solver.solves,
+        inc.solver.full_solves
+    );
+    println!("  links-touched-per-solve reduction: {reduction:.1}x");
+
+    // Part 2: ext11 fault-matrix sweep at 1 vs. 8 workers, identical bytes.
+    let sweep_iters = if quick { 1 } else { 2 };
+    let (serial_s, serial_out) = time_best(sweep_iters, || zerosim_bench::render_with("ext11", 1));
+    let (wide_s, wide_out) = time_best(sweep_iters, || zerosim_bench::render_with("ext11", 8));
+    assert_eq!(
+        serial_out, wide_out,
+        "ext11 must render byte-identically at any sweep width"
+    );
+    let speedup = serial_s / wide_s;
+    println!("sweep: ext11 fault matrix, {cores} core(s)");
+    println!("  1 worker  {serial_s:>8.3} s");
+    println!("  8 workers {wide_s:>8.3} s  ({speedup:.2}x)");
+
+    let doc = Json::Obj(vec![
+        ("bench".into(), Json::Str("solver_incremental".into())),
+        ("quick".into(), Json::Bool(quick)),
+        ("cores".into(), num(cores as f64)),
+        (
+            "solver".into(),
+            Json::Obj(vec![
+                (
+                    "config".into(),
+                    Json::Str("dual-node ZeRO-3 11.4B quick".into()),
+                ),
+                ("full_wall_s".into(), num(full_s)),
+                ("incremental_wall_s".into(), num(inc_s)),
+                ("wall_speedup".into(), num(full_s / inc_s)),
+                ("full_solves".into(), num(full.solver.solves as f64)),
+                ("incremental_solves".into(), num(inc.solver.solves as f64)),
+                (
+                    "full_links_per_solve".into(),
+                    num(full.solver.mean_links_per_solve()),
+                ),
+                (
+                    "incremental_links_per_solve".into(),
+                    num(inc.solver.mean_links_per_solve()),
+                ),
+                ("links_per_solve_reduction".into(), num(reduction)),
+                ("digests_equal".into(), Json::Bool(true)),
+            ]),
+        ),
+        (
+            "sweep".into(),
+            Json::Obj(vec![
+                ("artifact".into(), Json::Str("ext11".into())),
+                ("serial_wall_s".into(), num(serial_s)),
+                ("workers8_wall_s".into(), num(wide_s)),
+                ("speedup".into(), num(speedup)),
+                ("outputs_identical".into(), Json::Bool(true)),
+            ]),
+        ),
+    ]);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_solver.json");
+    std::fs::write(path, doc.render() + "\n").expect("write BENCH_solver.json");
+    println!("wrote BENCH_solver.json");
+
+    assert!(
+        reduction >= 5.0,
+        "links-touched-per-solve reduction {reduction:.1}x is below the 5x floor"
+    );
+}

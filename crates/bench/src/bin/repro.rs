@@ -1,8 +1,10 @@
 //! Regenerates the paper's tables and figures on the simulated cluster.
 //!
-//! Usage: `repro [--out DIR] <artifact>...` where artifact ∈
-//! {fig1..fig13, table1..table6, ext1..ext5, all}. With `--out`, each
-//! artifact is also written to `DIR/<id>.txt`.
+//! Usage: `repro [--out DIR] [--workers N] <artifact>...` where artifact
+//! ∈ {fig1..fig13, table1..table6, ext1..ext11, all}. With `--out`, each
+//! artifact is also written to `DIR/<id>.txt`. `--workers N` fans the
+//! experiment sweeps across N threads — output is byte-identical at any
+//! width.
 
 use std::time::Instant;
 
@@ -17,8 +19,24 @@ fn main() {
         out_dir = Some(args.remove(pos + 1));
         args.remove(pos);
     }
+    let mut workers = 1usize;
+    if let Some(pos) = args.iter().position(|a| a == "--workers") {
+        if pos + 1 >= args.len() {
+            eprintln!("--workers needs a thread count");
+            std::process::exit(2);
+        }
+        workers = match args.remove(pos + 1).parse() {
+            Ok(n) => n,
+            Err(e) => {
+                eprintln!("--workers: {e}");
+                std::process::exit(2);
+            }
+        };
+        args.remove(pos);
+    }
+    zerosim_bench::data::set_sweep_workers(workers);
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
-        eprintln!("usage: repro [--out DIR] <artifact>... | all");
+        eprintln!("usage: repro [--out DIR] [--workers N] <artifact>... | all");
         eprintln!("artifacts: {}", zerosim_bench::ARTIFACTS.join(" "));
         std::process::exit(2);
     }

@@ -1,9 +1,60 @@
 //! Shared fixtures and runners for the experiment harness.
 
-use zerosim_core::{max_model_size, CapacityResult, RunConfig, TrainingReport, TrainingSim};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use zerosim_core::{
+    max_model_size, CapacityResult, RunConfig, SweepRun, SweepRunner, SweepSpec, TrainingReport,
+    TrainingSim,
+};
 use zerosim_hw::{ClusterSpec, NvmeDrivePlacement, NvmeId, VolumeId};
 use zerosim_model::GptConfig;
 use zerosim_strategies::{InfinityPlacement, Strategy, TrainOptions, ZeroStage};
+
+/// Worker count used by [`runner`] (set once by the `repro` binary's
+/// `--workers` flag; defaults to 1 = serial, fully deterministic either
+/// way).
+static SWEEP_WORKERS: AtomicUsize = AtomicUsize::new(1);
+
+/// Sets the worker count used by every experiment sweep.
+pub fn set_sweep_workers(workers: usize) {
+    SWEEP_WORKERS.store(workers.max(1), Ordering::Relaxed);
+}
+
+/// The configured sweep worker count.
+pub fn sweep_workers() -> usize {
+    SWEEP_WORKERS.load(Ordering::Relaxed).max(1)
+}
+
+/// A sweep runner at the configured width.
+pub fn runner() -> SweepRunner {
+    SweepRunner::new(sweep_workers())
+}
+
+/// Fans `specs` over [`runner`], panicking on configuration errors (the
+/// experiment harness only sweeps configurations that are known to fit).
+pub fn sweep(specs: Vec<SweepSpec>) -> Vec<SweepRun> {
+    runner()
+        .run_parallel(specs)
+        .expect("experiment sweep configurations run")
+}
+
+/// A sweep spec mirroring [`run`]: default cluster, `strategy` at
+/// `model` on `nodes` nodes (quick single-iteration measurement unless
+/// `thorough`).
+pub fn spec(
+    label: impl Into<String>,
+    strategy: Strategy,
+    model: GptConfig,
+    nodes: usize,
+    thorough: bool,
+) -> SweepSpec {
+    let cfg = if thorough {
+        RunConfig::default()
+    } else {
+        RunConfig::quick()
+    };
+    SweepSpec::new(label, strategy, model, opts(nodes)).with_run(cfg)
+}
 
 /// A fresh simulator over the paper's two-node cluster.
 pub fn sim() -> TrainingSim {
@@ -132,39 +183,49 @@ impl NvmeConfig {
         }
     }
 
+    /// The cluster spec for this configuration (default cluster with this
+    /// config's scratch-drive layout).
+    pub fn cluster(&self) -> ClusterSpec {
+        ClusterSpec::default().with_nvme_layout(self.layout())
+    }
+
+    /// The volume member groups, in creation order, as plain data —
+    /// creating them in this order yields `VolumeId(0), VolumeId(1), ...`
+    /// on any cluster with this config's [`NvmeConfig::layout`].
+    pub fn volume_groups(&self) -> Vec<Vec<NvmeId>> {
+        let d = |drive| NvmeId { node: 0, drive };
+        match self {
+            NvmeConfig::A => vec![vec![d(0)]],
+            NvmeConfig::B | NvmeConfig::C => vec![vec![d(0), d(1)]],
+            NvmeConfig::D => vec![vec![d(0)], vec![d(1)]],
+            NvmeConfig::E => vec![vec![d(0), d(1), d(2), d(3)]],
+            NvmeConfig::F => vec![vec![d(0), d(1)], vec![d(2), d(3)]],
+            NvmeConfig::G => (0..4).map(|i| vec![d(i)]).collect(),
+        }
+    }
+
+    /// Rank → volume mapping respecting node topology where the config
+    /// allows it (ranks 0,1 live on socket 0; 2,3 on socket 1). Indices
+    /// refer to [`NvmeConfig::volume_groups`] creation order.
+    pub fn placement(&self) -> InfinityPlacement {
+        let v = VolumeId;
+        let rank_volumes = match self {
+            NvmeConfig::A | NvmeConfig::B | NvmeConfig::C | NvmeConfig::E => vec![v(0); 4],
+            NvmeConfig::D | NvmeConfig::F => vec![v(0), v(0), v(1), v(1)],
+            NvmeConfig::G => (0..4).map(v).collect(),
+        };
+        InfinityPlacement::new(rank_volumes)
+    }
+
     /// Builds the simulator, volumes, and rank placement for this
     /// configuration (single-node training, ranks 0–3).
     pub fn build(&self) -> (TrainingSim, InfinityPlacement) {
-        let spec = ClusterSpec::default().with_nvme_layout(self.layout());
-        let mut s = TrainingSim::new(spec).expect("valid spec");
-        let d = |drive| NvmeId { node: 0, drive };
+        let mut s = TrainingSim::new(self.cluster()).expect("valid spec");
         let cluster = s.cluster_mut();
-        let vols: Vec<VolumeId> = match self {
-            NvmeConfig::A => vec![cluster.create_volume(vec![d(0)])],
-            NvmeConfig::B | NvmeConfig::C => {
-                vec![cluster.create_volume(vec![d(0), d(1)])]
-            }
-            NvmeConfig::D => vec![
-                cluster.create_volume(vec![d(0)]),
-                cluster.create_volume(vec![d(1)]),
-            ],
-            NvmeConfig::E => vec![cluster.create_volume(vec![d(0), d(1), d(2), d(3)])],
-            NvmeConfig::F => vec![
-                cluster.create_volume(vec![d(0), d(1)]),
-                cluster.create_volume(vec![d(2), d(3)]),
-            ],
-            NvmeConfig::G => (0..4).map(|i| cluster.create_volume(vec![d(i)])).collect(),
-        };
-        // Rank → volume mapping respecting node topology where the config
-        // allows it (ranks 0,1 live on socket 0; 2,3 on socket 1).
-        let rank_volumes = match self {
-            NvmeConfig::A | NvmeConfig::B | NvmeConfig::C | NvmeConfig::E => {
-                vec![vols[0]; 4]
-            }
-            NvmeConfig::D | NvmeConfig::F => vec![vols[0], vols[0], vols[1], vols[1]],
-            NvmeConfig::G => vec![vols[0], vols[1], vols[2], vols[3]],
-        };
-        (s, InfinityPlacement::new(rank_volumes))
+        for group in self.volume_groups() {
+            cluster.create_volume(group);
+        }
+        (s, self.placement())
     }
 
     /// The ZeRO-Infinity strategy (optimizer offload) for this config.
@@ -173,6 +234,18 @@ impl NvmeConfig {
             offload_params: false,
             placement,
         }
+    }
+
+    /// A single-node sweep spec running this configuration (ZeRO-Infinity
+    /// optimizer offload) at `model` under `run`.
+    pub fn spec(&self, label: impl Into<String>, model: GptConfig, run: RunConfig) -> SweepSpec {
+        let mut s = SweepSpec::new(label, self.strategy(self.placement()), model, opts(1))
+            .with_cluster(self.cluster())
+            .with_run(run);
+        for group in self.volume_groups() {
+            s = s.with_volume(group);
+        }
+        s
     }
 }
 

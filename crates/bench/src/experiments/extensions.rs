@@ -2,13 +2,21 @@
 //! questions its conclusions raise, answered on the same simulated
 //! testbed.
 
-use zerosim_core::{RunConfig, TrainingSim};
+use zerosim_core::{RunConfig, SweepSpec, TrainingSim};
 use zerosim_hw::{ClusterSpec, LinkClass, NvmeDrivePlacement, NvmeId};
 use zerosim_model::GptConfig;
 use zerosim_report::{gbps, Table};
 use zerosim_strategies::{InfinityPlacement, Strategy, TrainOptions, ZeroStage};
 
 use crate::data;
+
+/// The overflow-tolerant quick config most extension sweeps use.
+fn overflow_quick() -> RunConfig {
+    RunConfig {
+        allow_overflow: true,
+        ..RunConfig::quick()
+    }
+}
 
 /// ext1 — Megatron parallelism layout sweep across two nodes.
 ///
@@ -24,21 +32,22 @@ pub fn ext1_megatron_layouts() -> String {
         "RoCE avg GBps",
         "NVLink avg GBps",
     ]);
-    for (tp, pp) in [(8, 1), (4, 2), (2, 4), (1, 8), (2, 2), (4, 1)] {
-        let dp = 8 / (tp * pp);
-        let mut sim = data::sim();
-        let cfg = RunConfig {
-            allow_overflow: true,
-            ..RunConfig::quick()
-        };
-        let report = sim
-            .run(
-                &Strategy::Megatron { tp, pp },
-                &model,
-                &TrainOptions::dual_node(),
-                &cfg,
+    let layouts = [(8, 1), (4, 2), (2, 4), (1, 8), (2, 2), (4, 1)];
+    let specs: Vec<SweepSpec> = layouts
+        .iter()
+        .map(|&(tp, pp)| {
+            SweepSpec::new(
+                format!("ext1 megatron {tp}x{pp}"),
+                Strategy::Megatron { tp, pp },
+                model,
+                TrainOptions::dual_node(),
             )
-            .expect("megatron layout runs");
+            .with_run(overflow_quick())
+        })
+        .collect();
+    for (&(tp, pp), run) in layouts.iter().zip(data::sweep(specs)) {
+        let dp = 8 / (tp * pp);
+        let report = &run.report;
         t.row(vec![
             format!("{tp} x {pp} x {dp}"),
             format!("{:.0}", report.throughput_tflops()),
@@ -188,25 +197,28 @@ pub fn ext3_iod_ablation() -> String {
 pub fn ext4_batch_size() -> String {
     let mut t = Table::new(vec!["per-GPU batch", "ZeRO-2 TFLOP/s", "fits?"]);
     let model = GptConfig::paper_model_with_params(2.9);
+    // Per-spec execution (not one sweep): a sweep fails as a unit, and
+    // this study *wants* the per-batch does-not-fit boundary.
     for batch in [4usize, 8, 16, 32, 64] {
-        let mut sim = data::sim();
         let opts = TrainOptions {
             per_gpu_batch: batch,
             nodes: 1,
             ..TrainOptions::default()
         };
-        let result = sim.run(
-            &Strategy::Zero {
+        let result = SweepSpec::new(
+            format!("ext4 batch {batch}"),
+            Strategy::Zero {
                 stage: ZeroStage::Two,
             },
-            &model,
-            &opts,
-            &RunConfig::quick(),
-        );
+            model,
+            opts,
+        )
+        .with_run(RunConfig::quick())
+        .execute();
         match result {
             Ok(r) => t.row(vec![
                 batch.to_string(),
-                format!("{:.0}", r.throughput_tflops()),
+                format!("{:.0}", r.report.throughput_tflops()),
                 "yes".into(),
             ]),
             Err(_) => t.row(vec![batch.to_string(), "-".into(), "no".into()]),
@@ -225,35 +237,42 @@ pub fn ext4_batch_size() -> String {
 pub fn ext5_nic_sweep() -> String {
     let model = GptConfig::paper_model_with_params(11.2);
     let mut t = Table::new(vec!["NIC", "Megatron TP=8 TFLOP/s", "ZeRO-3 TFLOP/s"]);
-    for (name, gbps_dir) in [
+    let nics = [
         ("100 GbE", 12.5e9),
         ("200 GbE (paper)", 25e9),
         ("400 GbE", 50e9),
-    ] {
-        let mut spec = ClusterSpec::default();
-        spec.bw.roce_dir = 0.93 * gbps_dir;
-        let run = |strategy: Strategy, spec: &ClusterSpec| {
-            let mut sim = TrainingSim::new(spec.clone()).unwrap();
-            let cfg = RunConfig {
-                allow_overflow: true,
-                ..RunConfig::quick()
-            };
-            sim.run(&strategy, &model, &TrainOptions::dual_node(), &cfg)
-                .unwrap()
-                .throughput_tflops()
-        };
+    ];
+    // Two specs per NIC generation (Megatron, ZeRO-3), one sweep overall.
+    let mut specs = Vec::new();
+    for (name, gbps_dir) in nics {
+        let mut cluster = ClusterSpec::default();
+        cluster.bw.roce_dir = 0.93 * gbps_dir;
+        for strategy in [
+            Strategy::Megatron { tp: 8, pp: 1 },
+            Strategy::Zero {
+                stage: ZeroStage::Three,
+            },
+        ] {
+            specs.push(
+                SweepSpec::new(
+                    format!("ext5 {name} {}", strategy.name()),
+                    strategy,
+                    model,
+                    TrainOptions::dual_node(),
+                )
+                .with_cluster(cluster.clone())
+                .with_run(overflow_quick()),
+            );
+        }
+    }
+    let mut runs = data::sweep(specs).into_iter();
+    for (name, _) in nics {
+        let megatron = runs.next().expect("megatron cell");
+        let zero3 = runs.next().expect("zero3 cell");
         t.row(vec![
             name.into(),
-            format!("{:.0}", run(Strategy::Megatron { tp: 8, pp: 1 }, &spec)),
-            format!(
-                "{:.0}",
-                run(
-                    Strategy::Zero {
-                        stage: ZeroStage::Three
-                    },
-                    &spec
-                )
-            ),
+            format!("{:.0}", megatron.report.throughput_tflops()),
+            format!("{:.0}", zero3.report.throughput_tflops()),
         ]);
     }
     format!(
@@ -276,41 +295,37 @@ pub fn ext6_energy() -> String {
         "avg power W",
         "tokens/kJ",
     ]);
-    let mut rows: Vec<(String, usize, zerosim_core::TrainingReport)> = Vec::new();
     let model = GptConfig::paper_model_with_params(1.4);
+    let mut specs: Vec<SweepSpec> = Vec::new();
+    let mut names: Vec<String> = Vec::new();
     for nodes in [1usize, 2] {
         for (name, strategy) in data::baselines(nodes) {
-            let mut sim = data::sim();
-            let cfg = RunConfig {
-                allow_overflow: true,
-                ..RunConfig::quick()
-            };
-            let report = sim
-                .run(&strategy, &model, &data::opts(nodes), &cfg)
-                .expect("runs");
-            rows.push((format!("{name} ({nodes}-node)"), nodes, report));
+            names.push(format!("{name} ({nodes}-node)"));
+            specs.push(
+                data::spec(names.last().unwrap().clone(), strategy, model, nodes, false)
+                    .with_run(overflow_quick()),
+            );
         }
     }
-    {
-        let mut sim = data::sim();
-        let cfg = RunConfig {
-            allow_overflow: true,
-            ..RunConfig::quick()
-        };
-        let report = sim
-            .run(
-                &Strategy::ZeroOffload {
-                    stage: ZeroStage::Two,
-                    offload_params: false,
-                },
-                &model,
-                &data::opts(1),
-                &cfg,
-            )
-            .expect("runs");
-        rows.push(("ZeRO-2 (CPU) (1-node)".into(), 1, report));
-    }
-    for (name, _nodes, report) in &rows {
+    names.push("ZeRO-2 (CPU) (1-node)".into());
+    specs.push(
+        data::spec(
+            "ZeRO-2 (CPU) (1-node)",
+            Strategy::ZeroOffload {
+                stage: ZeroStage::Two,
+                offload_params: false,
+            },
+            model,
+            1,
+            false,
+        )
+        .with_run(overflow_quick()),
+    );
+    let rows: Vec<(String, zerosim_core::TrainingReport)> = names
+        .into_iter()
+        .zip(data::sweep(specs).into_iter().map(|r| r.report))
+        .collect();
+    for (name, report) in &rows {
         let e = power.estimate(report, 4);
         t.row(vec![
             name.clone(),
@@ -511,29 +526,38 @@ pub fn ext9_grad_accum() -> String {
         "ZeRO-2 2-node TFLOP/s",
         "Megatron TP=8 TFLOP/s",
     ]);
-    for accum in [1usize, 2, 4, 8] {
-        let run = |strategy: Strategy| {
-            let mut sim = data::sim();
-            let opts = TrainOptions::dual_node().with_grad_accum(accum);
-            let cfg = RunConfig {
-                allow_overflow: true,
-                ..RunConfig::quick()
-            };
-            sim.run(&strategy, &model, &opts, &cfg)
-                .unwrap()
-                .throughput_tflops()
-        };
-        t.row(vec![
-            accum.to_string(),
-            format!("{:.0}", run(Strategy::Ddp)),
+    let accums = [1usize, 2, 4, 8];
+    let mut specs = Vec::new();
+    for accum in accums {
+        let opts = TrainOptions::dual_node().with_grad_accum(accum);
+        for strategy in [
+            Strategy::Ddp,
+            Strategy::Zero {
+                stage: ZeroStage::Two,
+            },
+            Strategy::Megatron { tp: 8, pp: 1 },
+        ] {
+            specs.push(
+                SweepSpec::new(
+                    format!("ext9 accum {accum} {}", strategy.name()),
+                    strategy,
+                    model,
+                    opts,
+                )
+                .with_run(overflow_quick()),
+            );
+        }
+    }
+    let mut runs = data::sweep(specs).into_iter();
+    for accum in accums {
+        let mut cell = || {
             format!(
                 "{:.0}",
-                run(Strategy::Zero {
-                    stage: ZeroStage::Two
-                })
-            ),
-            format!("{:.0}", run(Strategy::Megatron { tp: 8, pp: 1 })),
-        ]);
+                runs.next().expect("accum cell").report.throughput_tflops()
+            )
+        };
+        let (ddp, zero2, megatron) = (cell(), cell(), cell());
+        t.row(vec![accum.to_string(), ddp, zero2, megatron]);
     }
     format!(
         "ext9 — gradient accumulation on two nodes (1.4 B model):\n{}\n\
@@ -557,20 +581,31 @@ pub fn ext10_hidden_size() -> String {
         "Megatron TP=4 TFLOP/s",
         "Megatron/DDP",
     ]);
+    let mut specs = Vec::new();
     for preset in ModelPreset::ALL {
         let model = preset.config();
-        let run = |strategy: Strategy| {
-            let mut sim = data::sim();
-            let cfg = RunConfig {
-                allow_overflow: true,
-                ..RunConfig::quick()
-            };
-            sim.run(&strategy, &model, &data::opts(1), &cfg)
-                .unwrap()
-                .throughput_tflops()
-        };
-        let ddp = run(Strategy::Ddp);
-        let megatron = run(Strategy::Megatron { tp: 4, pp: 1 });
+        for strategy in [Strategy::Ddp, Strategy::Megatron { tp: 4, pp: 1 }] {
+            specs.push(
+                data::spec(
+                    format!("ext10 {} {}", preset.name(), strategy.name()),
+                    strategy,
+                    model,
+                    1,
+                    false,
+                )
+                .with_run(overflow_quick()),
+            );
+        }
+    }
+    let mut runs = data::sweep(specs).into_iter();
+    for preset in ModelPreset::ALL {
+        let model = preset.config();
+        let ddp = runs.next().expect("ddp cell").report.throughput_tflops();
+        let megatron = runs
+            .next()
+            .expect("megatron cell")
+            .report
+            .throughput_tflops();
         t.row(vec![
             preset.name().into(),
             model.hidden_size.to_string(),

@@ -16,8 +16,8 @@
 //! RoCE@10% brownout column collapses.
 
 use zerosim_core::{
-    CheckpointSink, FaultConfig, FaultScenario, RecoveryPolicy, RunConfig, TrainingReport,
-    TrainingSim,
+    CheckpointSink, FaultConfig, FaultScenario, RecoveryPolicy, RunConfig, SweepSpec,
+    TrainingReport,
 };
 use zerosim_hw::{GpuId, LinkClass};
 use zerosim_model::GptConfig;
@@ -81,49 +81,82 @@ pub fn fault_matrix_scenarios(wall_secs: f64) -> Vec<FaultScenario> {
     ]
 }
 
-/// Runs one strategy under one scenario and returns the report.
-pub fn run_cell(
-    strategy: &Strategy,
-    model: &GptConfig,
-    scenario: &FaultScenario,
-) -> TrainingReport {
-    let mut sim = data::sim();
-    let schedule = scenario.compile(sim.cluster(), MATRIX_SEED);
-    let faults = match scenario {
+/// The fault configuration a scenario compiles to (node loss gets
+/// checkpoint/restart recovery; everything else runs unprotected).
+fn matrix_faults(scenario: &FaultScenario) -> FaultConfig {
+    let probe = data::sim();
+    let schedule = scenario.compile(probe.cluster(), MATRIX_SEED);
+    match scenario {
         FaultScenario::NodeLoss { .. } => FaultConfig::new(
             schedule,
             RecoveryPolicy::every(2).with_restart_delay(1.0),
             CheckpointSink::Dram,
         ),
         _ => FaultConfig::without_checkpoints(schedule),
-    };
-    sim.run_resilient(
-        strategy,
-        model,
-        &data::opts(MATRIX_NODES),
-        &matrix_run_config(),
-        &faults,
+    }
+}
+
+/// The sweep spec for one matrix cell (strategy × scenario on the
+/// default dual-node cluster).
+pub fn cell_spec(strategy: &Strategy, model: &GptConfig, scenario: &FaultScenario) -> SweepSpec {
+    SweepSpec::new(
+        format!("{} / {}", strategy.name(), scenario.label()),
+        strategy.clone(),
+        *model,
+        data::opts(MATRIX_NODES),
     )
-    .expect("matrix configurations fit and recover")
+    .with_run(matrix_run_config())
+    .with_faults(matrix_faults(scenario))
+}
+
+/// Runs one strategy under one scenario and returns the report.
+pub fn run_cell(
+    strategy: &Strategy,
+    model: &GptConfig,
+    scenario: &FaultScenario,
+) -> TrainingReport {
+    cell_spec(strategy, model, scenario)
+        .execute()
+        .expect("matrix configurations fit and recover")
+        .report
 }
 
 fn matrix_rows() -> Vec<(&'static str, Vec<TrainingReport>)> {
     let model = GptConfig::paper_model_with_params(MATRIX_BILLIONS);
-    let mut rows = Vec::new();
-    for (name, strategy) in data::baselines(MATRIX_NODES) {
-        // The healthy run anchors the fault times for this strategy.
-        let healthy = run_cell(&strategy, &model, &FaultScenario::Healthy);
+    let baselines = data::baselines(MATRIX_NODES);
+
+    // Phase 1: the healthy runs, fanned out in parallel — they anchor
+    // each strategy's fault times.
+    let healthy_specs: Vec<SweepSpec> = baselines
+        .iter()
+        .map(|(_, s)| cell_spec(s, &model, &FaultScenario::Healthy))
+        .collect();
+    let healthy: Vec<TrainingReport> = data::sweep(healthy_specs)
+        .into_iter()
+        .map(|r| r.report)
+        .collect();
+
+    // Phase 2: every remaining (strategy × scenario) cell in one sweep.
+    let mut fault_specs = Vec::new();
+    for ((_, strategy), healthy) in baselines.iter().zip(&healthy) {
         let wall = healthy
             .resilience
             .as_ref()
             .expect("resilient runs carry metrics")
             .wall_time
             .as_secs();
-        let mut reports = vec![healthy];
         for scenario in fault_matrix_scenarios(wall).into_iter().skip(1) {
-            reports.push(run_cell(&strategy, &model, &scenario));
+            fault_specs.push(cell_spec(strategy, &model, &scenario));
         }
-        rows.push((name, reports));
+    }
+    let per_strategy = fault_matrix_scenarios(1.0).len() - 1;
+    let mut faulted = data::sweep(fault_specs).into_iter().map(|r| r.report);
+
+    let mut rows = Vec::new();
+    for ((name, _), healthy) in baselines.iter().zip(healthy) {
+        let mut reports = vec![healthy];
+        reports.extend(faulted.by_ref().take(per_strategy));
+        rows.push((*name, reports));
     }
     rows
 }
@@ -132,45 +165,39 @@ fn matrix_rows() -> Vec<(&'static str, Vec<TrainingReport>)> {
 /// scratch), healthy vs. a mid-run device stall at 5% service rate.
 /// Returns (healthy, stalled) reports.
 pub fn infinity_stall_cells() -> (TrainingReport, TrainingReport) {
-    let run = |scenario: &dyn Fn(f64) -> FaultScenario| {
-        let (mut sim, placement): (TrainingSim, _) = NvmeConfig::B.build();
-        // Healthy pre-pass to anchor the stall window.
-        let strategy = NvmeConfig::B.strategy(placement);
-        let model = GptConfig::paper_model_with_params(MATRIX_BILLIONS);
-        let probe = {
-            let schedule = FaultScenario::Healthy.compile(sim.cluster(), MATRIX_SEED);
-            sim.run_resilient(
-                &strategy,
-                &model,
-                &data::opts(1),
-                &matrix_run_config(),
-                &FaultConfig::without_checkpoints(schedule),
+    let model = GptConfig::paper_model_with_params(MATRIX_BILLIONS);
+    let spec_for = |scenario: &FaultScenario| -> SweepSpec {
+        // Schedules compile against a cluster with config B's drive layout.
+        let (probe, _) = NvmeConfig::B.build();
+        let schedule = scenario.compile(probe.cluster(), MATRIX_SEED);
+        NvmeConfig::B
+            .spec(
+                format!("infinity B / {}", scenario.label()),
+                model,
+                matrix_run_config(),
             )
-            .expect("infinity config fits")
-        };
-        let wall = probe
-            .resilience
-            .as_ref()
-            .expect("resilient runs carry metrics")
-            .wall_time
-            .as_secs();
-        let schedule = scenario(wall).compile(sim.cluster(), MATRIX_SEED);
-        sim.run_resilient(
-            &strategy,
-            &model,
-            &data::opts(1),
-            &matrix_run_config(),
-            &FaultConfig::without_checkpoints(schedule),
-        )
-        .expect("infinity config fits")
+            .with_faults(FaultConfig::without_checkpoints(schedule))
     };
-    let healthy = run(&|_| FaultScenario::Healthy);
-    let stalled = run(&|wall| FaultScenario::NvmeStall {
+    // Healthy pre-pass anchors the stall window.
+    let healthy = spec_for(&FaultScenario::Healthy)
+        .execute()
+        .expect("infinity config fits")
+        .report;
+    let wall = healthy
+        .resilience
+        .as_ref()
+        .expect("resilient runs carry metrics")
+        .wall_time
+        .as_secs();
+    let stalled = spec_for(&FaultScenario::NvmeStall {
         node: 0,
         factor: 0.05,
         at_s: 0.25 * wall,
         dur_s: 0.5 * wall,
-    });
+    })
+    .execute()
+    .expect("infinity config fits")
+    .report;
     (healthy, stalled)
 }
 

@@ -2,7 +2,7 @@
 //! the simulated value, with the relative delta and a pass/fail verdict —
 //! EXPERIMENTS.md as machine-checkable code.
 
-use zerosim_core::{max_model_size, RunConfig, TrainingSim};
+use zerosim_core::{max_model_size, RunConfig, SweepRun, TrainingSim};
 use zerosim_hw::{ClusterSpec, LinkClass};
 use zerosim_model::GptConfig;
 use zerosim_perftest::{stress_test, StressScenario};
@@ -40,12 +40,94 @@ fn capacity_b(strategy: &Strategy, nodes: usize) -> f64 {
     data::capacity(strategy, nodes).billions()
 }
 
-fn tput(strategy: &Strategy, nodes: usize) -> f64 {
-    let (_, report) = data::run_at_capacity(strategy, nodes, false);
-    report.throughput_tflops()
+/// Every `TrainingSim` run the scorecard needs, as one spec batch in a
+/// fixed order (capacity searches stay serial: they are analytic, not
+/// simulation runs). The order here is consumed positionally by
+/// [`compute_rows`].
+fn scorecard_specs() -> Vec<zerosim_core::SweepSpec> {
+    let mut specs = Vec::new();
+
+    // fig7: each baseline at its own capacity, quick measurement.
+    for nodes in [1usize, 2] {
+        for (name, strategy) in data::baselines(nodes) {
+            let cap = data::capacity(&strategy, nodes);
+            specs.push(data::spec(
+                format!("fig7 {name} {nodes}n"),
+                strategy,
+                GptConfig::paper_model(cap.num_layers),
+                nodes,
+                false,
+            ));
+        }
+    }
+
+    // fig11: consolidation runs at 11.4 B, overflow allowed.
+    let model = GptConfig::paper_model_with_params(11.4);
+    let overflow = RunConfig {
+        allow_overflow: true,
+        ..RunConfig::quick()
+    };
+    specs.push(
+        data::spec(
+            "fig11 megatron 2n",
+            Strategy::Megatron { tp: 8, pp: 1 },
+            model,
+            2,
+            false,
+        )
+        .with_run(overflow),
+    );
+    specs.push(
+        data::spec(
+            "fig11 zero2-cpu 1n",
+            Strategy::ZeroOffload {
+                stage: ZeroStage::Two,
+                offload_params: false,
+            },
+            model,
+            1,
+            false,
+        )
+        .with_run(overflow),
+    );
+    let inf_rc = RunConfig {
+        allow_overflow: true,
+        warmup_iters: 1,
+        measure_iters: 1,
+        ..RunConfig::default()
+    };
+    specs.push(NvmeConfig::A.spec("fig11 infinity A", model, inf_rc));
+    specs.push(NvmeConfig::B.spec("fig11 infinity B", model, inf_rc));
+
+    // table4: DDP / ZeRO-3 dual-node at capacity, thorough measurement.
+    for strategy in [
+        Strategy::Ddp,
+        Strategy::Zero {
+            stage: ZeroStage::Three,
+        },
+    ] {
+        let cap = data::capacity(&strategy, 2);
+        specs.push(data::spec(
+            format!("table4 {} 2n", strategy.name()),
+            strategy,
+            GptConfig::paper_model(cap.num_layers),
+            2,
+            true,
+        ));
+    }
+
+    // table6: every NVMe placement at 33.3 B.
+    let big = GptConfig::paper_model_with_params(33.3);
+    for cfg in NvmeConfig::ALL {
+        specs.push(cfg.spec(format!("table6 config {}", cfg.letter()), big, inf_rc));
+    }
+
+    specs
 }
 
-/// Computes every scorecard row (runs a few dozen simulations; ~5 s).
+/// Computes every scorecard row. Capacity searches run serially; all
+/// simulation runs fan out through [`data::sweep`] at the configured
+/// worker count (`repro --workers N`).
 pub fn compute_rows() -> Vec<ScoreRow> {
     let mut rows = Vec::new();
     let mut add = |metric: &str, paper: f64, sim: f64, tolerance: f64| {
@@ -56,6 +138,12 @@ pub fn compute_rows() -> Vec<ScoreRow> {
             tolerance,
         });
     };
+
+    // Fan every TrainingSim run out in one parallel sweep up front;
+    // results come back in spec order and are consumed positionally.
+    let runs = data::sweep(scorecard_specs());
+    let mut runs = runs.into_iter();
+    let mut next = || -> SweepRun { runs.next().expect("scorecard spec batch exhausted") };
 
     // --- Fig. 4: stress-test fractions (tight: these calibrate the model).
     for (name, scenario, paper) in [
@@ -113,46 +201,29 @@ pub fn compute_rows() -> Vec<ScoreRow> {
         );
     }
 
-    // --- Fig. 7: throughputs.
+    // --- Fig. 7: throughputs (sweep positions 0–9).
     let paper_tput_1 = [438.0, 331.0, 391.0, 524.0, 381.0];
     let paper_tput_2 = [640.0, 121.0, 395.0, 424.0, 458.0];
-    for (i, (name, strategy)) in data::baselines(1).iter().enumerate() {
+    for (i, (name, _)) in data::baselines(1).iter().enumerate() {
         add(
             &format!("fig7: {name} TFLOP/s 1-node"),
             paper_tput_1[i],
-            tput(strategy, 1),
+            next().report.throughput_tflops(),
             0.25,
         );
     }
-    for (i, (name, strategy)) in data::baselines(2).iter().enumerate() {
+    for (i, (name, _)) in data::baselines(2).iter().enumerate() {
         add(
             &format!("fig7: {name} TFLOP/s 2-node"),
             paper_tput_2[i],
-            tput(strategy, 2),
+            next().report.throughput_tflops(),
             0.30,
         );
     }
 
-    // --- Fig. 11: consolidation.
-    let model = GptConfig::paper_model_with_params(11.4);
-    let overflow = RunConfig {
-        allow_overflow: true,
-        ..RunConfig::quick()
-    };
-    let run_of = |strategy: &Strategy, nodes: usize| -> f64 {
-        let mut sim = data::sim();
-        sim.run(strategy, &model, &data::opts(nodes), &overflow)
-            .unwrap()
-            .throughput_tflops()
-    };
-    let megatron_dual = run_of(&Strategy::Megatron { tp: 8, pp: 1 }, 2);
-    let z2_cpu = run_of(
-        &Strategy::ZeroOffload {
-            stage: ZeroStage::Two,
-            offload_params: false,
-        },
-        1,
-    );
+    // --- Fig. 11: consolidation (sweep positions 10–13).
+    let megatron_dual = next().report.throughput_tflops();
+    let z2_cpu = next().report.throughput_tflops();
     add(
         "fig11: Megatron 2-node TFLOP/s @11.4B",
         121.0,
@@ -168,36 +239,16 @@ pub fn compute_rows() -> Vec<ScoreRow> {
     );
 
     // ZeRO-Infinity with one and two drives.
-    let infinity = |cfg: NvmeConfig, offload_params: bool| -> f64 {
-        let (mut sim, placement) = cfg.build();
-        let rc = RunConfig {
-            allow_overflow: true,
-            warmup_iters: 1,
-            measure_iters: 1,
-            ..RunConfig::default()
-        };
-        sim.run(
-            &Strategy::ZeroInfinity {
-                offload_params,
-                placement,
-            },
-            &model,
-            &data::opts(1),
-            &rc,
-        )
-        .unwrap()
-        .throughput_tflops()
-    };
     add(
         "fig11: Infinity 1xNVME opt TFLOP/s",
         20.4,
-        infinity(NvmeConfig::A, false),
+        next().report.throughput_tflops(),
         0.30,
     );
     add(
         "fig11: Infinity 2xNVME opt TFLOP/s",
         38.1,
-        infinity(NvmeConfig::B, false),
+        next().report.throughput_tflops(),
         0.30,
     );
 
@@ -233,50 +284,35 @@ pub fn compute_rows() -> Vec<ScoreRow> {
         add("fig13: ZeRO-Infinity capacity B", 33.3, cap, 0.20);
     }
 
-    // --- Table IV spot checks: dual-node RoCE averages (loose: counter
-    // conventions differ; see EXPERIMENTS.md).
-    let roce_avg = |strategy: &Strategy| -> f64 {
-        let (_, report) = data::run_at_capacity(strategy, 2, true);
-        report.bandwidth.stats(0, LinkClass::Roce).avg / 1e9
-    };
+    // --- Table IV spot checks (sweep positions 14–15): dual-node RoCE
+    // averages (loose: counter conventions differ; see EXPERIMENTS.md).
+    let roce_avg =
+        |run: SweepRun| -> f64 { run.report.bandwidth.stats(0, LinkClass::Roce).avg / 1e9 };
     add(
         "table4: DDP 2-node RoCE avg GBps",
         9.28,
-        roce_avg(&Strategy::Ddp),
+        roce_avg(next()),
         1.5,
     );
     add(
         "table4: ZeRO-3 2-node RoCE avg GBps",
         16.3,
-        roce_avg(&Strategy::Zero {
-            stage: ZeroStage::Three,
-        }),
+        roce_avg(next()),
         1.0,
     );
 
-    // --- Table VI: NVMe placement throughputs at 33.3 B.
-    let big = GptConfig::paper_model_with_params(33.3);
+    // --- Table VI (sweep positions 16–22): NVMe placements at 33.3 B.
     let paper_t6 = [19.6, 37.16, 35.43, 40.22, 51.22, 64.61, 65.16];
     for (i, cfg) in NvmeConfig::ALL.into_iter().enumerate() {
-        let (mut sim, placement) = cfg.build();
-        let rc = RunConfig {
-            allow_overflow: true,
-            warmup_iters: 1,
-            measure_iters: 1,
-            ..RunConfig::default()
-        };
-        let got = sim
-            .run(&cfg.strategy(placement), &big, &data::opts(1), &rc)
-            .unwrap()
-            .throughput_tflops();
         add(
             &format!("table6: config {} TFLOP/s", cfg.letter()),
             paper_t6[i],
-            got,
+            next().report.throughput_tflops(),
             0.30,
         );
     }
 
+    assert!(runs.next().is_none(), "unconsumed scorecard sweep results");
     rows
 }
 

@@ -45,6 +45,14 @@ pub const ARTIFACTS: [&str; 31] = [
     "scorecard",
 ];
 
+/// Renders one artifact by id with experiment sweeps fanned across
+/// `workers` threads ([`data::set_sweep_workers`]). Results are
+/// byte-identical at any width; only wall-clock changes.
+pub fn render_with(id: &str, workers: usize) -> String {
+    data::set_sweep_workers(workers);
+    render(id)
+}
+
 /// Renders one artifact by id.
 ///
 /// # Panics

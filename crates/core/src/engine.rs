@@ -174,6 +174,7 @@ impl TrainingSim {
         engine.take_spans(); // discard warm-up spans
 
         // Measured iterations.
+        let solver_before = self.cluster.net().solver_stats();
         let mut rec = BandwidthRecorder::with_origin(cfg.bucket, t);
         let mut total = SimTime::ZERO;
         let n_measured = cfg.measure_iters.max(1);
@@ -215,6 +216,11 @@ impl TrainingSim {
             hot_links,
             plan_lowerings,
             resilience: None,
+            solver: self
+                .cluster
+                .net()
+                .solver_stats()
+                .delta_since(&solver_before),
         })
     }
 
@@ -315,6 +321,7 @@ impl TrainingSim {
 
         let mut rec: Option<BandwidthRecorder> = None;
         let mut measure_start = SimTime::ZERO;
+        let mut solver_before = None;
 
         // Reborrows the recorder as a flow observer for one engine call.
         macro_rules! obs {
@@ -372,6 +379,7 @@ impl TrainingSim {
             if rec.is_none() && committed >= cfg.warmup_iters {
                 engine.take_spans();
                 measure_start = t;
+                solver_before = Some(self.cluster.net().solver_stats());
                 rec = Some(BandwidthRecorder::with_origin(cfg.bucket, t));
             }
 
@@ -479,6 +487,11 @@ impl TrainingSim {
             hot_links,
             plan_lowerings,
             resilience: Some(resilience),
+            solver: self
+                .cluster
+                .net()
+                .solver_stats()
+                .delta_since(&solver_before.unwrap_or_default()),
         })
     }
 }

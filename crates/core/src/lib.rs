@@ -42,6 +42,7 @@ mod engine;
 mod error;
 mod faults;
 mod report;
+mod sweep;
 mod timeline;
 
 pub use analysis::{attribute_all_gpus, attribute_gpu, attribute_worst_gpu, TimeBreakdown};
@@ -52,6 +53,7 @@ pub use engine::{RunConfig, TrainingSim};
 pub use error::CoreError;
 pub use faults::{FaultConfig, FaultScenario};
 pub use report::{BandwidthReport, HotLink, ResilienceMetrics, TrainingReport};
+pub use sweep::{SweepRun, SweepRunner, SweepSpec};
 pub use timeline::{profile_tracks, to_chrome_trace, TrackProfile};
 
 // Re-export the pieces callers need alongside the engine.

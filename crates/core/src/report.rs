@@ -4,7 +4,7 @@
 use std::collections::BTreeMap;
 
 use zerosim_hw::{Cluster, LinkClass};
-use zerosim_simkit::{BandwidthRecorder, BandwidthStats, SimTime, SpanLog};
+use zerosim_simkit::{BandwidthRecorder, BandwidthStats, SimTime, SolverStats, SpanLog};
 use zerosim_strategies::MemoryPlan;
 
 /// Bandwidth statistics per (node, interconnect class) plus the raw
@@ -206,6 +206,12 @@ pub struct TrainingReport {
     /// Resilience accounting; `Some` for [`crate::TrainingSim::run_resilient`]
     /// runs, `None` for plain characterization runs.
     pub resilience: Option<ResilienceMetrics>,
+    /// Max-min solver work accounting for the *measured* window (delta of
+    /// [`zerosim_simkit::FlowNet::solver_stats`] across it). Like
+    /// [`TrainingReport::resilience`], this is instrumentation about *how*
+    /// the run was computed, not *what* was measured, so it is excluded
+    /// from [`TrainingReport::digest`].
+    pub solver: SolverStats,
 }
 
 impl TrainingReport {
@@ -229,11 +235,13 @@ impl TrainingReport {
     /// timing, FLOPs, memory plan, every bandwidth stat and sample, every
     /// timeline span, the hot-link ranking, and the lowering count.
     ///
-    /// The [`TrainingReport::resilience`] bookkeeping is deliberately
-    /// excluded so a fault-free resilient run can be compared bit-for-bit
-    /// against a plain [`crate::TrainingSim::run`] (compare `resilience`
-    /// separately via its `PartialEq`). Equal digests mean byte-identical
-    /// measurements.
+    /// The [`TrainingReport::resilience`] and [`TrainingReport::solver`]
+    /// bookkeeping are deliberately excluded: `resilience` so a fault-free
+    /// resilient run can be compared bit-for-bit against a plain
+    /// [`crate::TrainingSim::run`] (compare `resilience` separately via its
+    /// `PartialEq`), and `solver` because solver work counters describe how
+    /// the simulation was computed (incremental vs full solves), not the
+    /// physics it measured. Equal digests mean byte-identical measurements.
     pub fn digest(&self) -> u64 {
         let mut h = mix_str(0x5153_u64, &self.strategy);
         h = mix(h, self.model_params.to_bits());
@@ -358,6 +366,7 @@ mod tests {
             hot_links: Vec::new(),
             plan_lowerings: 1,
             resilience: None,
+            solver: SolverStats::default(),
         }
     }
 
@@ -387,6 +396,12 @@ mod tests {
         });
         // Resilience bookkeeping is excluded from the measurement digest.
         assert_eq!(a.digest(), c.digest());
+        // Solver work accounting likewise measures the simulator, not the
+        // simulated system, and must not perturb the digest.
+        let mut d = blank_report();
+        d.solver.solves = 999;
+        d.solver.links_touched = 12345;
+        assert_eq!(a.digest(), d.digest());
         assert_eq!(
             c.resilience.as_ref().unwrap().time_to_recover(),
             SimTime::ZERO
@@ -415,6 +430,7 @@ mod tests {
             hot_links: Vec::new(),
             plan_lowerings: 1,
             resilience: None,
+            solver: SolverStats::default(),
         };
         assert!((report.throughput_tflops() - 400.0).abs() < 1e-9);
         assert!((report.model_billions() - 1.4).abs() < 1e-12);

@@ -1,0 +1,296 @@
+//! Parallel characterization sweeps.
+//!
+//! A *sweep* runs many independent training configurations — different
+//! strategies, model sizes, cluster shapes, or fault schedules — and
+//! collects one [`TrainingReport`] per configuration. Runs share nothing:
+//! each [`SweepSpec`] describes a complete world (cluster spec, NVMe
+//! volumes, strategy, model, options, run config, optional faults), and
+//! execution builds a fresh [`TrainingSim`] owning its own
+//! [`zerosim_hw::Cluster`] from scratch. That independence is what makes
+//! the fan-out embarrassingly parallel *and* deterministic:
+//!
+//! * **Deterministic** — a run's result depends only on its spec, never on
+//!   scheduling. [`SweepRunner::run_parallel`] returns results in input
+//!   order, so a sweep over `N` specs produces the same ordered
+//!   `Vec<SweepRun>` (and the same [`SweepRun::digest`] vector) whether it
+//!   runs on 1 worker or 8.
+//! * **Parallel** — fan-out rides on
+//!   [`zerosim_testkit::pool::ThreadPool`], the workspace's hermetic
+//!   `std::thread`-only work-stealing pool.
+//!
+//! ```
+//! use zerosim_core::{RunConfig, SweepRunner, SweepSpec};
+//! use zerosim_strategies::{Strategy, TrainOptions};
+//! use zerosim_model::GptConfig;
+//!
+//! # fn main() -> Result<(), zerosim_core::CoreError> {
+//! let specs: Vec<SweepSpec> = [0.8, 1.4]
+//!     .iter()
+//!     .map(|&b| {
+//!         SweepSpec::new(
+//!             format!("ddp-{b}B"),
+//!             Strategy::Ddp,
+//!             GptConfig::paper_model_with_params(b),
+//!             TrainOptions::single_node(),
+//!         )
+//!         .with_run(RunConfig::quick())
+//!     })
+//!     .collect();
+//! let runs = SweepRunner::new(2).run_parallel(specs)?;
+//! assert_eq!(runs.len(), 2);
+//! assert!(runs[0].report.throughput_tflops() > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+use zerosim_hw::{ClusterSpec, NvmeId};
+use zerosim_model::GptConfig;
+use zerosim_strategies::{Calibration, Strategy, TrainOptions};
+use zerosim_testkit::pool::ThreadPool;
+
+use crate::engine::{RunConfig, TrainingSim};
+use crate::error::CoreError;
+use crate::faults::FaultConfig;
+use crate::report::TrainingReport;
+
+/// A complete, self-contained description of one characterization run.
+///
+/// Everything needed to rebuild the run from nothing lives here, so a
+/// spec can be executed on any worker thread (or serially) with an
+/// identical outcome.
+#[derive(Debug, Clone)]
+pub struct SweepSpec {
+    /// Caller-chosen identifier carried through to [`SweepRun::label`].
+    pub label: String,
+    /// The cluster to build (each run owns a fresh one).
+    pub cluster: ClusterSpec,
+    /// Performance-model constants.
+    pub calibration: Calibration,
+    /// NVMe volumes to create, in order, before the run — volume `i`
+    /// here becomes `VolumeId(i)`, so
+    /// [`zerosim_strategies::InfinityPlacement`] indices in `strategy`
+    /// refer to positions in this list.
+    pub volumes: Vec<Vec<NvmeId>>,
+    /// The training strategy to characterize.
+    pub strategy: Strategy,
+    /// The model to train.
+    pub model: GptConfig,
+    /// Topology/batching options.
+    pub opts: TrainOptions,
+    /// Sampling/averaging configuration.
+    pub run: RunConfig,
+    /// When `Some`, the run goes through
+    /// [`TrainingSim::run_resilient`] with this fault schedule; when
+    /// `None`, through the plain [`TrainingSim::run`].
+    pub faults: Option<FaultConfig>,
+}
+
+impl SweepSpec {
+    /// A spec over the default paper cluster with default calibration,
+    /// default [`RunConfig`], no NVMe volumes, and no faults.
+    pub fn new(
+        label: impl Into<String>,
+        strategy: Strategy,
+        model: GptConfig,
+        opts: TrainOptions,
+    ) -> Self {
+        SweepSpec {
+            label: label.into(),
+            cluster: ClusterSpec::default(),
+            calibration: Calibration::default(),
+            volumes: Vec::new(),
+            strategy,
+            model,
+            opts,
+            run: RunConfig::default(),
+            faults: None,
+        }
+    }
+
+    /// Replaces the cluster spec.
+    pub fn with_cluster(mut self, cluster: ClusterSpec) -> Self {
+        self.cluster = cluster;
+        self
+    }
+
+    /// Replaces the calibration constants.
+    pub fn with_calibration(mut self, calibration: Calibration) -> Self {
+        self.calibration = calibration;
+        self
+    }
+
+    /// Replaces the run configuration.
+    pub fn with_run(mut self, run: RunConfig) -> Self {
+        self.run = run;
+        self
+    }
+
+    /// Appends an NVMe volume (created before the run, in call order).
+    pub fn with_volume(mut self, members: Vec<NvmeId>) -> Self {
+        self.volumes.push(members);
+        self
+    }
+
+    /// Attaches a fault schedule, switching execution to
+    /// [`TrainingSim::run_resilient`].
+    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// Builds a fresh simulator and executes this spec to completion.
+    ///
+    /// # Errors
+    /// Whatever [`TrainingSim::new`], [`TrainingSim::run`], or
+    /// [`TrainingSim::run_resilient`] return for this configuration.
+    pub fn execute(&self) -> Result<SweepRun, CoreError> {
+        let mut sim = TrainingSim::with_calibration(self.cluster.clone(), self.calibration)?;
+        for members in &self.volumes {
+            sim.cluster_mut().create_volume(members.clone());
+        }
+        let report = match &self.faults {
+            Some(faults) => {
+                sim.run_resilient(&self.strategy, &self.model, &self.opts, &self.run, faults)?
+            }
+            None => sim.run(&self.strategy, &self.model, &self.opts, &self.run)?,
+        };
+        Ok(SweepRun {
+            label: self.label.clone(),
+            digest: report.digest(),
+            report,
+        })
+    }
+}
+
+/// One completed sweep entry: the spec's label, its full report, and the
+/// report's measurement digest (captured eagerly so callers can compare
+/// sweeps without holding reports).
+#[derive(Debug, Clone)]
+pub struct SweepRun {
+    /// The originating [`SweepSpec::label`].
+    pub label: String,
+    /// [`TrainingReport::digest`] of `report`.
+    pub digest: u64,
+    /// The full characterization result.
+    pub report: TrainingReport,
+}
+
+/// Fans [`SweepSpec`]s across a thread pool; see the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct SweepRunner {
+    pool: ThreadPool,
+}
+
+impl SweepRunner {
+    /// A runner with `workers` threads (0 or 1 runs inline, serially).
+    pub fn new(workers: usize) -> Self {
+        SweepRunner {
+            pool: ThreadPool::new(workers),
+        }
+    }
+
+    /// A runner as wide as the machine.
+    pub fn auto() -> Self {
+        SweepRunner {
+            pool: ThreadPool::auto(),
+        }
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.pool.workers()
+    }
+
+    /// Executes every spec, in parallel, returning results in **input
+    /// order** regardless of worker count or scheduling. The first failed
+    /// spec (by input order) turns the whole sweep into its error —
+    /// matching what a serial loop would report.
+    ///
+    /// # Errors
+    /// The input-order-first [`CoreError`] among failed specs, if any.
+    pub fn run_parallel(&self, specs: Vec<SweepSpec>) -> Result<Vec<SweepRun>, CoreError> {
+        self.pool
+            .map(specs, |spec| spec.execute())
+            .into_iter()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_specs() -> Vec<SweepSpec> {
+        ["PyTorch DDP", "z3"]
+            .iter()
+            .enumerate()
+            .map(|(i, label)| {
+                let strategy = if i == 0 {
+                    Strategy::Ddp
+                } else {
+                    Strategy::Zero {
+                        stage: zerosim_strategies::ZeroStage::Three,
+                    }
+                };
+                SweepSpec::new(
+                    *label,
+                    strategy,
+                    GptConfig::paper_model_with_params(1.4),
+                    TrainOptions::single_node(),
+                )
+                .with_run(RunConfig::quick())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial_execution() {
+        let serial: Vec<SweepRun> = quick_specs().iter().map(|s| s.execute().unwrap()).collect();
+        for workers in [1, 3] {
+            let par = SweepRunner::new(workers)
+                .run_parallel(quick_specs())
+                .unwrap();
+            assert_eq!(par.len(), serial.len());
+            for (p, s) in par.iter().zip(&serial) {
+                assert_eq!(p.label, s.label, "w={workers}");
+                assert_eq!(p.digest, s.digest, "w={workers} label={}", p.label);
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_results_keep_input_order() {
+        let runs = SweepRunner::new(2).run_parallel(quick_specs()).unwrap();
+        assert_eq!(runs[0].label, "PyTorch DDP");
+        assert_eq!(runs[1].label, "z3");
+        assert_eq!(runs[0].report.strategy, "PyTorch DDP");
+    }
+
+    #[test]
+    fn failing_spec_surfaces_input_order_first_error() {
+        let mut specs = quick_specs();
+        // An impossible model: DDP replicates everything on one GPU.
+        specs[0].model = GptConfig::paper_model_with_params(175.0);
+        let err = SweepRunner::new(2).run_parallel(specs).unwrap_err();
+        assert!(matches!(err, CoreError::DoesNotFit { .. }), "{err}");
+    }
+
+    #[test]
+    fn faulted_spec_runs_resilient_path() {
+        let spec = quick_specs().remove(1).with_faults(FaultConfig::healthy());
+        let run = spec.execute().unwrap();
+        assert!(run.report.resilience.is_some());
+        // A healthy resilient run measures exactly what the plain run does.
+        let plain = quick_specs().remove(1).execute().unwrap();
+        assert_eq!(run.digest, plain.digest);
+    }
+
+    #[test]
+    fn reports_carry_solver_stats() {
+        let runs = SweepRunner::new(1).run_parallel(quick_specs()).unwrap();
+        for run in &runs {
+            assert!(run.report.solver.solves > 0, "{}", run.label);
+            assert!(run.report.solver.links_touched > 0, "{}", run.label);
+        }
+    }
+}

@@ -45,6 +45,16 @@ pub enum SimError {
         /// Index of the resource being rescaled.
         resource: usize,
     },
+    /// [`FlowNet::drain`](crate::flow::FlowNet::drain) exceeded its event
+    /// budget without retiring every flow — the max-min solver is cycling
+    /// instead of converging (typically a token-bucket limit oscillation).
+    SolverDiverged {
+        /// Number of solver events processed before giving up.
+        iterations: u64,
+        /// Size (in links) of the last dirty component the incremental
+        /// solver re-converged, to localize the cycling subgraph.
+        component_links: usize,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -78,6 +88,16 @@ impl fmt::Display for SimError {
                 write!(
                     f,
                     "resource rate factor must be finite and positive (resource {resource})"
+                )
+            }
+            SimError::SolverDiverged {
+                iterations,
+                component_links,
+            } => {
+                write!(
+                    f,
+                    "max-min solver did not converge after {iterations} events \
+                     (last dirty component spanned {component_links} links)"
                 )
             }
         }
@@ -118,6 +138,12 @@ mod tests {
         assert!(SimError::BadRateFactor { resource: 3 }
             .to_string()
             .contains("rate factor"));
+        let diverged = SimError::SolverDiverged {
+            iterations: 10_000_000,
+            component_links: 42,
+        };
+        assert!(diverged.to_string().contains("10000000 events"));
+        assert!(diverged.to_string().contains("42 links"));
     }
 
     #[test]

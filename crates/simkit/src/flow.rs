@@ -9,12 +9,33 @@
 //! state, which makes simulating hundreds of seconds of training traffic
 //! cheap while preserving contention behaviour.
 //!
+//! # Incremental solving
+//!
+//! The solver is *incremental*: every mutation (flow start/finish/cancel,
+//! link rescale, token-bucket drift) marks the links it touched **dirty**,
+//! and the next read re-converges only the *dirty component* — the links
+//! reachable from the dirty set through shared flows — leaving converged
+//! rates elsewhere untouched. Because max-min allocations of disjoint
+//! components are independent and the restricted solve performs the exact
+//! floating-point operation sequence the global solve would perform on that
+//! component, the result is **bit-identical** to a full recompute. A shadow
+//! verification mode (on by default in debug builds, or via
+//! `ZEROSIM_SHADOW=1`) runs the reference full solver next to the
+//! incremental one and asserts bitwise rate/demand equality after every
+//! solve. [`SolverStats`] counters expose how much work each event cost.
+//!
+//! Converged state is epoch-stamped ([`FlowNet::solver_epoch`]) and cached
+//! behind interior mutability, so the read paths ([`FlowNet::flow_rate`],
+//! [`FlowNet::link_demand`], [`FlowNet::next_event_in`]) take `&self`.
+//!
 //! Links are unidirectional; model a full-duplex interface as two links.
 
-use std::collections::BTreeMap;
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet};
 
 use crate::bucket::TokenBucket;
 use crate::error::SimError;
+use crate::record::SolverStats;
 use crate::time::SimTime;
 
 /// Identifies a link within a [`FlowNet`].
@@ -60,16 +81,12 @@ struct LinkState {
     nominal: Capacity,
     /// Current fault scale relative to `nominal` (1.0 = healthy).
     scale: f64,
-    /// Aggregate rate of flows currently crossing this link, refreshed by
-    /// [`FlowNet::recompute_rates`].
-    demand: f64,
 }
 
 #[derive(Debug)]
 struct FlowState {
     route: Vec<LinkId>,
     remaining: f64,
-    rate: f64,
     /// Per-flow rate ceiling (bytes/second), e.g. from the SerDes-pair
     /// degradation model; `f64::INFINITY` when uncapped.
     cap: f64,
@@ -96,6 +113,42 @@ impl FlowObserver for NullObserver {
 /// Completion epsilon: flows with fewer residual bytes are finished.
 const EPS_BYTES: f64 = 0.5;
 
+/// Event budget for [`FlowNet::drain`]; exceeding it yields
+/// [`SimError::SolverDiverged`].
+const DRAIN_EVENT_BUDGET: u64 = 10_000_000;
+
+/// Converged solver state, cached behind interior mutability so reads can
+/// take `&self`. All fields are private to the flow module.
+#[derive(Debug, Default)]
+struct Solver {
+    /// Links whose converged state is stale; emptied by each solve.
+    dirty: BTreeSet<usize>,
+    /// Converged per-flow rates, valid for `epoch`.
+    rates: BTreeMap<FlowId, f64>,
+    /// Converged per-link aggregate demand (bytes/second), valid for
+    /// `epoch`.
+    demand: Vec<f64>,
+    /// Which flows cross each link. Connectivity only: a route that visits
+    /// a link twice appears once here; multiplicity is recounted from raw
+    /// routes during a solve (matching the reference solver's arithmetic).
+    on_link: Vec<BTreeSet<FlowId>>,
+    /// Scratch: residual capacity per link. Only the entries belonging to
+    /// the current dirty component are (re)initialized each solve.
+    residual: Vec<f64>,
+    /// Scratch: unfixed route-entry count per link (counts duplicates).
+    unfixed_on_link: Vec<usize>,
+    /// Monotonic solve counter stamping the converged state.
+    epoch: u64,
+    stats: SolverStats,
+}
+
+fn shadow_default() -> bool {
+    match std::env::var("ZEROSIM_SHADOW") {
+        Ok(v) => v != "0" && !v.is_empty(),
+        Err(_) => cfg!(debug_assertions),
+    }
+}
+
 /// The flow network: links plus the set of currently active flows.
 ///
 /// ```
@@ -110,12 +163,32 @@ const EPS_BYTES: f64 = 0.5;
 /// assert!((dt - 2.0).abs() < 1e-9); // both finish together after 2 s
 /// assert_eq!(done, vec![a, b]);
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct FlowNet {
     links: Vec<LinkState>,
     flows: BTreeMap<FlowId, FlowState>,
     next_flow: u64,
-    rates_dirty: bool,
+    solver: RefCell<Solver>,
+    /// Run the reference full solver next to the incremental one and assert
+    /// bitwise equality (defaults to on in debug builds; `ZEROSIM_SHADOW`
+    /// overrides).
+    shadow: bool,
+    /// Treat every link as dirty on each solve (the pre-incremental
+    /// behaviour); kept for benchmarking and differential testing.
+    full: bool,
+}
+
+impl Default for FlowNet {
+    fn default() -> Self {
+        FlowNet {
+            links: Vec::new(),
+            flows: BTreeMap::new(),
+            next_flow: 0,
+            solver: RefCell::new(Solver::default()),
+            shadow: shadow_default(),
+            full: false,
+        }
+    }
 }
 
 impl FlowNet {
@@ -148,8 +221,12 @@ impl FlowNet {
             nominal: capacity.clone(),
             capacity,
             scale: 1.0,
-            demand: 0.0,
         });
+        let s = self.solver.get_mut();
+        s.demand.push(0.0);
+        s.on_link.push(BTreeSet::new());
+        s.residual.push(0.0);
+        s.unfixed_on_link.push(0);
         id
     }
 
@@ -177,9 +254,56 @@ impl FlowNet {
     }
 
     /// Aggregate rate of flows currently crossing `link`, in bytes/second.
-    pub fn link_demand(&mut self, link: LinkId) -> f64 {
+    ///
+    /// Reads the epoch-stamped converged state, lazily re-converging the
+    /// dirty component if needed — hence `&self`.
+    pub fn link_demand(&self, link: LinkId) -> f64 {
         self.ensure_rates();
-        self.links[link.0].demand
+        self.solver.borrow().demand[link.0]
+    }
+
+    /// Cumulative counters describing how much work the incremental solver
+    /// has done on this network.
+    pub fn solver_stats(&self) -> SolverStats {
+        self.solver.borrow().stats
+    }
+
+    /// Resets the [`SolverStats`] counters to zero (e.g. at the start of a
+    /// measured window).
+    pub fn reset_solver_stats(&mut self) {
+        self.solver.get_mut().stats = SolverStats::default();
+    }
+
+    /// Monotonic counter stamping the converged rate/demand state; bumped
+    /// once per solve.
+    pub fn solver_epoch(&self) -> u64 {
+        self.solver.borrow().epoch
+    }
+
+    /// Enables or disables shadow verification: every incremental solve is
+    /// followed by a reference full solve and a bitwise equality assert on
+    /// all rates and demands. Defaults to on in debug builds; the
+    /// `ZEROSIM_SHADOW` environment variable (`1`/`0`) overrides the
+    /// default at [`FlowNet::new`] time.
+    pub fn set_shadow_verify(&mut self, on: bool) {
+        self.shadow = on;
+    }
+
+    /// Whether shadow verification is active.
+    pub fn shadow_verify(&self) -> bool {
+        self.shadow
+    }
+
+    /// Forces every solve to re-converge the entire network (the
+    /// pre-incremental behaviour). Useful for differential testing and for
+    /// benchmarking the incremental solver's win.
+    pub fn set_full_solve(&mut self, on: bool) {
+        self.full = on;
+    }
+
+    /// Whether full-solve mode is active.
+    pub fn full_solve(&self) -> bool {
+        self.full
     }
 
     /// Starts a flow of `bytes` along `route` and returns its id.
@@ -228,11 +352,15 @@ impl FlowNet {
             FlowState {
                 route: route.to_vec(),
                 remaining: bytes,
-                rate: 0.0,
                 cap,
             },
         );
-        self.rates_dirty = true;
+        let s = self.solver.get_mut();
+        s.rates.insert(id, 0.0);
+        for l in route {
+            s.on_link[l.0].insert(id);
+            s.dirty.insert(l.0);
+        }
         Ok(id)
     }
 
@@ -240,11 +368,18 @@ impl FlowNet {
     /// stay moved; the remainder is abandoned). Returns `true` if the flow
     /// was active. Used when a node loss aborts a run mid-flight.
     pub fn cancel_flow(&mut self, flow: FlowId) -> bool {
-        let removed = self.flows.remove(&flow).is_some();
-        if removed {
-            self.rates_dirty = true;
+        match self.flows.remove(&flow) {
+            Some(f) => {
+                let s = self.solver.get_mut();
+                s.rates.remove(&flow);
+                for l in &f.route {
+                    s.on_link[l.0].remove(&flow);
+                    s.dirty.insert(l.0);
+                }
+                true
+            }
+            None => false,
         }
-        removed
     }
 
     /// Rescales `link` to `factor` times its *nominal* (creation-time)
@@ -283,7 +418,7 @@ impl FlowNet {
             }
         };
         l.scale = factor;
-        self.rates_dirty = true;
+        self.solver.get_mut().dirty.insert(link.0);
         Ok(())
     }
 
@@ -343,46 +478,82 @@ impl FlowNet {
 
     /// Current max-min fair rate of `flow` in bytes/second, or `None` once
     /// it has completed.
-    pub fn flow_rate(&mut self, flow: FlowId) -> Option<f64> {
+    ///
+    /// Reads the epoch-stamped converged state, lazily re-converging the
+    /// dirty component if needed — hence `&self`.
+    pub fn flow_rate(&self, flow: FlowId) -> Option<f64> {
         self.ensure_rates();
-        self.flows.get(&flow).map(|f| f.rate)
+        self.solver.borrow().rates.get(&flow).copied()
     }
 
-    fn ensure_rates(&mut self) {
-        if self.rates_dirty {
-            self.recompute_rates();
+    /// Re-converges the dirty component, if any.
+    fn ensure_rates(&self) {
+        let mut s = self.solver.borrow_mut();
+        if s.dirty.is_empty() {
+            return;
         }
+        if self.full {
+            s.dirty = (0..self.links.len()).collect();
+        }
+        self.solve(&mut s);
     }
 
-    /// Progressive-filling max-min fair allocation.
-    fn recompute_rates(&mut self) {
-        let n_links = self.links.len();
-        let mut residual: Vec<f64> = self.links.iter().map(|l| l.capacity.current()).collect();
-        let mut unfixed_on_link = vec![0usize; n_links];
-
-        let ids: Vec<FlowId> = self.flows.keys().copied().collect();
-        let mut unfixed: Vec<bool> = vec![true; ids.len()];
-        for (i, id) in ids.iter().enumerate() {
-            let f = &self.flows[id];
-            for l in &f.route {
-                unfixed_on_link[l.0] += 1;
+    /// Incremental progressive-filling max-min fair allocation: expands the
+    /// dirty set to its connected component (links joined by shared flows)
+    /// and re-solves only that component. Restricted to the component the
+    /// floating-point operation sequence is identical to the reference full
+    /// solver's, so rates and demands stay bit-identical to a global
+    /// recompute (asserted by [`FlowNet::set_shadow_verify`] mode).
+    fn solve(&self, s: &mut Solver) {
+        // --- Dirty-component closure. -----------------------------------
+        let mut comp_links: BTreeSet<usize> = s.dirty.iter().copied().collect();
+        let mut comp_flows: BTreeSet<FlowId> = BTreeSet::new();
+        let mut frontier: Vec<usize> = comp_links.iter().copied().collect();
+        while let Some(li) = frontier.pop() {
+            for id in &s.on_link[li] {
+                if comp_flows.insert(*id) {
+                    for l in &self.flows[id].route {
+                        if comp_links.insert(l.0) {
+                            frontier.push(l.0);
+                        }
+                    }
+                }
             }
-            let _ = i;
+        }
+
+        // --- Restricted progressive filling. ----------------------------
+        // Residuals and unfixed counts live in persistent scratch vectors;
+        // only component entries are touched. Counting uses the raw routes
+        // (duplicates included), matching the reference solver.
+        for &li in &comp_links {
+            s.residual[li] = self.links[li].capacity.current();
+            s.unfixed_on_link[li] = 0;
+        }
+        let ids: Vec<FlowId> = comp_flows.iter().copied().collect();
+        let mut unfixed: Vec<bool> = vec![true; ids.len()];
+        let mut rate_of: Vec<f64> = vec![0.0; ids.len()];
+        for id in &ids {
+            for l in &self.flows[id].route {
+                s.unfixed_on_link[l.0] += 1;
+            }
         }
 
         let mut remaining_unfixed = ids.len();
         while remaining_unfixed > 0 {
-            // Bottleneck link: smallest fair share among links with unfixed flows.
+            // Bottleneck link: smallest fair share among component links
+            // with unfixed flows (ascending index, strict `<`, so ties go
+            // to the lowest index — as in the reference solver).
             let mut link_best: Option<(f64, usize)> = None;
-            for (li, _link) in self.links.iter().enumerate() {
-                if unfixed_on_link[li] > 0 {
-                    let share = (residual[li] / unfixed_on_link[li] as f64).max(0.0);
-                    if link_best.is_none_or(|(s, _)| share < s) {
+            for &li in &comp_links {
+                if s.unfixed_on_link[li] > 0 {
+                    let share = (s.residual[li] / s.unfixed_on_link[li] as f64).max(0.0);
+                    if link_best.is_none_or(|(b, _)| share < b) {
                         link_best = Some((share, li));
                     }
                 }
             }
-            // Capped flow that would saturate before the link share.
+            // Capped flow that would saturate before the link share
+            // (ascending flow id, strict `<`).
             let mut cap_best: Option<(f64, usize)> = None;
             for (i, id) in ids.iter().enumerate() {
                 if unfixed[i] {
@@ -396,7 +567,7 @@ impl FlowNet {
             // The winning cap carries its values through the match, so no
             // later unwrap is needed.
             let cap_winner = match (cap_best, link_best) {
-                (Some((c, i)), Some((s, _))) if c <= s => Some((c, i)),
+                (Some((c, i)), Some((sh, _))) if c <= sh => Some((c, i)),
                 (Some((c, i)), None) => Some((c, i)),
                 _ => None,
             };
@@ -404,16 +575,10 @@ impl FlowNet {
             if let Some((cap, i)) = cap_winner {
                 unfixed[i] = false;
                 remaining_unfixed -= 1;
-                let id = ids[i];
-                let route = self.flows.get_mut(&id).map(|f| {
-                    f.rate = cap;
-                    f.route.clone()
-                });
-                if let Some(route) = route {
-                    for l in route {
-                        residual[l.0] = (residual[l.0] - cap).max(0.0);
-                        unfixed_on_link[l.0] -= 1;
-                    }
+                rate_of[i] = cap;
+                for l in &self.flows[&ids[i]].route {
+                    s.residual[l.0] = (s.residual[l.0] - cap).max(0.0);
+                    s.unfixed_on_link[l.0] -= 1;
                 }
                 continue;
             }
@@ -435,15 +600,10 @@ impl FlowNet {
                 fixed_any = true;
                 unfixed[i] = false;
                 remaining_unfixed -= 1;
-                let route = self.flows.get_mut(id).map(|f| {
-                    f.rate = share;
-                    f.route.clone()
-                });
-                if let Some(route) = route {
-                    for l in route {
-                        residual[l.0] = (residual[l.0] - share).max(0.0);
-                        unfixed_on_link[l.0] -= 1;
-                    }
+                rate_of[i] = share;
+                for l in &self.flows[id].route {
+                    s.residual[l.0] = (s.residual[l.0] - share).max(0.0);
+                    s.unfixed_on_link[l.0] -= 1;
                 }
             }
             debug_assert!(fixed_any, "progressive filling made no progress");
@@ -452,28 +612,168 @@ impl FlowNet {
             }
         }
 
-        for (li, link) in self.links.iter_mut().enumerate() {
-            link.demand = (link.capacity.current() - residual[li]).max(0.0);
+        // --- Commit the component back into the converged state. --------
+        for (i, id) in ids.iter().enumerate() {
+            s.rates.insert(*id, rate_of[i]);
         }
-        self.rates_dirty = false;
+        for &li in &comp_links {
+            s.demand[li] = (self.links[li].capacity.current() - s.residual[li]).max(0.0);
+        }
+        s.epoch += 1;
+        s.stats.solves += 1;
+        if comp_links.len() == self.links.len() {
+            s.stats.full_solves += 1;
+        }
+        s.stats.links_touched += comp_links.len() as u64;
+        s.stats.flows_touched += ids.len() as u64;
+        s.stats.max_component_links = s.stats.max_component_links.max(comp_links.len());
+        s.stats.last_component_links = comp_links.len();
+        s.dirty.clear();
+
+        if self.shadow {
+            self.shadow_check(s);
+        }
+    }
+
+    /// Reference full solver (the pre-incremental algorithm, verbatim
+    /// arithmetic): progressive filling over the whole network into fresh
+    /// buffers. Used by shadow verification and differential tests.
+    fn reference_solve(&self) -> (BTreeMap<FlowId, f64>, Vec<f64>) {
+        let n_links = self.links.len();
+        let mut residual: Vec<f64> = self.links.iter().map(|l| l.capacity.current()).collect();
+        let mut unfixed_on_link = vec![0usize; n_links];
+
+        let ids: Vec<FlowId> = self.flows.keys().copied().collect();
+        let mut unfixed: Vec<bool> = vec![true; ids.len()];
+        let mut rate_of: Vec<f64> = vec![0.0; ids.len()];
+        for id in &ids {
+            for l in &self.flows[id].route {
+                unfixed_on_link[l.0] += 1;
+            }
+        }
+
+        let mut remaining_unfixed = ids.len();
+        while remaining_unfixed > 0 {
+            let mut link_best: Option<(f64, usize)> = None;
+            for li in 0..n_links {
+                if unfixed_on_link[li] > 0 {
+                    let share = (residual[li] / unfixed_on_link[li] as f64).max(0.0);
+                    if link_best.is_none_or(|(b, _)| share < b) {
+                        link_best = Some((share, li));
+                    }
+                }
+            }
+            let mut cap_best: Option<(f64, usize)> = None;
+            for (i, id) in ids.iter().enumerate() {
+                if unfixed[i] {
+                    let cap = self.flows[id].cap;
+                    if cap.is_finite() && cap_best.is_none_or(|(c, _)| cap < c) {
+                        cap_best = Some((cap, i));
+                    }
+                }
+            }
+            let cap_winner = match (cap_best, link_best) {
+                (Some((c, i)), Some((sh, _))) if c <= sh => Some((c, i)),
+                (Some((c, i)), None) => Some((c, i)),
+                _ => None,
+            };
+            if let Some((cap, i)) = cap_winner {
+                unfixed[i] = false;
+                remaining_unfixed -= 1;
+                rate_of[i] = cap;
+                for l in &self.flows[&ids[i]].route {
+                    residual[l.0] = (residual[l.0] - cap).max(0.0);
+                    unfixed_on_link[l.0] -= 1;
+                }
+                continue;
+            }
+            let Some((share, bottleneck)) = link_best else {
+                break;
+            };
+            let mut fixed_any = false;
+            for (i, id) in ids.iter().enumerate() {
+                if !unfixed[i] {
+                    continue;
+                }
+                if !self.flows[id].route.iter().any(|l| l.0 == bottleneck) {
+                    continue;
+                }
+                fixed_any = true;
+                unfixed[i] = false;
+                remaining_unfixed -= 1;
+                rate_of[i] = share;
+                for l in &self.flows[id].route {
+                    residual[l.0] = (residual[l.0] - share).max(0.0);
+                    unfixed_on_link[l.0] -= 1;
+                }
+            }
+            if !fixed_any {
+                break;
+            }
+        }
+
+        let rates: BTreeMap<FlowId, f64> = ids
+            .iter()
+            .zip(rate_of.iter())
+            .map(|(id, r)| (*id, *r))
+            .collect();
+        let demand: Vec<f64> = self
+            .links
+            .iter()
+            .zip(residual.iter())
+            .map(|(l, r)| (l.capacity.current() - r).max(0.0))
+            .collect();
+        (rates, demand)
+    }
+
+    /// Asserts bitwise equality between the incremental solver's converged
+    /// state and a fresh reference full solve.
+    fn shadow_check(&self, s: &Solver) {
+        let (ref_rates, ref_demand) = self.reference_solve();
+        assert_eq!(
+            s.rates.len(),
+            ref_rates.len(),
+            "shadow solver: flow-set mismatch"
+        );
+        for (id, rate) in &s.rates {
+            let reference = ref_rates[id];
+            assert!(
+                rate.to_bits() == reference.to_bits(),
+                "shadow solver: flow {id:?} rate diverged \
+                 (incremental {rate:e}, reference {reference:e}, epoch {})",
+                s.epoch,
+            );
+        }
+        for (li, demand) in s.demand.iter().enumerate() {
+            let reference = ref_demand[li];
+            assert!(
+                demand.to_bits() == reference.to_bits(),
+                "shadow solver: link {li} ({}) demand diverged \
+                 (incremental {demand:e}, reference {reference:e}, epoch {})",
+                self.links[li].name,
+                s.epoch,
+            );
+        }
     }
 
     /// Seconds until the next intrinsic event (a flow completion or a token
     /// bucket transition), or `None` when nothing is in motion.
-    pub fn next_event_in(&mut self) -> Option<f64> {
+    pub fn next_event_in(&self) -> Option<f64> {
         self.ensure_rates();
+        let s = self.solver.borrow();
         let mut next: Option<f64> = None;
-        for f in self.flows.values() {
-            if f.rate > 0.0 {
-                let t = f.remaining / f.rate;
+        for (id, f) in &self.flows {
+            let rate = s.rates.get(id).copied().unwrap_or(0.0);
+            if rate > 0.0 {
+                let t = f.remaining / rate;
                 if next.is_none_or(|n| t < n) {
                     next = Some(t);
                 }
             }
         }
-        for l in &self.links {
+        for (li, l) in self.links.iter().enumerate() {
             if let Capacity::Bucketed(b) = &l.capacity {
-                if let Some(t) = b.next_transition(l.demand) {
+                if let Some(t) = b.next_transition(s.demand[li]) {
                     if next.is_none_or(|n| t < n) {
                         next = Some(t);
                     }
@@ -497,13 +797,15 @@ impl FlowNet {
     ) -> Vec<FlowId> {
         assert!(dt_secs >= 0.0 && dt_secs.is_finite());
         self.ensure_rates();
+        let s = self.solver.get_mut();
 
         let mut completed = Vec::new();
         for (id, f) in self.flows.iter_mut() {
-            if f.rate <= 0.0 {
+            let rate = s.rates.get(id).copied().unwrap_or(0.0);
+            if rate <= 0.0 {
                 continue;
             }
-            let bytes = (f.rate * dt_secs).min(f.remaining);
+            let bytes = (rate * dt_secs).min(f.remaining);
             f.remaining -= bytes;
             for l in &f.route {
                 obs.on_transfer(*l, now, dt_secs, bytes);
@@ -512,25 +814,24 @@ impl FlowNet {
                 completed.push(*id);
             }
         }
-        // Buckets drain/refill with the pre-advance demand.
-        for l in &mut self.links {
+        // Buckets drain/refill with the pre-advance demand; their capacity
+        // moves with time, so every bucketed link is dirty after a step.
+        for (li, l) in self.links.iter_mut().enumerate() {
             if let Capacity::Bucketed(b) = &mut l.capacity {
-                b.advance(dt_secs, l.demand);
+                b.advance(dt_secs, s.demand[li]);
+                s.dirty.insert(li);
             }
         }
         for id in &completed {
-            self.flows.remove(id);
-        }
-        if !completed.is_empty() || self.has_buckets() {
-            self.rates_dirty = true;
+            if let Some(f) = self.flows.remove(id) {
+                s.rates.remove(id);
+                for l in &f.route {
+                    s.on_link[l.0].remove(id);
+                    s.dirty.insert(l.0);
+                }
+            }
         }
         completed
-    }
-
-    fn has_buckets(&self) -> bool {
-        self.links
-            .iter()
-            .any(|l| matches!(l.capacity, Capacity::Bucketed(_)))
     }
 
     /// Convenience driver: advances to the next intrinsic event and returns
@@ -547,7 +848,20 @@ impl FlowNet {
 
     /// Runs until every active flow completes, returning total elapsed
     /// seconds. Intended for tests and simple measurements.
-    pub fn drain(&mut self, obs: &mut dyn FlowObserver) -> f64 {
+    ///
+    /// # Errors
+    /// Returns [`SimError::SolverDiverged`] if the event budget is exceeded
+    /// before every flow retires (the solver is cycling, e.g. a token
+    /// bucket oscillating at the completion epsilon).
+    pub fn drain(&mut self, obs: &mut dyn FlowObserver) -> Result<f64, SimError> {
+        self.drain_with_budget(obs, DRAIN_EVENT_BUDGET)
+    }
+
+    fn drain_with_budget(
+        &mut self,
+        obs: &mut dyn FlowObserver,
+        budget: u64,
+    ) -> Result<f64, SimError> {
         let mut t = 0.0;
         let mut guard = 0u64;
         while self.flow_count() > 0 {
@@ -556,9 +870,14 @@ impl FlowNet {
                 None => break, // only bucket refills remain
             }
             guard += 1;
-            assert!(guard < 10_000_000, "FlowNet::drain did not converge");
+            if guard >= budget {
+                return Err(SimError::SolverDiverged {
+                    iterations: guard,
+                    component_links: self.solver.borrow().stats.last_component_links,
+                });
+            }
         }
-        t
+        Ok(t)
     }
 }
 
@@ -567,7 +886,7 @@ mod tests {
     use super::*;
 
     fn drain_time(net: &mut FlowNet) -> f64 {
-        net.drain(&mut NullObserver)
+        net.drain(&mut NullObserver).unwrap()
     }
 
     #[test]
@@ -637,7 +956,7 @@ mod tests {
         let b = net.add_link("b", 13.0);
         net.start_flow(&[a, b], 42.0).unwrap();
         let mut tally = Tally(0.0);
-        net.drain(&mut tally);
+        net.drain(&mut tally).unwrap();
         // Counted once per link on the 2-hop route.
         assert!((tally.0 - 84.0).abs() < 1e-6);
     }
@@ -781,7 +1100,7 @@ mod tests {
         net.start_flow(&[l], 100.0).unwrap();
         net.advance(SimTime::ZERO, 4.0, &mut NullObserver);
         net.scale_link(l, 0.5).unwrap();
-        let t = net.drain(&mut NullObserver);
+        let t = net.drain(&mut NullObserver).unwrap();
         assert!((t - 12.0).abs() < 1e-9, "t = {t}");
     }
 
@@ -838,5 +1157,176 @@ mod tests {
         assert!(!net.cancel_flow(a), "second cancel is a no-op");
         assert!((net.flow_rate(b).unwrap() - 10.0).abs() < 1e-9);
         assert_eq!(net.flow_count(), 1);
+    }
+
+    // --- Incremental-solver behaviour. ----------------------------------
+
+    #[test]
+    fn reads_take_shared_references() {
+        let mut net = FlowNet::new();
+        let l = net.add_link("l", 10.0);
+        let f = net.start_flow(&[l], 100.0).unwrap();
+        // All three read paths work through &FlowNet even with a pending
+        // dirty set (the converged state is cached behind a RefCell).
+        let shared: &FlowNet = &net;
+        assert!((shared.flow_rate(f).unwrap() - 10.0).abs() < 1e-9);
+        assert!((shared.link_demand(l) - 10.0).abs() < 1e-9);
+        assert!((shared.next_event_in().unwrap() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn solver_recomputes_only_the_dirty_component() {
+        let mut net = FlowNet::new();
+        // Two disjoint clusters of two links each.
+        let a0 = net.add_link("a0", 10.0);
+        let a1 = net.add_link("a1", 10.0);
+        let b0 = net.add_link("b0", 10.0);
+        let b1 = net.add_link("b1", 10.0);
+        net.start_flow(&[a0, a1], 100.0).unwrap();
+        net.start_flow(&[b0, b1], 100.0).unwrap();
+        let fa = net.start_flow(&[a0], 100.0).unwrap();
+        assert!(net.flow_rate(fa).is_some());
+        // That last read converged everything; a new flow on the B side
+        // must only re-touch the B component.
+        let epoch = net.solver_epoch();
+        let fb = net.start_flow(&[b1], 100.0).unwrap();
+        assert!(net.flow_rate(fb).is_some());
+        assert_eq!(net.solver_epoch(), epoch + 1);
+        let stats = net.solver_stats();
+        assert_eq!(
+            stats.last_component_links, 2,
+            "B-side event must not touch the A-side links: {stats:?}"
+        );
+        assert!(stats.max_component_links <= 4);
+    }
+
+    #[test]
+    fn component_closure_follows_shared_flows() {
+        let mut net = FlowNet::new();
+        let l0 = net.add_link("l0", 10.0);
+        let l1 = net.add_link("l1", 10.0);
+        let l2 = net.add_link("l2", 10.0);
+        // Chain: f01 joins l0-l1, f12 joins l1-l2.
+        net.start_flow(&[l0, l1], 1e6).unwrap();
+        net.start_flow(&[l1, l2], 1e6).unwrap();
+        net.flow_rate(FlowId(0)).unwrap();
+        // Dirtying l0 must pull in the whole chain through shared flows.
+        net.scale_link(l0, 0.5).unwrap();
+        net.link_demand(l2);
+        assert_eq!(net.solver_stats().last_component_links, 3);
+    }
+
+    #[test]
+    fn full_solve_mode_matches_incremental_rates() {
+        let build = |full: bool| {
+            let mut net = FlowNet::new();
+            net.set_full_solve(full);
+            let shared = net.add_link("shared", 10.0);
+            let private = net.add_link("private", 2.0);
+            let iso = net.add_link("iso", 7.0);
+            let a = net.start_flow(&[private, shared], 100.0).unwrap();
+            let b = net.start_flow(&[shared], 100.0).unwrap();
+            let c = net.start_flow_capped(&[iso], 100.0, 3.0).unwrap();
+            net.advance_to_next_event(SimTime::ZERO, &mut NullObserver);
+            (
+                net.flow_rate(a).map(f64::to_bits),
+                net.flow_rate(b).map(f64::to_bits),
+                net.flow_rate(c).map(f64::to_bits),
+                net.link_demand(shared).to_bits(),
+            )
+        };
+        assert_eq!(build(false), build(true));
+    }
+
+    #[test]
+    fn full_solve_mode_counts_full_solves() {
+        let mut net = FlowNet::new();
+        net.set_full_solve(true);
+        net.set_shadow_verify(false);
+        let a = net.add_link("a", 10.0);
+        let _b = net.add_link("b", 10.0);
+        net.start_flow(&[a], 100.0).unwrap();
+        net.flow_rate(FlowId(0)).unwrap();
+        let stats = net.solver_stats();
+        assert_eq!(stats.solves, 1);
+        assert_eq!(stats.full_solves, 1);
+        assert_eq!(stats.links_touched, 2);
+    }
+
+    #[test]
+    fn solver_stats_reset() {
+        let mut net = FlowNet::new();
+        let l = net.add_link("l", 10.0);
+        net.start_flow(&[l], 100.0).unwrap();
+        net.link_demand(l);
+        assert!(net.solver_stats().solves > 0);
+        net.reset_solver_stats();
+        assert_eq!(net.solver_stats(), SolverStats::default());
+    }
+
+    #[test]
+    fn shadow_verify_toggles_and_defaults() {
+        let mut net = FlowNet::new();
+        // Whatever the environment default, the toggle must win.
+        net.set_shadow_verify(true);
+        assert!(net.shadow_verify());
+        let l = net.add_link("l", 10.0);
+        let f = net.start_flow(&[l], 100.0).unwrap();
+        assert!((net.flow_rate(f).unwrap() - 10.0).abs() < 1e-9);
+        net.set_shadow_verify(false);
+        assert!(!net.shadow_verify());
+    }
+
+    #[test]
+    fn drain_reports_divergence_instead_of_panicking() {
+        let mut net = FlowNet::new();
+        let l = net.add_link("l", 10.0);
+        // Three sequential completions need three events; a budget of two
+        // must surface a typed divergence error, not a panic.
+        net.start_flow(&[l], 10.0).unwrap();
+        net.start_flow(&[l], 20.0).unwrap();
+        net.start_flow(&[l], 30.0).unwrap();
+        let err = net
+            .drain_with_budget(&mut NullObserver, 2)
+            .expect_err("budget of 2 cannot retire 3 staggered flows");
+        match err {
+            SimError::SolverDiverged {
+                iterations,
+                component_links,
+            } => {
+                assert_eq!(iterations, 2);
+                assert!(component_links >= 1);
+            }
+            other => panic!("expected SolverDiverged, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unused_links_report_zero_demand_after_completion() {
+        let mut net = FlowNet::new();
+        let l = net.add_link("l", 10.0);
+        net.start_flow(&[l], 10.0).unwrap();
+        assert!((net.link_demand(l) - 10.0).abs() < 1e-9);
+        net.drain(&mut NullObserver).unwrap();
+        assert_eq!(net.flow_count(), 0);
+        assert_eq!(net.link_demand(l), 0.0);
+    }
+
+    #[test]
+    fn duplicate_route_entries_count_twice_in_sharing() {
+        // A route that visits the same link twice consumes two shares of
+        // it, in both the incremental and the reference solver.
+        let mut net = FlowNet::new();
+        net.set_shadow_verify(true);
+        let l = net.add_link("l", 10.0);
+        let doubled = net.start_flow(&[l, l], 100.0).unwrap();
+        let single = net.start_flow(&[l], 100.0).unwrap();
+        // Fair share per route-entry: 10/3; the doubled flow gets one
+        // share, the single flow gets one share... progressive filling
+        // fixes both at the bottleneck share of 10/3.
+        let r0 = net.flow_rate(doubled).unwrap();
+        let r1 = net.flow_rate(single).unwrap();
+        assert!((r0 - 10.0 / 3.0).abs() < 1e-9, "r0 = {r0}");
+        assert!((r1 - 10.0 / 3.0).abs() < 1e-9, "r1 = {r1}");
     }
 }

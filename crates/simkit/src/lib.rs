@@ -58,5 +58,5 @@ pub use engine::{DagEngine, RunOutcome};
 pub use error::SimError;
 pub use fault::{FaultCursor, FaultEvent, FaultKind, FaultSchedule, FLAP_FLOOR};
 pub use flow::{FlowId, FlowNet, FlowObserver, LinkId, NullObserver};
-pub use record::{BandwidthRecorder, BandwidthStats, Span, SpanLog};
+pub use record::{BandwidthRecorder, BandwidthStats, SolverStats, Span, SpanLog};
 pub use time::SimTime;

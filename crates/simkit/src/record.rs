@@ -55,6 +55,66 @@ impl BandwidthStats {
     }
 }
 
+/// Counters describing how much work the incremental max-min solver did.
+///
+/// The solver re-converges only the *dirty component* — the links reachable
+/// from the event's touched links through shared flows — so these counters
+/// are the direct measure of how much cheaper an event was than a full
+/// network recompute. They accumulate monotonically over the life of a
+/// [`FlowNet`](crate::flow::FlowNet); use [`SolverStats::delta_since`] to
+/// window them around a measured region (e.g. the timed iterations of a
+/// training run).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SolverStats {
+    /// Number of solves (one per batch of dirty links at a read point).
+    pub solves: u64,
+    /// Solves whose dirty component spanned the whole network (cold start,
+    /// forced full mode, or genuinely global events).
+    pub full_solves: u64,
+    /// Cumulative links re-converged across all solves.
+    pub links_touched: u64,
+    /// Cumulative flows re-converged across all solves.
+    pub flows_touched: u64,
+    /// Largest single dirty component, in links.
+    pub max_component_links: usize,
+    /// Size of the most recent dirty component, in links.
+    pub last_component_links: usize,
+}
+
+impl SolverStats {
+    /// Mean links re-converged per solve (0 when no solve happened).
+    pub fn mean_links_per_solve(&self) -> f64 {
+        if self.solves == 0 {
+            0.0
+        } else {
+            self.links_touched as f64 / self.solves as f64
+        }
+    }
+
+    /// Mean flows re-converged per solve (0 when no solve happened).
+    pub fn mean_flows_per_solve(&self) -> f64 {
+        if self.solves == 0 {
+            0.0
+        } else {
+            self.flows_touched as f64 / self.solves as f64
+        }
+    }
+
+    /// Counter difference `self - earlier` for windowed measurement. The
+    /// `max_component_links` / `last_component_links` gauges are taken from
+    /// `self` (an upper bound for the window).
+    pub fn delta_since(&self, earlier: &SolverStats) -> SolverStats {
+        SolverStats {
+            solves: self.solves.saturating_sub(earlier.solves),
+            full_solves: self.full_solves.saturating_sub(earlier.full_solves),
+            links_touched: self.links_touched.saturating_sub(earlier.links_touched),
+            flows_touched: self.flows_touched.saturating_sub(earlier.flows_touched),
+            max_component_links: self.max_component_links,
+            last_component_links: self.last_component_links,
+        }
+    }
+}
+
 /// Accumulates per-link bytes into fixed-width time buckets.
 ///
 /// ```
@@ -66,7 +126,7 @@ impl BandwidthStats {
 /// let l = net.add_link("pcie", 100.0);
 /// net.start_flow(&[l], 200.0).unwrap();
 /// let mut rec = BandwidthRecorder::new(SimTime::from_secs(1.0));
-/// net.drain(&mut rec);
+/// net.drain(&mut rec).unwrap();
 /// let series = rec.series(l);
 /// assert_eq!(series.len(), 2); // two 1-second buckets at 100 B/s
 /// assert!((series[0] - 100.0).abs() < 1e-9);
@@ -314,7 +374,7 @@ mod tests {
         let l = net.add_link("l", 100.0);
         net.start_flow(&[l], 250.0).unwrap();
         let mut rec = BandwidthRecorder::new(SimTime::from_secs(1.0));
-        net.drain(&mut rec);
+        net.drain(&mut rec).unwrap();
         let s = rec.series(l);
         assert_eq!(s.len(), 3);
         assert!((s[0] - 100.0).abs() < 1e-9);
@@ -369,6 +429,36 @@ mod tests {
         let mut rec = BandwidthRecorder::new(SimTime::from_secs(1.0));
         rec.add(LinkId(0), SimTime::ZERO, 2.0, 10.0);
         assert_eq!(rec.series(LinkId(9)), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn solver_stats_means_and_delta() {
+        let earlier = SolverStats {
+            solves: 2,
+            full_solves: 1,
+            links_touched: 10,
+            flows_touched: 6,
+            max_component_links: 8,
+            last_component_links: 2,
+        };
+        let later = SolverStats {
+            solves: 6,
+            full_solves: 1,
+            links_touched: 18,
+            flows_touched: 14,
+            max_component_links: 8,
+            last_component_links: 1,
+        };
+        let d = later.delta_since(&earlier);
+        assert_eq!(d.solves, 4);
+        assert_eq!(d.full_solves, 0);
+        assert_eq!(d.links_touched, 8);
+        assert_eq!(d.flows_touched, 8);
+        assert_eq!(d.max_component_links, 8);
+        assert!((d.mean_links_per_solve() - 2.0).abs() < 1e-12);
+        assert!((d.mean_flows_per_solve() - 2.0).abs() < 1e-12);
+        assert_eq!(SolverStats::default().mean_links_per_solve(), 0.0);
+        assert_eq!(SolverStats::default().mean_flows_per_solve(), 0.0);
     }
 
     #[test]

@@ -20,6 +20,9 @@
 //! * [`domain`] — generators for ZeroSim's domain shapes (link-capacity
 //!   vectors, flow path sets, GPT configs, cluster shapes) expressed as
 //!   plain data so this crate stays dependency-free.
+//! * [`pool`] — a scoped work-stealing thread pool on `std::thread` only
+//!   (the `rayon` replacement) with deterministic input-ordered result
+//!   collection; `core::sweep` fans parallel simulation runs over it.
 //!
 //! # Quick start
 //!
@@ -49,11 +52,13 @@ pub mod bench;
 pub mod domain;
 pub mod gen;
 pub mod json;
+pub mod pool;
 pub mod prop;
 pub mod rng;
 
 pub use gen::Gen;
 pub use json::{FromJson, Json, JsonError, ToJson};
+pub use pool::ThreadPool;
 pub use prop::{check, Config};
 pub use rng::Rng;
 

@@ -8,6 +8,11 @@
 #   4. bench smoke: in-house-harness bench targets in --quick mode,
 #                   including the plan-cache (lower-once / re-stamp)
 #                   regression check
+#   5. solver:      shadow-mode equivalence smoke (incremental max-min
+#                   solve cross-checked against the full reference on a
+#                   golden config) and the BENCH_solver.json scorecard
+#   6. sweep:       `repro --workers 4` must render the scorecard
+#                   byte-identically to the serial run
 #
 # The workspace must never require network/registry access; everything
 # external was replaced by crates/testkit (see DESIGN.md, "Testing
@@ -52,6 +57,38 @@ cargo bench -p zerosim-bench --bench dag_build -- --quick
 # The engine must report exactly one lowering per characterization run
 # (ddp_run_produces_sane_report asserts report.plan_lowerings == 1).
 cargo test -q -p zerosim-core ddp_run_produces_sane_report
+
+echo "== solver-equivalence smoke: shadow mode on a golden config =="
+# ZEROSIM_SHADOW=1 makes every incremental solve run the full reference
+# solver next to it and assert bitwise-equal rates (FlowNet::shadow_check).
+# Debug tests default shadow on; forcing the env keeps this a gate, not a
+# default. dual_node_uses_roce runs a golden dual-node configuration.
+ZEROSIM_SHADOW=1 cargo test -q -p zerosim-core dual_node_uses_roce
+# The incremental solver must also match the pre-refactor cost profile's
+# results bit-for-bit across randomized topologies (64-case property test).
+cargo test -q --test proptest_invariants incremental_solver_matches_full_recompute
+
+echo "== solver bench: BENCH_solver.json (full vs incremental, sweep) =="
+# Emits BENCH_solver.json at the repo root and asserts the >=5x
+# links-touched-per-solve floor on dual-node ZeRO-3 11.4 B.
+cargo bench -p zerosim-bench --bench solver_incremental -- --quick
+
+echo "== sweep smoke: --workers 4 renders the scorecard byte-identically =="
+SWEEP_TMP="$(mktemp -d)"
+trap 'rm -rf "$SWEEP_TMP"' EXIT
+cargo run --release -q -p zerosim-bench --bin repro -- \
+  --out "$SWEEP_TMP/serial" scorecard >/dev/null
+cargo run --release -q -p zerosim-bench --bin repro -- \
+  --out "$SWEEP_TMP/wide" --workers 4 scorecard >/dev/null
+if ! cmp -s "$SWEEP_TMP/serial/scorecard.txt" "$SWEEP_TMP/wide/scorecard.txt"; then
+  echo "ERROR: scorecard differs between --workers 1 and --workers 4" >&2
+  diff "$SWEEP_TMP/serial/scorecard.txt" "$SWEEP_TMP/wide/scorecard.txt" >&2 || true
+  exit 1
+fi
+echo "scorecard byte-identical at widths 1 and 4"
+# Ordering and digests must also hold across the 12 golden paper
+# configurations at widths 1/2/8 (tests/sweep_determinism.rs).
+cargo test -q --test sweep_determinism
 
 echo "== resilience smoke: fault matrix deterministic, goodput bounded =="
 # One small fault-matrix cell, run twice with the same seed + schedule:

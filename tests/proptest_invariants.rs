@@ -78,7 +78,7 @@ prop! {
             net.start_flow(&[a, b], *v).unwrap();
         }
         let mut rec = BandwidthRecorder::new(SimTime::from_ms(10.0));
-        net.drain(&mut rec);
+        net.drain(&mut rec).unwrap();
         let total: f64 = bytes.iter().sum();
         prop_assert!((rec.total_bytes(a) - total).abs() < total * 1e-6 + 1.0);
         prop_assert!((rec.total_bytes(b) - total).abs() < total * 1e-6 + 1.0);
@@ -94,9 +94,118 @@ prop! {
             let mut net = FlowNet::new();
             let l = net.add_link("l", 1e8);
             net.start_flow(&[l], v).unwrap();
-            net.drain(&mut NullObserver)
+            net.drain(&mut NullObserver).unwrap()
         };
         prop_assert!(time_for(size + extra) >= time_for(size));
+    }
+
+    /// The incremental dirty-component solver is bit-identical to a full
+    /// recompute under random interleavings of flow arrivals, completions,
+    /// cancellations, and link fault events on random topologies.
+    #[cases(64)]
+    fn incremental_solver_matches_full_recompute(
+        caps in link_caps(2, 8),
+        ops in vec_of(
+            tuple3(usize_range(0, 6), usize_range(0, 9999), f64_range(0.1, 1e9)),
+            4,
+            40,
+        ),
+    ) {
+        let mut inc = FlowNet::new();
+        let mut full = FlowNet::new();
+        // Differential setup: the property itself is the oracle, so shadow
+        // verification is off; `full` re-solves the world on every event.
+        inc.set_shadow_verify(false);
+        full.set_shadow_verify(false);
+        full.set_full_solve(true);
+        let n = caps.len();
+        let links: Vec<LinkId> = caps
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                full.add_link(format!("l{i}"), *c);
+                inc.add_link(format!("l{i}"), *c)
+            })
+            .collect();
+        let mut active: Vec<zerosim_simkit::FlowId> = Vec::new();
+        for (op, sel, value) in &ops {
+            match op {
+                // Flow arrival (40% of ops), occasionally rate-capped.
+                0 | 1 => {
+                    let mut route = vec![links[sel % n]];
+                    if sel / n % 2 == 1 {
+                        let second = (sel / 2) % n;
+                        if second != sel % n {
+                            route.push(links[second]);
+                        }
+                    }
+                    let cap = if sel % 5 == 0 { *value * 0.25 } else { f64::INFINITY };
+                    let a = inc.start_flow_capped(&route, *value, cap).unwrap();
+                    let b = full.start_flow_capped(&route, *value, cap).unwrap();
+                    prop_assert_eq!(a, b);
+                    active.push(a);
+                }
+                // Advance to the next completion on both networks.
+                2 => {
+                    let da = inc.advance_to_next_event(SimTime::ZERO, &mut NullObserver);
+                    let db = full.advance_to_next_event(SimTime::ZERO, &mut NullObserver);
+                    match (da, db) {
+                        (Some((ta, done_a)), Some((tb, done_b))) => {
+                            prop_assert_eq!(ta.to_bits(), tb.to_bits());
+                            prop_assert_eq!(&done_a, &done_b);
+                            active.retain(|f| !done_a.contains(f));
+                        }
+                        (None, None) => {}
+                        other => prop_assert!(false, "event divergence: {other:?}"),
+                    }
+                }
+                // Cancellation.
+                3 => {
+                    if !active.is_empty() {
+                        let victim = active.remove(sel % active.len());
+                        prop_assert_eq!(inc.cancel_flow(victim), full.cancel_flow(victim));
+                    }
+                }
+                // Fault events: degrade or restore a link.
+                4 => {
+                    let link = links[sel % n];
+                    let factor = 0.05 + (*value % 1.0).abs() * 1.4 + 0.01;
+                    inc.scale_link(link, factor).unwrap();
+                    full.scale_link(link, factor).unwrap();
+                }
+                _ => {
+                    let link = links[sel % n];
+                    inc.restore_link(link).unwrap();
+                    full.restore_link(link).unwrap();
+                }
+            }
+            // After every event: all per-flow rates and per-link demands
+            // are bitwise equal between the two solvers.
+            for f in &active {
+                let ra = inc.flow_rate(*f);
+                let rb = full.flow_rate(*f);
+                prop_assert!(
+                    ra.map(f64::to_bits) == rb.map(f64::to_bits),
+                    "flow {f:?}: incremental {ra:?} vs full {rb:?}"
+                );
+            }
+            for (li, link) in links.iter().enumerate() {
+                let da = inc.link_demand(*link);
+                let db = full.link_demand(*link);
+                prop_assert!(
+                    da.to_bits() == db.to_bits(),
+                    "link {li}: incremental {da} vs full {db}"
+                );
+            }
+        }
+        // The incremental solver must actually have been incremental: its
+        // cumulative touched-links count never exceeds the full solver's.
+        prop_assert!(
+            inc.solver_stats().links_touched <= full.solver_stats().links_touched,
+            "incremental touched more links than full: {:?} vs {:?}",
+            inc.solver_stats(),
+            full.solver_stats()
+        );
     }
 
     /// Token buckets conserve tokens: serving below the sustained rate

@@ -1,0 +1,149 @@
+//! Parallel sweeps are deterministic: fanning the 12 golden paper
+//! configurations (the strategy × node matrix of `plan_equivalence.rs`
+//! plus ZeRO-Infinity) across 1, 2, and 8 workers yields the same
+//! ordered label and digest vectors — scheduling must never leak into
+//! results.
+
+use zerosim_core::{RunConfig, SweepRunner, SweepSpec};
+use zerosim_hw::{NvmeId, VolumeId};
+use zerosim_model::GptConfig;
+use zerosim_strategies::{InfinityPlacement, Strategy, TrainOptions, ZeroStage};
+
+fn opts_for(nodes: usize) -> TrainOptions {
+    if nodes == 1 {
+        TrainOptions::single_node()
+    } else {
+        TrainOptions::dual_node()
+    }
+}
+
+/// The golden strategy × node-count matrix of `tests/plan_equivalence.rs`
+/// plus the ZeRO-Infinity configuration: 12 sweep specs in fixed order.
+fn golden_specs() -> Vec<SweepSpec> {
+    let model = GptConfig::paper_model_with_params(1.4);
+    let run = RunConfig {
+        allow_overflow: true,
+        ..RunConfig::quick()
+    };
+    let matrix: Vec<(Strategy, usize)> = vec![
+        (Strategy::Ddp, 1),
+        (Strategy::Ddp, 2),
+        (Strategy::Megatron { tp: 4, pp: 1 }, 1),
+        (Strategy::Megatron { tp: 8, pp: 1 }, 2),
+        (Strategy::Megatron { tp: 4, pp: 2 }, 2),
+        (
+            Strategy::Zero {
+                stage: ZeroStage::One,
+            },
+            1,
+        ),
+        (
+            Strategy::Zero {
+                stage: ZeroStage::Two,
+            },
+            1,
+        ),
+        (
+            Strategy::Zero {
+                stage: ZeroStage::Three,
+            },
+            1,
+        ),
+        (
+            Strategy::Zero {
+                stage: ZeroStage::Three,
+            },
+            2,
+        ),
+        (
+            Strategy::ZeroOffload {
+                stage: ZeroStage::Two,
+                offload_params: false,
+            },
+            1,
+        ),
+        (
+            Strategy::ZeroOffload {
+                stage: ZeroStage::Three,
+                offload_params: true,
+            },
+            1,
+        ),
+    ];
+    let mut specs: Vec<SweepSpec> = matrix
+        .into_iter()
+        .enumerate()
+        .map(|(i, (strategy, nodes))| {
+            SweepSpec::new(
+                format!("golden-{i:02} {} {nodes}n", strategy.name()),
+                strategy,
+                model,
+                opts_for(nodes),
+            )
+            .with_run(run)
+        })
+        .collect();
+    // Config 12: ZeRO-Infinity over a two-drive RAID0 scratch volume.
+    let d = |drive| NvmeId { node: 0, drive };
+    specs.push(
+        SweepSpec::new(
+            "golden-11 ZeRO-Infinity 1n",
+            Strategy::ZeroInfinity {
+                offload_params: true,
+                placement: InfinityPlacement::new(vec![VolumeId(0)]),
+            },
+            model,
+            opts_for(1),
+        )
+        .with_volume(vec![d(0), d(1)])
+        .with_run(run),
+    );
+    specs
+}
+
+#[test]
+fn golden_sweep_is_width_invariant() {
+    let specs = golden_specs();
+    assert_eq!(specs.len(), 12, "golden matrix must stay at 12 configs");
+
+    // Serial execution is the reference ordering.
+    let reference = SweepRunner::new(1)
+        .run_parallel(specs.clone())
+        .expect("golden configs run");
+    assert_eq!(reference.len(), 12);
+
+    for workers in [2usize, 8] {
+        let runs = SweepRunner::new(workers)
+            .run_parallel(specs.clone())
+            .expect("golden configs run");
+        let labels: Vec<&str> = runs.iter().map(|r| r.label.as_str()).collect();
+        let expect_labels: Vec<&str> = reference.iter().map(|r| r.label.as_str()).collect();
+        assert_eq!(labels, expect_labels, "ordering broke at {workers} workers");
+        for (run, want) in runs.iter().zip(&reference) {
+            assert_eq!(
+                run.digest, want.digest,
+                "digest drifted at {workers} workers for {}",
+                run.label
+            );
+            // The digest excludes solver accounting; check the work
+            // counters separately — they must match too, because each
+            // run's event sequence is spec-determined.
+            assert_eq!(
+                run.report.solver, want.report.solver,
+                "solver accounting drifted at {workers} workers for {}",
+                run.label
+            );
+        }
+    }
+}
+
+#[test]
+fn sweep_digests_distinguish_the_golden_configs() {
+    let runs = SweepRunner::new(8)
+        .run_parallel(golden_specs())
+        .expect("golden configs run");
+    let mut digests: Vec<u64> = runs.iter().map(|r| r.digest).collect();
+    digests.sort_unstable();
+    digests.dedup();
+    assert_eq!(digests.len(), runs.len(), "golden digests must be distinct");
+}
