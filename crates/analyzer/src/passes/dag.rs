@@ -1,0 +1,282 @@
+//! ZL005 / ZL006 — dead-op and deadlock hygiene.
+//!
+//! ZL005 flags *dead* work: ops whose result nothing consumes. With a
+//! plan in the artifacts, the analysis is semantic — every plan op with
+//! no dependents must be a legitimate sink (a weight update, a
+//! persisting write-back, or a step-phase parameter broadcast).
+//! Anything else — a gradient collective nobody waits for, a compute op
+//! feeding nothing, an unconsumed join — is flagged: its cost is
+//! simulated, but the downstream work it should gate can start without
+//! it, so the timeline silently loses a dependency. On a bare DAG
+//! (no plan), the check degrades to structure: zero-cost join markers
+//! that gate nothing. Warn-by-default, not an error.
+//!
+//! ZL006 detects dependency cycles and dangling edges. In-tree DAGs are
+//! acyclic by construction, but lowered plans may arrive from
+//! out-of-tree strategies or serialized artifacts via
+//! [`crate::GraphView::from_edges`], so the analyzer owns the deadlock
+//! check rather than trusting the builder.
+
+use zerosim_hw::{IoDir, MemLoc};
+use zerosim_simkit::TaskKind;
+use zerosim_strategies::{IterPlan, PhaseStage, PlanOp};
+
+use crate::diag::{LintCode, Site};
+use crate::graph::GraphView;
+use crate::pass::{Artifacts, Pass, Sink};
+
+/// ZL005 (see module docs).
+#[derive(Debug)]
+pub struct DeadOpsPass;
+
+/// Whether a dependent-less plan op is a legitimate sink of the
+/// iteration (its effect is a state change, not a value someone reads).
+fn is_legal_sink(op: &PlanOp, stage: PhaseStage) -> bool {
+    match op {
+        // The weight update itself.
+        PlanOp::OptimizerStep { .. } => true,
+        // Persisting state to a slower tier (checkpoint/offload
+        // write-back): the write *is* the effect.
+        PlanOp::VolumeIo {
+            dir: IoDir::Write, ..
+        } => true,
+        PlanOp::TierTransfer { dst, .. } => {
+            matches!(dst, MemLoc::Cpu(_) | MemLoc::Nvme(_))
+        }
+        // The post-step parameter broadcast (ZeRO-1/2): ranks end the
+        // iteration holding fresh weights.
+        PlanOp::Collective { .. } => stage == PhaseStage::Step,
+        _ => false,
+    }
+}
+
+fn dead_plan_ops(plan: &IterPlan, sink: &mut Sink<'_>) {
+    let nodes = plan.nodes();
+    let mut dependents = vec![0usize; nodes.len()];
+    for n in nodes {
+        for d in &n.deps {
+            dependents[d.index()] += 1;
+        }
+    }
+    for (i, n) in nodes.iter().enumerate() {
+        if dependents[i] > 0 || is_legal_sink(&n.op, n.phase.stage) {
+            continue;
+        }
+        // The final op is the plan's completion by convention.
+        if i + 1 == nodes.len() {
+            continue;
+        }
+        let what = match &n.op {
+            PlanOp::Collective { .. } => "collective that no op waits for",
+            PlanOp::Barrier => "join that gates nothing",
+            PlanOp::LayerCompute { .. } | PlanOp::FixedCompute { .. } => {
+                "compute whose result nothing consumes"
+            }
+            PlanOp::VolumeIo { .. } => "volume read that nothing consumes",
+            _ => "op that nothing consumes",
+        };
+        sink.report(
+            LintCode::DeadOps,
+            Site::PlanOp(i),
+            format!("dead op: {what}"),
+            "wire the dependency (downstream work can currently start without \
+             this op) or drop the op"
+                .to_string(),
+        );
+    }
+}
+
+impl Pass for DeadOpsPass {
+    fn code(&self) -> LintCode {
+        LintCode::DeadOps
+    }
+
+    fn run(&self, art: &Artifacts<'_>, sink: &mut Sink<'_>) {
+        if let Some(plan) = art.plan {
+            dead_plan_ops(plan, sink);
+            return;
+        }
+        let Some(dag) = art.dag else {
+            return;
+        };
+        let n = dag.len();
+        for t in dag.task_ids() {
+            let spec = dag.task(t);
+            if !matches!(spec.kind, TaskKind::Marker) {
+                continue;
+            }
+            // The final task is the plan's completion marker by
+            // convention; everything else must gate something.
+            if dag.succs(t).is_empty() && t.index() + 1 != n {
+                sink.report(
+                    LintCode::DeadOps,
+                    Site::DagTask(t.index()),
+                    format!(
+                        "marker task over {} dependenc(ies) gates nothing",
+                        dag.preds(t).len()
+                    ),
+                    "drop the join or make downstream work depend on it".to_string(),
+                );
+            }
+        }
+    }
+}
+
+/// ZL006 (see module docs).
+#[derive(Debug)]
+pub struct DagCyclePass;
+
+impl Pass for DagCyclePass {
+    fn code(&self) -> LintCode {
+        LintCode::DagCycle
+    }
+
+    fn run(&self, art: &Artifacts<'_>, sink: &mut Sink<'_>) {
+        // An explicit untrusted graph takes precedence over the DAG.
+        let owned;
+        let graph: &GraphView = match (art.graph, art.dag) {
+            (Some(g), _) => g,
+            (None, Some(d)) => {
+                owned = GraphView::from_dag(d);
+                &owned
+            }
+            (None, None) => return,
+        };
+        if let Some((node, missing)) = graph.first_dangling() {
+            sink.report(
+                LintCode::DagCycle,
+                Site::DagTask(node),
+                format!("task depends on nonexistent task {missing}"),
+                "the graph references a task that was never emitted".to_string(),
+            );
+        }
+        if let Some(members) = graph.cycle_members() {
+            let first = members[0];
+            sink.report(
+                LintCode::DagCycle,
+                Site::DagTask(first),
+                format!(
+                    "dependency cycle: {} task(s) can never start (first: task {first})",
+                    members.len()
+                ),
+                "break the cycle; the engine would deadlock at t=0".to_string(),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::{LintConfig, Severity};
+    use crate::pass::{AnalysisReport, PassManager};
+    use zerosim_hw::{Cluster, ClusterSpec};
+    use zerosim_simkit::{Dag, DagBuilder, ResourceId, SimTime};
+
+    fn run_dag(dag: &Dag) -> AnalysisReport {
+        let cluster = Cluster::new(ClusterSpec::default()).unwrap();
+        let mut pm = PassManager::new(LintConfig::new());
+        pm.register(Box::new(DeadOpsPass));
+        pm.register(Box::new(DagCyclePass));
+        pm.run(&Artifacts::new(&cluster).with_dag(dag))
+    }
+
+    fn run_graph(graph: &GraphView) -> AnalysisReport {
+        let cluster = Cluster::new(ClusterSpec::default()).unwrap();
+        let mut pm = PassManager::new(LintConfig::new());
+        pm.register(Box::new(DagCyclePass));
+        pm.run(&Artifacts::new(&cluster).with_graph(graph))
+    }
+
+    #[test]
+    fn live_dag_is_clean() {
+        let mut b = DagBuilder::new();
+        let c = b.compute(ResourceId(0), SimTime::from_secs(1e-3), "gemm", &[]);
+        let m = b.marker(&[c]);
+        let _tail = b.compute(ResourceId(0), SimTime::from_secs(1e-3), "gemm", &[m]);
+        let dag = b.build();
+        let r = run_dag(&dag);
+        assert!(r.is_clean());
+        assert_eq!(r.warning_count(), 0);
+    }
+
+    #[test]
+    fn dead_marker_warns_final_marker_does_not() {
+        let mut b = DagBuilder::new();
+        let c = b.compute(ResourceId(0), SimTime::from_secs(1e-3), "gemm", &[]);
+        let _dead = b.marker(&[c]);
+        let _done = b.marker(&[c]); // final task: exempt by convention
+        let dag = b.build();
+        let r = run_dag(&dag);
+        assert!(r.is_clean(), "ZL005 defaults to warn");
+        assert_eq!(r.warning_count(), 1);
+        assert_eq!(r.diagnostics[0].severity, Severity::Warning);
+        assert_eq!(r.diagnostics[0].site, Site::DagTask(1));
+    }
+
+    #[test]
+    fn dead_collective_in_plan_warns_legal_sinks_do_not() {
+        use zerosim_collectives::{CollectiveKind, CommGroup};
+        use zerosim_hw::GpuId;
+        use zerosim_strategies::{IterPlan, OptimizerDevice, PhaseStage, PlanOp};
+
+        let cluster = Cluster::new(ClusterSpec::default().with_nodes(1)).unwrap();
+        let g0 = GpuId { node: 0, gpu: 0 };
+        let mut plan = IterPlan::new();
+        plan.set_phase(PhaseStage::Backward, 0);
+        let b = plan.push(
+            PlanOp::LayerCompute {
+                gpu: g0,
+                flops: 1e12,
+                label: "gemm",
+            },
+            &[],
+        );
+        // Dead: a gradient reduction the optimizer never waits for.
+        plan.push(
+            PlanOp::Collective {
+                kind: CollectiveKind::ReduceScatter,
+                group: CommGroup::world(&cluster),
+                bytes: 1e9,
+                cap: 1.3e9,
+            },
+            &[b],
+        );
+        plan.set_phase(PhaseStage::Step, 0);
+        let s = plan.push(
+            PlanOp::OptimizerStep {
+                device: OptimizerDevice::Gpu(g0),
+                params: 1e9,
+            },
+            &[b],
+        );
+        // Legal sink: the post-step parameter broadcast.
+        plan.push(
+            PlanOp::Collective {
+                kind: CollectiveKind::AllGather,
+                group: CommGroup::world(&cluster),
+                bytes: 1e9,
+                cap: 1.3e9,
+            },
+            &[s],
+        );
+
+        let mut pm = PassManager::new(LintConfig::new());
+        pm.register(Box::new(DeadOpsPass));
+        let r = pm.run(&Artifacts::new(&cluster).with_plan(&plan));
+        assert!(r.is_clean(), "ZL005 defaults to warn");
+        assert_eq!(r.warning_count(), 1);
+        assert_eq!(r.diagnostics[0].site, Site::PlanOp(1));
+        assert!(r.diagnostics[0].message.contains("no op waits for"));
+    }
+
+    #[test]
+    fn cycle_and_dangling_fire_on_untrusted_graphs() {
+        let g = GraphView::from_edges(4, &[(0, 1), (1, 2), (2, 1), (9, 3)]);
+        let r = run_graph(&g);
+        assert_eq!(r.deny_count(), 2);
+        assert!(r.diagnostics[0].message.contains("nonexistent task 9"));
+        assert!(r.diagnostics[1].message.contains("cycle"));
+        assert_eq!(r.diagnostics[1].site, Site::DagTask(1));
+    }
+}

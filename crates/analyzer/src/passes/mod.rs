@@ -1,0 +1,30 @@
+//! The in-tree passes, one module per artifact-layer analysis.
+
+mod bandwidth;
+mod conservation;
+mod dag;
+mod faults;
+mod memory;
+mod ordering;
+
+pub use bandwidth::BandwidthFeasibilityPass;
+pub use conservation::ByteConservationPass;
+pub use dag::{DagCyclePass, DeadOpsPass};
+pub use faults::FaultSchedulePass;
+pub use memory::MemoryResidencyPass;
+pub use ordering::PhaseOrderingPass;
+
+use crate::pass::Pass;
+
+/// Every in-tree pass (ZL001–ZL007), in code order.
+pub(crate) fn default_passes() -> Vec<Box<dyn Pass>> {
+    vec![
+        Box::new(MemoryResidencyPass),
+        Box::new(ByteConservationPass),
+        Box::new(PhaseOrderingPass),
+        Box::new(BandwidthFeasibilityPass),
+        Box::new(DeadOpsPass),
+        Box::new(DagCyclePass),
+        Box::new(FaultSchedulePass),
+    ]
+}

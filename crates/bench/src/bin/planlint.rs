@@ -1,0 +1,314 @@
+//! `planlint` — static analysis (lint) over strategy iteration plans,
+//! lowered DAGs, and memory plans, before any simulated flow runs.
+//!
+//! Usage:
+//!
+//! ```text
+//! planlint [--json] [--level CODE=LEVEL]... [--nodes N] golden
+//! planlint [--json] [--level CODE=LEVEL]... [--nodes N] <strategy>...
+//! planlint list
+//! ```
+//!
+//! * `golden` lints the paper's full strategy matrix (the 12 golden
+//!   configurations `repro`/`verify.sh` reproduce), each on its paper
+//!   cluster shape.
+//! * `<strategy>...` lints named registry strategies (see `planlint
+//!   list`) on a `--nodes N` cluster (default 1; NVMe strategies get a
+//!   two-drive volume on node 0, as in the paper).
+//! * `--level ZLxxx=allow|warn|deny` overrides a lint's level.
+//!
+//! Exit status: 0 when no deny-level findings, 1 when any config has
+//! deny findings, 2 on usage errors.
+
+use zerosim_analyzer::{analyze_strategy, AnalysisReport, LintConfig};
+use zerosim_hw::{Cluster, ClusterSpec, NvmeId};
+use zerosim_model::GptConfig;
+use zerosim_strategies::{
+    Calibration, InfinityPlacement, Strategy, StrategyRegistry, TrainOptions, ZeroStage,
+};
+use zerosim_testkit::json::Json;
+
+/// One lintable configuration: a strategy on a concrete cluster shape.
+struct Case {
+    label: String,
+    cluster: Cluster,
+    strategy: Strategy,
+    opts: TrainOptions,
+}
+
+fn cluster_with_nodes(nodes: usize) -> Cluster {
+    Cluster::new(ClusterSpec::default().with_nodes(nodes)).expect("paper cluster spec is valid")
+}
+
+fn opts_for(nodes: usize) -> TrainOptions {
+    if nodes == 1 {
+        TrainOptions::single_node()
+    } else {
+        TrainOptions::dual_node()
+    }
+}
+
+/// Attaches the paper's two-drive NVMe volume (node 0, drives 0 and 1)
+/// and returns the ZeRO-Infinity strategy striped over it.
+fn infinity_on(cluster: &mut Cluster, offload_params: bool) -> Strategy {
+    let vol = cluster
+        .try_create_volume(vec![
+            NvmeId { node: 0, drive: 0 },
+            NvmeId { node: 0, drive: 1 },
+        ])
+        .expect("default spec has two NVMe drives on node 0");
+    Strategy::ZeroInfinity {
+        offload_params,
+        placement: InfinityPlacement::new(vec![vol]),
+    }
+}
+
+/// The paper's golden strategy matrix: every `(strategy, nodes)` pair the
+/// reproduction harness characterizes, plus the ZeRO-Infinity NVMe config.
+fn golden_cases() -> Vec<Case> {
+    let matrix: Vec<(Strategy, usize)> = vec![
+        (Strategy::Ddp, 1),
+        (Strategy::Ddp, 2),
+        (Strategy::Megatron { tp: 4, pp: 1 }, 1),
+        (Strategy::Megatron { tp: 8, pp: 1 }, 2),
+        (Strategy::Megatron { tp: 4, pp: 2 }, 2),
+        (
+            Strategy::Zero {
+                stage: ZeroStage::One,
+            },
+            1,
+        ),
+        (
+            Strategy::Zero {
+                stage: ZeroStage::Two,
+            },
+            1,
+        ),
+        (
+            Strategy::Zero {
+                stage: ZeroStage::Three,
+            },
+            1,
+        ),
+        (
+            Strategy::Zero {
+                stage: ZeroStage::Three,
+            },
+            2,
+        ),
+        (
+            Strategy::ZeroOffload {
+                stage: ZeroStage::Two,
+                offload_params: false,
+            },
+            1,
+        ),
+        (
+            Strategy::ZeroOffload {
+                stage: ZeroStage::Three,
+                offload_params: true,
+            },
+            1,
+        ),
+    ];
+    let mut cases: Vec<Case> = matrix
+        .into_iter()
+        .map(|(strategy, nodes)| Case {
+            label: format!("{} @ {nodes} node(s)", strategy.name()),
+            cluster: cluster_with_nodes(nodes),
+            strategy,
+            opts: opts_for(nodes),
+        })
+        .collect();
+    let mut cluster = cluster_with_nodes(1);
+    let strategy = infinity_on(&mut cluster, true);
+    cases.push(Case {
+        label: format!("{} @ 1 node(s)", strategy.name()),
+        cluster,
+        strategy,
+        opts: opts_for(1),
+    });
+    cases
+}
+
+/// Every strategy `planlint` can lint by name: the paper registry plus
+/// the Megatron shape variants and the NVMe configs the registry leaves
+/// to per-run setup.
+fn lintable_names() -> Vec<String> {
+    let mut names: Vec<String> = StrategyRegistry::paper()
+        .names()
+        .into_iter()
+        .map(str::to_string)
+        .collect();
+    for extra in [
+        Strategy::Megatron { tp: 8, pp: 1 }.name(),
+        Strategy::Megatron { tp: 4, pp: 2 }.name(),
+        "ZeRO-Infinity (NVME opt)".to_string(),
+        "ZeRO-Infinity (NVME opt+param)".to_string(),
+    ] {
+        if !names.contains(&extra) {
+            names.push(extra);
+        }
+    }
+    names
+}
+
+/// A named strategy on a `--nodes N` cluster. NVMe strategies get the
+/// paper's two-drive volume registered on the cluster first.
+fn named_case(name: &str, nodes: usize) -> Option<Case> {
+    let mut cluster = cluster_with_nodes(nodes);
+    let candidates = [
+        Strategy::Ddp,
+        Strategy::Megatron { tp: 4, pp: 1 },
+        Strategy::Megatron { tp: 8, pp: 1 },
+        Strategy::Megatron { tp: 4, pp: 2 },
+        Strategy::Zero {
+            stage: ZeroStage::One,
+        },
+        Strategy::Zero {
+            stage: ZeroStage::Two,
+        },
+        Strategy::Zero {
+            stage: ZeroStage::Three,
+        },
+        Strategy::ZeroOffload {
+            stage: ZeroStage::Two,
+            offload_params: false,
+        },
+        Strategy::ZeroOffload {
+            stage: ZeroStage::Three,
+            offload_params: true,
+        },
+    ];
+    let strategy = match name {
+        "ZeRO-Infinity (NVME opt)" => infinity_on(&mut cluster, false),
+        "ZeRO-Infinity (NVME opt+param)" => infinity_on(&mut cluster, true),
+        _ => candidates.iter().find(|s| s.name() == name)?.clone(),
+    };
+    Some(Case {
+        label: format!("{name} @ {nodes} node(s)"),
+        cluster,
+        strategy,
+        opts: opts_for(nodes),
+    })
+}
+
+fn lint(case: &Case, config: LintConfig) -> Result<AnalysisReport, String> {
+    analyze_strategy(
+        &case.cluster,
+        &case.strategy,
+        &GptConfig::paper_model_with_params(1.4),
+        &case.opts,
+        &Calibration::default(),
+        config,
+    )
+    .map_err(|e| e.to_string())
+}
+
+fn usage() -> ! {
+    eprintln!("usage: planlint [--json] [--level CODE=LEVEL]... [--nodes N] golden|<strategy>...");
+    eprintln!("       planlint list");
+    eprintln!("strategies: {}", lintable_names().join(", "));
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json = false;
+    if let Some(pos) = args.iter().position(|a| a == "--json") {
+        args.remove(pos);
+        json = true;
+    }
+    let mut config = LintConfig::new();
+    while let Some(pos) = args.iter().position(|a| a == "--level") {
+        if pos + 1 >= args.len() {
+            eprintln!("--level needs a CODE=LEVEL argument");
+            std::process::exit(2);
+        }
+        let directive = args.remove(pos + 1);
+        args.remove(pos);
+        if let Err(e) = config.apply_directive(&directive) {
+            eprintln!("--level {directive}: {e}");
+            std::process::exit(2);
+        }
+    }
+    let mut nodes = 1usize;
+    if let Some(pos) = args.iter().position(|a| a == "--nodes") {
+        if pos + 1 >= args.len() {
+            eprintln!("--nodes needs a node count");
+            std::process::exit(2);
+        }
+        let raw = args.remove(pos + 1);
+        args.remove(pos);
+        nodes = match raw.parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!("--nodes: expected a positive integer, got {raw:?}");
+                std::process::exit(2);
+            }
+        };
+    }
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        usage();
+    }
+    if args.iter().any(|a| a == "list") {
+        for name in lintable_names() {
+            println!("{name}");
+        }
+        return;
+    }
+
+    let cases: Vec<Case> = if args.iter().any(|a| a == "golden") {
+        golden_cases()
+    } else {
+        args.iter()
+            .map(|name| {
+                named_case(name, nodes).unwrap_or_else(|| {
+                    eprintln!("unknown strategy {name:?}; run `planlint list`");
+                    std::process::exit(2);
+                })
+            })
+            .collect()
+    };
+
+    let mut denies = 0usize;
+    let mut out: Vec<Json> = Vec::new();
+    for case in &cases {
+        let report = match lint(case, config.clone()) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("{}: cannot plan/lower: {e}", case.label);
+                std::process::exit(1);
+            }
+        };
+        denies += report.deny_count();
+        if json {
+            out.push(Json::Obj(vec![
+                ("config".into(), Json::Str(case.label.clone())),
+                ("report".into(), report.to_json()),
+            ]));
+        } else {
+            let status = if report.deny_count() > 0 {
+                "DENY"
+            } else if report.warning_count() > 0 {
+                "warn"
+            } else {
+                "ok"
+            };
+            println!("[{status:>4}] {}", case.label);
+            let text = report.render_text();
+            if !text.is_empty() {
+                for line in text.lines() {
+                    println!("       {line}");
+                }
+            }
+        }
+    }
+    if json {
+        println!("{}", Json::Arr(out).render());
+    }
+    if denies > 0 {
+        eprintln!("planlint: {denies} deny-level finding(s)");
+        std::process::exit(1);
+    }
+}

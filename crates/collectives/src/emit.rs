@@ -276,6 +276,8 @@ pub fn emit_collective_hierarchical(
                     };
                     let mut route = cluster.route_internode_gpu(src, dst, nic, nic);
                     route.cap = route.cap.min(internode_cap);
+                    // Resource ids are small (one per GPU on the cluster).
+                    #[allow(clippy::cast_possible_truncation)]
                     let track = cluster.gpu_resource(src).0 as u32;
                     let t = dag.transfer_capped(
                         route.links,
@@ -415,6 +417,8 @@ pub fn emit_collective_stepwise(
                 }
                 let dst = order[(i + 1) % n];
                 let route = ring_route(cluster, src, dst, ring, internode_cap);
+                // Resource ids are small (one per GPU on the cluster).
+                #[allow(clippy::cast_possible_truncation)]
                 let track = cluster.gpu_resource(src).0 as u32;
                 let t = dag.transfer_capped(
                     route.links,
@@ -483,6 +487,8 @@ pub fn emit_collective_coalesced(
             }
             let dst = order[(i + 1) % n];
             let route = ring_route(cluster, src, dst, ring, internode_cap);
+            // Resource ids are small (one per GPU on the cluster).
+            #[allow(clippy::cast_possible_truncation)]
             let track = cluster.gpu_resource(src).0 as u32;
             let t = dag.transfer_capped(
                 route.links,

@@ -106,6 +106,8 @@ pub fn attribute_gpu(report: &TrainingReport, track: u32) -> TimeBreakdown {
 
 /// Attributes every GPU of the run and returns the per-GPU breakdowns,
 /// sorted by track.
+// GPU counts are small (tens), far below u32::MAX.
+#[allow(clippy::cast_possible_truncation)]
 pub fn attribute_all_gpus(report: &TrainingReport, gpus_per_node: usize) -> Vec<TimeBreakdown> {
     (0..(report.nodes * gpus_per_node) as u32)
         .map(|t| attribute_gpu(report, t))

@@ -451,6 +451,8 @@ impl TrainingSim {
             if sorted.is_empty() {
                 return SimTime::ZERO;
             }
+            // q in [0,1], so the rank is bounded by len: exact as usize.
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
             let idx = ((q * sorted.len() as f64).ceil() as usize)
                 .saturating_sub(1)
                 .min(sorted.len() - 1);

@@ -63,6 +63,8 @@ impl BandwidthReport {
         if base.is_empty() {
             return Vec::new();
         }
+        // Window / bucket ratios are small (a few thousand samples).
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
         let want = (window_secs / self.bucket.as_secs()).ceil() as usize;
         (0..want).map(|i| base[i % base.len()]).collect()
     }

@@ -5,6 +5,7 @@ use std::collections::HashMap;
 
 use zerosim_simkit::{FlowNet, LinkId, ResourceId, SimTime, TokenBucket};
 
+use crate::error::HwError;
 use crate::ids::{GpuId, LinkClass, NicId, NvmeId, SerdesSet, SocketId, VolumeId};
 use crate::route::{MemLoc, Route};
 use crate::spec::ClusterSpec;
@@ -360,22 +361,61 @@ impl Cluster {
     ///
     /// # Panics
     /// Panics on unsupported endpoint combinations (e.g. NVMe on a remote
-    /// node): the training strategies never generate them.
+    /// node): the training strategies never generate them. Untrusted
+    /// plans should use [`Cluster::try_route`].
     pub fn route(&self, from: MemLoc, to: MemLoc) -> Route {
+        self.try_route(from, to).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`Cluster::route`] for untrusted endpoint pairs
+    /// (static analysis, serialized plans).
+    ///
+    /// # Errors
+    /// [`HwError`] describing why the pair has no modeled path: endpoints
+    /// off-cluster, cross-node GPU↔CPU / CPU↔NVMe pairs, GPU self-routes,
+    /// or combinations the fabric does not support at all.
+    pub fn try_route(&self, from: MemLoc, to: MemLoc) -> Result<Route, HwError> {
+        self.check_loc(from)?;
+        self.check_loc(to)?;
         match (from, to) {
-            (MemLoc::Gpu(a), MemLoc::Gpu(b)) if a.node == b.node => self.route_gpu_gpu(a, b),
+            (MemLoc::Gpu(a), MemLoc::Gpu(b)) if a == b => Err(HwError::SelfRoute { at: from }),
+            (MemLoc::Gpu(a), MemLoc::Gpu(b)) if a.node == b.node => Ok(self.route_gpu_gpu(a, b)),
             (MemLoc::Gpu(a), MemLoc::Gpu(b)) => {
                 let src_nic = self.gpu_socket(a).socket;
                 let dst_nic = self.gpu_socket(b).socket;
-                self.route_internode_gpu(a, b, src_nic, dst_nic)
+                Ok(self.route_internode_gpu(a, b, src_nic, dst_nic))
             }
-            (MemLoc::Gpu(g), MemLoc::Cpu(c)) => self.route_gpu_cpu(g, c, true),
-            (MemLoc::Cpu(c), MemLoc::Gpu(g)) => self.route_gpu_cpu(g, c, false),
-            (MemLoc::Cpu(a), MemLoc::Cpu(b)) if a.node == b.node => self.route_cpu_cpu(a, b),
-            (MemLoc::Cpu(a), MemLoc::Cpu(b)) => self.route_internode_cpu(a, b),
-            (MemLoc::Cpu(c), MemLoc::Nvme(d)) => self.route_cpu_nvme(c, d, IoDir::Write),
-            (MemLoc::Nvme(d), MemLoc::Cpu(c)) => self.route_cpu_nvme(c, d, IoDir::Read),
-            (from, to) => panic!("unsupported route {from:?} -> {to:?}"),
+            (MemLoc::Gpu(g), MemLoc::Cpu(c)) | (MemLoc::Cpu(c), MemLoc::Gpu(g))
+                if g.node != c.node =>
+            {
+                Err(HwError::CrossNode { from, to })
+            }
+            (MemLoc::Gpu(g), MemLoc::Cpu(c)) => Ok(self.route_gpu_cpu(g, c, true)),
+            (MemLoc::Cpu(c), MemLoc::Gpu(g)) => Ok(self.route_gpu_cpu(g, c, false)),
+            (MemLoc::Cpu(a), MemLoc::Cpu(b)) if a.node == b.node => Ok(self.route_cpu_cpu(a, b)),
+            (MemLoc::Cpu(a), MemLoc::Cpu(b)) => Ok(self.route_internode_cpu(a, b)),
+            (MemLoc::Cpu(c), MemLoc::Nvme(d)) | (MemLoc::Nvme(d), MemLoc::Cpu(c))
+                if c.node != d.node =>
+            {
+                Err(HwError::CrossNode { from, to })
+            }
+            (MemLoc::Cpu(c), MemLoc::Nvme(d)) => Ok(self.route_cpu_nvme(c, d, IoDir::Write)),
+            (MemLoc::Nvme(d), MemLoc::Cpu(c)) => Ok(self.route_cpu_nvme(c, d, IoDir::Read)),
+            (from, to) => Err(HwError::UnsupportedRoute { from, to }),
+        }
+    }
+
+    /// Checks that `loc` names a device this cluster actually has.
+    fn check_loc(&self, loc: MemLoc) -> Result<(), HwError> {
+        let ok = match loc {
+            MemLoc::Gpu(g) => g.node < self.spec.nodes && g.gpu < self.spec.gpus_per_node,
+            MemLoc::Cpu(s) => s.node < self.spec.nodes && s.socket < ClusterSpec::SOCKETS_PER_NODE,
+            MemLoc::Nvme(d) => d.node < self.spec.nodes && d.drive < self.spec.nvme_layout.len(),
+        };
+        if ok {
+            Ok(())
+        } else {
+            Err(HwError::OffCluster { loc })
         }
     }
 
@@ -598,16 +638,26 @@ impl Cluster {
     /// # Panics
     /// Panics if `members` is empty or references an unknown drive.
     pub fn create_volume(&mut self, members: Vec<NvmeId>) -> VolumeId {
-        assert!(!members.is_empty(), "a volume needs at least one member");
+        self.try_create_volume(members)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`Cluster::create_volume`].
+    ///
+    /// # Errors
+    /// [`HwError::EmptyVolume`] or [`HwError::UnknownDrive`].
+    pub fn try_create_volume(&mut self, members: Vec<NvmeId>) -> Result<VolumeId, HwError> {
+        if members.is_empty() {
+            return Err(HwError::EmptyVolume);
+        }
         for m in &members {
-            assert!(
-                m.drive < self.spec.nvme_layout.len() && m.node < self.spec.nodes,
-                "volume member {m:?} does not exist"
-            );
+            if m.drive >= self.spec.nvme_layout.len() || m.node >= self.spec.nodes {
+                return Err(HwError::UnknownDrive { drive: *m });
+            }
         }
         let id = VolumeId(self.volumes.len());
         self.volumes.push(NvmeVolume { members });
-        id
+        Ok(id)
     }
 
     /// The volume registered under `id`.
@@ -615,7 +665,17 @@ impl Cluster {
     /// # Panics
     /// Panics if `id` is unknown.
     pub fn volume(&self, id: VolumeId) -> &NvmeVolume {
-        &self.volumes[id.0]
+        self.try_volume(id).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`Cluster::volume`].
+    ///
+    /// # Errors
+    /// [`HwError::UnknownVolume`] when `id` was never registered.
+    pub fn try_volume(&self, id: VolumeId) -> Result<&NvmeVolume, HwError> {
+        self.volumes
+            .get(id.0)
+            .ok_or(HwError::UnknownVolume { volume: id })
     }
 
     /// Number of registered NVMe volumes.
@@ -632,12 +692,39 @@ impl Cluster {
     /// Routes for a striped I/O of any size against `volume` issued from
     /// CPU socket `from`: one route per member, each carrying
     /// `1 / member_count` of the bytes.
+    ///
+    /// # Panics
+    /// Panics if `volume` is unknown or spans a node other than `from`'s.
     pub fn volume_io_routes(&self, volume: VolumeId, from: SocketId, dir: IoDir) -> Vec<Route> {
-        self.volumes[volume.0]
-            .members
+        self.try_volume_io_routes(volume, from, dir)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`Cluster::volume_io_routes`].
+    ///
+    /// # Errors
+    /// [`HwError`] when the socket is off-cluster, the volume is
+    /// unknown, or a member drive sits on a different node than `from`.
+    pub fn try_volume_io_routes(
+        &self,
+        volume: VolumeId,
+        from: SocketId,
+        dir: IoDir,
+    ) -> Result<Vec<Route>, HwError> {
+        self.check_loc(MemLoc::Cpu(from))?;
+        let v = self.try_volume(volume)?;
+        for m in &v.members {
+            if m.node != from.node {
+                return Err(HwError::CrossNode {
+                    from: MemLoc::Cpu(from),
+                    to: MemLoc::Nvme(*m),
+                });
+            }
+        }
+        Ok(v.members
             .iter()
             .map(|m| self.route_cpu_nvme(from, *m, dir))
-            .collect()
+            .collect())
     }
 
     /// One NIC per socket: the NIC GPUs on that socket prefer.
@@ -838,6 +925,63 @@ mod tests {
             }
         }
         assert_eq!(c.resource_slots().len(), seen.len());
+    }
+
+    #[test]
+    fn try_route_rejects_infeasible_pairs() {
+        let c = cluster();
+        let g0 = MemLoc::Gpu(GpuId { node: 0, gpu: 0 });
+        let nv = MemLoc::Nvme(NvmeId { node: 0, drive: 0 });
+        assert!(matches!(
+            c.try_route(g0, nv),
+            Err(HwError::UnsupportedRoute { .. })
+        ));
+        assert!(matches!(
+            c.try_route(g0, g0),
+            Err(HwError::SelfRoute { .. })
+        ));
+        assert!(matches!(
+            c.try_route(g0, MemLoc::Cpu(SocketId { node: 1, socket: 0 })),
+            Err(HwError::CrossNode { .. })
+        ));
+        assert!(matches!(
+            c.try_route(g0, MemLoc::Gpu(GpuId { node: 5, gpu: 0 })),
+            Err(HwError::OffCluster { .. })
+        ));
+        assert!(c
+            .try_route(MemLoc::Cpu(SocketId { node: 0, socket: 0 }), nv)
+            .is_ok());
+    }
+
+    #[test]
+    fn try_volume_apis_reject_bad_inputs() {
+        let mut c = cluster();
+        assert!(matches!(
+            c.try_create_volume(Vec::new()),
+            Err(HwError::EmptyVolume)
+        ));
+        assert!(matches!(
+            c.try_create_volume(vec![NvmeId { node: 0, drive: 9 }]),
+            Err(HwError::UnknownDrive { .. })
+        ));
+        assert!(matches!(
+            c.try_volume(VolumeId(0)),
+            Err(HwError::UnknownVolume { .. })
+        ));
+        let v = c
+            .try_create_volume(vec![NvmeId { node: 1, drive: 0 }])
+            .unwrap();
+        // Volume on node 1 cannot be reached from a node-0 socket.
+        assert!(matches!(
+            c.try_volume_io_routes(v, SocketId { node: 0, socket: 0 }, IoDir::Write),
+            Err(HwError::CrossNode { .. })
+        ));
+        assert_eq!(
+            c.try_volume_io_routes(v, SocketId { node: 1, socket: 0 }, IoDir::Read)
+                .unwrap()
+                .len(),
+            1
+        );
     }
 
     #[test]

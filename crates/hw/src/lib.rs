@@ -28,11 +28,13 @@
 #![warn(missing_debug_implementations)]
 
 mod cluster;
+mod error;
 mod ids;
 mod route;
 mod spec;
 
 pub use cluster::{Cluster, IoDir, NvmeVolume};
+pub use error::HwError;
 pub use ids::{GpuId, LinkClass, NicId, NodeId, NvmeId, SerdesSet, SocketId, VolumeId};
 pub use route::{MemLoc, Route};
 pub use spec::{

@@ -69,6 +69,8 @@ impl GptConfig {
     /// # Panics
     /// Panics if `target_billion` is not positive or is smaller than the
     /// embedding-only model.
+    // Layer counts are small (tens to hundreds); rounded and >= 1.
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
     pub fn layers_for_params(target_billion: f64) -> usize {
         assert!(target_billion > 0.0, "target must be positive");
         let base = GptConfig::paper_model(0);

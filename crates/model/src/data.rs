@@ -69,7 +69,10 @@ impl SyntheticCorpus {
             let r = next();
             // Squaring a uniform skews low ids — a cheap Zipf stand-in.
             let u = (r >> 11) as f64 / (1u64 << 53) as f64;
+            // u*u in [0,1), so the product stays below `vocab` (< 2^32).
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
             let id = ((u * u) * vocab as f64) as u64 % vocab;
+            #[allow(clippy::cast_possible_truncation)] // id < vocab < 2^32
             tokens.push(id as u32);
         }
         TokenBatch {

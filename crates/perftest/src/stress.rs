@@ -105,8 +105,11 @@ pub fn stress_test_on(spec: &ClusterSpec, scenario: StressScenario) -> StressOut
                 for k in 0..2 {
                     let fwd = cluster.route_internode_cpu_via(a, b, nic, nic);
                     let rev = cluster.route_internode_cpu_via(b, a, nic, nic);
-                    emit_chain(&mut dag, fwd, (socket * 2 + k) as u32);
-                    emit_chain(&mut dag, rev, (socket * 2 + k) as u32);
+                    // Track ids are tiny (sockets x kernels).
+                    #[allow(clippy::cast_possible_truncation)]
+                    let track = (socket * 2 + k) as u32;
+                    emit_chain(&mut dag, fwd, track);
+                    emit_chain(&mut dag, rev, track);
                 }
             }
         }
@@ -118,8 +121,11 @@ pub fn stress_test_on(spec: &ClusterSpec, scenario: StressScenario) -> StressOut
                 let nic = if cross_socket { 1 - socket } else { socket };
                 let fwd = cluster.route_internode_gpu(a, b, nic, nic);
                 let rev = cluster.route_internode_gpu(b, a, nic, nic);
-                emit_chain(&mut dag, fwd, gpu as u32);
-                emit_chain(&mut dag, rev, gpu as u32);
+                // Track ids are tiny (one per GPU).
+                #[allow(clippy::cast_possible_truncation)]
+                let track = gpu as u32;
+                emit_chain(&mut dag, fwd, track);
+                emit_chain(&mut dag, rev, track);
             }
         }
     }

@@ -21,6 +21,8 @@ pub fn sparkline(series: &[f64], max: Option<f64>) -> String {
     series
         .iter()
         .map(|v| {
+            // Clamped to [0, 7]: exact as usize.
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
             let idx = ((v / top) * 8.0).floor().clamp(0.0, 7.0) as usize;
             BLOCKS[idx]
         })
@@ -36,7 +38,10 @@ pub fn downsample(series: &[f64], width: usize) -> Vec<f64> {
     let chunk = series.len() as f64 / width as f64;
     (0..width)
         .map(|i| {
+            // Chunk boundaries are bounded by series.len(): exact as usize.
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
             let lo = (i as f64 * chunk) as usize;
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
             let hi = (((i + 1) as f64 * chunk) as usize)
                 .min(series.len())
                 .max(lo + 1);
@@ -69,6 +74,8 @@ pub fn bar_chart(items: &[(&str, f64)], width: usize, unit: &str) -> String {
         .max(f64::MIN_POSITIVE);
     let mut out = String::new();
     for (label, value) in items {
+        // value/max in [0,1], so bars <= width: exact as usize.
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
         let bars = ((value / max) * width as f64).round() as usize;
         out.push_str(&format!(
             "{label:<label_w$} |{}{} {value:.1} {unit}\n",
@@ -98,8 +105,12 @@ pub fn scatter(points: &[(f64, f64, &str)], width: usize, height: usize) -> Stri
     let mut grid = vec![vec![' '; width]; height];
     let mut legend = String::new();
     for (i, (x, y, label)) in points.iter().enumerate() {
+        // Normalized coordinates land inside the grid: exact as usize.
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
         let cx = ((x / xmax) * (width - 1) as f64).round() as usize;
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
         let cy = ((y / ymax) * (height - 1) as f64).round() as usize;
+        #[allow(clippy::cast_possible_truncation)] // i % 10 < 10
         let ch = char::from_digit((i % 10) as u32, 10).unwrap_or('*');
         grid[height - 1 - cy][cx] = ch;
         legend.push_str(&format!("  {ch}: {label} ({x:.1}, {y:.1})\n"));

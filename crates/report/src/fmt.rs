@@ -33,6 +33,8 @@ pub fn sig3(v: f64) -> String {
     if v == 0.0 {
         return "0.00".into();
     }
+    // Finite f64 magnitudes lie within [-308, 308]: fits i32.
+    #[allow(clippy::cast_possible_truncation)]
     let mag = v.abs().log10().floor() as i32;
     let decimals = (2 - mag).clamp(0, 2) as usize;
     format!("{v:.decimals$}")

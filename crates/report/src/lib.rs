@@ -19,4 +19,4 @@ mod table;
 
 pub use chart::{bar_chart, downsample, scatter, sparkline};
 pub use fmt::{billions, gb, gbps, sig3, tflops};
-pub use table::Table;
+pub use table::{ReportError, Table};

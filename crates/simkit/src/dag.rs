@@ -198,6 +198,7 @@ impl DagBuilder {
     }
 
     /// Adds a compute task.
+    #[allow(clippy::cast_possible_truncation)] // resource ids are small
     pub fn compute(
         &mut self,
         resource: ResourceId,

@@ -115,6 +115,7 @@ pub struct DagEngine {
 /// `scale == 1.0` is an exact no-op (bit-identical to the unscaled
 /// duration), which is what keeps fault-free runs byte-identical to the
 /// pre-fault-injection engine.
+#[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)] // ns fit u64
 fn scale_duration(scale: f64, d: SimTime) -> SimTime {
     if scale == 1.0 {
         d
@@ -410,6 +411,8 @@ impl DagEngine {
             // faults were consumed above, due timers fired below).
             let timer_at = heap.peek().map(|e| e.at);
             let flow_at = net.next_event_in().map(|dt| {
+                // Positive, finite, and bounded by the horizon: exact in u64.
+                #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
                 let ns = (dt * 1e9).ceil().max(1.0) as u64;
                 now + SimTime::from_nanos(ns)
             });

@@ -30,6 +30,7 @@ impl BandwidthStats {
     /// Returns all-zero stats for an empty slice. The 90th percentile uses
     /// the nearest-rank method, matching how the paper post-processes its
     /// sampled counters.
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)] // rank <= len
     pub fn from_samples(samples: &[f64]) -> Self {
         if samples.is_empty() {
             return Self::default();
@@ -214,6 +215,7 @@ impl BandwidthRecorder {
         self.bytes.get(&link).map_or(0.0, |b| b.iter().sum())
     }
 
+    #[allow(clippy::cast_possible_truncation)] // bucket counts are small
     fn bucket_count(&self) -> usize {
         (self
             .horizon
@@ -221,6 +223,9 @@ impl BandwidthRecorder {
             .div_ceil(self.bucket.as_nanos().max(1))) as usize
     }
 
+    // Bucket indices are bounded by horizon / bucket width, far below
+    // usize::MAX on any supported target.
+    #[allow(clippy::cast_possible_truncation)]
     fn add(&mut self, link: LinkId, start: SimTime, dt_secs: f64, bytes: f64) {
         if bytes <= 0.0 || dt_secs <= 0.0 {
             return;

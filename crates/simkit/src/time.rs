@@ -57,6 +57,9 @@ impl SimTime {
             secs.is_finite() && secs >= 0.0,
             "SimTime::from_secs: invalid duration {secs}"
         );
+        // Asserted non-negative and finite; simulated horizons stay far
+        // below u64::MAX nanoseconds (~585 years).
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
         SimTime((secs * 1e9).round() as u64)
     }
 

@@ -58,6 +58,9 @@ impl<'a> IterCtx<'a> {
     /// DeepSpeed's offload path is not NUMA-aware (Sec. V-A3).
     pub fn offload_socket(&self, rank: usize, gpu: GpuId) -> SocketId {
         let natural = self.cluster.gpu_socket(gpu);
+        // The fraction is clamped >= 1e-9, so the stride is finite and
+        // positive; realistic values are single digits.
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
         let stride = (1.0 / self.calib.offload_cross_socket_frac.max(1e-9)).round() as usize;
         if stride > 0 && rank % stride.max(1) == stride.max(1) - 1 {
             SocketId {
@@ -76,6 +79,8 @@ impl<'a> IterCtx<'a> {
     }
 
     /// The span-log track for a GPU (its resource index, by convention).
+    // Resource ids are small (one per GPU on the cluster).
+    #[allow(clippy::cast_possible_truncation)]
     pub fn gpu_track(&self, gpu: GpuId) -> u32 {
         self.cluster.gpu_resource(gpu).0 as u32
     }

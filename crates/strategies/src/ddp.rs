@@ -47,6 +47,8 @@ fn act_bytes(ctx: &IterCtx<'_>) -> f64 {
 }
 
 /// Describes one DDP training iteration as an [`IterPlan`].
+// Micro-step indices are tiny (grad-accum counts): fit u32.
+#[allow(clippy::cast_possible_truncation)]
 pub(crate) fn plan_iteration(ctx: &IterCtx<'_>) -> Result<IterPlan, StrategyError> {
     let gpus = ctx.opts.gpus(ctx.cluster);
     let group = CommGroup::new(gpus.clone());

@@ -112,6 +112,8 @@ pub(crate) fn memory_plan(
 /// [`StrategyError::InvalidLayout`] if `tp × pp` does not divide the
 /// participating GPU count, or if the model has fewer layers than
 /// pipeline stages.
+// Microbatch indices are tiny (grad-accum counts): fit u32.
+#[allow(clippy::cast_possible_truncation)]
 pub(crate) fn plan_iteration(
     ctx: &IterCtx<'_>,
     tp: usize,

@@ -208,6 +208,8 @@ pub(crate) fn memory_plan(ctx: &IterCtx<'_>, v: &ZeroVariant) -> Result<MemoryPl
 }
 
 /// Describes one ZeRO training iteration as an [`IterPlan`].
+// Micro-step indices are tiny (grad-accum counts): fit u32.
+#[allow(clippy::cast_possible_truncation)]
 pub(crate) fn plan_iteration(
     ctx: &IterCtx<'_>,
     v: &ZeroVariant,
@@ -322,6 +324,11 @@ pub(crate) fn plan_iteration(
     // accumulate in the shards); ZeRO-1/2 and the embedding sync only at
     // the accumulation boundary.
     let mut grad_d2h: Vec<Vec<OpId>> = vec![Vec::new(); n];
+    // Every gradient collective: the optimizer step must wait for all of
+    // them (each accumulates into the shards it updates), not just the
+    // final one — intermediate reductions overlap with backward compute
+    // but still gate the weight update.
+    let mut grad_comms: Vec<OpId> = Vec::new();
     for micro in 0..ctx.opts.grad_accum {
         let boundary = micro + 1 == ctx.opts.grad_accum;
         let reduce_now = boundary || v.stage.partitions_parameters();
@@ -392,6 +399,7 @@ pub(crate) fn plan_iteration(
             deps.extend(comm_chain.last().copied());
             let h = p.collective(kind, group.clone(), grad_bytes, ds_cap, &deps);
             comm_chain.push(h);
+            grad_comms.push(h);
             if boundary && v.optimizer_tier != StateTier::Gpu {
                 for (rank, g) in gpus.iter().enumerate() {
                     let socket = rank_socket(rank, *g);
@@ -420,6 +428,7 @@ pub(crate) fn plan_iteration(
     deps.extend(comm_chain.last().copied());
     let h = p.collective(kind, group.clone(), emb_bytes, ds_cap, &deps);
     comm_chain.push(h);
+    grad_comms.push(h);
     if v.optimizer_tier != StateTier::Gpu {
         for (rank, g) in gpus.iter().enumerate() {
             let socket = rank_socket(rank, *g);
@@ -446,10 +455,16 @@ pub(crate) fn plan_iteration(
     for (rank, g) in gpus.iter().enumerate() {
         let track = ctx.gpu_track(*g);
         let done = match v.optimizer_tier {
-            StateTier::Gpu => p.gpu_adam(*g, shard, &[prev[rank], last_comm]),
+            StateTier::Gpu => {
+                let mut deps = vec![prev[rank]];
+                deps.extend(grad_comms.iter().copied());
+                p.gpu_adam(*g, shard, &deps)
+            }
             StateTier::Cpu => {
                 let socket = rank_socket(rank, *g);
-                let adam = p.cpu_adam(socket, shard, &grad_d2h[rank]);
+                let mut deps = grad_d2h[rank].clone();
+                deps.extend(grad_comms.iter().copied());
+                let adam = p.cpu_adam(socket, shard, &deps);
                 if v.params_tier == StateTier::Gpu {
                     p.transfer(
                         MemLoc::Cpu(socket),
@@ -470,6 +485,8 @@ pub(crate) fn plan_iteration(
                     .as_ref()
                     .expect("validated placement")
                     .volume_for(rank);
+                let mut read_deps = grad_d2h[rank].clone();
+                read_deps.extend(grad_comms.iter().copied());
                 let read = p.volume_io(
                     vol,
                     socket,
@@ -477,7 +494,7 @@ pub(crate) fn plan_iteration(
                     NVME_RW_BYTES_PER_PARAM * shard,
                     "nvme_read",
                     track,
-                    &grad_d2h[rank],
+                    &read_deps,
                 );
                 let adam = p.cpu_adam(socket, shard, &[read]);
                 let write = p.volume_io(

@@ -95,6 +95,7 @@ impl Bench {
                 "--quiet" => b.quiet = true,
                 "--warmup-ms" | "--sample-ms" | "--samples" => {
                     if let Some(v) = args.get(i + 1).and_then(|v| v.parse::<u64>().ok()) {
+                        #[allow(clippy::cast_possible_truncation)] // CLI count
                         match arg {
                             "--warmup-ms" => b.warmup = Duration::from_millis(v),
                             "--sample-ms" => b.sample_target = Duration::from_millis(v),
@@ -193,6 +194,7 @@ impl Bench {
 }
 
 /// Percentile over a pre-sorted slice (nearest-rank with interpolation).
+#[allow(clippy::cast_possible_truncation)] // rank < len, floors to an index
 fn percentile(sorted: &[f64], p: f64) -> f64 {
     if sorted.is_empty() {
         return f64::NAN;
@@ -313,6 +315,9 @@ impl Bencher {
             }
         }
         let per_iter = warmup_start.elapsed().as_secs_f64() / warmup_iters as f64;
+        // A sample batch is bounded by wall-clock budget / per-iter time;
+        // the ceil always fits a u64 for any feasible bench.
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
         let iters = ((self.sample_target.as_secs_f64() / per_iter).ceil() as u64).max(1);
         self.iters_per_sample = iters;
 

@@ -139,6 +139,7 @@ impl Gen for UsizeRange {
         rng.usize_in(self.lo, self.hi)
     }
 
+    #[allow(clippy::cast_possible_truncation)] // shrunk values <= original
     fn shrink(&self, value: &usize) -> Vec<usize> {
         shrink_integer(*value as u64, self.lo as u64)
             .into_iter()

@@ -151,7 +151,9 @@ fn render_number(n: f64, out: &mut String) {
         out.push_str("null");
     } else if n == n.trunc() && n.abs() < 9.007_199_254_740_992e15 {
         // Integral values render without the trailing `.0` so object
-        // keys like counts look natural.
+        // keys like counts look natural. Guarded |n| < 2^53, so the
+        // i64 conversion is exact.
+        #[allow(clippy::cast_possible_truncation)]
         let _ = fmt::Write::write_fmt(out, format_args!("{}", n as i64));
     } else {
         let _ = fmt::Write::write_fmt(out, format_args!("{n}"));
@@ -396,6 +398,9 @@ macro_rules! impl_json_number {
                 }
             }
             impl FromJson for $t {
+                // JSON numbers are f64 by definition; decoding to a
+                // narrower numeric type is saturating-by-contract.
+                #[allow(clippy::cast_possible_truncation)]
                 fn from_json(value: &Json) -> Result<Self, JsonError> {
                     value
                         .as_f64()

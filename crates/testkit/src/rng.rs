@@ -57,6 +57,9 @@ impl Rng {
     /// exists so tools can opt into variability explicitly.
     pub fn seed_from_time() -> u64 {
         use std::time::{SystemTime, UNIX_EPOCH};
+        // Truncating the u128 nanosecond count keeps the low (fastest-
+        // moving) bits, which is exactly what a seed wants.
+        #[allow(clippy::cast_possible_truncation)]
         let nanos = SystemTime::now()
             .duration_since(UNIX_EPOCH)
             .map(|d| d.as_nanos() as u64)
@@ -119,6 +122,7 @@ impl Rng {
     /// # Panics
     /// Panics if `lo >= hi`.
     #[inline]
+    #[allow(clippy::cast_possible_truncation)] // result < hi, a usize
     pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
         self.u64_in(lo as u64, hi as u64) as usize
     }

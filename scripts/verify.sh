@@ -13,6 +13,8 @@
 #                   golden config) and the BENCH_solver.json scorecard
 #   6. sweep:       `repro --workers 4` must render the scorecard
 #                   byte-identically to the serial run
+#   7. planlint:    static analysis (ZL001-ZL007) over the 12 golden
+#                   paper configurations; any deny-level finding fails
 #
 # The workspace must never require network/registry access; everything
 # external was replaced by crates/testkit (see DESIGN.md, "Testing
@@ -23,8 +25,9 @@ cd "$(dirname "$0")/.."
 echo "== hygiene: rustfmt =="
 cargo fmt --check
 
-echo "== hygiene: clippy (all targets, -D warnings) =="
-cargo clippy --workspace --all-targets -- -D warnings
+echo "== hygiene: clippy (all targets, -D warnings, truncation lints) =="
+cargo clippy --workspace --all-targets -- -D warnings \
+  -W clippy::cast_possible_truncation
 
 echo "== tier-1: build (release) =="
 cargo build --release
@@ -89,6 +92,13 @@ echo "scorecard byte-identical at widths 1 and 4"
 # Ordering and digests must also hold across the 12 golden paper
 # configurations at widths 1/2/8 (tests/sweep_determinism.rs).
 cargo test -q --test sweep_determinism
+
+echo "== planlint gate: golden configs must be deny-clean =="
+# Static analysis (ZL001-ZL007) over the 12 golden paper configurations;
+# planlint exits non-zero on any deny-level finding. The lint fixtures
+# and simulator-consistency checks live in tests/analyzer_lints.rs.
+cargo run --release -q -p zerosim-bench --bin planlint -- golden
+cargo test -q --test analyzer_lints
 
 echo "== resilience smoke: fault matrix deterministic, goodput bounded =="
 # One small fault-matrix cell, run twice with the same seed + schedule:
