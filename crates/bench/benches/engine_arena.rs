@@ -1,0 +1,292 @@
+//! Arena DAG-engine scorecard (DESIGN.md §11): arena vs. reference
+//! executor cost on the golden dozen paper configurations, plus an
+//! engine-hot-path stress DAG that isolates the executor from the flow
+//! solver the two modes share.
+//!
+//! Emits `BENCH_engine.json` at the repository root with:
+//!
+//! * `golden`: engine-only iterations/sec per mode over the 12 golden
+//!   lowered DAGs (plan → lower once, then `run_iterations` on a fresh
+//!   cluster per mode), and the wall-clock ratio;
+//! * `hot_path`: the same comparison on a solver- and span-free layered
+//!   delay DAG where the executor's own bookkeeping is the entire cost;
+//! * `allocs`: heap allocations per engine iteration in each mode (counted
+//!   by a wrapping global allocator) and the reduction — the
+//!   hardware-invariant measure of the arena refactor, like the solver
+//!   bench's links-per-solve;
+//! * `digests_equal`: the full golden-dozen characterization pipeline run
+//!   under both [`EngineMode`]s must produce identical
+//!   `TrainingReport::digest()` vectors.
+//!
+//! Wall ratios are honest for this machine (`cores` is recorded); the
+//! gated floors are `digests_equal` and the allocation reduction, which
+//! do not depend on machine speed or background load.
+//!
+//! Run with `cargo bench -p zerosim-bench --bench engine_arena`;
+//! `--quick` (or `ZEROSIM_BENCH_QUICK=1`) drops the iteration counts for
+//! CI smoke.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use zerosim_bench::data::golden_specs;
+use zerosim_core::SweepSpec;
+use zerosim_hw::Cluster;
+use zerosim_simkit::{DagBuilder, DagEngine, EngineMode, SimTime};
+use zerosim_strategies::{lower, IterCtx, LoweredPlan, StrategyPlan};
+use zerosim_testkit::json::Json;
+
+/// Counts every heap allocation while delegating to the system allocator.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates verbatim to `System`; the counter has no effect on
+// the returned memory.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocs() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+/// Builds the cluster and once-lowered iteration plan for one golden spec.
+fn lowered_for(spec: &SweepSpec) -> (Cluster, LoweredPlan) {
+    let mut cluster = Cluster::new(spec.cluster.clone()).expect("golden cluster valid");
+    for members in &spec.volumes {
+        cluster.create_volume(members.clone());
+    }
+    let ctx = IterCtx {
+        cluster: &cluster,
+        model: &spec.model,
+        opts: &spec.opts,
+        calib: &spec.calibration,
+    };
+    let plan = spec
+        .strategy
+        .plan_iteration(&ctx)
+        .expect("golden plan valid");
+    let mut lowered = lower(&plan, &cluster, &spec.calibration).expect("golden plan lowers");
+    lowered.stamp(spec.opts.jitter_seed);
+    (cluster, lowered)
+}
+
+/// Engine-only execution of one golden spec: `iters` back-to-back runs of
+/// its lowered DAG on a fresh cluster, shadow off. One warm-up run before
+/// the measured window pays each mode's one-time setup (the arena's
+/// structure ingest, lazily grown buffers) so the window sees the
+/// steady state both modes actually run at. Returns (wall seconds,
+/// allocations) for the measured `run_iterations` call alone.
+fn run_engine_only(spec: &SweepSpec, mode: EngineMode, iters: usize) -> (f64, u64) {
+    let (mut cluster, lowered) = lowered_for(spec);
+    let mut engine = DagEngine::new(cluster.resource_slots());
+    engine.set_mode(mode);
+    engine.set_shadow_verify(false);
+    let dag = lowered.dag();
+    engine
+        .run_iterations(cluster.net_mut(), dag, SimTime::ZERO, 1, None)
+        .expect("golden dag warms up");
+    let a0 = allocs();
+    let t0 = Instant::now();
+    engine
+        .run_iterations(cluster.net_mut(), dag, SimTime::ZERO, iters, None)
+        .expect("golden dag runs");
+    (t0.elapsed().as_secs_f64(), allocs() - a0)
+}
+
+/// A solver-free, span-free layered DAG at golden-dozen scale: `layers`
+/// waves of `width` timed delays with a marker join per wave. No flows
+/// means the max-min solver — cost shared by both executors — is out of
+/// the picture, and delays/markers carry no labels, so the timeline log
+/// (whose per-span `String` clone is likewise shared) stays silent too:
+/// what remains is exactly the executor's own bookkeeping.
+fn hot_path_dag(layers: usize, width: usize) -> zerosim_simkit::Dag {
+    let mut b = DagBuilder::new();
+    let mut prev_join = None;
+    for layer in 0..layers {
+        let deps: Vec<_> = prev_join.into_iter().collect();
+        let tasks: Vec<_> = (0..width)
+            .map(|i| {
+                let us = 10.0 + ((layer * width + i) % 17) as f64;
+                b.delay(SimTime::from_us(us), &deps)
+            })
+            .collect();
+        prev_join = Some(b.marker(&tasks));
+    }
+    b.build()
+}
+
+fn run_hot_path(mode: EngineMode, dag: &zerosim_simkit::Dag, iters: usize) -> (f64, u64) {
+    let mut net = zerosim_simkit::FlowNet::new();
+    let mut engine = DagEngine::new(vec![]);
+    engine.set_mode(mode);
+    engine.set_shadow_verify(false);
+    engine
+        .run_iterations(&mut net, dag, SimTime::ZERO, 1, None)
+        .expect("hot-path dag warms up");
+    let a0 = allocs();
+    let t0 = Instant::now();
+    engine
+        .run_iterations(&mut net, dag, SimTime::ZERO, iters, None)
+        .expect("hot-path dag runs");
+    (t0.elapsed().as_secs_f64(), allocs() - a0)
+}
+
+fn num(v: f64) -> Json {
+    Json::Num(v)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick")
+        || std::env::var("ZEROSIM_BENCH_QUICK")
+            .map(|v| v == "1")
+            .unwrap_or(false);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let specs = golden_specs();
+
+    // Part 1: digest equality of the full pipeline under both engines.
+    let arena_runs: Vec<_> = specs
+        .iter()
+        .map(|s| s.clone().with_engine(EngineMode::Arena).execute())
+        .collect::<Result<_, _>>()
+        .expect("golden configs run on arena engine");
+    let reference_runs: Vec<_> = specs
+        .iter()
+        .map(|s| s.clone().with_engine(EngineMode::Reference).execute())
+        .collect::<Result<_, _>>()
+        .expect("golden configs run on reference engine");
+    let digests_equal = arena_runs
+        .iter()
+        .zip(&reference_runs)
+        .all(|(a, r)| a.digest == r.digest);
+    assert!(
+        digests_equal,
+        "arena and reference engines must digest identically on the golden dozen"
+    );
+
+    // Part 2: engine-only iterations/sec over the golden lowered DAGs.
+    let golden_iters = if quick { 4 } else { 20 };
+    let mut golden_ref_s = 0.0;
+    let mut golden_arena_s = 0.0;
+    let mut golden_ref_allocs = 0u64;
+    let mut golden_arena_allocs = 0u64;
+    for spec in &specs {
+        let (w, a) = run_engine_only(spec, EngineMode::Reference, golden_iters);
+        golden_ref_s += w;
+        golden_ref_allocs += a;
+        let (w, a) = run_engine_only(spec, EngineMode::Arena, golden_iters);
+        golden_arena_s += w;
+        golden_arena_allocs += a;
+    }
+    let total_golden_iters = (golden_iters * specs.len()) as f64;
+    let golden_ref_ips = total_golden_iters / golden_ref_s;
+    let golden_arena_ips = total_golden_iters / golden_arena_s;
+    let golden_ratio = golden_arena_ips / golden_ref_ips;
+    println!("golden dozen, engine only ({golden_iters} iters/config, shadow off)");
+    println!("  reference {golden_ref_s:>8.3} s  {golden_ref_ips:>8.1} iters/s");
+    println!("  arena     {golden_arena_s:>8.3} s  {golden_arena_ips:>8.1} iters/s  ({golden_ratio:.2}x)");
+
+    // Part 3: the engine hot path, solver excluded.
+    let (layers, width, hot_iters) = if quick { (32, 48, 6) } else { (48, 64, 30) };
+    let dag = hot_path_dag(layers, width);
+    let (hot_ref_s, hot_ref_allocs) = run_hot_path(EngineMode::Reference, &dag, hot_iters);
+    let (hot_arena_s, hot_arena_allocs) = run_hot_path(EngineMode::Arena, &dag, hot_iters);
+    let hot_ref_ips = hot_iters as f64 / hot_ref_s;
+    let hot_arena_ips = hot_iters as f64 / hot_arena_s;
+    let hot_ratio = hot_arena_ips / hot_ref_ips;
+    println!(
+        "hot path: {layers}x{width} layered delay dag ({} tasks), {hot_iters} iters",
+        dag.len()
+    );
+    println!("  reference {hot_ref_s:>8.3} s  {hot_ref_ips:>8.1} iters/s");
+    println!("  arena     {hot_arena_s:>8.3} s  {hot_arena_ips:>8.1} iters/s  ({hot_ratio:.2}x)");
+
+    // Part 4: executor bookkeeping allocations per iteration — the
+    // hardware-invariant scorecard of the arena refactor, measured on the
+    // span-free hot path so shared costs (span `String` clones, solver
+    // state) cannot mask it. Golden allocations are reported alongside for
+    // context; they are dominated by the shared span log.
+    let hot_ref_allocs_per_iter = hot_ref_allocs as f64 / hot_iters as f64;
+    let hot_arena_allocs_per_iter = hot_arena_allocs as f64 / hot_iters as f64;
+    let alloc_reduction = hot_ref_allocs_per_iter / hot_arena_allocs_per_iter.max(1.0);
+    let golden_ref_allocs_per_iter = golden_ref_allocs as f64 / total_golden_iters;
+    let golden_arena_allocs_per_iter = golden_arena_allocs as f64 / total_golden_iters;
+    println!(
+        "bookkeeping allocations/iteration: reference {hot_ref_allocs_per_iter:.0}, arena {hot_arena_allocs_per_iter:.0} ({alloc_reduction:.1}x fewer)"
+    );
+    println!(
+        "golden allocations/iteration (span-log dominated, shared): reference {golden_ref_allocs_per_iter:.0}, arena {golden_arena_allocs_per_iter:.0}"
+    );
+
+    let doc = Json::Obj(vec![
+        ("bench".into(), Json::Str("engine_arena".into())),
+        ("quick".into(), Json::Bool(quick)),
+        ("cores".into(), num(cores as f64)),
+        ("digests_equal".into(), Json::Bool(digests_equal)),
+        (
+            "golden".into(),
+            Json::Obj(vec![
+                ("configs".into(), num(specs.len() as f64)),
+                ("iters_per_config".into(), num(golden_iters as f64)),
+                ("reference_wall_s".into(), num(golden_ref_s)),
+                ("arena_wall_s".into(), num(golden_arena_s)),
+                ("reference_iters_per_sec".into(), num(golden_ref_ips)),
+                ("arena_iters_per_sec".into(), num(golden_arena_ips)),
+                ("iters_per_sec_ratio".into(), num(golden_ratio)),
+            ]),
+        ),
+        (
+            "hot_path".into(),
+            Json::Obj(vec![
+                ("tasks".into(), num(dag.len() as f64)),
+                ("iters".into(), num(hot_iters as f64)),
+                ("reference_wall_s".into(), num(hot_ref_s)),
+                ("arena_wall_s".into(), num(hot_arena_s)),
+                ("reference_iters_per_sec".into(), num(hot_ref_ips)),
+                ("arena_iters_per_sec".into(), num(hot_arena_ips)),
+                ("iters_per_sec_ratio".into(), num(hot_ratio)),
+            ]),
+        ),
+        (
+            "allocs".into(),
+            Json::Obj(vec![
+                ("reference_per_iter".into(), num(hot_ref_allocs_per_iter)),
+                ("arena_per_iter".into(), num(hot_arena_allocs_per_iter)),
+                ("reduction".into(), num(alloc_reduction)),
+                (
+                    "golden_reference_per_iter".into(),
+                    num(golden_ref_allocs_per_iter),
+                ),
+                (
+                    "golden_arena_per_iter".into(),
+                    num(golden_arena_allocs_per_iter),
+                ),
+            ]),
+        ),
+    ]);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
+    std::fs::write(path, doc.render() + "\n").expect("write BENCH_engine.json");
+    println!("wrote BENCH_engine.json");
+
+    assert!(
+        alloc_reduction >= 5.0,
+        "allocations-per-iteration reduction {alloc_reduction:.1}x is below the 5x floor"
+    );
+}

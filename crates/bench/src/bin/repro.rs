@@ -35,6 +35,20 @@ fn main() {
         args.remove(pos);
     }
     zerosim_bench::data::set_sweep_workers(workers);
+    {
+        // Report both the requested and the (clamped) effective width so
+        // oversubscribed runs are visible rather than silently slower.
+        let runner = zerosim_bench::data::runner();
+        if runner.workers() != runner.requested_workers() {
+            eprintln!(
+                "[sweep workers: requested {} -> effective {} (clamped to machine)]",
+                runner.requested_workers(),
+                runner.workers()
+            );
+        } else {
+            eprintln!("[sweep workers: {}]", runner.workers());
+        }
+    }
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!("usage: repro [--out DIR] [--workers N] <artifact>... | all");
         eprintln!("artifacts: {}", zerosim_bench::ARTIFACTS.join(" "));

@@ -249,6 +249,95 @@ impl NvmeConfig {
     }
 }
 
+/// The golden strategy × node-count matrix of `tests/plan_equivalence.rs`
+/// plus the ZeRO-Infinity configuration: 12 sweep specs in fixed order.
+///
+/// This is the canonical regression workload — `tests/sweep_determinism.rs`
+/// pins its width-invariance, `tests/engine_equivalence.rs` pins
+/// arena-vs-reference digests over it, and the `engine_arena` bench
+/// measures iteration throughput on it.
+pub fn golden_specs() -> Vec<SweepSpec> {
+    let model = GptConfig::paper_model_with_params(1.4);
+    let run = RunConfig {
+        allow_overflow: true,
+        ..RunConfig::quick()
+    };
+    let matrix: Vec<(Strategy, usize)> = vec![
+        (Strategy::Ddp, 1),
+        (Strategy::Ddp, 2),
+        (Strategy::Megatron { tp: 4, pp: 1 }, 1),
+        (Strategy::Megatron { tp: 8, pp: 1 }, 2),
+        (Strategy::Megatron { tp: 4, pp: 2 }, 2),
+        (
+            Strategy::Zero {
+                stage: ZeroStage::One,
+            },
+            1,
+        ),
+        (
+            Strategy::Zero {
+                stage: ZeroStage::Two,
+            },
+            1,
+        ),
+        (
+            Strategy::Zero {
+                stage: ZeroStage::Three,
+            },
+            1,
+        ),
+        (
+            Strategy::Zero {
+                stage: ZeroStage::Three,
+            },
+            2,
+        ),
+        (
+            Strategy::ZeroOffload {
+                stage: ZeroStage::Two,
+                offload_params: false,
+            },
+            1,
+        ),
+        (
+            Strategy::ZeroOffload {
+                stage: ZeroStage::Three,
+                offload_params: true,
+            },
+            1,
+        ),
+    ];
+    let mut specs: Vec<SweepSpec> = matrix
+        .into_iter()
+        .enumerate()
+        .map(|(i, (strategy, nodes))| {
+            SweepSpec::new(
+                format!("golden-{i:02} {} {nodes}n", strategy.name()),
+                strategy,
+                model,
+                opts(nodes),
+            )
+            .with_run(run)
+        })
+        .collect();
+    // Config 12: ZeRO-Infinity over a two-drive RAID0 scratch volume.
+    let d = |drive| NvmeId { node: 0, drive };
+    specs.push(
+        SweepSpec::new(
+            "golden-11 ZeRO-Infinity 1n",
+            Strategy::ZeroInfinity {
+                offload_params: true,
+                placement: InfinityPlacement::new(vec![VolumeId(0)]),
+            },
+            model,
+            opts(1),
+        )
+        .with_volume(vec![d(0), d(1)])
+        .with_run(run),
+    );
+    specs
+}
+
 /// The offload configurations compared in Sec. V (Figs. 11/12).
 pub fn offload_strategies() -> Vec<(&'static str, Strategy)> {
     vec![

@@ -5,7 +5,7 @@
 
 use zerosim_hw::{Cluster, ClusterSpec, LinkClass};
 use zerosim_model::GptConfig;
-use zerosim_simkit::{BandwidthRecorder, Dag, DagEngine, FlowObserver, SimTime};
+use zerosim_simkit::{BandwidthRecorder, Dag, DagEngine, EngineMode, FlowObserver, SimTime};
 use zerosim_strategies::{
     lower, plan_checkpoint, plan_restore, Calibration, IterCtx, StrategyPlan, TrainOptions,
 };
@@ -75,6 +75,7 @@ impl RunConfig {
 pub struct TrainingSim {
     cluster: Cluster,
     calib: Calibration,
+    engine_mode: EngineMode,
 }
 
 impl TrainingSim {
@@ -86,6 +87,7 @@ impl TrainingSim {
         Ok(TrainingSim {
             cluster: Cluster::new(spec).map_err(CoreError::BadCluster)?,
             calib: Calibration::default(),
+            engine_mode: EngineMode::default(),
         })
     }
 
@@ -97,7 +99,21 @@ impl TrainingSim {
         Ok(TrainingSim {
             cluster: Cluster::new(spec).map_err(CoreError::BadCluster)?,
             calib,
+            engine_mode: EngineMode::default(),
         })
+    }
+
+    /// The DAG-executor implementation runs will use
+    /// ([`EngineMode::Arena`] unless overridden by `ZEROSIM_ENGINE`).
+    pub fn engine_mode(&self) -> EngineMode {
+        self.engine_mode
+    }
+
+    /// Selects the DAG-executor implementation for subsequent runs — the
+    /// differential equivalence suite uses this to pin one simulator to
+    /// [`EngineMode::Reference`] and compare digests against the arena.
+    pub fn set_engine_mode(&mut self, mode: EngineMode) {
+        self.engine_mode = mode;
     }
 
     /// The simulated cluster (e.g. to create NVMe volumes before an
@@ -160,6 +176,7 @@ impl TrainingSim {
         let plan_lowerings = 1usize;
 
         let mut engine = DagEngine::new(self.cluster.resource_slots());
+        engine.set_mode(self.engine_mode);
 
         // Warm-up (unrecorded). Each iteration re-stamps with its own
         // jitter seed so the measured window shows realistic run-to-run
@@ -221,6 +238,7 @@ impl TrainingSim {
                 .net()
                 .solver_stats()
                 .delta_since(&solver_before),
+            engine: engine.stats(),
         })
     }
 
@@ -299,6 +317,7 @@ impl TrainingSim {
         };
 
         let mut engine = DagEngine::new(self.cluster.resource_slots());
+        engine.set_mode(self.engine_mode);
         let mut cursor = faults.schedule.cursor();
         let scheduled_faults = cursor.remaining();
 
@@ -494,6 +513,7 @@ impl TrainingSim {
                 .net()
                 .solver_stats()
                 .delta_since(&solver_before.unwrap_or_default()),
+            engine: engine.stats(),
         })
     }
 }

@@ -57,7 +57,7 @@ pub use sweep::{SweepRun, SweepRunner, SweepSpec};
 pub use timeline::{profile_tracks, to_chrome_trace, TrackProfile};
 
 // Re-export the pieces callers need alongside the engine.
-pub use zerosim_simkit::{FaultKind, FaultSchedule};
+pub use zerosim_simkit::{EngineMode, EngineStats, FaultKind, FaultSchedule};
 pub use zerosim_strategies::{
     Calibration, CheckpointSink, IterCtx, IterPlan, LoweredPlan, RecoveryPolicy, Strategy,
     StrategyError, StrategyPlan, StrategyRegistry, TrainOptions,

@@ -4,7 +4,9 @@
 use std::collections::BTreeMap;
 
 use zerosim_hw::{Cluster, LinkClass};
-use zerosim_simkit::{BandwidthRecorder, BandwidthStats, SimTime, SolverStats, SpanLog};
+use zerosim_simkit::{
+    BandwidthRecorder, BandwidthStats, EngineStats, SimTime, SolverStats, SpanLog,
+};
 use zerosim_strategies::MemoryPlan;
 
 /// Bandwidth statistics per (node, interconnect class) plus the raw
@@ -214,6 +216,13 @@ pub struct TrainingReport {
     /// the run was computed, not *what* was measured, so it is excluded
     /// from [`TrainingReport::digest`].
     pub solver: SolverStats,
+    /// DAG-engine work accounting for the run (ticks, batch sizes, arena
+    /// reuse hits — see [`zerosim_simkit::EngineStats`]). Like
+    /// [`TrainingReport::solver`], these counters describe how the
+    /// simulation executed, not what it measured, so they are excluded
+    /// from [`TrainingReport::digest`]: the arena and reference engines
+    /// must produce equal digests even though only the arena batches.
+    pub engine: EngineStats,
 }
 
 impl TrainingReport {
@@ -369,6 +378,7 @@ mod tests {
             plan_lowerings: 1,
             resilience: None,
             solver: SolverStats::default(),
+            engine: EngineStats::default(),
         }
     }
 
@@ -404,6 +414,14 @@ mod tests {
         d.solver.solves = 999;
         d.solver.links_touched = 12345;
         assert_eq!(a.digest(), d.digest());
+        // Engine work accounting (ticks, batches, arena reuse) is also an
+        // execution detail: the arena and reference engines must digest
+        // identically despite disjoint counter profiles.
+        let mut e = blank_report();
+        e.engine.ticks = 777;
+        e.engine.batches = 42;
+        e.engine.arena_reuse_hits = 7;
+        assert_eq!(a.digest(), e.digest());
         assert_eq!(
             c.resilience.as_ref().unwrap().time_to_recover(),
             SimTime::ZERO
@@ -433,6 +451,7 @@ mod tests {
             plan_lowerings: 1,
             resilience: None,
             solver: SolverStats::default(),
+            engine: EngineStats::default(),
         };
         assert!((report.throughput_tflops() - 400.0).abs() < 1e-9);
         assert!((report.model_billions() - 1.4).abs() < 1e-12);

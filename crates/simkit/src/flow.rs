@@ -53,6 +53,19 @@ impl LinkId {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct FlowId(u64);
 
+impl FlowId {
+    /// Raw sequence number, for crate-internal dense indexing (the arena
+    /// engine keys its flow→task table on `raw - base`).
+    pub(crate) fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuilds an id from its raw sequence number (crate-internal).
+    pub(crate) fn from_raw(raw: u64) -> Self {
+        FlowId(raw)
+    }
+}
+
 /// Capacity model of a link.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Capacity {
@@ -72,7 +85,7 @@ impl Capacity {
     }
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct LinkState {
     name: String,
     capacity: Capacity,
@@ -83,7 +96,7 @@ struct LinkState {
     scale: f64,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct FlowState {
     route: Vec<LinkId>,
     remaining: f64,
@@ -119,7 +132,7 @@ const DRAIN_EVENT_BUDGET: u64 = 10_000_000;
 
 /// Converged solver state, cached behind interior mutability so reads can
 /// take `&self`. All fields are private to the flow module.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 struct Solver {
     /// Links whose converged state is stale; emptied by each solve.
     dirty: BTreeSet<usize>,
@@ -163,7 +176,7 @@ fn shadow_default() -> bool {
 /// assert!((dt - 2.0).abs() < 1e-9); // both finish together after 2 s
 /// assert_eq!(done, vec![a, b]);
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct FlowNet {
     links: Vec<LinkState>,
     flows: BTreeMap<FlowId, FlowState>,
@@ -238,6 +251,12 @@ impl FlowNet {
     /// Number of active flows.
     pub fn flow_count(&self) -> usize {
         self.flows.len()
+    }
+
+    /// The raw id the next started flow will receive (crate-internal; the
+    /// arena engine snapshots this as the base of its dense flow→task map).
+    pub(crate) fn next_flow_raw(&self) -> u64 {
+        self.next_flow
     }
 
     /// The name given to `link` at creation.

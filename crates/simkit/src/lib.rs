@@ -54,9 +54,9 @@ mod time;
 
 pub use bucket::TokenBucket;
 pub use dag::{Dag, DagBuilder, ResourceId, TaskId, TaskKind};
-pub use engine::{DagEngine, RunOutcome};
+pub use engine::{DagEngine, EngineMode, RunOutcome};
 pub use error::SimError;
 pub use fault::{FaultCursor, FaultEvent, FaultKind, FaultSchedule, FLAP_FLOOR};
 pub use flow::{FlowId, FlowNet, FlowObserver, LinkId, NullObserver};
-pub use record::{BandwidthRecorder, BandwidthStats, SolverStats, Span, SpanLog};
+pub use record::{BandwidthRecorder, BandwidthStats, EngineStats, SolverStats, Span, SpanLog};
 pub use time::SimTime;

@@ -1,105 +1,13 @@
 //! Parallel sweeps are deterministic: fanning the 12 golden paper
 //! configurations (the strategy × node matrix of `plan_equivalence.rs`
-//! plus ZeRO-Infinity) across 1, 2, and 8 workers yields the same
-//! ordered label and digest vectors — scheduling must never leak into
-//! results.
+//! plus ZeRO-Infinity, shared via `zerosim_bench::data::golden_specs`)
+//! across 1, 2, and 8 workers yields the same ordered label and digest
+//! vectors — scheduling must never leak into results. Worker counts
+//! beyond the machine are clamped ([`SweepRunner::new`]), and the clamp
+//! must be equally invisible in the output.
 
-use zerosim_core::{RunConfig, SweepRunner, SweepSpec};
-use zerosim_hw::{NvmeId, VolumeId};
-use zerosim_model::GptConfig;
-use zerosim_strategies::{InfinityPlacement, Strategy, TrainOptions, ZeroStage};
-
-fn opts_for(nodes: usize) -> TrainOptions {
-    if nodes == 1 {
-        TrainOptions::single_node()
-    } else {
-        TrainOptions::dual_node()
-    }
-}
-
-/// The golden strategy × node-count matrix of `tests/plan_equivalence.rs`
-/// plus the ZeRO-Infinity configuration: 12 sweep specs in fixed order.
-fn golden_specs() -> Vec<SweepSpec> {
-    let model = GptConfig::paper_model_with_params(1.4);
-    let run = RunConfig {
-        allow_overflow: true,
-        ..RunConfig::quick()
-    };
-    let matrix: Vec<(Strategy, usize)> = vec![
-        (Strategy::Ddp, 1),
-        (Strategy::Ddp, 2),
-        (Strategy::Megatron { tp: 4, pp: 1 }, 1),
-        (Strategy::Megatron { tp: 8, pp: 1 }, 2),
-        (Strategy::Megatron { tp: 4, pp: 2 }, 2),
-        (
-            Strategy::Zero {
-                stage: ZeroStage::One,
-            },
-            1,
-        ),
-        (
-            Strategy::Zero {
-                stage: ZeroStage::Two,
-            },
-            1,
-        ),
-        (
-            Strategy::Zero {
-                stage: ZeroStage::Three,
-            },
-            1,
-        ),
-        (
-            Strategy::Zero {
-                stage: ZeroStage::Three,
-            },
-            2,
-        ),
-        (
-            Strategy::ZeroOffload {
-                stage: ZeroStage::Two,
-                offload_params: false,
-            },
-            1,
-        ),
-        (
-            Strategy::ZeroOffload {
-                stage: ZeroStage::Three,
-                offload_params: true,
-            },
-            1,
-        ),
-    ];
-    let mut specs: Vec<SweepSpec> = matrix
-        .into_iter()
-        .enumerate()
-        .map(|(i, (strategy, nodes))| {
-            SweepSpec::new(
-                format!("golden-{i:02} {} {nodes}n", strategy.name()),
-                strategy,
-                model,
-                opts_for(nodes),
-            )
-            .with_run(run)
-        })
-        .collect();
-    // Config 12: ZeRO-Infinity over a two-drive RAID0 scratch volume.
-    let d = |drive| NvmeId { node: 0, drive };
-    specs.push(
-        SweepSpec::new(
-            "golden-11 ZeRO-Infinity 1n",
-            Strategy::ZeroInfinity {
-                offload_params: true,
-                placement: InfinityPlacement::new(vec![VolumeId(0)]),
-            },
-            model,
-            opts_for(1),
-        )
-        .with_volume(vec![d(0), d(1)])
-        .with_run(run),
-    );
-    specs
-}
+use zerosim_bench::data::golden_specs;
+use zerosim_core::SweepRunner;
 
 #[test]
 fn golden_sweep_is_width_invariant() {
@@ -146,4 +54,35 @@ fn sweep_digests_distinguish_the_golden_configs() {
     digests.sort_unstable();
     digests.dedup();
     assert_eq!(digests.len(), runs.len(), "golden digests must be distinct");
+}
+
+#[test]
+fn oversubscribed_workers_are_clamped_without_changing_digests() {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    // An absurd request is clamped to the machine, but the ask survives
+    // for reporting.
+    let wide = SweepRunner::new(64);
+    assert_eq!(wide.requested_workers(), 64);
+    assert_eq!(wide.workers(), 64.min(cores));
+    assert!(wide.workers() <= cores, "pool must not oversubscribe");
+
+    // Requests at or under the machine width pass through unclamped.
+    let serial = SweepRunner::new(1);
+    assert_eq!(serial.requested_workers(), 1);
+    assert_eq!(serial.workers(), 1);
+
+    // The clamp is invisible in results: a subset of the golden matrix
+    // digests identically at width 1 and width 64-clamped.
+    let specs: Vec<_> = golden_specs().into_iter().take(3).collect();
+    let reference = serial.run_parallel(specs.clone()).expect("subset runs");
+    let clamped = wide.run_parallel(specs).expect("subset runs");
+    for (c, r) in clamped.iter().zip(&reference) {
+        assert_eq!(c.label, r.label);
+        assert_eq!(
+            c.digest, r.digest,
+            "clamping changed digest for {}",
+            c.label
+        );
+    }
 }
