@@ -1,0 +1,193 @@
+//! `planfind` — auto-parallelism placement search over a parameterized
+//! topology (the CLI front end of [`zerosim_core::search_plans`]).
+//!
+//! Usage:
+//!
+//! ```text
+//! planfind [--topology SPEC] [--model B | --model wide:B]
+//!          [--workers N] [--top N] [--json] [--bench PATH]
+//! ```
+//!
+//! * `--topology SPEC` — the cluster shape to search against:
+//!   `paper` (default, the two-node testbed), `flat:<nodes>`,
+//!   `fat-tree:<racks>x<nodes_per_rack>:<oversub>`, or
+//!   `pods:<pods>x<islands>x<gpus>:<pod_oversub>:<spine_oversub>`.
+//! * `--model B` — paper-shaped model of `B` billion parameters
+//!   (depth-scaled, h = 2048); `--model wide:B` uses the fixed-depth
+//!   wide shape for cluster-scale models.
+//! * `--workers N` — simulation fan-out; results are byte-identical at
+//!   any width (only wall-clock changes).
+//! * `--top N` — ranked plans to print (default 5).
+//! * `--json` — machine-readable report instead of text.
+//! * `--bench PATH` — also write a `BENCH_planfind.json` scorecard
+//!   (candidate counts, prune fraction, digest, wall time) to `PATH`.
+//!
+//! Exit status: 0 on success (even when every candidate prunes), 1 when
+//! the topology cannot be built, 2 on usage errors.
+
+use std::time::Instant;
+
+use zerosim_core::{search_plans, CandidateOutcome, SearchConfig, SearchReport};
+use zerosim_hw::TopologySpec;
+use zerosim_model::GptConfig;
+use zerosim_testkit::json::Json;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: planfind [--topology SPEC] [--model B|wide:B] [--workers N] \
+         [--top N] [--json] [--bench PATH]"
+    );
+    eprintln!("topologies: paper | flat:<nodes> | fat-tree:<racks>x<npr>:<over> |");
+    eprintln!("            pods:<pods>x<islands>x<gpus>:<pod_over>:<spine_over>");
+    std::process::exit(2);
+}
+
+fn take_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let pos = args.iter().position(|a| a == flag)?;
+    if pos + 1 >= args.len() {
+        eprintln!("{flag} needs an argument");
+        std::process::exit(2);
+    }
+    let value = args.remove(pos + 1);
+    args.remove(pos);
+    Some(value)
+}
+
+fn parse_model(raw: &str) -> GptConfig {
+    let (wide, digits) = match raw.strip_prefix("wide:") {
+        Some(rest) => (true, rest),
+        None => (false, raw),
+    };
+    let billions: f64 = match digits.parse() {
+        Ok(b) if b > 0.0 => b,
+        _ => {
+            eprintln!("--model: expected a positive size in billions, got {raw:?}");
+            std::process::exit(2);
+        }
+    };
+    if wide {
+        GptConfig::wide_model_with_params(billions)
+    } else {
+        GptConfig::paper_model_with_params(billions)
+    }
+}
+
+fn report_json(report: &SearchReport, workers: usize, wall_secs: f64) -> Json {
+    let candidates: Vec<Json> = report
+        .candidates
+        .iter()
+        .map(|c| {
+            let (status, detail) = match &c.outcome {
+                CandidateOutcome::Pruned { reason } => ("pruned", Json::Str(reason.clone())),
+                CandidateOutcome::Simulated {
+                    throughput_flops, ..
+                } => ("simulated", Json::Num(throughput_flops / 1e12)),
+                CandidateOutcome::Failed { error } => ("failed", Json::Str(error.clone())),
+            };
+            Json::Obj(vec![
+                ("strategy".into(), Json::Str(c.strategy_name.clone())),
+                ("placement".into(), Json::Str(c.placement())),
+                ("spans".into(), Json::Str(c.spans.clone())),
+                ("status".into(), Json::Str(status.into())),
+                ("detail".into(), detail),
+            ])
+        })
+        .collect();
+    let ranking: Vec<Json> = report
+        .ranking()
+        .into_iter()
+        .map(|c| Json::Str(format!("{} {}", c.strategy_name, c.placement())))
+        .collect();
+    Json::Obj(vec![
+        ("topology".into(), Json::Str(report.topology.clone())),
+        ("total_gpus".into(), Json::Num(report.total_gpus as f64)),
+        (
+            "model_billions".into(),
+            Json::Num(report.model_params / 1e9),
+        ),
+        ("enumerated".into(), Json::Num(report.enumerated() as f64)),
+        ("pruned".into(), Json::Num(report.pruned() as f64)),
+        ("simulated".into(), Json::Num(report.simulated() as f64)),
+        ("failed".into(), Json::Num(report.failed() as f64)),
+        ("prune_fraction".into(), Json::Num(report.prune_fraction())),
+        ("workers".into(), Json::Num(workers as f64)),
+        ("wall_secs".into(), Json::Num(wall_secs)),
+        (
+            "digest".into(),
+            Json::Str(format!("{:016x}", report.digest())),
+        ),
+        ("ranking".into(), Json::Arr(ranking)),
+        ("candidates".into(), Json::Arr(candidates)),
+    ])
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        usage();
+    }
+    let mut json = false;
+    if let Some(pos) = args.iter().position(|a| a == "--json") {
+        args.remove(pos);
+        json = true;
+    }
+    let topology = match take_value(&mut args, "--topology") {
+        Some(raw) => match TopologySpec::parse(&raw) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("--topology {raw}: {e}");
+                std::process::exit(2);
+            }
+        },
+        None => TopologySpec::default(),
+    };
+    let model = parse_model(&take_value(&mut args, "--model").unwrap_or_else(|| "1.4".into()));
+    let workers: usize = match take_value(&mut args, "--workers") {
+        Some(raw) => match raw.parse() {
+            Ok(n) => n,
+            Err(e) => {
+                eprintln!("--workers: {e}");
+                std::process::exit(2);
+            }
+        },
+        None => 1,
+    };
+    let top: usize = match take_value(&mut args, "--top") {
+        Some(raw) => match raw.parse() {
+            Ok(n) => n,
+            Err(e) => {
+                eprintln!("--top: {e}");
+                std::process::exit(2);
+            }
+        },
+        None => 5,
+    };
+    let bench_path = take_value(&mut args, "--bench");
+    if !args.is_empty() {
+        eprintln!("unexpected arguments: {args:?}");
+        usage();
+    }
+
+    let cfg = SearchConfig::new(topology, model).with_workers(workers);
+    let t0 = Instant::now();
+    let report = match search_plans(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("planfind: {e}");
+            std::process::exit(1);
+        }
+    };
+    let wall_secs = t0.elapsed().as_secs_f64();
+
+    if json {
+        println!("{}", report_json(&report, workers, wall_secs).render());
+    } else {
+        print!("{}", report.render_text(top));
+        eprintln!("[search completed in {wall_secs:.2}s at {workers} worker(s)]");
+    }
+    if let Some(path) = bench_path {
+        std::fs::write(&path, report_json(&report, workers, wall_secs).render())
+            .expect("write bench scorecard");
+        eprintln!("[scorecard written to {path}]");
+    }
+}

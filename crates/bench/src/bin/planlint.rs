@@ -4,8 +4,8 @@
 //! Usage:
 //!
 //! ```text
-//! planlint [--json] [--level CODE=LEVEL]... [--nodes N] golden
-//! planlint [--json] [--level CODE=LEVEL]... [--nodes N] <strategy>...
+//! planlint [--json] [--level CODE=LEVEL]... [--nodes N | --topology SPEC] golden
+//! planlint [--json] [--level CODE=LEVEL]... [--nodes N | --topology SPEC] <strategy>...
 //! planlint list
 //! ```
 //!
@@ -15,13 +15,18 @@
 //! * `<strategy>...` lints named registry strategies (see `planlint
 //!   list`) on a `--nodes N` cluster (default 1; NVMe strategies get a
 //!   two-drive volume on node 0, as in the paper).
+//! * `--topology SPEC` lints named strategies against a generated
+//!   topology instead — `paper`, `flat:<nodes>`,
+//!   `fat-tree:<racks>x<nodes_per_rack>:<oversub>`, or
+//!   `pods:<pods>x<islands>x<gpus>:<pod>:<spine>` — spanning all its
+//!   nodes (overrides `--nodes`).
 //! * `--level ZLxxx=allow|warn|deny` overrides a lint's level.
 //!
 //! Exit status: 0 when no deny-level findings, 1 when any config has
 //! deny findings, 2 on usage errors.
 
 use zerosim_analyzer::{analyze_strategy, AnalysisReport, LintConfig};
-use zerosim_hw::{Cluster, ClusterSpec, NvmeId};
+use zerosim_hw::{Cluster, ClusterSpec, NvmeId, TopologySpec};
 use zerosim_model::GptConfig;
 use zerosim_strategies::{
     Calibration, InfinityPlacement, Strategy, StrategyRegistry, TrainOptions, ZeroStage,
@@ -41,11 +46,7 @@ fn cluster_with_nodes(nodes: usize) -> Cluster {
 }
 
 fn opts_for(nodes: usize) -> TrainOptions {
-    if nodes == 1 {
-        TrainOptions::single_node()
-    } else {
-        TrainOptions::dual_node()
-    }
+    TrainOptions::for_nodes(nodes)
 }
 
 /// Attaches the paper's two-drive NVMe volume (node 0, drives 0 and 1)
@@ -153,10 +154,20 @@ fn lintable_names() -> Vec<String> {
     names
 }
 
-/// A named strategy on a `--nodes N` cluster. NVMe strategies get the
-/// paper's two-drive volume registered on the cluster first.
-fn named_case(name: &str, nodes: usize) -> Option<Case> {
-    let mut cluster = cluster_with_nodes(nodes);
+/// A named strategy on a `--nodes N` cluster or a `--topology` generated
+/// cluster. NVMe strategies get the paper's two-drive volume registered
+/// on the cluster first.
+fn named_case(name: &str, nodes: usize, topology: Option<&TopologySpec>) -> Option<Case> {
+    let (mut cluster, nodes) = match topology {
+        Some(t) => {
+            let spec = t.build().expect("parsed topology builds");
+            (
+                Cluster::new(spec).expect("generated topology lowers to a cluster"),
+                t.nodes(),
+            )
+        }
+        None => (cluster_with_nodes(nodes), nodes),
+    };
     let candidates = [
         Strategy::Ddp,
         Strategy::Megatron { tp: 4, pp: 1 },
@@ -206,9 +217,16 @@ fn lint(case: &Case, config: LintConfig) -> Result<AnalysisReport, String> {
 }
 
 fn usage() -> ! {
-    eprintln!("usage: planlint [--json] [--level CODE=LEVEL]... [--nodes N] golden|<strategy>...");
+    eprintln!(
+        "usage: planlint [--json] [--level CODE=LEVEL]... [--nodes N | --topology SPEC] \
+         golden|<strategy>..."
+    );
     eprintln!("       planlint list");
     eprintln!("strategies: {}", lintable_names().join(", "));
+    eprintln!(
+        "topologies: paper | flat:<nodes> | fat-tree:<racks>x<npr>:<over> | \
+         pods:<pods>x<islands>x<gpus>:<pod>:<spine>"
+    );
     std::process::exit(2);
 }
 
@@ -248,6 +266,22 @@ fn main() {
             }
         };
     }
+    let mut topology: Option<TopologySpec> = None;
+    if let Some(pos) = args.iter().position(|a| a == "--topology") {
+        if pos + 1 >= args.len() {
+            eprintln!("--topology needs a topology spec");
+            std::process::exit(2);
+        }
+        let raw = args.remove(pos + 1);
+        args.remove(pos);
+        topology = match TopologySpec::parse(&raw) {
+            Ok(t) => Some(t),
+            Err(e) => {
+                eprintln!("--topology {raw}: {e}");
+                std::process::exit(2);
+            }
+        };
+    }
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
         usage();
     }
@@ -259,11 +293,15 @@ fn main() {
     }
 
     let cases: Vec<Case> = if args.iter().any(|a| a == "golden") {
+        if topology.is_some() {
+            eprintln!("--topology applies to named strategies; `golden` pins the paper shapes");
+            std::process::exit(2);
+        }
         golden_cases()
     } else {
         args.iter()
             .map(|name| {
-                named_case(name, nodes).unwrap_or_else(|| {
+                named_case(name, nodes, topology.as_ref()).unwrap_or_else(|| {
                     eprintln!("unknown strategy {name:?}; run `planlint list`");
                     std::process::exit(2);
                 })

@@ -10,8 +10,8 @@ pub mod data;
 pub mod experiments;
 
 /// All artifact ids: the paper's tables and figures in paper order,
-/// followed by the extension studies (`ext1`–`ext5`).
-pub const ARTIFACTS: [&str; 31] = [
+/// followed by the extension studies (`ext1`–`ext12`).
+pub const ARTIFACTS: [&str; 32] = [
     "fig1",
     "fig2",
     "table1",
@@ -42,6 +42,7 @@ pub const ARTIFACTS: [&str; 31] = [
     "ext9",
     "ext10",
     "ext11",
+    "ext12",
     "scorecard",
 ];
 
@@ -90,6 +91,7 @@ pub fn render(id: &str) -> String {
         "ext9" => extensions::ext9_grad_accum(),
         "ext10" => extensions::ext10_hidden_size(),
         "ext11" => resilience::goodput_table(),
+        "ext12" => extensions::ext12_jean_zay_scale(),
         "scorecard" => scorecard::scorecard(),
         other => panic!("unknown artifact id {other:?}"),
     }

@@ -7,6 +7,8 @@ use zerosim_hw::Cluster;
 use zerosim_model::GptConfig;
 use zerosim_strategies::{Calibration, IterCtx, StrategyPlan, TrainOptions};
 
+use crate::error::CoreError;
+
 /// Result of a capacity search.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CapacityResult {
@@ -28,12 +30,36 @@ impl CapacityResult {
 /// Returns `None` when even a single layer does not fit. Configurations
 /// the strategy rejects ([`zerosim_strategies::StrategyError`]) count as
 /// not fitting.
+///
+/// # Panics
+/// Panics on [`CoreError::CapacityDiverged`] — the search fitting past
+/// two million layers, which indicates a broken memory model rather than
+/// a property of the configuration. Callers that must stay panic-free
+/// (e.g. the `planfind` search loop) use [`try_max_model_size`].
 pub fn max_model_size(
     cluster: &Cluster,
     strategy: &dyn StrategyPlan,
     opts: &TrainOptions,
     calib: &Calibration,
 ) -> Option<CapacityResult> {
+    match try_max_model_size(cluster, strategy, opts, calib) {
+        Ok(cap) => cap,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// [`max_model_size`] with the divergence guard surfaced as a typed
+/// error instead of a panic.
+///
+/// # Errors
+/// [`CoreError::CapacityDiverged`] when the exponential probe still fits
+/// past 2²¹ layers (a memory-model bug, not a configuration property).
+pub fn try_max_model_size(
+    cluster: &Cluster,
+    strategy: &dyn StrategyPlan,
+    opts: &TrainOptions,
+    calib: &Calibration,
+) -> Result<Option<CapacityResult>, CoreError> {
     let fits = |layers: usize| -> bool {
         let model = GptConfig::paper_model(layers);
         let ctx = IterCtx {
@@ -48,7 +74,7 @@ pub fn max_model_size(
             .unwrap_or(false)
     };
     if !fits(1) {
-        return None;
+        return Ok(None);
     }
     // Exponential probe.
     let mut lo = 1usize;
@@ -56,10 +82,9 @@ pub fn max_model_size(
     while fits(hi) {
         lo = hi;
         hi *= 2;
-        assert!(
-            hi <= 1 << 21,
-            "capacity search exceeded 2M layers; check the memory model"
-        );
+        if hi > 1 << 21 {
+            return Err(CoreError::CapacityDiverged { probed_layers: hi });
+        }
     }
     // Binary search in (lo, hi].
     while hi - lo > 1 {
@@ -71,10 +96,10 @@ pub fn max_model_size(
         }
     }
     let model = GptConfig::paper_model(lo);
-    Some(CapacityResult {
+    Ok(Some(CapacityResult {
         num_layers: lo,
         params: model.num_params(),
-    })
+    }))
 }
 
 #[cfg(test)]
@@ -160,6 +185,22 @@ mod tests {
             (ddp_single - ddp_dual).abs() < 1e-9,
             "DDP capacity is replica-bound"
         );
+    }
+
+    #[test]
+    fn try_variant_agrees_with_the_panicking_wrapper() {
+        let (cluster, opts, calib) = fixtures();
+        for s in [
+            Strategy::Ddp,
+            Strategy::Zero {
+                stage: ZeroStage::Three,
+            },
+        ] {
+            assert_eq!(
+                try_max_model_size(&cluster, &s, &opts, &calib).unwrap(),
+                max_model_size(&cluster, &s, &opts, &calib)
+            );
+        }
     }
 
     #[test]

@@ -30,6 +30,13 @@ pub enum CoreError {
         /// The `max_recoveries` budget that was exhausted.
         budget: usize,
     },
+    /// The achieved-model-size search kept fitting past any physical model
+    /// scale, which means the memory model (not the configuration) is
+    /// broken. See [`crate::try_max_model_size`].
+    CapacityDiverged {
+        /// The layer count the exponential probe reached before giving up.
+        probed_layers: usize,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -46,6 +53,10 @@ impl fmt::Display for CoreError {
             CoreError::RecoveryExhausted { budget } => write!(
                 f,
                 "node loss exhausted the recovery budget ({budget} recoveries)"
+            ),
+            CoreError::CapacityDiverged { probed_layers } => write!(
+                f,
+                "capacity search still fits at {probed_layers} layers; check the memory model"
             ),
         }
     }
@@ -94,5 +105,10 @@ mod tests {
         let r = CoreError::RecoveryExhausted { budget: 2 };
         assert!(r.to_string().contains("2 recoveries"));
         assert!(Error::source(&r).is_none());
+        let d = CoreError::CapacityDiverged {
+            probed_layers: 1 << 22,
+        };
+        assert!(d.to_string().contains("4194304 layers"));
+        assert!(Error::source(&d).is_none());
     }
 }

@@ -42,17 +42,19 @@ mod engine;
 mod error;
 mod faults;
 mod report;
+mod search;
 mod sweep;
 mod timeline;
 
 pub use analysis::{attribute_all_gpus, attribute_gpu, attribute_worst_gpu, TimeBreakdown};
-pub use capacity::{max_model_size, CapacityResult};
+pub use capacity::{max_model_size, try_max_model_size, CapacityResult};
 pub use cost::{CostModel, CostReport};
 pub use energy::{EnergyReport, PowerModel};
 pub use engine::{RunConfig, TrainingSim};
 pub use error::CoreError;
 pub use faults::{FaultConfig, FaultScenario};
 pub use report::{BandwidthReport, HotLink, ResilienceMetrics, TrainingReport};
+pub use search::{search_plans, CandidateOutcome, PlanCandidate, SearchConfig, SearchReport};
 pub use sweep::{SweepRun, SweepRunner, SweepSpec};
 pub use timeline::{profile_tracks, to_chrome_trace, TrackProfile};
 

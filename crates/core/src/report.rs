@@ -101,7 +101,10 @@ pub(crate) fn rank_hot_links(
     let window = window_secs.max(1e-12);
     let mut hot_links: Vec<HotLink> = Vec::new();
     for node in 0..nodes {
-        for class in LinkClass::TABLE_IV {
+        // Table IV classes plus the aggregate fabric uplinks of generated
+        // topologies (registered on each group's first node; absent on the
+        // paper's flat switch, so flat-cluster rankings are unchanged).
+        for class in LinkClass::TABLE_IV.into_iter().chain([LinkClass::Fabric]) {
             for &link in cluster.links(node, class) {
                 let avg = rec.total_bytes(link) / window;
                 if avg <= 0.0 {
@@ -300,8 +303,9 @@ impl TrainingReport {
     }
 }
 
-/// SplitMix64-style mixing step used by [`TrainingReport::digest`].
-fn mix(h: u64, v: u64) -> u64 {
+/// SplitMix64-style mixing step used by [`TrainingReport::digest`] (and
+/// [`crate::SearchReport::digest`]).
+pub(crate) fn mix(h: u64, v: u64) -> u64 {
     let mut z = h ^ v.wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
@@ -309,7 +313,7 @@ fn mix(h: u64, v: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-fn mix_str(h: u64, s: &str) -> u64 {
+pub(crate) fn mix_str(h: u64, s: &str) -> u64 {
     let mut h = mix(h, s.len() as u64);
     for chunk in s.as_bytes().chunks(8) {
         let mut buf = [0u8; 8];

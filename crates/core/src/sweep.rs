@@ -244,6 +244,14 @@ impl SweepRunner {
             .into_iter()
             .collect()
     }
+
+    /// Executes every spec, in parallel, returning each spec's individual
+    /// outcome in **input order** — one failed configuration does not mask
+    /// the others. This is what `planfind` uses to simulate a candidate
+    /// set where some survivors may still fail at run time.
+    pub fn run_each(&self, specs: Vec<SweepSpec>) -> Vec<Result<SweepRun, CoreError>> {
+        self.pool.map(specs, |spec| spec.execute())
+    }
 }
 
 #[cfg(test)]
@@ -303,6 +311,19 @@ mod tests {
         specs[0].model = GptConfig::paper_model_with_params(175.0);
         let err = SweepRunner::new(2).run_parallel(specs).unwrap_err();
         assert!(matches!(err, CoreError::DoesNotFit { .. }), "{err}");
+    }
+
+    #[test]
+    fn run_each_isolates_failures_per_spec() {
+        let mut specs = quick_specs();
+        specs[0].model = GptConfig::paper_model_with_params(175.0);
+        let outcomes = SweepRunner::new(2).run_each(specs);
+        assert_eq!(outcomes.len(), 2);
+        assert!(matches!(
+            outcomes[0],
+            Err(CoreError::DoesNotFit { .. }) | Err(CoreError::InvalidConfig(_))
+        ));
+        assert_eq!(outcomes[1].as_ref().unwrap().label, "z3");
     }
 
     #[test]

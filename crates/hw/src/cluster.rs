@@ -77,6 +77,10 @@ pub struct Cluster {
     roce_rx: Vec<Vec<LinkId>>,
     /// SerDes-pair virtual links: `(node, socket, min(a,b), max(a,b))`.
     pairs: HashMap<(usize, usize, SerdesSet, SerdesSet), LinkId>,
+    /// `[tier][group]` aggregated fabric uplinks (group → spine).
+    fabric_up: Vec<Vec<LinkId>>,
+    /// `[tier][group]` aggregated fabric downlinks (spine → group).
+    fabric_down: Vec<Vec<LinkId>>,
     /// Per-(node, class) link groups for reporting.
     class_links: HashMap<(usize, LinkClass), Vec<LinkId>>,
     volumes: Vec<NvmeVolume>,
@@ -245,6 +249,26 @@ impl Cluster {
             }
         }
 
+        // Fabric aggregation tiers: one up/down aggregate per group per
+        // tier. Registered for reporting under the group's first node.
+        let mut fabric_up = Vec::new();
+        let mut fabric_down = Vec::new();
+        for (t, tier) in spec.fabric.tiers.iter().enumerate() {
+            let mut ups = Vec::new();
+            let mut downs = Vec::new();
+            for g in 0..spec.fabric.groups_at(nodes, t) {
+                let up = net.add_link(format!("fab{t}g{g}.up"), tier.up_bytes_per_s);
+                let down = net.add_link(format!("fab{t}g{g}.down"), tier.up_bytes_per_s);
+                let home = g * tier.nodes_per_group;
+                reg(&mut class_links, home, LinkClass::Fabric, up);
+                reg(&mut class_links, home, LinkClass::Fabric, down);
+                ups.push(up);
+                downs.push(down);
+            }
+            fabric_up.push(ups);
+            fabric_down.push(downs);
+        }
+
         Ok(Cluster {
             spec,
             net,
@@ -262,9 +286,79 @@ impl Cluster {
             roce_tx,
             roce_rx,
             pairs,
+            fabric_up,
+            fabric_down,
             class_links,
             volumes: Vec::new(),
         })
+    }
+
+    /// Fabric links (source-side uplinks then destination-side downlinks)
+    /// and the extra latency an inter-node transfer `a_node → b_node`
+    /// traverses above the NIC tier. Empty on the paper's flat switch and
+    /// for nodes sharing their leaf group.
+    fn fabric_path(&self, a_node: usize, b_node: usize) -> (Vec<LinkId>, f64) {
+        let Some(top) = self.spec.fabric.crossing_tier(a_node, b_node) else {
+            return (Vec::new(), 0.0);
+        };
+        let mut links = Vec::new();
+        let mut lat = 0.0;
+        for t in 0..=top {
+            links.push(self.fabric_up[t][self.spec.fabric.group_of(a_node, t)]);
+            lat += self.spec.fabric.tiers[t].latency_s;
+        }
+        for t in (0..=top).rev() {
+            links.push(self.fabric_down[t][self.spec.fabric.group_of(b_node, t)]);
+            lat += self.spec.fabric.tiers[t].latency_s;
+        }
+        (links, lat)
+    }
+
+    /// Locality distance between two nodes: 0 for the same node, 1 for
+    /// nodes sharing a leaf switch (or any pair on a flat fabric), and
+    /// `2 + t` when the highest fabric tier the pair crosses is `t`.
+    pub fn node_distance(&self, a_node: usize, b_node: usize) -> usize {
+        if a_node == b_node {
+            return 0;
+        }
+        match self.spec.fabric.crossing_tier(a_node, b_node) {
+            None => 1,
+            Some(t) => 2 + t,
+        }
+    }
+
+    /// Number of distinct locality levels GPU pairs can fall into:
+    /// `2 + fabric tiers` (same node / same leaf switch / per tier).
+    pub fn locality_levels(&self) -> usize {
+        2 + self.spec.fabric.tiers.len()
+    }
+
+    /// One-direction bandwidth available across the contiguous even
+    /// bisection of the node set (nodes `0..n/2` vs `n/2..n`), from the
+    /// built links: the NIC aggregate of the smaller half, narrowed by
+    /// every fabric tier whose group uplinks the cut crossing traverses.
+    ///
+    /// Returns `None` for single-node clusters (no cut to measure).
+    pub fn bisection_bandwidth(&self) -> Option<f64> {
+        let half = self.spec.nodes / 2;
+        if half == 0 {
+            return None;
+        }
+        let nics = (half * ClusterSpec::SOCKETS_PER_NODE) as f64;
+        let mut bw = nics * self.spec.bw.roce_dir;
+        for (t, tier) in self.spec.fabric.tiers.iter().enumerate() {
+            let groups_in_half = half / tier.nodes_per_group;
+            if groups_in_half == 0 {
+                // The tier's groups span the cut: cross-cut pairs share a
+                // group here, so its aggregates are never traversed.
+                continue;
+            }
+            let cap: f64 = (0..groups_in_half)
+                .map(|g| self.net.link_capacity(self.fabric_up[t][g]))
+                .sum();
+            bw = bw.min(cap);
+        }
+        Some(bw)
     }
 
     /// Capacity of the virtual pair link between SerDes sets `a` and `b`
@@ -514,6 +608,11 @@ impl Cluster {
         links.push(self.pcie_nic_tx[a.node][src_nic]);
         links.push(self.roce_tx[a.node][src_nic]);
 
+        // Switch fabric between the NICs (no-op on the flat testbed).
+        let (fabric, fabric_lat) = self.fabric_path(a.node, b.node);
+        links.extend(fabric);
+        lat += fabric_lat;
+
         // Destination side: NIC -> GPU.
         links.push(self.roce_rx[b.node][dst_nic]);
         links.push(self.pcie_nic_rx[b.node][dst_nic]);
@@ -547,17 +646,21 @@ impl Cluster {
 
     /// Inter-node CPU-to-CPU route through each side's same-socket NIC.
     fn route_internode_cpu(&self, a: SocketId, b: SocketId) -> Route {
-        let links = vec![
+        let (fabric, fabric_lat) = self.fabric_path(a.node, b.node);
+        let mut links = vec![
             self.dram[a.node][a.socket],
             self.pcie_nic_tx[a.node][a.socket],
             self.roce_tx[a.node][a.socket],
+        ];
+        links.extend(fabric);
+        links.extend([
             self.roce_rx[b.node][b.socket],
             self.pcie_nic_rx[b.node][b.socket],
             self.dram[b.node][b.socket],
-        ];
+        ]);
         Route::new(
             links,
-            SimTime::from_secs(self.spec.lat.roce_s + 2.0 * self.spec.lat.pcie_s),
+            SimTime::from_secs(self.spec.lat.roce_s + 2.0 * self.spec.lat.pcie_s + fabric_lat),
         )
     }
 
@@ -580,6 +683,9 @@ impl Cluster {
         }
         links.push(self.pcie_nic_tx[a.node][src_nic]);
         links.push(self.roce_tx[a.node][src_nic]);
+        let (fabric, fabric_lat) = self.fabric_path(a.node, b.node);
+        links.extend(fabric);
+        lat += fabric_lat;
         links.push(self.roce_rx[b.node][dst_nic]);
         links.push(self.pcie_nic_rx[b.node][dst_nic]);
         if b.socket != dst_nic {
@@ -736,24 +842,59 @@ impl Cluster {
     }
 
     /// A human-readable topology dump (Fig. 2 substitute).
+    ///
+    /// Renders generated topologies faithfully: the fabric tier stack with
+    /// per-tier oversubscription and the contiguous-cut bisection
+    /// bandwidth, then a node template (nodes are identical, so large
+    /// clusters show the first two and summarize the rest).
     pub fn describe(&self) -> String {
         use std::fmt::Write as _;
+        let spec = &self.spec;
+        let spn = ClusterSpec::SOCKETS_PER_NODE;
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "cluster: {} node(s), {} GPUs/node, {} NVMe drive(s)/node",
-            self.spec.nodes,
-            self.spec.gpus_per_node,
-            self.spec.nvme_layout.len()
+            "cluster: {} node(s), {} GPUs/node ({} GPUs total), {} NVMe drive(s)/node",
+            spec.nodes,
+            spec.gpus_per_node,
+            spec.total_gpus(),
+            spec.nvme_layout.len()
         );
-        for n in 0..self.spec.nodes {
+        if spec.fabric.is_flat() {
+            let _ = writeln!(
+                out,
+                "fabric: single non-blocking switch, RoCE {:.1} GBps/dir/NIC",
+                spec.bw.roce_dir / 1e9
+            );
+        } else {
+            for (t, tier) in spec.fabric.tiers.iter().enumerate() {
+                let nic_aggregate = (tier.nodes_per_group * spn) as f64 * spec.bw.roce_dir;
+                let _ = writeln!(
+                    out,
+                    "fabric tier {t}: {} group(s) of {} node(s), uplink {:.1} GBps/dir \
+                     ({:.2}:1 oversubscribed)",
+                    spec.fabric.groups_at(spec.nodes, t),
+                    tier.nodes_per_group,
+                    tier.up_bytes_per_s / 1e9,
+                    nic_aggregate / tier.up_bytes_per_s
+                );
+            }
+        }
+        if let Some(bisect) = self.bisection_bandwidth() {
+            let _ = writeln!(
+                out,
+                "bisection: {:.1} GBps/dir (contiguous even cut)",
+                bisect / 1e9
+            );
+        }
+        let shown = spec.nodes.min(2);
+        for n in 0..shown {
             let _ = writeln!(out, "node {n}:");
-            for s in 0..ClusterSpec::SOCKETS_PER_NODE {
-                let gpus: Vec<usize> = (0..self.spec.gpus_per_node)
-                    .filter(|g| g / self.spec.gpus_per_socket() == s)
+            for s in 0..spn {
+                let gpus: Vec<usize> = (0..spec.gpus_per_node)
+                    .filter(|g| g / spec.gpus_per_socket() == s)
                     .collect();
-                let drives: Vec<usize> = self
-                    .spec
+                let drives: Vec<usize> = spec
                     .nvme_layout
                     .iter()
                     .enumerate()
@@ -763,17 +904,20 @@ impl Cluster {
                 let _ = writeln!(
                     out,
                     "  socket {s}: DRAM {:.1} GBps | GPUs {gpus:?} | NIC {s} | NVMe {drives:?}",
-                    self.spec.bw.dram_socket / 1e9
+                    spec.bw.dram_socket / 1e9
                 );
             }
-            let _ = writeln!(
-                out,
-                "  xGMI {:.0} GBps/dir, NVLink {:.0} GBps/dir/pair, RoCE {:.1} GBps/dir/NIC",
-                self.spec.bw.xgmi_dir / 1e9,
-                self.spec.bw.nvlink_pair_dir / 1e9,
-                self.spec.bw.roce_dir / 1e9
-            );
         }
+        if spec.nodes > shown {
+            let _ = writeln!(out, "... {} more identical node(s)", spec.nodes - shown);
+        }
+        let _ = writeln!(
+            out,
+            "links: xGMI {:.0} GBps/dir, NVLink {:.0} GBps/dir/pair, RoCE {:.1} GBps/dir/NIC",
+            spec.bw.xgmi_dir / 1e9,
+            spec.bw.nvlink_pair_dir / 1e9,
+            spec.bw.roce_dir / 1e9
+        );
         out
     }
 }
@@ -991,6 +1135,119 @@ mod tests {
         assert!(d.contains("node 0"));
         assert!(d.contains("node 1"));
         assert!(d.contains("NVLink"));
+    }
+
+    fn tiered_cluster() -> Cluster {
+        // 8 nodes: 2-node leaf groups (2:1 oversubscribed) under 4-node
+        // spine halves (4:1 against each half's NIC aggregate).
+        let spec = ClusterSpec::default()
+            .with_nodes(8)
+            .with_fabric(crate::FabricSpec {
+                tiers: vec![
+                    crate::FabricTier {
+                        nodes_per_group: 2,
+                        up_bytes_per_s: 2.0 * 2.0 * 0.93 * 25e9 / 2.0,
+                        latency_s: 1e-6,
+                    },
+                    crate::FabricTier {
+                        nodes_per_group: 4,
+                        up_bytes_per_s: 4.0 * 2.0 * 0.93 * 25e9 / 4.0,
+                        latency_s: 2e-6,
+                    },
+                ],
+            });
+        Cluster::new(spec).expect("tiered spec is valid")
+    }
+
+    #[test]
+    fn flat_internode_routes_carry_no_fabric_links() {
+        let c = cluster();
+        let r = c.route(
+            MemLoc::Gpu(GpuId { node: 0, gpu: 0 }),
+            MemLoc::Gpu(GpuId { node: 1, gpu: 0 }),
+        );
+        assert!(!r
+            .links
+            .iter()
+            .any(|l| c.net().link_name(*l).starts_with("fab")));
+        assert!(c.links(0, LinkClass::Fabric).is_empty());
+    }
+
+    #[test]
+    fn tiered_routes_traverse_the_crossing_tiers() {
+        let c = tiered_cluster();
+        let names = |r: &crate::Route| -> Vec<String> {
+            r.links
+                .iter()
+                .map(|l| c.net().link_name(*l).to_string())
+                .collect()
+        };
+        // Same leaf group: no fabric hops.
+        let same = c.route(
+            MemLoc::Gpu(GpuId { node: 0, gpu: 0 }),
+            MemLoc::Gpu(GpuId { node: 1, gpu: 0 }),
+        );
+        assert!(!names(&same).iter().any(|n| n.starts_with("fab")));
+        // Cross-spine: leaf up + spine up + spine down + leaf down, in order.
+        let cross = c.route(
+            MemLoc::Gpu(GpuId { node: 0, gpu: 0 }),
+            MemLoc::Gpu(GpuId { node: 7, gpu: 0 }),
+        );
+        let fab: Vec<String> = names(&cross)
+            .into_iter()
+            .filter(|n| n.starts_with("fab"))
+            .collect();
+        assert_eq!(
+            fab,
+            ["fab0g0.up", "fab1g0.up", "fab1g1.down", "fab0g3.down"]
+        );
+        // CPU routes cross the same fabric.
+        let cpu = c.route(
+            MemLoc::Cpu(SocketId { node: 1, socket: 0 }),
+            MemLoc::Cpu(SocketId { node: 6, socket: 0 }),
+        );
+        assert!(names(&cpu).iter().any(|n| n.starts_with("fab1")));
+    }
+
+    #[test]
+    fn node_distance_follows_tiers() {
+        let c = tiered_cluster();
+        assert_eq!(c.node_distance(3, 3), 0);
+        assert_eq!(c.node_distance(0, 1), 1); // same leaf group
+        assert_eq!(c.node_distance(0, 3), 2); // differ at tier 0 only
+        assert_eq!(c.node_distance(0, 7), 3); // cross-spine
+        assert_eq!(c.locality_levels(), 4);
+        let flat = cluster();
+        assert_eq!(flat.node_distance(0, 1), 1);
+        assert_eq!(flat.locality_levels(), 2);
+    }
+
+    #[test]
+    fn bisection_narrows_with_tiers() {
+        // Flat 2-node: limited by one node's two NICs.
+        let flat = cluster();
+        assert_eq!(flat.bisection_bandwidth().unwrap(), 2.0 * 0.93 * 25e9);
+        // Tiered: the spine tier (8:1 vs the half's NIC aggregate) binds.
+        let c = tiered_cluster();
+        assert_eq!(
+            c.bisection_bandwidth().unwrap(),
+            4.0 * 2.0 * 0.93 * 25e9 / 4.0
+        );
+        // Single node: no cut.
+        let one = Cluster::new(ClusterSpec::default().with_nodes(1)).unwrap();
+        assert!(one.bisection_bandwidth().is_none());
+    }
+
+    #[test]
+    fn describe_renders_tiers_and_summarizes_nodes() {
+        let d = tiered_cluster().describe();
+        assert!(d.contains("fabric tier 0"), "{d}");
+        assert!(d.contains("fabric tier 1"), "{d}");
+        assert!(d.contains("oversubscribed"), "{d}");
+        assert!(d.contains("bisection"), "{d}");
+        assert!(d.contains("... 6 more identical node(s)"), "{d}");
+        let flat = cluster().describe();
+        assert!(flat.contains("single non-blocking switch"), "{flat}");
     }
 
     #[test]

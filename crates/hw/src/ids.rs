@@ -83,6 +83,10 @@ pub enum LinkClass {
     NvmeDev,
     /// Virtual SerDes-pair crossbar links inside each CPU's I/O die.
     IodPair,
+    /// Aggregated switch-fabric uplinks/downlinks above the NIC tier
+    /// (generated multi-tier topologies only; absent on the paper's
+    /// single-switch testbed).
+    Fabric,
 }
 
 impl LinkClass {
@@ -111,6 +115,7 @@ impl fmt::Display for LinkClass {
             LinkClass::Roce => "RoCE",
             LinkClass::NvmeDev => "NVMe-Dev",
             LinkClass::IodPair => "IOD-Pair",
+            LinkClass::Fabric => "Fabric",
         };
         f.write_str(s)
     }

@@ -32,12 +32,14 @@ mod error;
 mod ids;
 mod route;
 mod spec;
+mod topology;
 
 pub use cluster::{Cluster, IoDir, NvmeVolume};
 pub use error::HwError;
 pub use ids::{GpuId, LinkClass, NicId, NodeId, NvmeId, SerdesSet, SocketId, VolumeId};
 pub use route::{MemLoc, Route};
 pub use spec::{
-    ClusterSpec, IodModel, LatencyModel, LinkBandwidths, MemoryCapacities, NvmeDeviceModel,
-    NvmeDrivePlacement,
+    ClusterSpec, FabricSpec, FabricTier, IodModel, LatencyModel, LinkBandwidths, MemoryCapacities,
+    NvmeDeviceModel, NvmeDrivePlacement,
 };
+pub use topology::TopologySpec;

@@ -166,6 +166,105 @@ pub struct NvmeDrivePlacement {
     pub socket: usize,
 }
 
+/// One aggregation tier of the inter-node fabric.
+///
+/// A tier partitions the nodes into contiguous groups of
+/// `nodes_per_group`; traffic between nodes in *different* groups at this
+/// tier traverses the source group's shared uplink and the destination
+/// group's shared downlink (each an aggregate of `up_bytes_per_s` per
+/// direction). Tiers nest: group sizes must be non-descending and each
+/// tier's size a multiple of the previous tier's (equal sizes model two
+/// stacked aggregates over the same partition, e.g. a pod uplink under a
+/// two-pod spine).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FabricTier {
+    /// Nodes per group at this tier (contiguous node ranges).
+    pub nodes_per_group: usize,
+    /// Aggregate uplink capacity per group per direction, bytes/second.
+    pub up_bytes_per_s: f64,
+    /// Extra one-way latency per crossing of this tier, seconds.
+    pub latency_s: f64,
+}
+
+/// The inter-node switching fabric above the per-NIC RoCE uplinks.
+///
+/// An empty tier list models the paper's testbed: every NIC plugs into one
+/// non-blocking switch (the SN3700), so inter-node routes consist of the
+/// two RoCE wires only. Generated topologies (see `TopologySpec`) add one
+/// tier per oversubscribed aggregation level.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FabricSpec {
+    /// Aggregation tiers, leaf-most first.
+    pub tiers: Vec<FabricTier>,
+}
+
+impl FabricSpec {
+    /// True when no aggregation tier is modeled (paper-style flat switch).
+    pub fn is_flat(&self) -> bool {
+        self.tiers.is_empty()
+    }
+
+    /// Group index of `node` at `tier`.
+    pub fn group_of(&self, node: usize, tier: usize) -> usize {
+        node / self.tiers[tier].nodes_per_group
+    }
+
+    /// Number of groups at `tier` for a cluster of `nodes` nodes.
+    pub fn groups_at(&self, nodes: usize, tier: usize) -> usize {
+        nodes / self.tiers[tier].nodes_per_group
+    }
+
+    /// Highest tier at which `a` and `b` fall into different groups, or
+    /// `None` when they share the leaf switch (traffic between them uses
+    /// no fabric aggregate).
+    pub fn crossing_tier(&self, a: usize, b: usize) -> Option<usize> {
+        (0..self.tiers.len())
+            .rev()
+            .find(|&t| self.group_of(a, t) != self.group_of(b, t))
+    }
+
+    /// Validates tier nesting and capacities against a node count.
+    ///
+    /// # Errors
+    /// Returns a human-readable description of the first problem found.
+    pub fn validate(&self, nodes: usize) -> Result<(), String> {
+        let mut prev = 1usize;
+        for (t, tier) in self.tiers.iter().enumerate() {
+            if tier.nodes_per_group < 2 {
+                return Err(format!(
+                    "fabric tier {t}: groups need at least 2 nodes (got {})",
+                    tier.nodes_per_group
+                ));
+            }
+            if t > 0 && (tier.nodes_per_group < prev || !tier.nodes_per_group.is_multiple_of(prev))
+            {
+                return Err(format!(
+                    "fabric tier {t}: group size {} must be a non-descending multiple of the previous tier's {prev}",
+                    tier.nodes_per_group
+                ));
+            }
+            if !nodes.is_multiple_of(tier.nodes_per_group) {
+                return Err(format!(
+                    "fabric tier {t}: group size {} does not divide {nodes} nodes",
+                    tier.nodes_per_group
+                ));
+            }
+            if !tier.up_bytes_per_s.is_finite() || tier.up_bytes_per_s <= 0.0 {
+                return Err(format!(
+                    "fabric tier {t}: uplink capacity must be finite and positive"
+                ));
+            }
+            if !tier.latency_s.is_finite() || tier.latency_s < 0.0 {
+                return Err(format!(
+                    "fabric tier {t}: latency must be finite and non-negative"
+                ));
+            }
+            prev = tier.nodes_per_group;
+        }
+        Ok(())
+    }
+}
+
 /// Complete description of a cluster to simulate.
 ///
 /// [`ClusterSpec::default`] is the paper's testbed: two XE8545 nodes, four
@@ -197,6 +296,9 @@ pub struct ClusterSpec {
     pub lat: LatencyModel,
     /// Memory tier capacities.
     pub mem: MemoryCapacities,
+    /// Inter-node switching fabric above the NIC uplinks (empty = the
+    /// paper's single non-blocking switch).
+    pub fabric: FabricSpec,
 }
 
 impl Default for ClusterSpec {
@@ -214,6 +316,7 @@ impl Default for ClusterSpec {
             ],
             lat: LatencyModel::default(),
             mem: MemoryCapacities::default(),
+            fabric: FabricSpec::default(),
         }
     }
 }
@@ -232,6 +335,19 @@ impl ClusterSpec {
     /// every node).
     pub fn with_nvme_layout(mut self, layout: Vec<NvmeDrivePlacement>) -> Self {
         self.nvme_layout = layout;
+        self
+    }
+
+    /// Returns a copy with a different per-node GPU count (must stay a
+    /// multiple of [`ClusterSpec::SOCKETS_PER_NODE`]).
+    pub fn with_gpus_per_node(mut self, gpus_per_node: usize) -> Self {
+        self.gpus_per_node = gpus_per_node;
+        self
+    }
+
+    /// Returns a copy with a different inter-node fabric.
+    pub fn with_fabric(mut self, fabric: FabricSpec) -> Self {
+        self.fabric = fabric;
         self
     }
 
@@ -285,6 +401,7 @@ impl ClusterSpec {
         if bws.iter().any(|b| !b.is_finite() || *b <= 0.0) {
             return Err("all link bandwidths must be finite and positive".into());
         }
+        self.fabric.validate(self.nodes)?;
         Ok(())
     }
 }
@@ -300,7 +417,9 @@ zerosim_testkit::impl_json! {
     struct LatencyModel { nvlink_s, pcie_s, xgmi_s, roce_s }
     struct MemoryCapacities { gpu_bytes, cpu_bytes_per_node, nvme_bytes_per_drive }
     struct NvmeDrivePlacement { socket }
-    struct ClusterSpec { nodes, gpus_per_node, bw, iod, nvme_dev, nvme_layout, lat, mem }
+    struct FabricTier { nodes_per_group, up_bytes_per_s, latency_s }
+    struct FabricSpec { tiers }
+    struct ClusterSpec { nodes, gpus_per_node, bw, iod, nvme_dev, nvme_layout, lat, mem, fabric }
 }
 
 #[cfg(test)]
@@ -344,6 +463,51 @@ mod tests {
         let mut bad_bw = ClusterSpec::default();
         bad_bw.bw.roce_dir = -1.0;
         assert!(bad_bw.validate().is_err());
+    }
+
+    #[test]
+    fn fabric_validation() {
+        let tier = |npg: usize, cap: f64| FabricTier {
+            nodes_per_group: npg,
+            up_bytes_per_s: cap,
+            latency_s: 1e-6,
+        };
+        // Flat fabric is always fine.
+        assert!(FabricSpec::default().validate(7).is_ok());
+        // One tier of 4-node groups over 8 nodes.
+        let f = FabricSpec {
+            tiers: vec![tier(4, 100e9)],
+        };
+        assert!(f.validate(8).is_ok());
+        assert_eq!(f.groups_at(8, 0), 2);
+        assert_eq!(f.group_of(5, 0), 1);
+        assert_eq!(f.crossing_tier(0, 3), None);
+        assert_eq!(f.crossing_tier(0, 4), Some(0));
+        // Nested tiers: crossing tier is the highest differing one.
+        let two = FabricSpec {
+            tiers: vec![tier(2, 50e9), tier(4, 80e9)],
+        };
+        assert!(two.validate(8).is_ok());
+        assert_eq!(two.crossing_tier(0, 1), None);
+        assert_eq!(two.crossing_tier(0, 2), Some(0));
+        assert_eq!(two.crossing_tier(0, 4), Some(1));
+        // Rejections: non-dividing, non-nesting, bad capacity.
+        assert!(f.validate(6).is_err());
+        let bad_nest = FabricSpec {
+            tiers: vec![tier(4, 50e9), tier(6, 80e9)],
+        };
+        assert!(bad_nest.validate(12).is_err());
+        let bad_cap = FabricSpec {
+            tiers: vec![tier(2, -1.0)],
+        };
+        assert!(bad_cap.validate(4).is_err());
+        // ClusterSpec validation picks fabric errors up.
+        let spec = ClusterSpec::default()
+            .with_nodes(4)
+            .with_fabric(FabricSpec {
+                tiers: vec![tier(3, 10e9)],
+            });
+        assert!(spec.validate().is_err());
     }
 
     #[test]

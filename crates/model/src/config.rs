@@ -89,6 +89,38 @@ impl GptConfig {
         GptConfig::paper_model(Self::layers_for_params(target_billion))
     }
 
+    /// A wide, fixed-depth model of approximately `target_billion`
+    /// parameters: 64 layers, head dimension 128, hidden size rounded to
+    /// the nearest multiple of 128.
+    ///
+    /// The paper scales its h=2048 shape by depth, which stops being
+    /// representative at cluster scale — 72 B would need ~1380 layers,
+    /// where real models of that size (Jean-Zay's 14 B/32 B/72 B
+    /// comparison points) grow the hidden dimension at a fixed depth
+    /// instead. Sequence length and vocabulary stay at the paper's
+    /// workload values so memory/FLOP accounting remains comparable.
+    ///
+    /// # Panics
+    /// Panics if `target_billion` is not positive.
+    // Hidden sizes are a few thousand; rounded and clamped >= 128.
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    pub fn wide_model_with_params(target_billion: f64) -> Self {
+        assert!(target_billion > 0.0, "target must be positive");
+        const LAYERS: usize = 64;
+        const HEAD_DIM: usize = 128;
+        // Invert params ~= 12 L h^2 for h, then snap to the head grid.
+        let h_exact = (target_billion * 1e9 / (12.0 * LAYERS as f64)).sqrt();
+        let hidden = ((h_exact / HEAD_DIM as f64).round().max(1.0) as usize) * HEAD_DIM;
+        GptConfig {
+            num_layers: LAYERS,
+            hidden_size: hidden,
+            num_heads: hidden / HEAD_DIM,
+            seq_len: 256,
+            max_pos_embeddings: 1024,
+            vocab_size: 50257,
+        }
+    }
+
     /// Validates shape constraints.
     ///
     /// # Errors
@@ -164,6 +196,22 @@ mod tests {
                 "target {b}B got {p:.3}B ({layers} layers)"
             );
         }
+    }
+
+    #[test]
+    fn wide_models_hit_jean_zay_sizes_at_fixed_depth() {
+        for b in [14.0, 32.0, 72.0] {
+            let m = GptConfig::wide_model_with_params(b);
+            assert!(m.validate().is_ok(), "{b}B: {:?}", m.validate());
+            assert_eq!(m.num_layers, 64);
+            assert_eq!(m.hidden_size % 128, 0);
+            assert_eq!(m.hidden_size / 128, m.num_heads);
+            let p = m.num_params() / 1e9;
+            // Snapping hidden to the 128 grid costs a few percent.
+            assert!((p - b).abs() / b < 0.06, "target {b}B got {p:.2}B");
+        }
+        // The same 72 B as a paper-shaped model needs ~1380 layers.
+        assert!(GptConfig::layers_for_params(72.0) > 1300);
     }
 
     #[test]

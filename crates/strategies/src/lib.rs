@@ -53,6 +53,7 @@ mod lower;
 mod megatron;
 mod memory;
 mod options;
+mod placement;
 mod plan;
 mod registry;
 mod resilience;
@@ -65,6 +66,7 @@ pub use error::StrategyError;
 pub use lower::{lower, LoweredPlan};
 pub use memory::MemoryPlan;
 pub use options::TrainOptions;
+pub use placement::{ParallelPlacement, PlacementSpans};
 pub use plan::{IterPlan, OpId, OptimizerDevice, Phase, PhaseStage, PlanKind, PlanNode, PlanOp};
 pub use registry::StrategyRegistry;
 pub use resilience::{

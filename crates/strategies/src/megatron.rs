@@ -16,12 +16,13 @@
 #![allow(clippy::needless_range_loop)] // (r, s, t) indexing over 3-D chains reads better
 
 use zerosim_collectives::{CollectiveKind, CommGroup};
-use zerosim_hw::{GpuId, MemLoc};
+use zerosim_hw::MemLoc;
 use zerosim_model::ModelStates;
 
 use crate::builders::{IterCtx, PlanCtx};
 use crate::error::StrategyError;
 use crate::memory::MemoryPlan;
+use crate::placement::ParallelPlacement;
 use crate::plan::{IterPlan, OpId, PhaseStage};
 
 /// Microbatches per iteration for a pipeline depth of `pp` (the paper's
@@ -31,39 +32,10 @@ pub(crate) fn microbatches(pp: usize) -> usize {
     4usize.max(pp)
 }
 
-/// Decomposed parallel layout of a Megatron run.
-#[derive(Debug, Clone, Copy)]
-struct Layout {
-    tp: usize,
-    pp: usize,
-    dp: usize,
-}
-
-impl Layout {
-    fn resolve(ctx: &IterCtx<'_>, tp: usize, pp: usize) -> Result<Layout, StrategyError> {
-        let n = ctx.opts.num_gpus(ctx.cluster);
-        if tp < 1 || pp < 1 {
-            return Err(StrategyError::layout("tp and pp must be at least 1"));
-        }
-        if !n.is_multiple_of(tp * pp) {
-            return Err(StrategyError::layout(format!(
-                "tp ({tp}) × pp ({pp}) must divide the GPU count ({n})"
-            )));
-        }
-        Ok(Layout {
-            tp,
-            pp,
-            dp: n / (tp * pp),
-        })
-    }
-
-    /// GPU of (replica, stage, tp-rank) in node-major rank order: stages
-    /// are contiguous GPU ranges, so TP groups stay as node-local as the
-    /// degrees allow, and pipeline boundaries fall on node boundaries when
-    /// `tp` equals the node's GPU count.
-    fn gpu(&self, gpus: &[GpuId], replica: usize, stage: usize, t: usize) -> GpuId {
-        gpus[replica * self.tp * self.pp + stage * self.tp + t]
-    }
+/// Resolves the locality-aware `(replica, stage, tp-rank)` placement for
+/// this context's GPU set (TP innermost — see [`ParallelPlacement`]).
+fn resolve(ctx: &IterCtx<'_>, tp: usize, pp: usize) -> Result<ParallelPlacement, StrategyError> {
+    ParallelPlacement::resolve(ctx.opts.gpus(ctx.cluster), tp, pp)
 }
 
 /// Builds the memory plan for Megatron with the given degrees.
@@ -72,7 +44,7 @@ pub(crate) fn memory_plan(
     tp: usize,
     pp: usize,
 ) -> Result<MemoryPlan, StrategyError> {
-    let layout = Layout::resolve(ctx, tp, pp)?;
+    let layout = resolve(ctx, tp, pp)?;
     let mp = (layout.tp * layout.pp) as f64;
     let p = ctx.model.num_params();
     let states = ModelStates::for_params(p / mp);
@@ -119,8 +91,7 @@ pub(crate) fn plan_iteration(
     tp: usize,
     pp: usize,
 ) -> Result<IterPlan, StrategyError> {
-    let layout = Layout::resolve(ctx, tp, pp)?;
-    let gpus = ctx.opts.gpus(ctx.cluster);
+    let layout = resolve(ctx, tp, pp)?;
     let layers = ctx.model.num_layers;
     if layers < layout.pp {
         return Err(StrategyError::layout(format!(
@@ -162,9 +133,7 @@ pub(crate) fn plan_iteration(
     let prologue = p.prologue();
 
     // TP communication groups per (replica, stage).
-    let tp_group = |r: usize, s: usize| {
-        CommGroup::new((0..layout.tp).map(|t| layout.gpu(&gpus, r, s, t)).collect())
-    };
+    let tp_group = |r: usize, s: usize| CommGroup::new(layout.tp_group(r, s));
 
     // Per (replica, stage, tp-rank): last emitted op on that GPU.
     let mut chain: Vec<Vec<Vec<OpId>>> =
@@ -172,7 +141,7 @@ pub(crate) fn plan_iteration(
     for r in 0..layout.dp {
         for s in 0..layout.pp {
             for t in 0..layout.tp {
-                chain[r][s][t] = p.input_h2d(layout.gpu(&gpus, r, s, t), &[prologue]);
+                chain[r][s][t] = p.input_h2d(layout.gpu(r, s, t), &[prologue]);
             }
         }
     }
@@ -191,8 +160,8 @@ pub(crate) fn plan_iteration(
                 if let Some(prev_stage) = boundary_in.take() {
                     // Receive activations from the previous stage.
                     for t in 0..layout.tp {
-                        let src = layout.gpu(&gpus, r, s - 1, t);
-                        let dst = layout.gpu(&gpus, r, s, t);
+                        let src = layout.gpu(r, s - 1, t);
+                        let dst = layout.gpu(r, s, t);
                         chain[r][s][t] = p.transfer(
                             MemLoc::Gpu(src),
                             MemLoc::Gpu(dst),
@@ -205,7 +174,7 @@ pub(crate) fn plan_iteration(
                 }
                 for _l in 0..stage_layers(s) {
                     for t in 0..layout.tp {
-                        let g = layout.gpu(&gpus, r, s, t);
+                        let g = layout.gpu(r, s, t);
                         chain[r][s][t] = p.layer_compute(g, fwd_flops, "gemm", &[chain[r][s][t]]);
                     }
                     if layout.tp > 1 {
@@ -225,7 +194,7 @@ pub(crate) fn plan_iteration(
                 if s + 1 == layout.pp {
                     // Vocabulary projection + loss on the last stage.
                     for t in 0..layout.tp {
-                        let g = layout.gpu(&gpus, r, s, t);
+                        let g = layout.gpu(r, s, t);
                         chain[r][s][t] = p.layer_compute(g, vocab_flops, "gemm", &[chain[r][s][t]]);
                     }
                 }
@@ -245,8 +214,8 @@ pub(crate) fn plan_iteration(
                 let group = tp_group(r, s);
                 if let Some(next_stage) = boundary_grad.take() {
                     for t in 0..layout.tp {
-                        let src = layout.gpu(&gpus, r, s + 1, t);
-                        let dst = layout.gpu(&gpus, r, s, t);
+                        let src = layout.gpu(r, s + 1, t);
+                        let dst = layout.gpu(r, s, t);
                         chain[r][s][t] = p.transfer(
                             MemLoc::Gpu(src),
                             MemLoc::Gpu(dst),
@@ -264,7 +233,7 @@ pub(crate) fn plan_iteration(
                 }
                 for _l in 0..stage_layers(s) {
                     for t in 0..layout.tp {
-                        let g = layout.gpu(&gpus, r, s, t);
+                        let g = layout.gpu(r, s, t);
                         chain[r][s][t] =
                             p.layer_compute(g, 2.0 * fwd_flops, "gemm", &[chain[r][s][t]]);
                     }
@@ -292,10 +261,8 @@ pub(crate) fn plan_iteration(
     if layout.dp > 1 {
         for s in 0..layout.pp {
             for t in 0..layout.tp {
-                let ranks: Vec<GpuId> =
-                    (0..layout.dp).map(|r| layout.gpu(&gpus, r, s, t)).collect();
                 let deps: Vec<OpId> = (0..layout.dp).map(|r| chain[r][s][t]).collect();
-                let group = CommGroup::new(ranks);
+                let group = CommGroup::new(layout.dp_group(s, t));
                 // Uncapped: the raw RDMA-grade NCCL path.
                 let h = p.collective(
                     CollectiveKind::AllReduce,
@@ -316,7 +283,7 @@ pub(crate) fn plan_iteration(
     for r in 0..layout.dp {
         for s in 0..layout.pp {
             for t in 0..layout.tp {
-                let g = layout.gpu(&gpus, r, s, t);
+                let g = layout.gpu(r, s, t);
                 p.gpu_adam(g, shard, &[chain[r][s][t]]);
             }
         }

@@ -38,8 +38,14 @@ impl TrainOptions {
 
     /// Dual-node run with the paper's batch size.
     pub fn dual_node() -> Self {
+        Self::for_nodes(2)
+    }
+
+    /// Run spanning `nodes` nodes with the paper's batch size (generated
+    /// topologies go well beyond the paper's two).
+    pub fn for_nodes(nodes: usize) -> Self {
         TrainOptions {
-            nodes: 2,
+            nodes,
             ..Self::default()
         }
     }

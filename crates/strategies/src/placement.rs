@@ -1,0 +1,217 @@
+//! Locality-aware placement of DP/TP/PP process groups.
+//!
+//! On the paper's two-node testbed, "intra-node vs inter-node" was the
+//! whole placement question. Generated topologies
+//! ([`zerosim_hw::TopologySpec`]) have more levels: NVLink inside a node,
+//! the leaf switch, then one aggregate fabric tier per oversubscription
+//! level. [`ParallelPlacement`] assigns the three parallel axes against
+//! those tiers with the classic locality ordering — **TP innermost**
+//! (tightest, per-layer blocking all-reduces), **PP next** (activations
+//! only cross stage boundaries), **DP outermost** (one gradient
+//! all-reduce per step tolerates the widest spans) — and can report, for
+//! any cluster, the worst locality distance each axis actually spans.
+//! Those spans are what `planfind` prints and what the analyzer's
+//! bandwidth pass implicitly prices, because every inter-node route
+//! carries the fabric links of the tiers it crosses.
+
+use zerosim_hw::{Cluster, GpuId};
+
+use crate::error::StrategyError;
+
+/// A resolved assignment of `(replica, stage, tp-rank)` coordinates onto
+/// a GPU list, TP-innermost in locality-major (node-major) order.
+#[derive(Debug, Clone)]
+pub struct ParallelPlacement {
+    /// Tensor-parallel degree.
+    pub tp: usize,
+    /// Pipeline depth.
+    pub pp: usize,
+    /// Data-parallel replica count.
+    pub dp: usize,
+    gpus: Vec<GpuId>,
+}
+
+impl ParallelPlacement {
+    /// Places `tp × pp × dp` coordinates over `gpus` (which must be in
+    /// locality-major order — node-major is locality-major because fabric
+    /// groups are contiguous node ranges).
+    ///
+    /// # Errors
+    /// [`StrategyError::InvalidLayout`] when `tp` or `pp` is zero or
+    /// `tp × pp` does not divide the GPU count.
+    pub fn resolve(gpus: Vec<GpuId>, tp: usize, pp: usize) -> Result<Self, StrategyError> {
+        if tp < 1 || pp < 1 {
+            return Err(StrategyError::layout("tp and pp must be at least 1"));
+        }
+        let n = gpus.len();
+        if !n.is_multiple_of(tp * pp) {
+            return Err(StrategyError::layout(format!(
+                "tp ({tp}) × pp ({pp}) must divide the GPU count ({n})"
+            )));
+        }
+        Ok(ParallelPlacement {
+            tp,
+            pp,
+            dp: n / (tp * pp),
+            gpus,
+        })
+    }
+
+    /// GPU of `(replica, stage, tp-rank)`: TP ranks are adjacent, stages
+    /// are contiguous TP blocks, replicas are contiguous stage chains. TP
+    /// groups therefore stay as node-local as the degrees allow, and
+    /// pipeline/replica boundaries fall on node (and fabric-group)
+    /// boundaries whenever the inner degrees cover whole nodes.
+    pub fn gpu(&self, replica: usize, stage: usize, t: usize) -> GpuId {
+        self.gpus[replica * self.tp * self.pp + stage * self.tp + t]
+    }
+
+    /// The TP group of `(replica, stage)` in rank order.
+    pub fn tp_group(&self, replica: usize, stage: usize) -> Vec<GpuId> {
+        (0..self.tp).map(|t| self.gpu(replica, stage, t)).collect()
+    }
+
+    /// The DP group of `(stage, tp-rank)` in replica order.
+    pub fn dp_group(&self, stage: usize, t: usize) -> Vec<GpuId> {
+        (0..self.dp).map(|r| self.gpu(r, stage, t)).collect()
+    }
+
+    /// Worst locality distance each parallel axis spans on `cluster`
+    /// (see [`Cluster::node_distance`]: 0 = intra-node, 1 = leaf switch,
+    /// `2 + t` = fabric tier `t`).
+    pub fn spans(&self, cluster: &Cluster) -> PlacementSpans {
+        let span = |group: &[GpuId]| -> usize {
+            let mut worst = 0;
+            for (i, a) in group.iter().enumerate() {
+                for b in &group[i + 1..] {
+                    worst = worst.max(cluster.node_distance(a.node, b.node));
+                }
+            }
+            worst
+        };
+        let mut tp_span = 0;
+        let mut pp_span = 0;
+        let mut dp_span = 0;
+        for r in 0..self.dp {
+            for s in 0..self.pp {
+                tp_span = tp_span.max(span(&self.tp_group(r, s)));
+                if s + 1 < self.pp {
+                    // Pipeline boundary: distance between adjacent stages'
+                    // same-rank GPUs (the p2p activation path).
+                    for t in 0..self.tp {
+                        let a = self.gpu(r, s, t);
+                        let b = self.gpu(r, s + 1, t);
+                        pp_span = pp_span.max(cluster.node_distance(a.node, b.node));
+                    }
+                }
+            }
+        }
+        for s in 0..self.pp {
+            for t in 0..self.tp {
+                dp_span = dp_span.max(span(&self.dp_group(s, t)));
+            }
+        }
+        PlacementSpans {
+            tp: tp_span,
+            pp: pp_span,
+            dp: dp_span,
+        }
+    }
+}
+
+/// Worst locality distance spanned by each parallel axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlacementSpans {
+    /// Worst distance inside any tensor-parallel group.
+    pub tp: usize,
+    /// Worst distance across any pipeline-stage boundary.
+    pub pp: usize,
+    /// Worst distance inside any data-parallel group.
+    pub dp: usize,
+}
+
+impl PlacementSpans {
+    /// Human-readable name of a locality distance on `cluster`.
+    pub fn tier_name(cluster: &Cluster, distance: usize) -> String {
+        match distance {
+            0 => "intra-node".into(),
+            1 => "leaf switch".into(),
+            d => {
+                let tier = d - 2;
+                if tier < cluster.spec().fabric.tiers.len() {
+                    format!("fabric tier {tier}")
+                } else {
+                    format!("distance {d}")
+                }
+            }
+        }
+    }
+
+    /// Compact `tp@…/pp@…/dp@…` summary for reports.
+    pub fn describe(&self, cluster: &Cluster) -> String {
+        format!(
+            "tp@{} / pp@{} / dp@{}",
+            Self::tier_name(cluster, self.tp),
+            Self::tier_name(cluster, self.pp),
+            Self::tier_name(cluster, self.dp)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zerosim_hw::{Cluster, ClusterSpec, TopologySpec};
+
+    fn gpus_of(cluster: &Cluster) -> Vec<GpuId> {
+        cluster.all_gpus()
+    }
+
+    #[test]
+    fn tp_innermost_stays_node_local_when_possible() {
+        let cluster = Cluster::new(ClusterSpec::default()).unwrap();
+        let p = ParallelPlacement::resolve(gpus_of(&cluster), 4, 1).unwrap();
+        assert_eq!(p.dp, 2);
+        let spans = p.spans(&cluster);
+        // TP=4 fills a node; DP crosses the switch.
+        assert_eq!(spans.tp, 0);
+        assert_eq!(spans.dp, 1);
+    }
+
+    #[test]
+    fn pipeline_boundaries_fall_on_node_boundaries() {
+        let cluster = Cluster::new(ClusterSpec::default()).unwrap();
+        let p = ParallelPlacement::resolve(gpus_of(&cluster), 4, 2).unwrap();
+        let spans = p.spans(&cluster);
+        assert_eq!(spans.tp, 0);
+        assert_eq!(spans.pp, 1);
+        assert_eq!(spans.dp, 0); // dp=1: no span
+    }
+
+    #[test]
+    fn spans_see_fabric_tiers_on_generated_topologies() {
+        let topo = TopologySpec::FatTree {
+            racks: 2,
+            nodes_per_rack: 2,
+            oversubscription: 2.0,
+        };
+        let cluster = Cluster::new(topo.build().unwrap()).unwrap();
+        // TP=4 per node, PP=2 inside each rack, DP=2 across racks.
+        let p = ParallelPlacement::resolve(gpus_of(&cluster), 4, 2).unwrap();
+        let spans = p.spans(&cluster);
+        assert_eq!(spans.tp, 0);
+        assert_eq!(spans.pp, 1, "stages stay inside the rack");
+        assert_eq!(spans.dp, 2, "replicas cross the rack uplink");
+        assert_eq!(
+            spans.describe(&cluster),
+            "tp@intra-node / pp@leaf switch / dp@fabric tier 0"
+        );
+    }
+
+    #[test]
+    fn bad_layouts_are_rejected() {
+        let cluster = Cluster::new(ClusterSpec::default()).unwrap();
+        assert!(ParallelPlacement::resolve(gpus_of(&cluster), 3, 1).is_err());
+        assert!(ParallelPlacement::resolve(gpus_of(&cluster), 0, 1).is_err());
+    }
+}

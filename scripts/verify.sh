@@ -18,6 +18,9 @@
 #                   byte-identically to the serial run
 #   8. planlint:    static analysis (ZL001-ZL007) over the 12 golden
 #                   paper configurations; any deny-level finding fails
+#   9. planfind:    placement search smoke on a capacity-edge scenario;
+#                   asserts the >=50% static-prune floor
+#                   (BENCH_planfind.json) and width-invariant digests
 #
 # The workspace must never require network/registry access; everything
 # external was replaced by crates/testkit (see DESIGN.md, "Testing
@@ -124,6 +127,36 @@ echo "== planlint gate: golden configs must be deny-clean =="
 # and simulator-consistency checks live in tests/analyzer_lints.rs.
 cargo run --release -q -p zerosim-bench --bin planlint -- golden
 cargo test -q --test analyzer_lints
+
+echo "== planfind gate: capacity-edge search, honest pruning, width-invariant =="
+# The placement search on a single paper node at 8 B: DDP and the
+# in-HBM sharded plans cannot fit, so the static pass must prune at
+# least half the grid (the ISSUE.md floor) before any simulation runs.
+# Emits BENCH_planfind.json (enumerated/pruned/simulated + wall time).
+cargo run --release -q -p zerosim-bench --bin planfind -- \
+  --topology flat:1 --model 8 --bench BENCH_planfind.json >/dev/null
+if ! grep -qE '"prune_fraction":(0\.[5-9][0-9]*|1)\b' BENCH_planfind.json; then
+  echo "ERROR: BENCH_planfind.json prune_fraction below the 0.5 floor" >&2
+  grep -o '"prune_fraction":[0-9.]*' BENCH_planfind.json >&2 || true
+  exit 1
+fi
+echo "planfind scorecard: $(grep -o '"enumerated":[0-9]*' BENCH_planfind.json)," \
+  "$(grep -o '"pruned":[0-9]*' BENCH_planfind.json)," \
+  "$(grep -o '"simulated":[0-9]*' BENCH_planfind.json)," \
+  "$(grep -o '"wall_secs":[0-9.]*' BENCH_planfind.json)"
+# The search report must be byte-identical at any --workers width.
+cargo run --release -q -p zerosim-bench --bin planfind -- \
+  --topology flat:1 --model 8 --workers 4 --json > "$SWEEP_TMP/planfind4.json"
+cargo run --release -q -p zerosim-bench --bin planfind -- \
+  --topology flat:1 --model 8 --json > "$SWEEP_TMP/planfind1.json"
+PF1_DIGEST="$(grep -o '"digest":"[0-9a-f]*"' "$SWEEP_TMP/planfind1.json")"
+PF4_DIGEST="$(grep -o '"digest":"[0-9a-f]*"' "$SWEEP_TMP/planfind4.json")"
+if [ -z "$PF1_DIGEST" ] || [ "$PF1_DIGEST" != "$PF4_DIGEST" ]; then
+  echo "ERROR: planfind digest differs between --workers 1 and --workers 4" >&2
+  echo "  serial: $PF1_DIGEST  fanned: $PF4_DIGEST" >&2
+  exit 1
+fi
+echo "planfind digest width-invariant: $PF1_DIGEST"
 
 echo "== resilience smoke: fault matrix deterministic, goodput bounded =="
 # One small fault-matrix cell, run twice with the same seed + schedule:
