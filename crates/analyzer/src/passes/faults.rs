@@ -5,7 +5,11 @@
 //! state: restores must restore *something*, node losses must not
 //! repeat, magnitudes must be physical, and targets must exist. Events
 //! past the simulation horizon are advisory — they are legal, they just
-//! never fire.
+//! never fire. Re-degrading a link or resource that is already degraded
+//! is also advisory: scale factors are absolute with respect to nominal
+//! (not cumulative), so overlapping windows silently discard the first
+//! window's restore semantics — usually a sign two sampled windows
+//! should have been merged.
 
 use std::collections::HashSet;
 
@@ -81,8 +85,18 @@ impl Pass for FaultSchedulePass {
                              connectivity"
                                 .to_string(),
                         );
-                    } else {
-                        faulted_links.insert(link.index());
+                    } else if !faulted_links.insert(link.index()) {
+                        sink.report_at_most(
+                            LintCode::FaultSchedule,
+                            Severity::Warning,
+                            site,
+                            format!(
+                                "re-caps link {} that is already degraded (overlapping windows)",
+                                link.index()
+                            ),
+                            "capacities are absolute, not cumulative; merge the windows"
+                                .to_string(),
+                        );
                     }
                 }
                 FaultKind::ScaleLink { link, factor } => {
@@ -100,8 +114,18 @@ impl Pass for FaultSchedulePass {
                             format!("non-physical link scale factor {factor}"),
                             "factors must be finite and positive".to_string(),
                         );
-                    } else {
-                        faulted_links.insert(link.index());
+                    } else if !faulted_links.insert(link.index()) {
+                        sink.report_at_most(
+                            LintCode::FaultSchedule,
+                            Severity::Warning,
+                            site,
+                            format!(
+                                "re-degrades link {} that is already degraded \
+                                 (overlapping windows)",
+                                link.index()
+                            ),
+                            "factors are absolute, not cumulative; merge the windows".to_string(),
+                        );
                     }
                 }
                 FaultKind::RestoreLink { link } => {
@@ -137,8 +161,17 @@ impl Pass for FaultSchedulePass {
                             format!("non-physical resource factor {factor}"),
                             "factors must be finite and positive".to_string(),
                         );
-                    } else {
-                        slowed_resources.insert(*resource);
+                    } else if !slowed_resources.insert(*resource) {
+                        sink.report_at_most(
+                            LintCode::FaultSchedule,
+                            Severity::Warning,
+                            site,
+                            format!(
+                                "re-slows resource {resource} that is already slowed \
+                                 (overlapping windows)"
+                            ),
+                            "factors are absolute, not cumulative; merge the windows".to_string(),
+                        );
                     }
                 }
                 FaultKind::RestoreResource { resource } => {
@@ -266,6 +299,53 @@ mod tests {
         assert!(r.diagnostics[0].message.contains("lost twice"));
         assert!(r.diagnostics[1].message.contains("scale factor"));
         assert!(r.diagnostics[2].message.contains("unknown resource"));
+    }
+
+    #[test]
+    fn overlapping_degradation_warns() {
+        let c = Cluster::new(ClusterSpec::default()).unwrap();
+        let s = FaultSchedule::new(7)
+            .at(
+                1.0,
+                FaultKind::ScaleLink {
+                    link: link(&c),
+                    factor: 0.5,
+                },
+            )
+            .at(
+                2.0,
+                FaultKind::ScaleLink {
+                    link: link(&c),
+                    factor: 0.25,
+                },
+            )
+            .at(3.0, FaultKind::RestoreLink { link: link(&c) })
+            .at(
+                1.0,
+                FaultKind::SlowResource {
+                    resource: 0,
+                    factor: 0.5,
+                },
+            )
+            .at(
+                2.0,
+                FaultKind::SlowResource {
+                    resource: 0,
+                    factor: 0.7,
+                },
+            );
+        let r = run(&s, None);
+        assert!(r.is_clean(), "{}", r.render_text());
+        assert_eq!(r.warning_count(), 2);
+        assert!(r.diagnostics[0].message.contains("re-degrades link"));
+        assert!(r.diagnostics[1].message.contains("re-slows resource 0"));
+        // Sequential (restore-separated) windows on the same target are fine.
+        let sequential = FaultSchedule::new(7)
+            .degrade_window(link(&c), 1.0, 0.5, 1.0)
+            .degrade_window(link(&c), 5.0, 0.5, 1.0);
+        let r = run(&sequential, Some(10.0));
+        assert!(r.is_clean());
+        assert_eq!(r.warning_count(), 0);
     }
 
     #[test]

@@ -1,0 +1,265 @@
+//! `fleetplan` — resilience-economics search: rank (strategy ×
+//! placement × checkpoint interval) by dollars-to-train under a fleet
+//! failure rate (the CLI front end of [`zerosim_core::fleet_search`]).
+//!
+//! Usage:
+//!
+//! ```text
+//! fleetplan [--topology SPEC] [--model B | --model wide:B] [--rate L]
+//!           [--days T] [--tokens N] [--workers N] [--top N]
+//!           [--samples N] [--json] [--bench PATH]
+//! ```
+//!
+//! * `--topology SPEC` — the fleet shape: `paper` (default), `flat:<nodes>`,
+//!   `fat-tree:<racks>x<nodes_per_rack>:<oversub>`, or
+//!   `pods:<pods>x<islands>x<gpus>:<pod_oversub>:<spine_oversub>`.
+//! * `--model B` — paper-shaped model of `B` billion parameters;
+//!   `--model wide:B` uses the fixed-depth wide shape.
+//! * `--rate L` — aggregate failures per node per day (default 0.05);
+//!   `0` reduces the ranking to healthy cost-to-train.
+//! * `--days T` — training deadline; configurations that cannot finish
+//!   in `T` days rank last and are flagged.
+//! * `--tokens N` — training tokens (default Chinchilla 20/parameter).
+//! * `--workers N` — simulation fan-out; results are byte-identical at
+//!   any width (only wall-clock changes).
+//! * `--top N` — placements costed in full from the throughput ranking
+//!   (default 4).
+//! * `--samples N` — Monte-Carlo samples per Young/Daly validation
+//!   ensemble in the `--bench` scorecard (default 32).
+//! * `--json` — machine-readable report instead of text.
+//! * `--bench PATH` — also write a `BENCH_fleet.json` scorecard: the
+//!   costed ranking plus the Young/Daly bracket validation on the three
+//!   golden configurations, with width-invariant digests.
+//!
+//! Exit status: 0 on success, 1 when the search fails, 2 on usage errors.
+
+use std::time::Instant;
+
+use zerosim_bench::experiments::fleet::{golden_brackets, ENSEMBLE_SEED};
+use zerosim_core::{fleet_search, FleetCostConfig, FleetReport, YoungDalyBracket};
+use zerosim_hw::TopologySpec;
+use zerosim_model::GptConfig;
+use zerosim_testkit::json::Json;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: fleetplan [--topology SPEC] [--model B|wide:B] [--rate L] [--days T] \
+         [--tokens N] [--workers N] [--top N] [--samples N] [--json] [--bench PATH]"
+    );
+    eprintln!("topologies: paper | flat:<nodes> | fat-tree:<racks>x<npr>:<over> |");
+    eprintln!("            pods:<pods>x<islands>x<gpus>:<pod_over>:<spine_over>");
+    std::process::exit(2);
+}
+
+fn take_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let pos = args.iter().position(|a| a == flag)?;
+    if pos + 1 >= args.len() {
+        eprintln!("{flag} needs an argument");
+        std::process::exit(2);
+    }
+    let value = args.remove(pos + 1);
+    args.remove(pos);
+    Some(value)
+}
+
+fn parse_or_exit<T: std::str::FromStr>(raw: Option<String>, flag: &str, default: T) -> T
+where
+    T::Err: std::fmt::Display,
+{
+    match raw {
+        Some(raw) => match raw.parse() {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("{flag}: {e}");
+                std::process::exit(2);
+            }
+        },
+        None => default,
+    }
+}
+
+fn parse_model(raw: &str) -> GptConfig {
+    let (wide, digits) = match raw.strip_prefix("wide:") {
+        Some(rest) => (true, rest),
+        None => (false, raw),
+    };
+    let billions: f64 = match digits.parse() {
+        Ok(b) if b > 0.0 => b,
+        _ => {
+            eprintln!("--model: expected a positive size in billions, got {raw:?}");
+            std::process::exit(2);
+        }
+    };
+    if wide {
+        GptConfig::wide_model_with_params(billions)
+    } else {
+        GptConfig::paper_model_with_params(billions)
+    }
+}
+
+fn report_json(report: &FleetReport) -> Json {
+    let candidates: Vec<Json> = report
+        .candidates
+        .iter()
+        .map(|c| {
+            Json::Obj(vec![
+                ("strategy".into(), Json::Str(c.strategy_name.clone())),
+                ("placement".into(), Json::Str(c.placement.clone())),
+                ("throughput_tflops".into(), Json::Num(c.throughput_tflops)),
+                ("ckpt_cost_s".into(), Json::Num(c.ckpt_cost_s)),
+                ("interval_s".into(), Json::Num(c.interval_s)),
+                ("interval_iters".into(), Json::Num(c.interval_iters as f64)),
+                ("waste_fraction".into(), Json::Num(c.waste_fraction)),
+                ("goodput_tflops".into(), Json::Num(c.goodput_tflops)),
+                ("train_days".into(), Json::Num(c.train_days)),
+                ("capital_usd".into(), Json::Num(c.capital_usd)),
+                ("energy_usd".into(), Json::Num(c.energy_usd)),
+                ("dollars_to_train".into(), Json::Num(c.dollars_to_train)),
+                ("feasible".into(), Json::Bool(c.feasible)),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("topology".into(), Json::Str(report.topology.clone())),
+        (
+            "model_billions".into(),
+            Json::Num(report.model_params / 1e9),
+        ),
+        (
+            "rate_per_node_day".into(),
+            Json::Num(report.rate_per_node_day),
+        ),
+        ("tokens".into(), Json::Num(report.tokens)),
+        (
+            "deadline_days".into(),
+            report.deadline_days.map_or(Json::Null, Json::Num),
+        ),
+        (
+            "search_digest".into(),
+            Json::Str(format!("{:016x}", report.search_digest)),
+        ),
+        (
+            "digest".into(),
+            Json::Str(format!("{:016x}", report.digest())),
+        ),
+        ("candidates".into(), Json::Arr(candidates)),
+    ])
+}
+
+fn bracket_json(name: &str, b: &YoungDalyBracket) -> Json {
+    let point = |p: &zerosim_core::BracketPoint| {
+        Json::Obj(vec![
+            ("interval_iters".into(), Json::Num(p.interval_iters as f64)),
+            (
+                "mean_goodput_tflops".into(),
+                Json::Num(p.mean_goodput_tflops),
+            ),
+            ("failed".into(), Json::Num(p.failed as f64)),
+            ("digest".into(), Json::Str(format!("{:016x}", p.digest))),
+        ])
+    };
+    Json::Obj(vec![
+        ("config".into(), Json::Str(name.into())),
+        ("ckpt_cost_s".into(), Json::Num(b.ckpt_cost_s)),
+        ("mtbf_s".into(), Json::Num(b.mtbf_s)),
+        ("interval_s".into(), Json::Num(b.interval_s)),
+        ("half".into(), point(&b.half)),
+        ("opt".into(), point(&b.opt)),
+        ("double".into(), point(&b.double)),
+        ("yd_win".into(), Json::Bool(b.yd_wins())),
+        ("digest".into(), Json::Str(format!("{:016x}", b.digest()))),
+    ])
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        usage();
+    }
+    let mut json = false;
+    if let Some(pos) = args.iter().position(|a| a == "--json") {
+        args.remove(pos);
+        json = true;
+    }
+    let topology = match take_value(&mut args, "--topology") {
+        Some(raw) => match TopologySpec::parse(&raw) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("--topology {raw}: {e}");
+                std::process::exit(2);
+            }
+        },
+        None => TopologySpec::default(),
+    };
+    let model = parse_model(&take_value(&mut args, "--model").unwrap_or_else(|| "1.4".into()));
+    let rate: f64 = parse_or_exit(take_value(&mut args, "--rate"), "--rate", 0.05);
+    if !(rate.is_finite() && rate >= 0.0) {
+        eprintln!("--rate: expected a non-negative failure rate, got {rate}");
+        std::process::exit(2);
+    }
+    let days: Option<f64> =
+        take_value(&mut args, "--days").map(|raw| parse_or_exit(Some(raw), "--days", f64::NAN));
+    let tokens: Option<f64> =
+        take_value(&mut args, "--tokens").map(|raw| parse_or_exit(Some(raw), "--tokens", f64::NAN));
+    let workers: usize = parse_or_exit(take_value(&mut args, "--workers"), "--workers", 1);
+    let top: usize = parse_or_exit(take_value(&mut args, "--top"), "--top", 4);
+    let samples: usize = parse_or_exit(take_value(&mut args, "--samples"), "--samples", 32);
+    let bench_path = take_value(&mut args, "--bench");
+    if !args.is_empty() {
+        eprintln!("unexpected arguments: {args:?}");
+        usage();
+    }
+
+    let mut cfg = FleetCostConfig::new(topology, model, rate)
+        .with_workers(workers)
+        .with_top(top);
+    cfg.deadline_days = days;
+    cfg.tokens = tokens;
+    let t0 = Instant::now();
+    let report = match fleet_search(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("fleetplan: {e}");
+            std::process::exit(1);
+        }
+    };
+    let wall_secs = t0.elapsed().as_secs_f64();
+
+    if json {
+        println!("{}", report_json(&report).render());
+    } else {
+        print!("{}", report.render_text());
+        eprintln!("[search completed in {wall_secs:.2}s at {workers} worker(s)]");
+    }
+    if let Some(path) = bench_path {
+        // The scorecard adds the Young/Daly validation brackets on the
+        // three golden configurations — the expensive Monte-Carlo stage,
+        // run only when a scorecard is requested.
+        let brackets = golden_brackets(samples, workers);
+        let mut ensemble_digest = 0x424e_4348u64; // "BNCH"
+        for (_, b) in &brackets {
+            ensemble_digest = ensemble_digest.rotate_left(17) ^ b.digest();
+        }
+        let scorecard = Json::Obj(vec![
+            ("report".into(), report_json(&report)),
+            (
+                "brackets".into(),
+                Json::Arr(
+                    brackets
+                        .iter()
+                        .map(|(name, b)| bracket_json(name, b))
+                        .collect(),
+                ),
+            ),
+            ("samples".into(), Json::Num(samples as f64)),
+            ("seed".into(), Json::Num(ENSEMBLE_SEED as f64)),
+            (
+                "ensemble_digest".into(),
+                Json::Str(format!("{ensemble_digest:016x}")),
+            ),
+            ("wall_secs".into(), Json::Num(wall_secs)),
+        ]);
+        std::fs::write(&path, scorecard.render()).expect("write bench scorecard");
+        eprintln!("[scorecard written to {path}]");
+    }
+}

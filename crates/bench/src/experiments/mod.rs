@@ -2,6 +2,7 @@
 //! figure as text.
 
 pub mod extensions;
+pub mod fleet;
 pub mod micro;
 pub mod offload;
 pub mod resilience;

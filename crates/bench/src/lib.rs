@@ -10,8 +10,8 @@ pub mod data;
 pub mod experiments;
 
 /// All artifact ids: the paper's tables and figures in paper order,
-/// followed by the extension studies (`ext1`–`ext12`).
-pub const ARTIFACTS: [&str; 32] = [
+/// followed by the extension studies (`ext1`–`ext13`).
+pub const ARTIFACTS: [&str; 33] = [
     "fig1",
     "fig2",
     "table1",
@@ -43,6 +43,7 @@ pub const ARTIFACTS: [&str; 32] = [
     "ext10",
     "ext11",
     "ext12",
+    "ext13",
     "scorecard",
 ];
 
@@ -59,7 +60,7 @@ pub fn render_with(id: &str, workers: usize) -> String {
 /// # Panics
 /// Panics on an unknown id (the `repro` binary validates first).
 pub fn render(id: &str) -> String {
-    use experiments::{extensions, micro, offload, resilience, scorecard, setup, train};
+    use experiments::{extensions, fleet, micro, offload, resilience, scorecard, setup, train};
     match id {
         "fig1" => setup::fig1(),
         "fig2" => setup::fig2(),
@@ -92,6 +93,7 @@ pub fn render(id: &str) -> String {
         "ext10" => extensions::ext10_hidden_size(),
         "ext11" => resilience::goodput_table(),
         "ext12" => extensions::ext12_jean_zay_scale(),
+        "ext13" => fleet::ext13_fleet_economics(),
         "scorecard" => scorecard::scorecard(),
         other => panic!("unknown artifact id {other:?}"),
     }

@@ -7,7 +7,8 @@ use zerosim_hw::{Cluster, ClusterSpec, LinkClass};
 use zerosim_model::GptConfig;
 use zerosim_simkit::{BandwidthRecorder, Dag, DagEngine, EngineMode, FlowObserver, SimTime};
 use zerosim_strategies::{
-    lower, plan_checkpoint, plan_restore, Calibration, IterCtx, StrategyPlan, TrainOptions,
+    lower, plan_checkpoint, plan_restore, Calibration, CheckpointSink, IterCtx, StrategyPlan,
+    TrainOptions,
 };
 
 use crate::error::CoreError;
@@ -268,6 +269,39 @@ impl TrainingSim {
     /// nominal capacity, so the same simulator can run further
     /// characterizations; the faults belong to the run, not the cluster.
     ///
+    /// Measures the cost of one checkpoint snapshot on this cluster: the
+    /// makespan (seconds) of the strategy-independent `plan_checkpoint`
+    /// state-movement plan for `model` under `opts`, executed on an
+    /// otherwise idle network. This is the `C` that drives Young/Daly
+    /// interval selection in [`crate::fleet`] — measured from the same
+    /// lowered DAG [`TrainingSim::run_resilient`] replays at every
+    /// checkpoint, not estimated from bandwidth math.
+    ///
+    /// # Errors
+    /// [`CoreError::InvalidConfig`] when the checkpoint plan does not
+    /// validate against the cluster (e.g. an NVMe sink whose volumes do
+    /// not exist); [`CoreError::Sim`] if the DAG cannot execute.
+    pub fn checkpoint_cost(
+        &mut self,
+        model: &GptConfig,
+        opts: &TrainOptions,
+        sink: &CheckpointSink,
+    ) -> Result<f64, CoreError> {
+        let ctx = IterCtx {
+            cluster: &self.cluster,
+            model,
+            opts,
+            calib: &self.calib,
+        };
+        let save = plan_checkpoint(&ctx, sink);
+        save.validate(&self.cluster)?;
+        let dag = lower(&save, &self.cluster, &self.calib)?.into_dag();
+        let mut engine = DagEngine::new(self.cluster.resource_slots());
+        engine.set_mode(self.engine_mode);
+        let out = engine.run(self.cluster.net_mut(), &dag, SimTime::ZERO, None)?;
+        Ok(out.makespan().as_secs())
+    }
+
     /// # Errors
     /// Everything [`TrainingSim::run`] returns, plus
     /// [`CoreError::RecoveryExhausted`] when node losses outrun the

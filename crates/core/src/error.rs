@@ -21,6 +21,10 @@ pub enum CoreError {
     },
     /// The cluster specification was invalid.
     BadCluster(String),
+    /// A fault scenario did not resolve against the cluster (unknown
+    /// node/GPU, non-physical factor, invalid time). See
+    /// [`crate::FaultScenario::try_compile`].
+    BadScenario(String),
     /// The strategy rejected the training configuration (bad parallel
     /// layout, state placement violating Table I, invalid plan).
     InvalidConfig(StrategyError),
@@ -49,6 +53,7 @@ impl fmt::Display for CoreError {
                 requested / 1e9
             ),
             CoreError::BadCluster(msg) => write!(f, "invalid cluster: {msg}"),
+            CoreError::BadScenario(msg) => write!(f, "invalid fault scenario: {msg}"),
             CoreError::InvalidConfig(e) => write!(f, "invalid configuration: {e}"),
             CoreError::RecoveryExhausted { budget } => write!(
                 f,
@@ -99,6 +104,9 @@ mod tests {
         let s = CoreError::Sim(SimError::Deadlock { pending: 1 });
         assert!(Error::source(&s).is_some());
         assert!(CoreError::BadCluster("x".into()).to_string().contains("x"));
+        assert!(CoreError::BadScenario("node 9".into())
+            .to_string()
+            .contains("fault scenario: node 9"));
         let c = CoreError::from(StrategyError::layout("tp=3"));
         assert!(c.to_string().contains("tp=3"));
         assert!(Error::source(&c).is_some());

@@ -8,9 +8,13 @@
 //! ([`RecoveryPolicy`] + [`CheckpointSink`]) consumed by
 //! [`crate::TrainingSim::run_resilient`].
 
+use std::borrow::Cow;
+
 use zerosim_hw::{Cluster, GpuId, LinkClass};
 use zerosim_simkit::{FaultKind, FaultSchedule};
 use zerosim_strategies::{CheckpointSink, RecoveryPolicy};
+
+use crate::error::CoreError;
 
 /// Everything a resilient run needs besides the training configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -116,23 +120,61 @@ pub enum FaultScenario {
 
 impl FaultScenario {
     /// Short display label for tables.
-    pub fn label(&self) -> String {
+    ///
+    /// Fixed scenarios borrow a static string; only the parameterized
+    /// variants allocate, so ensemble sweeps that label thousands of
+    /// healthy/loss samples stop churning the allocator.
+    pub fn label(&self) -> Cow<'static, str> {
         match self {
-            FaultScenario::Healthy => "healthy".into(),
+            FaultScenario::Healthy => Cow::Borrowed("healthy"),
             FaultScenario::DegradeClass { class, factor, .. } => {
-                format!("{class}@{:.0}%", factor * 100.0)
+                Cow::Owned(format!("{class}@{:.0}%", factor * 100.0))
             }
             FaultScenario::Straggler { factor, .. } => {
-                format!("straggler {factor:.1}x")
+                Cow::Owned(format!("straggler {factor:.1}x"))
             }
-            FaultScenario::NvmeStall { .. } => "nvme stall".into(),
-            FaultScenario::NodeLoss { .. } => "node loss".into(),
+            FaultScenario::NvmeStall { .. } => Cow::Borrowed("nvme stall"),
+            FaultScenario::NodeLoss { .. } => Cow::Borrowed("node loss"),
         }
     }
 
     /// Compiles the scenario against `cluster` into a seed-stamped
     /// [`FaultSchedule`] of raw link/resource events.
+    ///
+    /// # Panics
+    /// Panics when the scenario does not resolve against the cluster (bad
+    /// node/GPU index, non-physical factor, invalid times). Use
+    /// [`FaultScenario::try_compile`] for scenarios built from external
+    /// input.
     pub fn compile(&self, cluster: &Cluster, seed: u64) -> FaultSchedule {
+        match self.try_compile(cluster, seed) {
+            Ok(s) => s,
+            Err(e) => panic!("FaultScenario::compile: {e}"),
+        }
+    }
+
+    /// Fallible variant of [`FaultScenario::compile`]: validates node and
+    /// GPU indices against the cluster shape and factors/times for
+    /// physicality, returning [`CoreError::BadScenario`] instead of
+    /// panicking or silently compiling to nothing.
+    pub fn try_compile(&self, cluster: &Cluster, seed: u64) -> Result<FaultSchedule, CoreError> {
+        let nodes = cluster.spec().nodes;
+        let check_node = |node: usize| -> Result<(), CoreError> {
+            if node >= nodes {
+                return Err(CoreError::BadScenario(format!(
+                    "node {node} out of range (cluster has {nodes} nodes)"
+                )));
+            }
+            Ok(())
+        };
+        let check_factor = |factor: f64| -> Result<(), CoreError> {
+            if !(factor.is_finite() && factor > 0.0) {
+                return Err(CoreError::BadScenario(format!(
+                    "factor must be finite and positive, got {factor}"
+                )));
+            }
+            Ok(())
+        };
         let mut s = FaultSchedule::new(seed);
         match self {
             FaultScenario::Healthy => {}
@@ -143,27 +185,38 @@ impl FaultScenario {
                 at_s,
                 dur_s,
             } => {
+                check_node(*node)?;
+                check_factor(*factor)?;
                 for &link in cluster.links(*node, *class) {
-                    s = s.at(
+                    s = s.try_at(
                         *at_s,
                         FaultKind::ScaleLink {
                             link,
                             factor: *factor,
                         },
-                    );
+                    )?;
                     if let Some(dur) = dur_s {
-                        s = s.at(*at_s + *dur, FaultKind::RestoreLink { link });
+                        s = s.try_at(*at_s + *dur, FaultKind::RestoreLink { link })?;
                     }
                 }
             }
             FaultScenario::Straggler { gpu, factor, at_s } => {
-                s = s.at(
+                check_node(gpu.node)?;
+                check_factor(*factor)?;
+                let gpn = cluster.spec().gpus_per_node;
+                if gpu.gpu >= gpn {
+                    return Err(CoreError::BadScenario(format!(
+                        "gpu {} out of range (node has {gpn} GPUs)",
+                        gpu.gpu
+                    )));
+                }
+                s = s.try_at(
                     *at_s,
                     FaultKind::SlowResource {
                         resource: cluster.gpu_resource(*gpu).0,
                         factor: *factor,
                     },
-                );
+                )?;
             }
             FaultScenario::NvmeStall {
                 node,
@@ -171,22 +224,25 @@ impl FaultScenario {
                 at_s,
                 dur_s,
             } => {
+                check_node(*node)?;
+                check_factor(*factor)?;
                 for &link in cluster.links(*node, LinkClass::NvmeDev) {
-                    s = s.at(
+                    s = s.try_at(
                         *at_s,
                         FaultKind::ScaleLink {
                             link,
                             factor: *factor,
                         },
-                    );
-                    s = s.at(*at_s + *dur_s, FaultKind::RestoreLink { link });
+                    )?;
+                    s = s.try_at(*at_s + *dur_s, FaultKind::RestoreLink { link })?;
                 }
             }
             FaultScenario::NodeLoss { node, at_s } => {
-                s = s.at(*at_s, FaultKind::NodeLoss { node: *node });
+                check_node(*node)?;
+                s = s.try_at(*at_s, FaultKind::NodeLoss { node: *node })?;
             }
         }
-        s
+        Ok(s)
     }
 }
 
@@ -259,5 +315,63 @@ mod tests {
         assert!(FaultScenario::NodeLoss { node: 0, at_s: 1.0 }
             .label()
             .contains("node loss"));
+        assert!(matches!(FaultScenario::Healthy.label(), Cow::Borrowed(_)));
+    }
+
+    #[test]
+    fn try_compile_rejects_bad_scenarios() {
+        let c = cluster();
+        let nodes = c.spec().nodes;
+        let bad_node = FaultScenario::NodeLoss {
+            node: nodes,
+            at_s: 1.0,
+        };
+        assert!(matches!(
+            bad_node.try_compile(&c, 0),
+            Err(CoreError::BadScenario(_))
+        ));
+        let bad_gpu = FaultScenario::Straggler {
+            gpu: GpuId {
+                node: 0,
+                gpu: c.spec().gpus_per_node,
+            },
+            factor: 0.5,
+            at_s: 0.0,
+        };
+        assert!(matches!(
+            bad_gpu.try_compile(&c, 0),
+            Err(CoreError::BadScenario(_))
+        ));
+        let bad_factor = FaultScenario::DegradeClass {
+            node: 0,
+            class: LinkClass::Roce,
+            factor: 0.0,
+            at_s: 0.0,
+            dur_s: None,
+        };
+        assert!(matches!(
+            bad_factor.try_compile(&c, 0),
+            Err(CoreError::BadScenario(_))
+        ));
+        let bad_time = FaultScenario::NodeLoss {
+            node: 0,
+            at_s: -1.0,
+        };
+        assert!(matches!(
+            bad_time.try_compile(&c, 0),
+            Err(CoreError::BadScenario(_)) | Err(CoreError::Sim(_))
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "FaultScenario::compile")]
+    fn compile_panics_on_unknown_node() {
+        let c = cluster();
+        let nodes = c.spec().nodes;
+        let _ = FaultScenario::NodeLoss {
+            node: nodes + 3,
+            at_s: 1.0,
+        }
+        .compile(&c, 0);
     }
 }

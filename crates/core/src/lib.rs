@@ -41,6 +41,7 @@ mod energy;
 mod engine;
 mod error;
 mod faults;
+mod fleet;
 mod report;
 mod search;
 mod sweep;
@@ -53,6 +54,12 @@ pub use energy::{EnergyReport, PowerModel};
 pub use engine::{RunConfig, TrainingSim};
 pub use error::CoreError;
 pub use faults::{FaultConfig, FaultScenario};
+pub use fleet::{
+    daly_interval_s, fleet_search, interval_iters, run_ensemble, waste_fraction,
+    young_daly_bracket, young_interval_s, BracketPoint, ComponentHazard, EnsembleConfig,
+    EnsembleReport, EnsembleStats, FleetCandidate, FleetCostConfig, FleetProfile, FleetReport,
+    HazardDist, YoungDalyBracket,
+};
 pub use report::{BandwidthReport, HotLink, ResilienceMetrics, TrainingReport};
 pub use search::{search_plans, CandidateOutcome, PlanCandidate, SearchConfig, SearchReport};
 pub use sweep::{SweepRun, SweepRunner, SweepSpec};

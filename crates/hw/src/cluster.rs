@@ -84,6 +84,10 @@ pub struct Cluster {
     /// Per-(node, class) link groups for reporting.
     class_links: HashMap<(usize, LinkClass), Vec<LinkId>>,
     volumes: Vec<NvmeVolume>,
+    /// Lazily rendered [`Cluster::describe`] text. The topology is fixed at
+    /// construction, so the dump is rendered once and borrowed thereafter
+    /// (fleet ensembles call `describe` per sample).
+    describe_cache: std::sync::OnceLock<String>,
 }
 
 impl Cluster {
@@ -290,6 +294,7 @@ impl Cluster {
             fabric_down,
             class_links,
             volumes: Vec::new(),
+            describe_cache: std::sync::OnceLock::new(),
         })
     }
 
@@ -847,7 +852,14 @@ impl Cluster {
     /// per-tier oversubscription and the contiguous-cut bisection
     /// bandwidth, then a node template (nodes are identical, so large
     /// clusters show the first two and summarize the rest).
-    pub fn describe(&self) -> String {
+    ///
+    /// The topology cannot change after construction, so the dump is
+    /// rendered once per cluster and cached; repeated calls borrow it.
+    pub fn describe(&self) -> &str {
+        self.describe_cache.get_or_init(|| self.render_describe())
+    }
+
+    fn render_describe(&self) -> String {
         use std::fmt::Write as _;
         let spec = &self.spec;
         let spn = ClusterSpec::SOCKETS_PER_NODE;
@@ -1137,6 +1149,14 @@ mod tests {
         assert!(d.contains("NVLink"));
     }
 
+    #[test]
+    fn describe_is_rendered_once_and_borrowed() {
+        let c = cluster();
+        let first: *const str = c.describe();
+        let second: *const str = c.describe();
+        assert!(std::ptr::eq(first, second));
+    }
+
     fn tiered_cluster() -> Cluster {
         // 8 nodes: 2-node leaf groups (2:1 oversubscribed) under 4-node
         // spine halves (4:1 against each half's NIC aggregate).
@@ -1240,13 +1260,15 @@ mod tests {
 
     #[test]
     fn describe_renders_tiers_and_summarizes_nodes() {
-        let d = tiered_cluster().describe();
+        let tiered = tiered_cluster();
+        let d = tiered.describe();
         assert!(d.contains("fabric tier 0"), "{d}");
         assert!(d.contains("fabric tier 1"), "{d}");
         assert!(d.contains("oversubscribed"), "{d}");
         assert!(d.contains("bisection"), "{d}");
         assert!(d.contains("... 6 more identical node(s)"), "{d}");
-        let flat = cluster().describe();
+        let flat_cluster = cluster();
+        let flat = flat_cluster.describe();
         assert!(flat.contains("single non-blocking switch"), "{flat}");
     }
 

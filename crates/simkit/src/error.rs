@@ -40,6 +40,8 @@ pub enum SimError {
         /// Index of the link being rescaled.
         link: usize,
     },
+    /// A fault event was scheduled at a negative, NaN, or infinite time.
+    BadFaultTime,
     /// A fault event used a non-finite or non-positive service-rate factor.
     BadRateFactor {
         /// Index of the resource being rescaled.
@@ -83,6 +85,9 @@ impl fmt::Display for SimError {
             }
             SimError::BadCapacity { link } => {
                 write!(f, "link capacity must be finite and positive (link {link})")
+            }
+            SimError::BadFaultTime => {
+                write!(f, "fault event time must be finite and non-negative")
             }
             SimError::BadRateFactor { resource } => {
                 write!(
@@ -138,6 +143,9 @@ mod tests {
         assert!(SimError::BadRateFactor { resource: 3 }
             .to_string()
             .contains("rate factor"));
+        assert!(SimError::BadFaultTime
+            .to_string()
+            .contains("finite and non-negative"));
         let diverged = SimError::SolverDiverged {
             iterations: 10_000_000,
             component_links: 42,

@@ -15,6 +15,7 @@
 //! results. [`FaultSchedule::digest`] provides a stable fingerprint that
 //! reports can embed so two runs can be compared for equality.
 
+use crate::error::SimError;
 use crate::flow::LinkId;
 use crate::time::SimTime;
 
@@ -131,10 +132,21 @@ impl FaultSchedule {
     /// chaining.
     ///
     /// # Panics
-    /// Panics if `secs` is negative or not finite.
-    pub fn at(mut self, secs: f64, kind: FaultKind) -> Self {
-        self.push(SimTime::from_secs(secs), kind);
-        self
+    /// Panics if `secs` is negative or not finite. Use
+    /// [`FaultSchedule::try_at`] when the time comes from external input.
+    pub fn at(self, secs: f64, kind: FaultKind) -> Self {
+        match self.try_at(secs, kind) {
+            Ok(s) => s,
+            Err(_) => panic!("FaultSchedule::at: invalid event time {secs}"),
+        }
+    }
+
+    /// Fallible variant of [`FaultSchedule::at`]: rejects negative, NaN, or
+    /// infinite times with [`SimError::BadFaultTime`] instead of panicking.
+    pub fn try_at(mut self, secs: f64, kind: FaultKind) -> Result<Self, SimError> {
+        let at = SimTime::checked_from_secs(secs).ok_or(SimError::BadFaultTime)?;
+        self.push(at, kind);
+        Ok(self)
     }
 
     /// Schedules `kind` at an absolute [`SimTime`].
@@ -146,26 +158,52 @@ impl FaultSchedule {
     /// `at_secs` and is restored `down_secs` later.
     ///
     /// # Panics
-    /// Panics if either time is negative or not finite.
+    /// Panics if either time is negative or not finite. Use
+    /// [`FaultSchedule::try_flap`] for external input.
     pub fn flap(self, link: LinkId, at_secs: f64, down_secs: f64) -> Self {
-        self.at(
+        match self.try_flap(link, at_secs, down_secs) {
+            Ok(s) => s,
+            Err(_) => panic!("FaultSchedule::flap: invalid window [{at_secs}, +{down_secs}]"),
+        }
+    }
+
+    /// Fallible variant of [`FaultSchedule::flap`].
+    pub fn try_flap(self, link: LinkId, at_secs: f64, down_secs: f64) -> Result<Self, SimError> {
+        self.try_at(
             at_secs,
             FaultKind::ScaleLink {
                 link,
                 factor: FLAP_FLOOR,
             },
-        )
-        .at(at_secs + down_secs, FaultKind::RestoreLink { link })
+        )?
+        .try_at(at_secs + down_secs, FaultKind::RestoreLink { link })
     }
 
     /// Sugar: degrade `link` to `factor` × nominal at `at_secs` and restore
     /// it `dur_secs` later.
     ///
     /// # Panics
-    /// Panics if either time is negative or not finite.
+    /// Panics if either time is negative or not finite. Use
+    /// [`FaultSchedule::try_degrade_window`] for external input.
     pub fn degrade_window(self, link: LinkId, at_secs: f64, factor: f64, dur_secs: f64) -> Self {
-        self.at(at_secs, FaultKind::ScaleLink { link, factor })
-            .at(at_secs + dur_secs, FaultKind::RestoreLink { link })
+        match self.try_degrade_window(link, at_secs, factor, dur_secs) {
+            Ok(s) => s,
+            Err(_) => {
+                panic!("FaultSchedule::degrade_window: invalid window [{at_secs}, +{dur_secs}]")
+            }
+        }
+    }
+
+    /// Fallible variant of [`FaultSchedule::degrade_window`].
+    pub fn try_degrade_window(
+        self,
+        link: LinkId,
+        at_secs: f64,
+        factor: f64,
+        dur_secs: f64,
+    ) -> Result<Self, SimError> {
+        self.try_at(at_secs, FaultKind::ScaleLink { link, factor })?
+            .try_at(at_secs + dur_secs, FaultKind::RestoreLink { link })
     }
 
     /// A stable 64-bit fingerprint of the seed and every event (kind,
@@ -331,6 +369,46 @@ mod tests {
         let e = FaultSchedule::new(1).flap(link(0), 1.0, 2.0);
         assert_ne!(a.digest(), e.digest());
         assert_ne!(FaultSchedule::new(0).digest(), 0);
+    }
+
+    #[test]
+    fn try_builders_reject_bad_times() {
+        let healthy = FaultSchedule::new(0);
+        assert_eq!(
+            healthy
+                .clone()
+                .try_at(-1.0, FaultKind::RestoreLink { link: link(0) })
+                .unwrap_err(),
+            SimError::BadFaultTime
+        );
+        assert_eq!(
+            healthy
+                .clone()
+                .try_flap(link(0), f64::NAN, 1.0)
+                .unwrap_err(),
+            SimError::BadFaultTime
+        );
+        assert_eq!(
+            healthy
+                .clone()
+                .try_degrade_window(link(0), 1.0, 0.5, f64::INFINITY)
+                .unwrap_err(),
+            SimError::BadFaultTime
+        );
+        let ok = healthy.try_degrade_window(link(0), 1.0, 0.5, 2.0).unwrap();
+        assert_eq!(ok.len(), 2);
+        assert_eq!(
+            ok.digest(),
+            FaultSchedule::new(0)
+                .degrade_window(link(0), 1.0, 0.5, 2.0)
+                .digest()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid event time")]
+    fn at_panics_on_negative_time() {
+        let _ = FaultSchedule::new(0).at(-0.5, FaultKind::RestoreLink { link: link(0) });
     }
 
     #[test]

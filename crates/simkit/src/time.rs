@@ -53,14 +53,24 @@ impl SimTime {
     /// # Panics
     /// Panics if `secs` is negative or not finite.
     pub fn from_secs(secs: f64) -> Self {
-        assert!(
-            secs.is_finite() && secs >= 0.0,
-            "SimTime::from_secs: invalid duration {secs}"
-        );
-        // Asserted non-negative and finite; simulated horizons stay far
+        match Self::checked_from_secs(secs) {
+            Some(t) => t,
+            None => panic!("SimTime::from_secs: invalid duration {secs}"),
+        }
+    }
+
+    /// Fallible variant of [`SimTime::from_secs`]: returns `None` instead of
+    /// panicking when `secs` is negative, NaN, or infinite. This is the entry
+    /// point for times that originate outside the program text (CLI flags,
+    /// sampled schedules) where a panic would blame the wrong layer.
+    pub fn checked_from_secs(secs: f64) -> Option<Self> {
+        if !(secs.is_finite() && secs >= 0.0) {
+            return None;
+        }
+        // Checked non-negative and finite; simulated horizons stay far
         // below u64::MAX nanoseconds (~585 years).
         #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
-        SimTime((secs * 1e9).round() as u64)
+        Some(SimTime((secs * 1e9).round() as u64))
     }
 
     /// Raw nanosecond count.
@@ -217,5 +227,17 @@ mod tests {
     #[should_panic(expected = "invalid duration")]
     fn negative_seconds_panic() {
         let _ = SimTime::from_secs(-1.0);
+    }
+
+    #[test]
+    fn checked_from_secs_filters_bad_values() {
+        assert_eq!(
+            SimTime::checked_from_secs(1.0),
+            Some(SimTime::from_secs(1.0))
+        );
+        assert_eq!(SimTime::checked_from_secs(0.0), Some(SimTime::ZERO));
+        assert_eq!(SimTime::checked_from_secs(-1e-9), None);
+        assert_eq!(SimTime::checked_from_secs(f64::NAN), None);
+        assert_eq!(SimTime::checked_from_secs(f64::INFINITY), None);
     }
 }

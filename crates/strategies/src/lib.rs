@@ -70,7 +70,8 @@ pub use placement::{ParallelPlacement, PlacementSpans};
 pub use plan::{IterPlan, OpId, OptimizerDevice, Phase, PhaseStage, PlanKind, PlanNode, PlanOp};
 pub use registry::StrategyRegistry;
 pub use resilience::{
-    plan_checkpoint, plan_restore, snapshot_bytes_per_rank, CheckpointSink, RecoveryPolicy,
+    plan_checkpoint, plan_restore, snapshot_bytes_per_rank, snapshot_bytes_total, CheckpointSink,
+    RecoveryPolicy,
 };
 pub use zero::{InfinityPlacement, StateTier, ZeroStage};
 

@@ -97,6 +97,15 @@ pub fn snapshot_bytes_per_rank(ctx: &IterCtx<'_>) -> f64 {
     (states.params + states.optimizer) / world
 }
 
+/// Bytes a full checkpoint moves cluster-wide: every rank's shard summed
+/// back up. Independent of world size (the shards partition the durable
+/// state); the fleet layer uses it to sanity-scale measured checkpoint
+/// cost against sink bandwidth.
+pub fn snapshot_bytes_total(ctx: &IterCtx<'_>) -> f64 {
+    let world = ctx.opts.num_gpus(ctx.cluster).max(1) as f64;
+    snapshot_bytes_per_rank(ctx) * world
+}
+
 /// Builds the checkpoint-snapshot plan: every rank drains its state shard
 /// GPU→DRAM (and onward to NVMe for [`CheckpointSink::Nvme`]), joined by
 /// a final barrier so the snapshot commits atomically.
@@ -217,6 +226,8 @@ mod tests {
         let world = o.num_gpus(&c) as f64;
         let expect = 14.0 * m.num_params() / world;
         assert!((snapshot_bytes_per_rank(&ctx) - expect).abs() < 1.0);
+        // The cluster-wide total is world-size invariant.
+        assert!((snapshot_bytes_total(&ctx) - 14.0 * m.num_params()).abs() < world);
     }
 
     #[test]

@@ -21,6 +21,12 @@
 #   9. planfind:    placement search smoke on a capacity-edge scenario;
 #                   asserts the >=50% static-prune floor
 #                   (BENCH_planfind.json) and width-invariant digests
+#  10. fleetplan:   resilience-economics gate: the dollars-to-train
+#                   search on a pods fleet, plus the Young/Daly
+#                   validation scorecard (BENCH_fleet.json) — every
+#                   golden config's analytic interval must beat both the
+#                   2x and 0.5x cadence on ensemble goodput, with
+#                   digests byte-identical at --workers 1 vs 4
 #
 # The workspace must never require network/registry access; everything
 # external was replaced by crates/testkit (see DESIGN.md, "Testing
@@ -166,5 +172,37 @@ cargo test -q -p zerosim-bench straggler_cell_loses_goodput_but_stays_determinis
 # An empty schedule must not perturb a run: run_resilient == run,
 # digest-for-digest, across every golden paper configuration.
 cargo test -q --test resilience fault_free_resilient_runs_are_byte_identical_for_every_paper_config
+
+echo "== fleetplan gate: cost ranking + Young/Daly validation, width-invariant =="
+# The acceptance CLI shape: rank (strategy x placement x interval) by
+# dollars-to-train on a pods fleet under a failure rate and a deadline.
+cargo run --release -q -p zerosim-bench --bin fleetplan -- \
+  --topology pods:2x2x4:2:1.5 --model 11.4 --rate 0.1 --days 365 --json \
+  > "$SWEEP_TMP/fleetcli.json"
+if ! grep -q '"feasible":true' "$SWEEP_TMP/fleetcli.json"; then
+  echo "ERROR: fleetplan found no feasible configuration for the acceptance shape" >&2
+  exit 1
+fi
+# The scorecard: the costed ranking plus the Young/Daly brackets on the
+# three golden configs at the 32-sample Monte-Carlo floor. Every bracket
+# must show the analytic interval strictly beating both naive cadences.
+cargo run --release -q -p zerosim-bench --bin fleetplan -- \
+  --bench BENCH_fleet.json >/dev/null
+YD_WINS="$(grep -o '"yd_win":true' BENCH_fleet.json | wc -l | tr -d ' ')"
+if [ "$YD_WINS" != "3" ] || grep -q '"yd_win":false' BENCH_fleet.json; then
+  echo "ERROR: BENCH_fleet.json Young/Daly win floor violated ($YD_WINS/3)" >&2
+  exit 1
+fi
+# Ensemble and ranking digests must be byte-identical at any width.
+cargo run --release -q -p zerosim-bench --bin fleetplan -- \
+  --workers 4 --bench "$SWEEP_TMP/fleet4.json" >/dev/null
+FP1="$(grep -o '"ensemble_digest":"[0-9a-f]*"\|"digest":"[0-9a-f]*"' BENCH_fleet.json)"
+FP4="$(grep -o '"ensemble_digest":"[0-9a-f]*"\|"digest":"[0-9a-f]*"' "$SWEEP_TMP/fleet4.json")"
+if [ -z "$FP1" ] || [ "$FP1" != "$FP4" ]; then
+  echo "ERROR: fleetplan digests differ between --workers 1 and --workers 4" >&2
+  exit 1
+fi
+echo "fleetplan scorecard: $YD_WINS/3 Young/Daly wins," \
+  "$(grep -o '"ensemble_digest":"[0-9a-f]*"' BENCH_fleet.json)"
 
 echo "VERIFY OK"
