@@ -183,6 +183,8 @@ fn stage_label(stage: PhaseStage) -> &'static str {
         PhaseStage::Backward => "backward",
         PhaseStage::Step => "step",
         PhaseStage::Checkpoint => "checkpoint",
+        PhaseStage::Prefill => "prefill",
+        PhaseStage::Decode => "decode",
     }
 }
 

@@ -98,6 +98,10 @@ impl<'a> Artifacts<'a> {
 pub struct MemoryVerdict {
     /// Resident bytes on the most-loaded GPU.
     pub per_gpu_resident: f64,
+    /// Cumulative KV-cache bytes appended on the most-loaded GPU over the
+    /// plan's decode steps (serving plans; `0` for training). Residency,
+    /// not staging: it adds to the deny bound, not just the peak.
+    pub kv_growth: f64,
     /// Static peak bound on the most-loaded GPU.
     pub per_gpu_peak: f64,
     /// HBM capacity per GPU.
@@ -127,6 +131,7 @@ impl MemoryVerdict {
     pub fn to_json(&self) -> Json {
         Json::Obj(vec![
             ("per_gpu_resident".into(), Json::Num(self.per_gpu_resident)),
+            ("kv_growth".into(), Json::Num(self.kv_growth)),
             ("per_gpu_peak".into(), Json::Num(self.per_gpu_peak)),
             ("gpu_capacity".into(), Json::Num(self.gpu_capacity)),
             (

@@ -46,6 +46,13 @@ fn is_legal_sink(op: &PlanOp, stage: PhaseStage) -> bool {
         // The post-step parameter broadcast (ZeRO-1/2): ranks end the
         // iteration holding fresh weights.
         PlanOp::Collective { .. } => stage == PhaseStage::Step,
+        // Serving: a KV-cache append mutates cache state subsequent
+        // decode steps read — the write *is* the effect. Token emission
+        // (the GPU→CPU copy of sampled ids) is already covered by the
+        // TierTransfer-to-CPU arm above.
+        PlanOp::KvAppend { .. } => {
+            matches!(stage, PhaseStage::Prefill | PhaseStage::Decode)
+        }
         _ => false,
     }
 }

@@ -2,7 +2,7 @@
 //!
 //! An abstract interpretation of byte liveness: the resident footprint
 //! comes from the strategy's [`MemoryPlan`]; on top of it the pass
-//! replays the iteration plan phase by phase and adds the worst
+//! replays the workload plan phase by phase and adds the worst
 //! single-phase *transient* staging bytes each tier receives
 //! ([`PlanOp::TierTransfer`] / [`PlanOp::VolumeIo`] destinations). The
 //! result is a static peak bound that can never be below what the
@@ -10,6 +10,13 @@
 //! single flow — and the deny verdict reuses [`MemoryPlan::fits`]
 //! verbatim, keeping ZL001 in exact agreement with the simulator's
 //! capacity probe (`core::capacity`).
+//!
+//! Serving plans add a third byte class: [`PlanOp::KvAppend`] is
+//! *cumulative* residency, not transient staging — the KV cache grows
+//! monotonically over decode steps and is never freed within the
+//! workload, so the pass sums appends per GPU (no per-phase max) and
+//! counts the worst GPU's total as resident alongside the memory plan.
+//! A batch whose cache outgrows HBM is denied statically.
 
 use std::collections::HashMap;
 
@@ -23,12 +30,16 @@ use crate::pass::{Artifacts, MemoryVerdict, Pass, Sink};
 #[derive(Debug)]
 pub struct MemoryResidencyPass;
 
-/// Worst single-phase transient bytes per tier.
+/// Worst single-phase transient bytes per tier, plus the worst GPU's
+/// cumulative KV-cache growth.
 #[derive(Debug, Default, Clone, Copy)]
 struct Transients {
     gpu: f64,
     cpu: f64,
     nvme: f64,
+    /// Cumulative [`PlanOp::KvAppend`] bytes on the most-loaded GPU —
+    /// residency growth over decode steps, never freed within the plan.
+    kv: f64,
 }
 
 /// Per-phase transient staging bytes flowing *into* each tier.
@@ -37,6 +48,8 @@ fn transients(plan: &IterPlan) -> Transients {
     let mut gpu: HashMap<(Phase, (usize, usize)), f64> = HashMap::new();
     let mut cpu: HashMap<(Phase, usize), f64> = HashMap::new();
     let mut nvme: HashMap<Phase, f64> = HashMap::new();
+    // gpu -> cumulative KV bytes (no phase key: the cache accumulates).
+    let mut kv: HashMap<(usize, usize), f64> = HashMap::new();
     for node in plan.nodes() {
         match &node.op {
             PlanOp::TierTransfer { dst, bytes, .. } => match *dst {
@@ -61,6 +74,9 @@ fn transients(plan: &IterPlan) -> Transients {
                     }
                 }
             },
+            PlanOp::KvAppend { gpu: g, bytes } => {
+                *kv.entry((g.node, g.gpu)).or_insert(0.0) += bytes;
+            }
             _ => {}
         }
     }
@@ -71,6 +87,7 @@ fn transients(plan: &IterPlan) -> Transients {
         gpu: max_v(&gpu),
         cpu: max_v(&cpu),
         nvme: max_v(&nvme),
+        kv: max_v(&kv),
     }
 }
 
@@ -80,7 +97,8 @@ fn verdict(cluster: &Cluster, memory: &MemoryPlan, t: Transients) -> MemoryVerdi
     let nvme_capacity = cluster.spec().nvme_layout.len() as f64 * mem.nvme_bytes_per_drive;
     MemoryVerdict {
         per_gpu_resident: memory.per_gpu_bytes,
-        per_gpu_peak: memory.per_gpu_bytes + t.gpu,
+        kv_growth: t.kv,
+        per_gpu_peak: memory.per_gpu_bytes + t.kv + t.gpu,
         gpu_capacity: mem.gpu_bytes,
         per_node_cpu_resident: memory.per_node_cpu_bytes,
         per_node_cpu_peak: memory.per_node_cpu_bytes + t.cpu,
@@ -112,15 +130,24 @@ impl Pass for MemoryResidencyPass {
         // Deny findings replicate MemoryPlan::fits exactly, one per
         // overflowing tier (checked in gpu -> cpu -> nvme order like
         // MemoryPlan::bottleneck).
+        // KV-cache growth is genuine residency (decode steps only ever
+        // append), so it rides in the GPU tier's deny bound — a serving
+        // batch whose cache outgrows HBM is statically OOM.
+        let gpu_help = if v.kv_growth > 0.0 {
+            "shrink the running batch / generation length or shard the KV cache \
+             across more GPUs (higher TP)"
+        } else {
+            "shard more state off the GPU (higher ZeRO stage / offload) or shrink the model"
+        };
         let tiers = [
             (
                 "gpu",
                 "per-GPU",
                 "HBM",
-                v.per_gpu_resident,
+                v.per_gpu_resident + v.kv_growth,
                 v.per_gpu_peak,
                 v.gpu_capacity,
-                "shard more state off the GPU (higher ZeRO stage / offload) or shrink the model",
+                gpu_help,
             ),
             (
                 "cpu",

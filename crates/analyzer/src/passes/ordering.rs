@@ -12,10 +12,19 @@
 //! step op (the weight update is iteration-final), and input-phase ops
 //! may only depend on other input ops (the input pipeline precedes the
 //! iteration). Checkpoint plans must stay inside the checkpoint phase.
-//! `IterPlan::validate` checks a subset of this from emission order;
+//!
+//! Serving plans reuse the same machinery with `micro` reinterpreted as
+//! the decode-step index: ascending-micro ordering *is* autoregressive
+//! token order, and the pass additionally checks decode-step effect
+//! semantics — a KV-cache append or token emission must descend from its
+//! own step's forward compute (a cache write or emitted token with no
+//! compute behind it is meaningless in any schedule).
+//!
+//! `WorkloadPlan::validate` checks a subset of this from emission order;
 //! this pass checks the actual dependency edges.
 
-use zerosim_strategies::{PhaseStage, PlanKind, PlanOp};
+use zerosim_hw::MemLoc;
+use zerosim_strategies::{PhaseStage, PlanOp, WorkloadKind};
 
 use crate::diag::{LintCode, Site};
 use crate::graph::Ancestors;
@@ -30,8 +39,8 @@ pub struct PhaseOrderingPass;
 fn rank(stage: PhaseStage) -> u8 {
     match stage {
         PhaseStage::Input => 0,
-        PhaseStage::Forward => 1,
-        PhaseStage::Backward => 2,
+        PhaseStage::Forward | PhaseStage::Prefill => 1,
+        PhaseStage::Backward | PhaseStage::Decode => 2,
         PhaseStage::Step => 3,
         PhaseStage::Checkpoint => 4,
     }
@@ -44,6 +53,17 @@ fn stage_name(stage: PhaseStage) -> &'static str {
         PhaseStage::Backward => "backward",
         PhaseStage::Step => "step",
         PhaseStage::Checkpoint => "checkpoint",
+        PhaseStage::Prefill => "prefill",
+        PhaseStage::Decode => "decode",
+    }
+}
+
+fn kind_name(kind: WorkloadKind) -> &'static str {
+    match kind {
+        WorkloadKind::Iteration => "iteration",
+        WorkloadKind::Checkpoint => "checkpoint",
+        WorkloadKind::Prefill => "prefill",
+        WorkloadKind::Decode => "decode",
     }
 }
 
@@ -58,40 +78,29 @@ impl Pass for PhaseOrderingPass {
         };
         let nodes = plan.nodes();
 
-        // Plan-kind rules.
+        // Plan-kind rules: each workload kind owns a set of legal stages,
+        // and only training iterations may update weights.
+        let kind = plan.kind();
         for (i, n) in nodes.iter().enumerate() {
-            match plan.kind() {
-                PlanKind::Iteration => {
-                    if n.phase.stage == PhaseStage::Checkpoint {
-                        sink.report(
-                            LintCode::PhaseOrdering,
-                            Site::PlanOp(i),
-                            "iteration plan contains a checkpoint-phase op".to_string(),
-                            "move checkpoint traffic into a dedicated checkpoint plan".to_string(),
-                        );
-                    }
-                }
-                PlanKind::Checkpoint => {
-                    if n.phase.stage != PhaseStage::Checkpoint {
-                        sink.report(
-                            LintCode::PhaseOrdering,
-                            Site::PlanOp(i),
-                            format!(
-                                "checkpoint plan contains a {}-phase op",
-                                stage_name(n.phase.stage)
-                            ),
-                            "checkpoint plans may only move state".to_string(),
-                        );
-                    }
-                    if matches!(n.op, PlanOp::OptimizerStep { .. }) {
-                        sink.report(
-                            LintCode::PhaseOrdering,
-                            Site::PlanOp(i),
-                            "checkpoint plan runs an optimizer step".to_string(),
-                            "weight updates belong to iteration plans".to_string(),
-                        );
-                    }
-                }
+            if !kind.allowed_stages().contains(&n.phase.stage) {
+                sink.report(
+                    LintCode::PhaseOrdering,
+                    Site::PlanOp(i),
+                    format!(
+                        "{} plan contains a {}-phase op",
+                        kind_name(kind),
+                        stage_name(n.phase.stage)
+                    ),
+                    "move the op into a plan of the matching workload kind".to_string(),
+                );
+            }
+            if kind != WorkloadKind::Iteration && matches!(n.op, PlanOp::OptimizerStep { .. }) {
+                sink.report(
+                    LintCode::PhaseOrdering,
+                    Site::PlanOp(i),
+                    format!("{} plan runs an optimizer step", kind_name(kind)),
+                    "weight updates belong to iteration plans".to_string(),
+                );
             }
             if n.phase.stage == PhaseStage::Input && n.phase.micro != 0 {
                 sink.report(
@@ -177,6 +186,54 @@ impl Pass for PhaseOrderingPass {
                         Site::PlanOp(i),
                         "optimizer step does not depend on any backward-phase op".to_string(),
                         "an update without gradients is a no-op; wire the dependency".to_string(),
+                    );
+                }
+            }
+        }
+
+        // Decode-step / token-emission semantics: in serving plans every
+        // effect of a step — a KV-cache append or a token emission (the
+        // device-to-host copy of sampled token ids) — must descend from
+        // that same step's forward compute. `micro` is the decode-step
+        // index, so "same micro" is "same token position".
+        if kind.is_serving() {
+            let anc = Ancestors::compute(
+                |i| nodes[i].deps.iter().map(|d| d.index()).collect(),
+                nodes.len(),
+            );
+            for (i, n) in nodes.iter().enumerate() {
+                let (what, help) = match &n.op {
+                    PlanOp::KvAppend { .. } => (
+                        "KV-cache append",
+                        "a cache write with no compute behind it stores nothing; \
+                         wire it to the step's forward pass",
+                    ),
+                    PlanOp::TierTransfer {
+                        src: MemLoc::Gpu(_),
+                        dst: MemLoc::Cpu(_),
+                        ..
+                    } if n.phase.stage != PhaseStage::Input => (
+                        "token emission",
+                        "a token cannot leave the device before its step's forward \
+                         pass sampled it",
+                    ),
+                    _ => continue,
+                };
+                let fed = (0..nodes.len()).any(|j| {
+                    matches!(nodes[j].op, PlanOp::LayerCompute { .. })
+                        && nodes[j].phase.micro == n.phase.micro
+                        && anc.is_ancestor(j, i)
+                });
+                if !fed {
+                    sink.report(
+                        LintCode::PhaseOrdering,
+                        Site::PlanOp(i),
+                        format!(
+                            "{what} of decode step {} does not depend on that step's \
+                             forward compute",
+                            n.phase.micro
+                        ),
+                        help.to_string(),
                     );
                 }
             }

@@ -114,6 +114,7 @@ fn report_json(report: &FleetReport) -> Json {
                 ("train_days".into(), Json::Num(c.train_days)),
                 ("capital_usd".into(), Json::Num(c.capital_usd)),
                 ("energy_usd".into(), Json::Num(c.energy_usd)),
+                ("wear_usd".into(), Json::Num(c.wear_usd)),
                 ("dollars_to_train".into(), Json::Num(c.dollars_to_train)),
                 ("feasible".into(), Json::Bool(c.feasible)),
             ])

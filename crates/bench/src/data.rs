@@ -3,8 +3,8 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use zerosim_core::{
-    max_model_size, CapacityResult, RunConfig, SweepRun, SweepRunner, SweepSpec, TrainingReport,
-    TrainingSim,
+    max_model_size, CapacityResult, RunConfig, ServeRunner, SweepRun, SweepRunner, SweepSpec,
+    TrainingReport, TrainingSim,
 };
 use zerosim_hw::{ClusterSpec, NvmeDrivePlacement, NvmeId, VolumeId};
 use zerosim_model::GptConfig;
@@ -28,6 +28,12 @@ pub fn sweep_workers() -> usize {
 /// A sweep runner at the configured width.
 pub fn runner() -> SweepRunner {
     SweepRunner::new(sweep_workers())
+}
+
+/// A serving runner at an explicit width (the `servesim` binary takes
+/// its own `--workers` flag, so this does not read the sweep global).
+pub fn serve_runner_with(workers: usize) -> ServeRunner {
+    ServeRunner::new(workers)
 }
 
 /// Fans `specs` over [`runner`], panicking on configuration errors (the

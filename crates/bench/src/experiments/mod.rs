@@ -7,5 +7,6 @@ pub mod micro;
 pub mod offload;
 pub mod resilience;
 pub mod scorecard;
+pub mod serving;
 pub mod setup;
 pub mod train;

@@ -10,8 +10,8 @@ pub mod data;
 pub mod experiments;
 
 /// All artifact ids: the paper's tables and figures in paper order,
-/// followed by the extension studies (`ext1`–`ext13`).
-pub const ARTIFACTS: [&str; 33] = [
+/// followed by the extension studies (`ext1`–`ext14`).
+pub const ARTIFACTS: [&str; 34] = [
     "fig1",
     "fig2",
     "table1",
@@ -44,6 +44,7 @@ pub const ARTIFACTS: [&str; 33] = [
     "ext11",
     "ext12",
     "ext13",
+    "ext14",
     "scorecard",
 ];
 
@@ -60,7 +61,9 @@ pub fn render_with(id: &str, workers: usize) -> String {
 /// # Panics
 /// Panics on an unknown id (the `repro` binary validates first).
 pub fn render(id: &str) -> String {
-    use experiments::{extensions, fleet, micro, offload, resilience, scorecard, setup, train};
+    use experiments::{
+        extensions, fleet, micro, offload, resilience, scorecard, serving, setup, train,
+    };
     match id {
         "fig1" => setup::fig1(),
         "fig2" => setup::fig2(),
@@ -94,6 +97,7 @@ pub fn render(id: &str) -> String {
         "ext11" => resilience::goodput_table(),
         "ext12" => extensions::ext12_jean_zay_scale(),
         "ext13" => fleet::ext13_fleet_economics(),
+        "ext14" => serving::ext14_serving_latency(),
         "scorecard" => scorecard::scorecard(),
         other => panic!("unknown artifact id {other:?}"),
     }

@@ -5,6 +5,8 @@
 //! Costs are list-price-class estimates for the paper's era of hardware;
 //! what matters for the analysis is their ratio, not their absolute value.
 
+use zerosim_hw::LinkClass;
+
 use crate::report::TrainingReport;
 
 /// Capital cost of the cluster pieces, USD.
@@ -18,6 +20,12 @@ pub struct CostModel {
     pub nvme_usd: f64,
     /// Per-port share of the SN3700-class switch.
     pub switch_port_usd: f64,
+    /// Rated write endurance of one drive, bytes (D7-P5600 3.2 TB class:
+    /// ~3 drive-writes-per-day over the 5-year warranty ≈ 17.5 PB TBW).
+    /// Flash is a consumable: NVMe offload rewrites the optimizer
+    /// partition every iteration, so sustained training traffic buys the
+    /// drive a measurable fraction of its lifetime.
+    pub nvme_endurance_bytes: f64,
 }
 
 impl Default for CostModel {
@@ -27,6 +35,7 @@ impl Default for CostModel {
             node_base_usd: 30_000.0,
             nvme_usd: 900.0,
             switch_port_usd: 1_500.0,
+            nvme_endurance_bytes: 17.5e15,
         }
     }
 }
@@ -38,6 +47,9 @@ pub struct CostReport {
     pub capital_usd: f64,
     /// Aggregate throughput, FLOP/s.
     pub throughput_flops: f64,
+    /// Drive-replacement cost accrued per second of training from NVMe
+    /// write wear, USD/s (zero when the run never touches flash).
+    pub nvme_wear_usd_per_s: f64,
 }
 
 impl CostReport {
@@ -45,11 +57,17 @@ impl CostReport {
     pub fn tflops_per_kusd(&self) -> f64 {
         self.throughput_flops / 1e12 / (self.capital_usd / 1000.0)
     }
+
+    /// Flash-endurance cost of `train_secs` of sustained training, USD.
+    pub fn wear_usd(&self, train_secs: f64) -> f64 {
+        self.nvme_wear_usd_per_s * train_secs
+    }
 }
 
 impl CostModel {
     /// Prices the hardware a run occupies: its nodes (with their GPUs and
-    /// scratch drives) and, for multi-node runs, the switch ports.
+    /// scratch drives) and, for multi-node runs, the switch ports — plus
+    /// the wear rate its measured NVMe traffic inflicts on the drives.
     pub fn estimate(
         &self,
         report: &TrainingReport,
@@ -64,23 +82,37 @@ impl CostModel {
         if report.nodes > 1 {
             capital += nodes * 2.0 * self.switch_port_usd;
         }
+        // Wear: charge drive replacement at the rate training writes to
+        // flash, measured on the PCIe x4 wires to the drives (the Table
+        // IV "PCIe-NVMe" cells). Reads are wear-free, and the offload
+        // traffic pattern is read/write symmetric (states stream out and
+        // back every iteration), so writes are half the measured traffic.
+        // Pooling bytes across a node's drives makes the rate independent
+        // of the stripe width: rate / (k · endurance) · (k · price).
+        let write_rate: f64 = (0..report.nodes)
+            .map(|n| 0.5 * report.bandwidth.stats(n, LinkClass::PcieNvme).avg)
+            .sum();
         CostReport {
             capital_usd: capital,
             throughput_flops: report.throughput_flops(),
+            nvme_wear_usd_per_s: write_rate / self.nvme_endurance_bytes * self.nvme_usd,
         }
     }
 }
 
 // JSON codec (in-house serde replacement; see crates/testkit).
 zerosim_testkit::impl_json! {
-    struct CostModel { gpu_usd, node_base_usd, nvme_usd, switch_port_usd }
+    struct CostModel {
+        gpu_usd, node_base_usd, nvme_usd, switch_port_usd,
+        nvme_endurance_bytes,
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::engine::{RunConfig, TrainingSim};
-    use zerosim_hw::ClusterSpec;
+    use zerosim_hw::{ClusterSpec, NvmeId};
     use zerosim_model::GptConfig;
     use zerosim_strategies::{Strategy, TrainOptions, ZeroStage};
 
@@ -125,6 +157,59 @@ mod tests {
         );
         assert!(offload.capital_usd < 0.6 * megatron.capital_usd);
         assert!(offload.tflops_per_kusd() > 2.0 * megatron.tflops_per_kusd());
+    }
+
+    #[test]
+    fn nvme_wear_charges_flash_traffic_and_only_flash_traffic() {
+        use zerosim_strategies::InfinityPlacement;
+
+        // DDP never touches flash: wear must be exactly zero.
+        let cost = CostModel::default();
+        let ddp = cost.estimate(&report(Strategy::Ddp, 1.4, 1), 4, 2);
+        assert_eq!(ddp.nvme_wear_usd_per_s, 0.0);
+        assert_eq!(ddp.wear_usd(1e9), 0.0);
+
+        // ZeRO-Infinity streams optimizer state over NVMe every
+        // iteration; its measured device traffic must pin the wear rate.
+        let mut sim = TrainingSim::new(ClusterSpec::default()).unwrap();
+        let d = |drive| NvmeId { node: 0, drive };
+        let vol = sim.cluster_mut().create_volume(vec![d(0), d(1)]);
+        let strategy = Strategy::ZeroInfinity {
+            offload_params: false,
+            placement: InfinityPlacement::new(vec![vol]),
+        };
+        let r = sim
+            .run(
+                &strategy,
+                &GptConfig::paper_model_with_params(5.5),
+                &TrainOptions::single_node(),
+                &RunConfig::quick(),
+            )
+            .unwrap();
+        let infinity = cost.estimate(&r, 4, 2);
+        // Pin the wear term to the model: half the measured NVMe device
+        // traffic (the write half), one drive-cost per endurance budget.
+        let write_rate = 0.5 * r.bandwidth.stats(0, LinkClass::PcieNvme).avg;
+        assert!(write_rate > 1e8, "offload must move real flash traffic");
+        let want = write_rate / cost.nvme_endurance_bytes * cost.nvme_usd;
+        assert!(
+            (infinity.nvme_wear_usd_per_s - want).abs() < 1e-12 * want.max(1.0),
+            "wear {} != pinned {want}",
+            infinity.nvme_wear_usd_per_s
+        );
+        // Magnitude: cents-to-dollars per hour, not noise and not capital.
+        let per_hour = infinity.wear_usd(3600.0);
+        assert!(
+            per_hour > 0.01 && per_hour < 50.0,
+            "wear {per_hour} $/h out of band"
+        );
+        // Halving the endurance doubles the charge, price held fixed.
+        let fragile = CostModel {
+            nvme_endurance_bytes: cost.nvme_endurance_bytes / 2.0,
+            ..cost
+        };
+        let doubled = fragile.estimate(&r, 4, 2);
+        assert!((doubled.nvme_wear_usd_per_s / infinity.nvme_wear_usd_per_s - 2.0).abs() < 1e-9);
     }
 
     #[test]

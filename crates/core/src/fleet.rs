@@ -1018,7 +1018,9 @@ pub struct FleetCandidate {
     pub capital_usd: f64,
     /// Energy cost of the full training run, USD.
     pub energy_usd: f64,
-    /// Amortized capital + energy: the ranking key, USD.
+    /// NVMe flash-endurance (drive replacement) cost of the run, USD.
+    pub wear_usd: f64,
+    /// Amortized capital + energy + NVMe wear: the ranking key, USD.
     pub dollars_to_train: f64,
     /// Whether the run meets the deadline (always true without one).
     pub feasible: bool,
@@ -1160,14 +1162,18 @@ pub fn fleet_search(cfg: &FleetCostConfig) -> Result<FleetReport, CoreError> {
         let waste = waste_fraction(ckpt_cost_s, interval_s, mtbf_s, recover_s);
         let goodput_flops = report.throughput_flops() * (1.0 - waste);
         let train_days = train_flops / goodput_flops / SECS_PER_DAY;
-        let capital_usd = cfg
+        let cost = cfg
             .cost
-            .estimate(&report, spec.gpus_per_node, spec.nvme_layout.len())
-            .capital_usd;
+            .estimate(&report, spec.gpus_per_node, spec.nvme_layout.len());
+        let capital_usd = cost.capital_usd;
         let energy = cfg.power.estimate(&report, spec.gpus_per_node);
         let energy_usd =
             energy.avg_power_w() * (train_days * SECS_PER_DAY) / 3.6e6 * cfg.energy_usd_per_kwh;
-        let dollars_to_train = capital_usd * train_days / (365.0 * cfg.amortize_years) + energy_usd;
+        // Flash endurance is a consumable like energy: NVMe-offload
+        // candidates pay for the drive lifetime their write traffic buys.
+        let wear_usd = cost.wear_usd(train_days * SECS_PER_DAY);
+        let dollars_to_train =
+            capital_usd * train_days / (365.0 * cfg.amortize_years) + energy_usd + wear_usd;
         let feasible = cfg.deadline_days.is_none_or(|d| train_days <= d);
         candidates.push(FleetCandidate {
             strategy_name,
@@ -1181,6 +1187,7 @@ pub fn fleet_search(cfg: &FleetCostConfig) -> Result<FleetReport, CoreError> {
             train_days,
             capital_usd,
             energy_usd,
+            wear_usd,
             dollars_to_train,
             feasible,
         });

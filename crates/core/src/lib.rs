@@ -44,6 +44,7 @@ mod faults;
 mod fleet;
 mod report;
 mod search;
+mod serve;
 mod sweep;
 mod timeline;
 
@@ -62,12 +63,15 @@ pub use fleet::{
 };
 pub use report::{BandwidthReport, HotLink, ResilienceMetrics, TrainingReport};
 pub use search::{search_plans, CandidateOutcome, PlanCandidate, SearchConfig, SearchReport};
+pub use serve::{
+    serve, ArrivalProcess, Request, ServeReport, ServeRun, ServeRunner, ServeSpec, TraceConfig,
+};
 pub use sweep::{SweepRun, SweepRunner, SweepSpec};
 pub use timeline::{profile_tracks, to_chrome_trace, TrackProfile};
 
 // Re-export the pieces callers need alongside the engine.
 pub use zerosim_simkit::{EngineMode, EngineStats, FaultKind, FaultSchedule};
 pub use zerosim_strategies::{
-    Calibration, CheckpointSink, IterCtx, IterPlan, LoweredPlan, RecoveryPolicy, Strategy,
-    StrategyError, StrategyPlan, StrategyRegistry, TrainOptions,
+    Calibration, CheckpointSink, IterCtx, IterPlan, LoweredPlan, RecoveryPolicy, ServingStrategy,
+    Strategy, StrategyError, StrategyPlan, StrategyRegistry, TrainOptions,
 };

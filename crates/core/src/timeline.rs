@@ -41,23 +41,23 @@ impl TrackProfile {
 
 /// Summarizes a span log into per-track profiles.
 pub fn profile_tracks(spans: &SpanLog) -> Vec<TrackProfile> {
-    let mut tracks: BTreeMap<u32, BTreeMap<String, SimTime>> = BTreeMap::new();
-    let mut bounds: BTreeMap<u32, (SimTime, SimTime)> = BTreeMap::new();
+    // One accumulator per track: label times and extent bounds live in
+    // the same entry, so no track can ever hold one without the other
+    // (the former two-map layout indexed a bounds map by track and would
+    // panic if the maps drifted).
+    let mut tracks: BTreeMap<u32, (BTreeMap<String, SimTime>, SimTime, SimTime)> = BTreeMap::new();
     for s in spans.spans() {
-        *tracks
+        let (by_label, start, end) = tracks
             .entry(s.track)
-            .or_default()
-            .entry(s.label.clone())
-            .or_insert(SimTime::ZERO) += s.end - s.start;
-        let e = bounds.entry(s.track).or_insert((s.start, s.end));
-        e.0 = e.0.min(s.start);
-        e.1 = e.1.max(s.end);
+            .or_insert_with(|| (BTreeMap::new(), s.start, s.end));
+        *by_label.entry(s.label.clone()).or_insert(SimTime::ZERO) += s.end - s.start;
+        *start = (*start).min(s.start);
+        *end = (*end).max(s.end);
     }
     tracks
         .into_iter()
-        .map(|(track, by_label)| {
+        .map(|(track, (by_label, start, end))| {
             let busy: SimTime = by_label.values().copied().sum();
-            let (start, end) = bounds[&track];
             TrackProfile {
                 track,
                 by_label: by_label.into_iter().collect(),

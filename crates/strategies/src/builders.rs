@@ -123,6 +123,24 @@ impl<'a> PlanCtx<'a> {
         }
     }
 
+    /// Starts an empty serving-prefill plan for `ctx` (input phase; enter
+    /// [`PhaseStage::Prefill`] before emitting compute).
+    pub fn new_prefill(ctx: IterCtx<'a>) -> Self {
+        PlanCtx {
+            ctx,
+            plan: IterPlan::new_prefill(),
+        }
+    }
+
+    /// Starts an empty serving decode-step plan for `ctx` (input phase;
+    /// enter [`PhaseStage::Decode`] before emitting compute).
+    pub fn new_decode(ctx: IterCtx<'a>) -> Self {
+        PlanCtx {
+            ctx,
+            plan: IterPlan::new_decode(),
+        }
+    }
+
     /// Finalizes the plan.
     pub fn finish(self) -> IterPlan {
         self.plan
@@ -267,6 +285,12 @@ impl<'a> PlanCtx<'a> {
     /// A zero-cost join point over `deps`.
     pub fn barrier(&mut self, deps: &[OpId]) -> OpId {
         self.plan.push(PlanOp::Barrier, deps)
+    }
+
+    /// Appends `bytes` of KV-cache entries on `gpu` (serving plans only;
+    /// residency tracked by planlint ZL001, zero-duration at lowering).
+    pub fn kv_append(&mut self, gpu: GpuId, bytes: f64, deps: &[OpId]) -> OpId {
+        self.plan.push(PlanOp::KvAppend { gpu, bytes }, deps)
     }
 
     /// The input-pipeline H2D staging for one GPU (token ids plus the

@@ -101,6 +101,13 @@ pub struct Calibration {
     /// seconds. Pinned by: ZeRO-3's 381 TFLOP/s vs ZeRO-2's 524 in
     /// single-node training (Fig. 7-a).
     pub zero3_hook_s_per_layer: f64,
+    /// Fixed per-step overhead of the serving frontend (scheduler,
+    /// sampling, detokenization, kernel launch), seconds. Paid by every
+    /// prefill and every decode step — far smaller than
+    /// `iteration_overhead_s` because there is no optimizer/data-loader
+    /// work, but it is the term that makes small-batch decode
+    /// protocol-bound rather than wire-bound.
+    pub serve_step_overhead_s: f64,
 }
 
 impl Default for Calibration {
@@ -132,6 +139,7 @@ impl Default for Calibration {
             host_pcie_bytes_per_iter: 0.05e9,
             compute_jitter_frac: 0.06,
             zero3_hook_s_per_layer: 2.5e-3,
+            serve_step_overhead_s: 4.0e-3,
         }
     }
 }
@@ -173,7 +181,7 @@ zerosim_testkit::impl_json! {
         host_base_bytes, offload_cross_socket_frac, ds_internode_cap,
         nccl_internode_cap, megatron_internode_cap, zero3_internode_cap,
         host_dram_bytes_per_iter, host_pcie_bytes_per_iter,
-        compute_jitter_frac, zero3_hook_s_per_layer,
+        compute_jitter_frac, zero3_hook_s_per_layer, serve_step_overhead_s,
     }
 }
 

@@ -57,6 +57,7 @@ mod placement;
 mod plan;
 mod registry;
 mod resilience;
+mod serving;
 mod zero;
 
 pub use builders::{IterCtx, PlanCtx};
@@ -67,12 +68,16 @@ pub use lower::{lower, LoweredPlan};
 pub use memory::MemoryPlan;
 pub use options::TrainOptions;
 pub use placement::{ParallelPlacement, PlacementSpans};
-pub use plan::{IterPlan, OpId, OptimizerDevice, Phase, PhaseStage, PlanKind, PlanNode, PlanOp};
+pub use plan::{
+    IterPlan, OpId, OptimizerDevice, Phase, PhaseStage, PlanNode, PlanOp, WorkloadKind,
+    WorkloadPlan,
+};
 pub use registry::StrategyRegistry;
 pub use resilience::{
     plan_checkpoint, plan_restore, snapshot_bytes_per_rank, snapshot_bytes_total, CheckpointSink,
     RecoveryPolicy,
 };
+pub use serving::{kv_bucket, kv_bytes_per_token, ServingStrategy};
 pub use zero::{InfinityPlacement, StateTier, ZeroStage};
 
 use std::fmt::Debug;

@@ -250,6 +250,11 @@ pub fn lower(
                 b.marker(&parts)
             }
             PlanOp::Barrier => b.marker(&deps),
+            // Residency, not time: the append itself is instantaneous
+            // (attention cost over the cache rides in LayerCompute), so
+            // it lowers to a join marker. Its bytes matter to planlint
+            // ZL001 and the serving driver's KV accounting.
+            PlanOp::KvAppend { .. } => b.marker(&deps),
         };
         done.push(task);
     }

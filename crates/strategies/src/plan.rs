@@ -1,11 +1,21 @@
-//! The iteration-plan intermediate representation (IR).
+//! The workload-plan intermediate representation (IR).
 //!
 //! Strategies no longer hand-emit raw simkit tasks. Instead they describe
-//! one training iteration as an [`IterPlan`] of *semantic* operations —
-//! layer compute, collectives, tier transfers, optimizer steps — with
-//! explicit dependencies and phase labels. The [`crate::lower`] pass then
-//! compiles the plan to a [`zerosim_simkit::Dag`] once per configuration,
-//! and the engine re-stamps only the jittered durations per iteration.
+//! one unit of work — a training iteration, a checkpoint snapshot, a
+//! serving prefill, or one decode step — as a [`WorkloadPlan`] of
+//! *semantic* operations (layer compute, collectives, tier transfers,
+//! optimizer steps, KV-cache appends) with explicit dependencies and
+//! phase labels. The [`crate::lower`] pass then compiles the plan to a
+//! [`zerosim_simkit::Dag`] once per configuration, and the engine
+//! re-stamps only the jittered durations per iteration or decode step.
+//!
+//! Training and inference share this one IR: the [`WorkloadKind`] carries
+//! a per-kind validation contract (training conservation/ordering laws
+//! for [`WorkloadKind::Iteration`], state movement for
+//! [`WorkloadKind::Checkpoint`], KV-cache residency and token-batch
+//! semantics for [`WorkloadKind::Prefill`]/[`WorkloadKind::Decode`]), so
+//! lowering, stamping, the engines, and planlint serve both worlds
+//! through one code path.
 //!
 //! Putting a typed IR between strategy semantics and DAG emission buys
 //! three things the seed implementation lacked:
@@ -35,7 +45,7 @@ impl OpId {
     }
 }
 
-/// Which part of the training iteration an op belongs to.
+/// Which part of the workload an op belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum PhaseStage {
     /// Input pipeline: iteration prologue, host prep, H2D staging.
@@ -47,14 +57,21 @@ pub enum PhaseStage {
     /// Optimizer step and post-step parameter redistribution.
     Step,
     /// Checkpoint/restore traffic (state snapshots to DRAM/NVMe); only
-    /// used by [`PlanKind::Checkpoint`] plans.
+    /// used by [`WorkloadKind::Checkpoint`] plans.
     Checkpoint,
+    /// Serving prompt processing (one forward over the batched prompts);
+    /// only used by [`WorkloadKind::Prefill`] plans.
+    Prefill,
+    /// Serving token generation (one forward per emitted token); only
+    /// used by [`WorkloadKind::Decode`] plans, where `micro` is the
+    /// decode-step index.
+    Decode,
 }
 
-/// What a plan describes: a training iteration or a checkpoint/restore
-/// state movement.
+/// What a plan describes: a training iteration, a checkpoint/restore
+/// state movement, or one unit of serving work (prefill / decode step).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
-pub enum PlanKind {
+pub enum WorkloadKind {
     /// One training iteration (forward/backward/step). Must contain at
     /// least one optimizer step.
     #[default]
@@ -63,6 +80,40 @@ pub enum PlanKind {
     /// memory tiers. Must move at least one byte of state and must not
     /// contain optimizer steps.
     Checkpoint,
+    /// Serving prompt processing for one admitted batch: forward compute
+    /// over the prompt tokens, KV-cache writes, and first-token emission.
+    /// Must append KV-cache bytes, must contain forward compute, and must
+    /// not contain optimizer steps.
+    Prefill,
+    /// One serving decode step for the running batch: forward compute at
+    /// batch width 1-token-per-request over the resident KV cache, one
+    /// KV append per request, token emission. Same contract as
+    /// [`WorkloadKind::Prefill`]; the `micro` label is the decode-step
+    /// index.
+    Decode,
+}
+
+impl WorkloadKind {
+    /// True for the serving kinds ([`WorkloadKind::Prefill`] /
+    /// [`WorkloadKind::Decode`]).
+    pub fn is_serving(self) -> bool {
+        matches!(self, WorkloadKind::Prefill | WorkloadKind::Decode)
+    }
+
+    /// The phase stages ops of this kind may carry.
+    pub fn allowed_stages(self) -> &'static [PhaseStage] {
+        match self {
+            WorkloadKind::Iteration => &[
+                PhaseStage::Input,
+                PhaseStage::Forward,
+                PhaseStage::Backward,
+                PhaseStage::Step,
+            ],
+            WorkloadKind::Checkpoint => &[PhaseStage::Checkpoint],
+            WorkloadKind::Prefill => &[PhaseStage::Input, PhaseStage::Prefill],
+            WorkloadKind::Decode => &[PhaseStage::Input, PhaseStage::Decode],
+        }
+    }
 }
 
 /// Phase label: stage plus the gradient-accumulation micro-step.
@@ -170,6 +221,19 @@ pub enum PlanOp {
     },
     /// A zero-cost join point over its dependencies.
     Barrier,
+    /// Appends `bytes` of KV-cache entries on `gpu`'s HBM. Lowered to a
+    /// zero-duration marker (the attention cost over the cache already
+    /// rides in [`PlanOp::LayerCompute`] FLOPs); its significance is
+    /// *residency*: planlint ZL001 accumulates these bytes as a
+    /// first-class memory-tier resident growing over decode steps, and
+    /// ZL005 treats the append as a legal effect sink (it mutates cache
+    /// state subsequent decode steps read).
+    KvAppend {
+        /// GPU whose HBM holds the cache shard.
+        gpu: GpuId,
+        /// Bytes appended by this op.
+        bytes: f64,
+    },
 }
 
 /// An op plus its dependencies and phase label.
@@ -183,25 +247,32 @@ pub struct PlanNode {
     pub phase: Phase,
 }
 
-/// A typed, iteration-invariant description of one training iteration.
+/// A typed, structure-invariant description of one unit of work: a
+/// training iteration, a checkpoint snapshot, a serving prefill, or a
+/// decode step (see [`WorkloadKind`]).
 ///
 /// Built by strategies through [`crate::PlanCtx`]; compiled to a task
 /// graph by [`crate::lower::lower`]. Acyclic by construction: deps may
 /// only reference previously pushed ops.
 #[derive(Debug, Clone, Default, PartialEq)]
-pub struct IterPlan {
+pub struct WorkloadPlan {
     nodes: Vec<PlanNode>,
     phase: Option<Phase>,
-    kind: PlanKind,
+    kind: WorkloadKind,
 }
 
-impl IterPlan {
+/// The historical name of [`WorkloadPlan`], kept as an alias: training
+/// call sites read naturally as "iteration plans" and the two names are
+/// the same type.
+pub type IterPlan = WorkloadPlan;
+
+impl WorkloadPlan {
     /// Creates an empty plan in the [`Phase::INPUT`] phase.
     pub fn new() -> Self {
-        IterPlan {
+        WorkloadPlan {
             nodes: Vec::new(),
             phase: Some(Phase::INPUT),
-            kind: PlanKind::Iteration,
+            kind: WorkloadKind::Iteration,
         }
     }
 
@@ -209,18 +280,40 @@ impl IterPlan {
     /// [`PhaseStage::Checkpoint`] phase; validation requires state
     /// movement instead of an optimizer step.
     pub fn new_checkpoint() -> Self {
-        IterPlan {
+        WorkloadPlan {
             nodes: Vec::new(),
             phase: Some(Phase {
                 micro: 0,
                 stage: PhaseStage::Checkpoint,
             }),
-            kind: PlanKind::Checkpoint,
+            kind: WorkloadKind::Checkpoint,
+        }
+    }
+
+    /// Creates an empty serving-prefill plan in the [`Phase::INPUT`]
+    /// phase. Validation requires forward compute plus KV-cache appends
+    /// and forbids optimizer steps.
+    pub fn new_prefill() -> Self {
+        WorkloadPlan {
+            nodes: Vec::new(),
+            phase: Some(Phase::INPUT),
+            kind: WorkloadKind::Prefill,
+        }
+    }
+
+    /// Creates an empty serving decode-step plan in the [`Phase::INPUT`]
+    /// phase. Same contract as [`WorkloadPlan::new_prefill`]; `micro`
+    /// labels carry the decode-step index.
+    pub fn new_decode() -> Self {
+        WorkloadPlan {
+            nodes: Vec::new(),
+            phase: Some(Phase::INPUT),
+            kind: WorkloadKind::Decode,
         }
     }
 
     /// What this plan describes.
-    pub fn kind(&self) -> PlanKind {
+    pub fn kind(&self) -> WorkloadKind {
         self.kind
     }
 
@@ -309,11 +402,27 @@ impl IterPlan {
             .sum()
     }
 
+    /// Total KV-cache bytes appended ([`PlanOp::KvAppend`] payloads) —
+    /// the per-plan residency growth serving drivers and planlint ZL001
+    /// account against GPU HBM.
+    pub fn kv_append_bytes(&self) -> f64 {
+        self.nodes
+            .iter()
+            .filter_map(|n| match &n.op {
+                PlanOp::KvAppend { bytes, .. } => Some(*bytes),
+                _ => None,
+            })
+            .sum()
+    }
+
     /// Machine-checks the plan against `cluster`:
     ///
     /// * structural acyclicity (every dep precedes its op);
     /// * phase ordering: `Input` ops depend only on `Input` ops, and only
     ///   `Step` ops may depend on `Step` ops (the optimizer is a sink);
+    /// * per-kind phase membership: every op's stage must be one of
+    ///   [`WorkloadKind::allowed_stages`] for the plan's kind, so training
+    ///   plans cannot carry serving stages and vice versa;
     /// * every referenced GPU / socket / volume physically exists, so
     ///   every `TierTransfer` and `VolumeIo` has a resolvable route;
     /// * collective payloads are positive and finite with all ranks on
@@ -321,11 +430,16 @@ impl IterPlan {
     ///   (all-reduce `2 (n−1)/n · S` per rank; the hierarchical schedule
     ///   never exceeds the flat-ring volume);
     /// * optimizer steps carry positive parameter counts, run in the
-    ///   `Step` phase, and at least one exists ([`PlanKind::Iteration`]
-    ///   plans only);
-    /// * [`PlanKind::Checkpoint`] plans contain no optimizer step, move
-    ///   at least one tier-transfer or volume-I/O payload, and keep all
-    ///   ops in the [`PhaseStage::Checkpoint`] phase.
+    ///   `Step` phase, and at least one exists
+    ///   ([`WorkloadKind::Iteration`] plans only);
+    /// * [`WorkloadKind::Checkpoint`] plans contain no optimizer step,
+    ///   move at least one tier-transfer or volume-I/O payload, and keep
+    ///   all ops in the [`PhaseStage::Checkpoint`] phase;
+    /// * [`WorkloadKind::Prefill`] / [`WorkloadKind::Decode`] plans
+    ///   contain no optimizer step, contain forward compute, and append
+    ///   at least one byte of KV cache (residency is the serving
+    ///   contract); `KvAppend` ops are serving-only and must run in the
+    ///   `Prefill`/`Decode` stage.
     pub fn validate(&self, cluster: &Cluster) -> Result<(), StrategyError> {
         let spec = cluster.spec();
         let gpu_ok = |g: &GpuId| g.node < spec.nodes && g.gpu < spec.gpus_per_node;
@@ -339,16 +453,25 @@ impl IterPlan {
 
         let mut optimizer_steps = 0usize;
         let mut state_moves = 0usize;
+        let mut compute_spans = 0usize;
+        let mut kv_appends = 0usize;
         for (i, node) in self.nodes.iter().enumerate() {
-            if self.kind == PlanKind::Checkpoint {
-                if node.phase.stage != PhaseStage::Checkpoint {
-                    return err(i, "checkpoint-plan op outside the Checkpoint phase".into());
-                }
-                if matches!(node.op, PlanOp::OptimizerStep { .. }) {
-                    return err(i, "checkpoint plan contains an optimizer step".into());
-                }
-            } else if node.phase.stage == PhaseStage::Checkpoint {
-                return err(i, "iteration-plan op in the Checkpoint phase".into());
+            if !self.kind.allowed_stages().contains(&node.phase.stage) {
+                return err(
+                    i,
+                    format!(
+                        "{:?}-plan op in the {:?} phase",
+                        self.kind, node.phase.stage
+                    ),
+                );
+            }
+            if self.kind != WorkloadKind::Iteration
+                && matches!(node.op, PlanOp::OptimizerStep { .. })
+            {
+                return err(
+                    i,
+                    format!("{:?} plan contains an optimizer step", self.kind),
+                );
             }
             for d in &node.deps {
                 if d.0 >= i {
@@ -365,6 +488,7 @@ impl IterPlan {
             match &node.op {
                 PlanOp::Overhead | PlanOp::Barrier => {}
                 PlanOp::LayerCompute { gpu, flops, .. } => {
+                    compute_spans += 1;
                     if !gpu_ok(gpu) {
                         return err(i, format!("gpu {gpu:?} not on cluster"));
                     }
@@ -452,19 +576,45 @@ impl IterPlan {
                         state_moves += 1;
                     }
                 }
+                PlanOp::KvAppend { gpu, bytes } => {
+                    if !gpu_ok(gpu) {
+                        return err(i, format!("gpu {gpu:?} not on cluster"));
+                    }
+                    if !(bytes.is_finite() && *bytes >= 0.0) {
+                        return err(i, format!("bad KV-append bytes {bytes}"));
+                    }
+                    if !matches!(node.phase.stage, PhaseStage::Prefill | PhaseStage::Decode) {
+                        return err(i, "KV append outside a serving phase".into());
+                    }
+                    if *bytes > 0.0 {
+                        kv_appends += 1;
+                    }
+                }
             }
         }
         match self.kind {
-            PlanKind::Iteration => {
+            WorkloadKind::Iteration => {
                 if optimizer_steps == 0 {
                     return Err(StrategyError::plan(
                         "iteration plan contains no optimizer step",
                     ));
                 }
             }
-            PlanKind::Checkpoint => {
+            WorkloadKind::Checkpoint => {
                 if state_moves == 0 {
                     return Err(StrategyError::plan("checkpoint plan moves no state"));
+                }
+            }
+            WorkloadKind::Prefill | WorkloadKind::Decode => {
+                if compute_spans == 0 {
+                    return Err(StrategyError::plan(
+                        "serving plan contains no forward compute",
+                    ));
+                }
+                if kv_appends == 0 {
+                    return Err(StrategyError::plan(
+                        "serving plan appends no KV-cache bytes",
+                    ));
                 }
             }
         }
@@ -598,7 +748,7 @@ mod tests {
     fn checkpoint_plan_validates_without_optimizer() {
         let c = cluster();
         let mut p = IterPlan::new_checkpoint();
-        assert_eq!(p.kind(), PlanKind::Checkpoint);
+        assert_eq!(p.kind(), WorkloadKind::Checkpoint);
         let d2h = p.push(
             PlanOp::TierTransfer {
                 src: MemLoc::Gpu(gpu0()),
@@ -645,5 +795,150 @@ mod tests {
         p.push(PlanOp::Overhead, &[]);
         let e = p.validate(&c).unwrap_err();
         assert!(e.to_string().contains("Checkpoint phase"));
+    }
+
+    fn minimal_serving_plan(kind: WorkloadKind) -> WorkloadPlan {
+        let mut p = match kind {
+            WorkloadKind::Prefill => WorkloadPlan::new_prefill(),
+            _ => WorkloadPlan::new_decode(),
+        };
+        let stage = if kind == WorkloadKind::Prefill {
+            PhaseStage::Prefill
+        } else {
+            PhaseStage::Decode
+        };
+        let h2d = p.push(
+            PlanOp::TierTransfer {
+                src: MemLoc::Cpu(SocketId { node: 0, socket: 0 }),
+                dst: MemLoc::Gpu(gpu0()),
+                bytes: 4096.0,
+                label: "token_h2d",
+                track: 0,
+            },
+            &[],
+        );
+        p.set_phase(stage, 0);
+        let fwd = p.push(
+            PlanOp::LayerCompute {
+                gpu: gpu0(),
+                flops: 1e12,
+                label: "gemm",
+            },
+            &[h2d],
+        );
+        let kv = p.push(
+            PlanOp::KvAppend {
+                gpu: gpu0(),
+                bytes: 1e6,
+            },
+            &[fwd],
+        );
+        p.push(
+            PlanOp::TierTransfer {
+                src: MemLoc::Gpu(gpu0()),
+                dst: MemLoc::Cpu(SocketId { node: 0, socket: 0 }),
+                bytes: 64.0,
+                label: "token_d2h",
+                track: 0,
+            },
+            &[kv],
+        );
+        p
+    }
+
+    #[test]
+    fn prefill_and_decode_plans_validate() {
+        let c = cluster();
+        for kind in [WorkloadKind::Prefill, WorkloadKind::Decode] {
+            let p = minimal_serving_plan(kind);
+            assert_eq!(p.kind(), kind);
+            assert!(kind.is_serving());
+            assert!(p.validate(&c).is_ok(), "{kind:?}");
+            assert_eq!(p.kv_append_bytes(), 1e6);
+        }
+    }
+
+    #[test]
+    fn serving_plan_rejects_optimizer_step() {
+        let c = cluster();
+        let mut p = minimal_serving_plan(WorkloadKind::Decode);
+        p.set_phase(PhaseStage::Decode, 0);
+        p.push(
+            PlanOp::OptimizerStep {
+                device: OptimizerDevice::Gpu(gpu0()),
+                params: 1.0,
+            },
+            &[],
+        );
+        let e = p.validate(&c).unwrap_err();
+        assert!(e.to_string().contains("optimizer step"));
+    }
+
+    #[test]
+    fn serving_plan_must_append_kv_cache() {
+        let c = cluster();
+        let mut p = WorkloadPlan::new_prefill();
+        p.set_phase(PhaseStage::Prefill, 0);
+        p.push(
+            PlanOp::LayerCompute {
+                gpu: gpu0(),
+                flops: 1e12,
+                label: "gemm",
+            },
+            &[],
+        );
+        let e = p.validate(&c).unwrap_err();
+        assert!(e.to_string().contains("KV-cache"));
+    }
+
+    #[test]
+    fn serving_plan_rejects_training_stages() {
+        let c = cluster();
+        let mut p = minimal_serving_plan(WorkloadKind::Prefill);
+        p.set_phase(PhaseStage::Backward, 0);
+        p.push(PlanOp::Overhead, &[]);
+        let e = p.validate(&c).unwrap_err();
+        assert!(e.to_string().contains("Backward"));
+    }
+
+    #[test]
+    fn iteration_plan_rejects_kv_append() {
+        let c = cluster();
+        let mut p = IterPlan::new();
+        p.set_phase(PhaseStage::Forward, 0);
+        p.push(
+            PlanOp::KvAppend {
+                gpu: gpu0(),
+                bytes: 1e6,
+            },
+            &[],
+        );
+        let e = p.validate(&c).unwrap_err();
+        assert!(e.to_string().contains("serving phase"));
+    }
+
+    #[test]
+    fn decode_plan_orders_micro_as_decode_step() {
+        let c = cluster();
+        let mut p = minimal_serving_plan(WorkloadKind::Decode);
+        // A second decode step rides in the same plan as micro=1.
+        p.set_phase(PhaseStage::Decode, 1);
+        let fwd = p.push(
+            PlanOp::LayerCompute {
+                gpu: gpu0(),
+                flops: 1e12,
+                label: "gemm",
+            },
+            &[],
+        );
+        p.push(
+            PlanOp::KvAppend {
+                gpu: gpu0(),
+                bytes: 2e6,
+            },
+            &[fwd],
+        );
+        assert!(p.validate(&c).is_ok());
+        assert_eq!(p.kv_append_bytes(), 3e6);
     }
 }

@@ -10,7 +10,7 @@
 //!   charged (relaunch delay, attempt budget);
 //! * [`CheckpointSink`] — where snapshots land (host DRAM or striped
 //!   NVMe volumes via an [`InfinityPlacement`]);
-//! * [`plan_checkpoint`] / [`plan_restore`] — [`PlanKind::Checkpoint`]
+//! * [`plan_checkpoint`] / [`plan_restore`] — [`WorkloadKind::Checkpoint`]
 //!   plans emitting the per-rank snapshot traffic, lowered once and run
 //!   by the core engine between iterations.
 //!
@@ -21,7 +21,7 @@
 use zerosim_hw::{IoDir, MemLoc};
 
 use crate::builders::{IterCtx, PlanCtx};
-use crate::plan::{IterPlan, PlanKind};
+use crate::plan::{IterPlan, WorkloadKind};
 use crate::zero::InfinityPlacement;
 
 /// How a resilient run checkpoints and recovers from node loss.
@@ -192,7 +192,7 @@ fn plan_state_movement(ctx: &IterCtx<'_>, sink: &CheckpointSink, dir: Direction)
     }
     p.barrier(&joins);
     let plan = p.finish();
-    debug_assert_eq!(plan.kind(), PlanKind::Checkpoint);
+    debug_assert_eq!(plan.kind(), WorkloadKind::Checkpoint);
     plan
 }
 
@@ -240,7 +240,7 @@ mod tests {
             calib: &k,
         };
         let plan = plan_checkpoint(&ctx, &CheckpointSink::Dram);
-        assert_eq!(plan.kind(), PlanKind::Checkpoint);
+        assert_eq!(plan.kind(), WorkloadKind::Checkpoint);
         // One d2h per rank plus the commit barrier.
         assert_eq!(plan.len(), o.num_gpus(&c) + 1);
         plan.validate(&c).unwrap();

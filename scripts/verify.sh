@@ -27,6 +27,11 @@
 #                   golden config's analytic interval must beat both the
 #                   2x and 0.5x cadence on ensemble goodput, with
 #                   digests byte-identical at --workers 1 vs 4
+#  11. servesim:    serving gate: TTFT/TPOT scorecard on the three
+#                   golden deployments plus the decode regime sweep
+#                   (BENCH_serve.json) — the in-binary sanity verdict
+#                   must hold and digests must be byte-identical at
+#                   --workers 1 vs 4
 #
 # The workspace must never require network/registry access; everything
 # external was replaced by crates/testkit (see DESIGN.md, "Testing
@@ -204,5 +209,33 @@ if [ -z "$FP1" ] || [ "$FP1" != "$FP4" ]; then
 fi
 echo "fleetplan scorecard: $YD_WINS/3 Young/Daly wins," \
   "$(grep -o '"ensemble_digest":"[0-9a-f]*"' BENCH_fleet.json)"
+
+echo "== servesim gate: serving latencies sane, width-invariant =="
+# The TTFT/TPOT scorecard on the three golden serving deployments (dense
+# 1-node, dense 2-node, NVMe-streamed) plus the decode regime sweep.
+# `sane` is computed in-binary: every request completes, percentiles are
+# ordered, the (batch x KV-bucket) plan cache hits, dense TTFT exceeds
+# dense TPOT, and NVMe streaming costs first-token latency over dense.
+cargo run --release -q -p zerosim-bench --bin servesim -- \
+  --bench BENCH_serve.json >/dev/null
+if ! grep -q '"sane":true' BENCH_serve.json; then
+  echo "ERROR: BENCH_serve.json does not report sane:true" >&2
+  exit 1
+fi
+# Serving digests must be byte-identical at any --workers width.
+cargo run --release -q -p zerosim-bench --bin servesim -- \
+  --workers 4 --bench "$SWEEP_TMP/serve4.json" >/dev/null
+SV1="$(grep -o '"serve_digest":"[0-9a-f]*"' BENCH_serve.json)"
+SV4="$(grep -o '"serve_digest":"[0-9a-f]*"' "$SWEEP_TMP/serve4.json")"
+if [ -z "$SV1" ] || [ "$SV1" != "$SV4" ]; then
+  echo "ERROR: servesim digests differ between --workers 1 and --workers 4" >&2
+  echo "  serial: $SV1  fanned: $SV4" >&2
+  exit 1
+fi
+# Trace sampling and the golden deployments must also replay identically
+# across runs and widths (tests/serve_determinism.rs).
+cargo test -q --test serve_determinism
+echo "servesim scorecard: $SV1," \
+  "$(grep -o '"nvme_ttft_ratio":[0-9.]*' BENCH_serve.json)"
 
 echo "VERIFY OK"

@@ -27,7 +27,7 @@ use zerosim_model::GptConfig;
 use zerosim_simkit::{FaultKind, FaultSchedule};
 use zerosim_strategies::{
     Calibration, InfinityPlacement, IterCtx, IterPlan, MemoryPlan, OptimizerDevice, PhaseStage,
-    PlanOp, Strategy, StrategyPlan, TrainOptions, ZeroStage,
+    PlanOp, ServingStrategy, Strategy, StrategyPlan, TrainOptions, WorkloadPlan, ZeroStage,
 };
 use zerosim_testkit::gen::usize_range;
 use zerosim_testkit::{prop, prop_assert};
@@ -372,6 +372,220 @@ fn zl007_events_past_the_horizon_are_advisory_only() {
     assert_eq!(d.code, LintCode::FaultSchedule);
     assert_eq!(d.site, Site::FaultEvent(0));
     assert!(d.message.contains("never fires"), "{}", d.message);
+}
+
+// ---------- serving workloads (Prefill/Decode plans) ----------
+
+/// A hand-built decode-step plan: token h2d, one forward GEMM, the KV
+/// append, and the sampled-token d2h. `wire_kv_to_compute` controls
+/// whether the KV append depends on the forward compute (legal) or only
+/// on the input staging (a decode-effect ordering violation).
+fn decode_fixture(kv_bytes: f64, wire_kv_to_compute: bool) -> WorkloadPlan {
+    let mut plan = IterPlan::new_decode();
+    let h2d = plan.push(
+        PlanOp::TierTransfer {
+            src: cpu0(),
+            dst: MemLoc::Gpu(g0()),
+            bytes: 16.0,
+            label: "token_h2d",
+            track: 0,
+        },
+        &[],
+    );
+    plan.set_phase(PhaseStage::Decode, 0);
+    let gemm = plan.push(
+        PlanOp::LayerCompute {
+            gpu: g0(),
+            flops: 1e12,
+            label: "gemm",
+        },
+        &[h2d],
+    );
+    let kv_dep = if wire_kv_to_compute { gemm } else { h2d };
+    let kv = plan.push(
+        PlanOp::KvAppend {
+            gpu: g0(),
+            bytes: kv_bytes,
+        },
+        &[kv_dep],
+    );
+    plan.push(
+        PlanOp::TierTransfer {
+            src: MemLoc::Gpu(g0()),
+            dst: cpu0(),
+            bytes: 16.0,
+            label: "token_d2h",
+            track: 0,
+        },
+        &[gemm, kv],
+    );
+    plan
+}
+
+fn serving_memory(per_gpu: f64) -> MemoryPlan {
+    MemoryPlan {
+        per_gpu_bytes: per_gpu,
+        total_gpu_bytes: per_gpu * 4.0,
+        per_node_cpu_bytes: 100e9,
+        total_cpu_bytes: 100e9,
+        nvme_bytes: 0.0,
+        gpu_breakdown: Vec::new(),
+    }
+}
+
+#[test]
+fn zl001_counts_kv_cache_growth_as_residency() {
+    let cluster = default_cluster();
+    // 30 GB of resident weights fit a 40 GB A100; a 15 GB KV cache on
+    // top is a static OOM the simulator would never see (KvAppend is
+    // zero-duration), so ZL001 must deny it.
+    let plan = decode_fixture(15e9, true);
+    let memory = serving_memory(30e9);
+    let r = lint(
+        &Artifacts::new(&cluster)
+            .with_plan(&plan)
+            .with_memory(&memory),
+    );
+    assert_eq!(r.deny_count(), 1, "{}", r.render_text());
+    let d = &r.diagnostics[0];
+    assert_eq!(d.code, LintCode::MemoryResidency);
+    assert!(d.message.contains("HBM"), "{}", d.message);
+    assert!(d.help.contains("KV cache"), "{}", d.help);
+    let v = r.memory.expect("verdict recorded");
+    assert_eq!(v.kv_growth, 15e9);
+    assert!(!v.fits || v.per_gpu_resident + v.kv_growth > v.gpu_capacity);
+
+    // The same batch with a small cache is clean — and the verdict
+    // carries the growth either way.
+    let plan = decode_fixture(1e9, true);
+    let r = lint(
+        &Artifacts::new(&cluster)
+            .with_plan(&plan)
+            .with_memory(&memory),
+    );
+    assert_eq!(r.deny_count(), 0, "{}", r.render_text());
+    assert_eq!(r.memory.expect("verdict").kv_growth, 1e9);
+}
+
+#[test]
+fn zl003_decode_effect_must_depend_on_that_steps_compute() {
+    let cluster = default_cluster();
+    // KV append wired to the input staging instead of the forward
+    // compute: the cache write would commit before the step computed it.
+    let plan = decode_fixture(1e9, false);
+    let memory = serving_memory(10e9);
+    let r = lint(
+        &Artifacts::new(&cluster)
+            .with_plan(&plan)
+            .with_memory(&memory),
+    );
+    assert_eq!(r.diagnostics.len(), 1, "{}", r.render_text());
+    let d = &r.diagnostics[0];
+    assert_eq!(d.code, LintCode::PhaseOrdering);
+    assert_eq!(d.severity, Severity::Deny);
+    assert_eq!(d.site, Site::PlanOp(2));
+    assert!(
+        d.message
+            .contains("does not depend on that step's forward compute"),
+        "{}",
+        d.message
+    );
+}
+
+#[test]
+fn zl005_kv_append_is_a_legal_sink_in_serving_phases() {
+    let cluster = default_cluster();
+    // Reorder so the KV append is dependent-less (token d2h hangs off
+    // the compute only): the cache write *is* the effect, ZL005 stays
+    // silent exactly as it does for checkpoint write-backs.
+    let mut plan = IterPlan::new_decode();
+    plan.set_phase(PhaseStage::Decode, 0);
+    let gemm = plan.push(
+        PlanOp::LayerCompute {
+            gpu: g0(),
+            flops: 1e12,
+            label: "gemm",
+        },
+        &[],
+    );
+    plan.push(
+        PlanOp::KvAppend {
+            gpu: g0(),
+            bytes: 1e9,
+        },
+        &[gemm],
+    );
+    plan.push(
+        PlanOp::TierTransfer {
+            src: MemLoc::Gpu(g0()),
+            dst: cpu0(),
+            bytes: 16.0,
+            label: "token_d2h",
+            track: 0,
+        },
+        &[gemm],
+    );
+    let memory = serving_memory(10e9);
+    let r = lint(
+        &Artifacts::new(&cluster)
+            .with_plan(&plan)
+            .with_memory(&memory),
+    );
+    assert_eq!(r.deny_count(), 0, "{}", r.render_text());
+    assert_eq!(r.warning_count(), 0, "{}", r.render_text());
+}
+
+/// Both serving strategies' prefill and decode plans lint completely
+/// clean through the full default pass suite — the serving analogue of
+/// `every_golden_config_lints_clean`.
+#[test]
+fn serving_strategy_plans_lint_clean() {
+    let model = GptConfig::paper_model_with_params(1.4);
+    let calib = Calibration::default();
+    let opts = TrainOptions::single_node();
+    let mut cluster = default_cluster();
+    let d = |drive| NvmeId { node: 0, drive };
+    let vol = cluster.create_volume(vec![d(0), d(1)]);
+    let strategies = [
+        ServingStrategy::Dense,
+        ServingStrategy::NvmeStreamed {
+            placement: InfinityPlacement::new(vec![vol]),
+        },
+    ];
+    for strategy in &strategies {
+        let ctx = IterCtx {
+            cluster: &cluster,
+            model: &model,
+            opts: &opts,
+            calib: &calib,
+        };
+        let memory = strategy.plan_memory(&ctx);
+        let prefill = strategy.plan_prefill(&ctx, 512, 4).unwrap();
+        let decode = strategy.plan_decode(&ctx, 0, 4, 640).unwrap();
+        for (what, plan) in [("prefill", &prefill), ("decode", &decode)] {
+            plan.validate(&cluster).unwrap();
+            let r = lint(
+                &Artifacts::new(&cluster)
+                    .with_plan(plan)
+                    .with_memory(&memory),
+            );
+            assert_eq!(
+                r.deny_count(),
+                0,
+                "{} {what}:\n{}",
+                strategy.display_name(),
+                r.render_text()
+            );
+            assert_eq!(
+                r.warning_count(),
+                0,
+                "{} {what}:\n{}",
+                strategy.display_name(),
+                r.render_text()
+            );
+            assert!(r.memory.expect("ZL001 ran").kv_growth > 0.0);
+        }
+    }
 }
 
 // ---------- 2. self application: the golden matrix lints clean ----------

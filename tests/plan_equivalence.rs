@@ -192,6 +192,106 @@ fn registry_covers_the_paper_matrix_and_all_plans_validate() {
     }
 }
 
+// ---------- golden-dozen digest pin across the workload-IR refactor ----------
+
+/// Digests of all 12 paper configurations × jitter seeds {0, 1, 7, 42},
+/// captured from the pre-`WorkloadKind` (v0.9.0, `PlanKind`-era) code.
+/// The generalization of the plan IR to serving workloads must be
+/// observationally invisible to training: every one of these 48 numbers
+/// has to keep reproducing byte-identically.
+const GOLDEN_DIGESTS: [(u64, &str, u64); 48] = [
+    (0, "golden-00 PyTorch DDP 1n", 0x1dc0034c5881c635),
+    (0, "golden-01 PyTorch DDP 2n", 0x4467c7b443b880b3),
+    (0, "golden-02 Megatron-LM (MP=4) 1n", 0xd1fa8dd0bdd6e35d),
+    (0, "golden-03 Megatron-LM (MP=8) 2n", 0xad049396e9fe98f0),
+    (
+        0,
+        "golden-04 Megatron-LM (TP=4,PP=2) 2n",
+        0xbf40502f8d642ff8,
+    ),
+    (0, "golden-05 ZeRO-1 1n", 0x0895303659084461),
+    (0, "golden-06 ZeRO-2 1n", 0xbddcc5ce52a0da37),
+    (0, "golden-07 ZeRO-3 1n", 0x12b5a755d29601d5),
+    (0, "golden-08 ZeRO-3 2n", 0x857688ce45f1c8e1),
+    (0, "golden-09 ZeRO-2 (CPU) 1n", 0xa3ed7e9eb7dc4233),
+    (0, "golden-10 ZeRO-3 (CPU opt+param) 1n", 0x813df1c82aa43b22),
+    (0, "golden-11 ZeRO-Infinity 1n", 0xa99ac6f1fb2d08fd),
+    (1, "golden-00 PyTorch DDP 1n", 0x822870bf4929cde6),
+    (1, "golden-01 PyTorch DDP 2n", 0xfaf158bc72b0c8e1),
+    (1, "golden-02 Megatron-LM (MP=4) 1n", 0xd1251311f1ac64f5),
+    (1, "golden-03 Megatron-LM (MP=8) 2n", 0xd1e4ca285077dcba),
+    (
+        1,
+        "golden-04 Megatron-LM (TP=4,PP=2) 2n",
+        0x25a8a41ba5bfeec7,
+    ),
+    (1, "golden-05 ZeRO-1 1n", 0xc5e139c3f320140e),
+    (1, "golden-06 ZeRO-2 1n", 0x39f07a2a67c06880),
+    (1, "golden-07 ZeRO-3 1n", 0x80315faa6442522e),
+    (1, "golden-08 ZeRO-3 2n", 0x2dbc5be2960c17e8),
+    (1, "golden-09 ZeRO-2 (CPU) 1n", 0xc432f7a8924ce20e),
+    (1, "golden-10 ZeRO-3 (CPU opt+param) 1n", 0x2842190395ca10d3),
+    (1, "golden-11 ZeRO-Infinity 1n", 0xdc4ca018e7530e9e),
+    (7, "golden-00 PyTorch DDP 1n", 0xea6b9e67fcd1647b),
+    (7, "golden-01 PyTorch DDP 2n", 0x566b235e36949768),
+    (7, "golden-02 Megatron-LM (MP=4) 1n", 0x99acf0009f2d2492),
+    (7, "golden-03 Megatron-LM (MP=8) 2n", 0x87e6fda2a960d07d),
+    (
+        7,
+        "golden-04 Megatron-LM (TP=4,PP=2) 2n",
+        0x3d80a997dbbbca44,
+    ),
+    (7, "golden-05 ZeRO-1 1n", 0x82beed4406351fb8),
+    (7, "golden-06 ZeRO-2 1n", 0x17a1d476ad98bf76),
+    (7, "golden-07 ZeRO-3 1n", 0x48e66b2a8b79aa17),
+    (7, "golden-08 ZeRO-3 2n", 0x651bdfe9c90bcac0),
+    (7, "golden-09 ZeRO-2 (CPU) 1n", 0xf287ed6c22ea71e8),
+    (7, "golden-10 ZeRO-3 (CPU opt+param) 1n", 0xd44534cbeecc133c),
+    (7, "golden-11 ZeRO-Infinity 1n", 0x18459d416e191113),
+    (42, "golden-00 PyTorch DDP 1n", 0xee92fe76d5e8e48d),
+    (42, "golden-01 PyTorch DDP 2n", 0xfe79046d0124e3db),
+    (42, "golden-02 Megatron-LM (MP=4) 1n", 0x0a21de00b9793fdf),
+    (42, "golden-03 Megatron-LM (MP=8) 2n", 0x95f711af9924beac),
+    (
+        42,
+        "golden-04 Megatron-LM (TP=4,PP=2) 2n",
+        0xbd7b8b932ebe8476,
+    ),
+    (42, "golden-05 ZeRO-1 1n", 0xf116644fa48ab7f4),
+    (42, "golden-06 ZeRO-2 1n", 0xaae1a9160de590d6),
+    (42, "golden-07 ZeRO-3 1n", 0x0c5f2d02ad7c4544),
+    (42, "golden-08 ZeRO-3 2n", 0xf97a7526848e22a2),
+    (42, "golden-09 ZeRO-2 (CPU) 1n", 0x5c563bdf03ab0c32),
+    (
+        42,
+        "golden-10 ZeRO-3 (CPU opt+param) 1n",
+        0xf04cc5e729b24ede,
+    ),
+    (42, "golden-11 ZeRO-Infinity 1n", 0x4122fcd3e53ce4af),
+];
+
+#[test]
+fn golden_dozen_digests_survive_the_workload_ir_refactor() {
+    let mut it = GOLDEN_DIGESTS.iter();
+    for seed in [0u64, 1, 7, 42] {
+        for mut spec in zerosim_bench::data::golden_specs() {
+            spec.opts.jitter_seed = seed;
+            let run = spec.execute().expect("golden spec runs");
+            let &(want_seed, want_label, want_digest) = it
+                .next()
+                .expect("48 pinned digests cover 4 seeds x 12 configs");
+            assert_eq!(seed, want_seed);
+            assert_eq!(run.label, want_label);
+            assert_eq!(
+                run.report.digest(),
+                want_digest,
+                "digest drifted for {} at seed {seed}",
+                run.label
+            );
+        }
+    }
+}
+
 // ---------- per-family validation properties ----------
 
 prop! {

@@ -1,0 +1,73 @@
+//! Serving runs are deterministic: the golden ext14 deployments (shared
+//! with the `servesim --bench` scorecard via
+//! [`zerosim_bench::experiments::serving::golden_deployments`]) yield the
+//! same ordered label and digest vectors at any worker width, trace
+//! sampling is a pure function of its seed, and re-executing a spec
+//! reproduces its report byte-for-byte — scheduling must never leak into
+//! serving results.
+
+use zerosim_bench::experiments::serving::{golden_deployments, golden_trace};
+use zerosim_core::{ServeRunner, TraceConfig};
+
+#[test]
+fn golden_serving_sweep_is_width_invariant() {
+    let specs = golden_deployments();
+    assert_eq!(specs.len(), 3, "golden serving matrix must stay at 3");
+
+    // Serial execution is the reference ordering.
+    let reference = ServeRunner::new(1)
+        .run_parallel(specs.clone())
+        .expect("golden deployments run");
+    assert_eq!(reference.len(), 3);
+    for run in &reference {
+        assert_eq!(
+            run.report.requests,
+            golden_trace().requests,
+            "{}: every request must complete",
+            run.label
+        );
+    }
+
+    for workers in [2usize, 4] {
+        let runs = ServeRunner::new(workers)
+            .run_parallel(specs.clone())
+            .expect("golden deployments run");
+        let labels: Vec<&str> = runs.iter().map(|r| r.label.as_str()).collect();
+        let expect_labels: Vec<&str> = reference.iter().map(|r| r.label.as_str()).collect();
+        assert_eq!(labels, expect_labels, "ordering broke at {workers} workers");
+        for (run, want) in runs.iter().zip(&reference) {
+            assert_eq!(
+                run.digest, want.digest,
+                "{}: digest changed at {workers} workers",
+                run.label
+            );
+            assert_eq!(run.report, want.report, "{}: report drifted", run.label);
+        }
+    }
+}
+
+#[test]
+fn serve_spec_replays_byte_identically_and_tracks_its_seed() {
+    let spec = &golden_deployments()[0];
+    let a = spec.clone().execute().expect("dense deployment runs");
+    let b = spec.clone().execute().expect("dense deployment runs");
+    assert_eq!(a.digest, b.digest);
+    assert_eq!(a.report, b.report);
+
+    // A different trace seed must change the measurement.
+    let mut reseeded = spec.clone();
+    reseeded.trace.seed ^= 1;
+    let c = reseeded.execute().expect("dense deployment runs");
+    assert_ne!(a.digest, c.digest, "the trace seed must matter");
+}
+
+#[test]
+fn trace_sampling_is_a_pure_function_of_the_config() {
+    let cfg = golden_trace();
+    assert_eq!(cfg.sample(), cfg.sample());
+    let other = TraceConfig {
+        seed: cfg.seed + 1,
+        ..cfg.clone()
+    };
+    assert_ne!(cfg.sample(), other.sample());
+}
