@@ -1,0 +1,27 @@
+use zerosim_core::{ArrivalProcess, ServeSpec, TraceConfig};
+use zerosim_model::GptConfig;
+use zerosim_strategies::{ServingStrategy, TrainOptions};
+
+#[test]
+fn open_loop_serve_terminates_many_seeds() {
+    for seed in 0..20u64 {
+        let trace = TraceConfig {
+            requests: 4,
+            arrivals: ArrivalProcess::Open { rate_rps: 10.0 },
+            prompt_tokens: (64, 128),
+            output_tokens: (4, 8),
+            seed,
+        };
+        let spec = ServeSpec::new(
+            format!("open-{seed}"),
+            ServingStrategy::Dense,
+            GptConfig::paper_model_with_params(1.4),
+            TrainOptions::single_node(),
+            trace,
+        );
+        eprintln!("seed {seed} starting");
+        let run = spec.execute().unwrap();
+        assert_eq!(run.report.requests, 4, "seed {seed}");
+        eprintln!("seed {seed} ok");
+    }
+}
