@@ -26,11 +26,15 @@ pub enum LintCode {
     DagCycle,
     /// ZL007 — fault-schedule sanity.
     FaultSchedule,
+    /// ZL008 — codec legality on transfer ops.
+    CodecLegality,
+    /// ZL009 — static step-time lower bound vs. link ceilings.
+    StepTimeBound,
 }
 
 impl LintCode {
     /// Every registered code, in numeric order.
-    pub const ALL: [LintCode; 7] = [
+    pub const ALL: [LintCode; 9] = [
         LintCode::MemoryResidency,
         LintCode::ByteConservation,
         LintCode::PhaseOrdering,
@@ -38,6 +42,8 @@ impl LintCode {
         LintCode::DeadOps,
         LintCode::DagCycle,
         LintCode::FaultSchedule,
+        LintCode::CodecLegality,
+        LintCode::StepTimeBound,
     ];
 
     /// The stable `ZLxxx` code string.
@@ -50,6 +56,8 @@ impl LintCode {
             LintCode::DeadOps => "ZL005",
             LintCode::DagCycle => "ZL006",
             LintCode::FaultSchedule => "ZL007",
+            LintCode::CodecLegality => "ZL008",
+            LintCode::StepTimeBound => "ZL009",
         }
     }
 
@@ -63,6 +71,8 @@ impl LintCode {
             LintCode::DeadOps => "dead-ops",
             LintCode::DagCycle => "dag-cycle",
             LintCode::FaultSchedule => "fault-schedule",
+            LintCode::CodecLegality => "codec-legality",
+            LintCode::StepTimeBound => "step-time-bound",
         }
     }
 
@@ -85,6 +95,12 @@ impl LintCode {
             LintCode::DagCycle => "dependency cycles and dangling edges in task graphs",
             LintCode::FaultSchedule => {
                 "restore-without-fault, overlapping node loss, events past the horizon"
+            }
+            LintCode::CodecLegality => {
+                "declared codecs: ratio matches dtypes, decode before full-precision use, no double-quantization"
+            }
+            LintCode::StepTimeBound => {
+                "critical-path lower bound on step time at wire speed-of-light vs. protocol ceilings"
             }
         }
     }
@@ -357,6 +373,8 @@ mod tests {
         assert_eq!(LintCode::parse("ZL999"), None);
         assert_eq!(LintCode::MemoryResidency.code(), "ZL001");
         assert_eq!(LintCode::FaultSchedule.code(), "ZL007");
+        assert_eq!(LintCode::CodecLegality.code(), "ZL008");
+        assert_eq!(LintCode::StepTimeBound.code(), "ZL009");
     }
 
     #[test]
@@ -371,7 +389,7 @@ mod tests {
         cfg.apply_directive("dead-ops=warn").unwrap();
         assert_eq!(cfg.level(LintCode::DeadOps), LintLevel::Warn);
         assert!(cfg.apply_directive("ZL001").is_err());
-        assert!(cfg.apply_directive("ZL009=deny").is_err());
+        assert!(cfg.apply_directive("ZL099=deny").is_err());
         assert!(cfg.apply_directive("ZL001=loud").is_err());
     }
 

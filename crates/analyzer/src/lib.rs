@@ -8,7 +8,7 @@
 //! stops fitting — *statically decidable* before a single simulated
 //! flow runs. This crate owns that oracle: a Clippy-style diagnostics
 //! framework (stable `ZLxxx` codes, allow/warn/deny levels, text and
-//! JSON renderers) plus seven passes registered in a [`PassManager`]:
+//! JSON renderers) plus nine passes registered in a [`PassManager`]:
 //!
 //! | code  | lint                   | layer          |
 //! |-------|------------------------|----------------|
@@ -19,6 +19,8 @@
 //! | ZL005 | dead-ops               | lowered DAG    |
 //! | ZL006 | dag-cycle              | DAG / graph    |
 //! | ZL007 | fault-schedule         | fault schedule |
+//! | ZL008 | codec-legality         | plan           |
+//! | ZL009 | step-time-bound        | DAG + calib    |
 //!
 //! ```
 //! use zerosim_analyzer::{analyze_strategy, LintConfig};
@@ -55,10 +57,11 @@ pub use diag::{Diagnostic, LintCode, LintConfig, LintLevel, Severity, Site};
 pub use graph::{Ancestors, GraphView};
 pub use pass::{
     AnalysisReport, Artifacts, BoundKind, LinkVerdict, MemoryVerdict, Pass, PassManager, Sink,
+    StepTimeBound,
 };
 pub use passes::{
-    BandwidthFeasibilityPass, ByteConservationPass, DagCyclePass, DeadOpsPass, FaultSchedulePass,
-    MemoryResidencyPass, PhaseOrderingPass,
+    BandwidthFeasibilityPass, ByteConservationPass, CodecLegalityPass, DagCyclePass, DeadOpsPass,
+    FaultSchedulePass, MemoryResidencyPass, PhaseOrderingPass, StepTimeBoundPass,
 };
 
 use zerosim_hw::Cluster;
@@ -97,7 +100,8 @@ pub fn analyze_strategy(
     let art = Artifacts::new(cluster)
         .with_plan(&plan)
         .with_memory(&memory)
-        .with_dag(lowered.dag());
+        .with_dag(lowered.dag())
+        .with_calibration(calib);
     Ok(pm.run(&art))
 }
 

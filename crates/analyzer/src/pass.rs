@@ -4,7 +4,7 @@
 
 use zerosim_hw::Cluster;
 use zerosim_simkit::{Dag, FaultSchedule};
-use zerosim_strategies::{IterPlan, MemoryPlan};
+use zerosim_strategies::{Calibration, IterPlan, MemoryPlan};
 use zerosim_testkit::json::Json;
 
 use crate::diag::{Diagnostic, LintCode, LintConfig, LintLevel, Severity, Site};
@@ -30,6 +30,9 @@ pub struct Artifacts<'a> {
     pub faults: Option<&'a FaultSchedule>,
     /// Simulation horizon in seconds; fault events past it never fire.
     pub horizon_s: Option<f64>,
+    /// The calibration used to lower the plan (ZL009 prices compute at
+    /// the calibrated un-jittered kernel times).
+    pub calib: Option<&'a Calibration>,
 }
 
 impl<'a> Artifacts<'a> {
@@ -43,6 +46,7 @@ impl<'a> Artifacts<'a> {
             graph: None,
             faults: None,
             horizon_s: None,
+            calib: None,
         }
     }
 
@@ -85,6 +89,13 @@ impl<'a> Artifacts<'a> {
     #[must_use]
     pub fn with_horizon_s(mut self, horizon_s: f64) -> Self {
         self.horizon_s = Some(horizon_s);
+        self
+    }
+
+    /// Attaches the lowering calibration.
+    #[must_use]
+    pub fn with_calibration(mut self, calib: &'a Calibration) -> Self {
+        self.calib = Some(calib);
         self
     }
 }
@@ -217,6 +228,40 @@ impl LinkVerdict {
     }
 }
 
+/// Static step-time lower bound computed by ZL009.
+///
+/// Both bounds walk the lowered DAG's longest path. `wire_sol_s` prices
+/// every transfer at the physical wire rate of its slowest hop (a
+/// speed-of-light floor no schedule can beat); `protocol_s` additionally
+/// applies each transfer's per-flow protocol cap, so it is the tighter
+/// bound and the one compared against simulated iteration time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepTimeBound {
+    /// Longest-path time with transfers at wire speed-of-light.
+    pub wire_sol_s: f64,
+    /// Longest-path time with per-flow protocol caps applied.
+    pub protocol_s: f64,
+    /// Tasks on the protocol-bound critical path.
+    pub critical_tasks: usize,
+    /// Seconds of the protocol-bound path spent in transfers.
+    pub transfer_s: f64,
+    /// Seconds of the protocol-bound path spent in compute and delays.
+    pub compute_s: f64,
+}
+
+impl StepTimeBound {
+    /// Machine-readable form.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("wire_sol_s".into(), Json::Num(self.wire_sol_s)),
+            ("protocol_s".into(), Json::Num(self.protocol_s)),
+            ("critical_tasks".into(), Json::Num(num(self.critical_tasks))),
+            ("transfer_s".into(), Json::Num(self.transfer_s)),
+            ("compute_s".into(), Json::Num(self.compute_s)),
+        ])
+    }
+}
+
 #[allow(clippy::cast_precision_loss)]
 fn num(i: usize) -> f64 {
     i as f64
@@ -230,6 +275,7 @@ pub struct Sink<'c> {
     suppressed: usize,
     memory: Option<MemoryVerdict>,
     links: Vec<LinkVerdict>,
+    bound: Option<StepTimeBound>,
 }
 
 impl<'c> Sink<'c> {
@@ -240,6 +286,7 @@ impl<'c> Sink<'c> {
             suppressed: 0,
             memory: None,
             links: Vec::new(),
+            bound: None,
         }
     }
 
@@ -303,6 +350,11 @@ impl<'c> Sink<'c> {
     pub fn push_link_verdict(&mut self, v: LinkVerdict) {
         self.links.push(v);
     }
+
+    /// Records the ZL009 step-time bound for the report.
+    pub fn set_step_bound(&mut self, b: StepTimeBound) {
+        self.bound = Some(b);
+    }
 }
 
 /// One static analysis over some artifact layer.
@@ -325,6 +377,8 @@ pub struct AnalysisReport {
     pub memory: Option<MemoryVerdict>,
     /// ZL004's per-link classification, when the pass ran.
     pub links: Vec<LinkVerdict>,
+    /// ZL009's static step-time lower bound, when the pass ran.
+    pub bound: Option<StepTimeBound>,
 }
 
 impl AnalysisReport {
@@ -399,6 +453,13 @@ impl AnalysisReport {
                 "links".into(),
                 Json::Arr(self.links.iter().map(LinkVerdict::to_json).collect()),
             ),
+            (
+                "bound".into(),
+                match &self.bound {
+                    Some(b) => b.to_json(),
+                    None => Json::Null,
+                },
+            ),
         ])
     }
 }
@@ -419,7 +480,7 @@ impl PassManager {
         }
     }
 
-    /// A manager with every in-tree pass (ZL001–ZL007) registered.
+    /// A manager with every in-tree pass (ZL001–ZL009) registered.
     pub fn with_default_passes(config: LintConfig) -> Self {
         let mut pm = PassManager::new(config);
         for pass in crate::passes::default_passes() {
@@ -459,6 +520,7 @@ impl PassManager {
             suppressed: sink.suppressed,
             memory: sink.memory,
             links: sink.links,
+            bound: sink.bound,
         }
     }
 }
@@ -510,10 +572,10 @@ mod tests {
     }
 
     #[test]
-    fn default_manager_registers_all_seven_passes() {
+    fn default_manager_registers_all_nine_passes() {
         let pm = PassManager::with_default_passes(LintConfig::new());
         let codes = pm.pass_codes();
-        assert_eq!(codes.len(), 7);
+        assert_eq!(codes.len(), 9);
         for c in LintCode::ALL {
             assert!(codes.contains(&c), "missing pass {c}");
         }
@@ -529,5 +591,6 @@ mod tests {
         assert!(j.contains("\"diagnostics\""));
         assert!(j.contains("\"deny\""));
         assert!(j.contains("\"links\""));
+        assert!(j.contains("\"bound\""));
     }
 }

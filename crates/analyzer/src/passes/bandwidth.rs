@@ -12,6 +12,12 @@
 //!
 //! Deny findings are *infeasibilities*: endpoints with no modeled path,
 //! off-cluster collective ranks, or demand across a zero-capacity link.
+//!
+//! Codec-aware pricing: ops carrying a declared
+//! [`zerosim_strategies::Codec`] put only `bytes x ratio` on the wire, so
+//! demand is accumulated at the encoded size — this is how a qwZ/qgZ
+//! plan's statically-reported inter-node volume drops below plain
+//! ZeRO-3's without any change to the payload semantics.
 
 use std::collections::HashMap;
 
@@ -93,6 +99,8 @@ impl Pass for BandwidthFeasibilityPass {
         let mut loads: HashMap<LinkId, Load> = HashMap::new();
 
         for (i, node) in plan.nodes().iter().enumerate() {
+            // Declared codecs shrink the wire volume to the encoded size.
+            let ratio = plan.codec_ratio_at(i);
             match &node.op {
                 PlanOp::Collective {
                     kind,
@@ -118,7 +126,7 @@ impl Pass for BandwidthFeasibilityPass {
                     let order = group.ring_order();
                     let rings = group.ring_count().max(1);
                     #[allow(clippy::cast_precision_loss)]
-                    let per_ring = kind.bytes_sent_per_rank(n, *bytes) / rings as f64;
+                    let per_ring = kind.bytes_sent_per_rank(n, *bytes * ratio) / rings as f64;
                     for w in 0..n {
                         let (a, b) = (order[w], order[(w + 1) % n]);
                         for ring in 0..rings {
@@ -131,7 +139,8 @@ impl Pass for BandwidthFeasibilityPass {
                     src, dst, bytes, ..
                 } => match cluster.try_route(*src, *dst) {
                     Ok(route) => {
-                        add_route(&mut loads, cluster, &route.links, bytes.max(1.0), route.cap);
+                        let wire_bytes = (bytes * ratio).max(1.0);
+                        add_route(&mut loads, cluster, &route.links, wire_bytes, route.cap);
                     }
                     Err(e) => sink.report(
                         LintCode::BandwidthFeasibility,
@@ -149,7 +158,7 @@ impl Pass for BandwidthFeasibilityPass {
                 } => match cluster.try_volume_io_routes(*volume, *socket, *dir) {
                     Ok(routes) => {
                         #[allow(clippy::cast_precision_loss)]
-                        let per_drive = (bytes / routes.len().max(1) as f64).max(1.0);
+                        let per_drive = (bytes * ratio / routes.len().max(1) as f64).max(1.0);
                         for route in &routes {
                             add_route(&mut loads, cluster, &route.links, per_drive, route.cap);
                         }

@@ -12,6 +12,17 @@
 //! GPU-sourced transfers are exempt (compute materializes activations
 //! and gradients), as are same-node host-to-host copies (the input
 //! pipeline's `host_prep` stages fresh batch bytes from the data loader).
+//!
+//! Codec-aware accounting: an op's `bytes` field is the full-precision
+//! payload, but a declared [`zerosim_strategies::Codec`] means only
+//! `bytes x ratio` encoded bytes actually move — pools are debited and
+//! credited at the encoded size. The dual obligation: every `dequant`
+//! marker asserts its inputs are encoded bytes, so some transfer-class
+//! ancestor must *declare* the narrowing codec. Without the declaration
+//! the decode consumes quantized bytes nobody produced — the deny is
+//! sited at the nearest transfer ancestor (exactly the op whose codec
+//! annotation is missing), which is what separates ZeRO++-style
+//! quantization from a silent byte loss.
 
 use std::collections::HashSet;
 
@@ -64,12 +75,14 @@ impl Pass for ByteConservationPass {
         );
 
         // Every op that moves bytes *into* a pool, with its plan index.
+        // Declared codecs shrink the staged volume to the encoded size.
         let mut producers: Vec<(usize, Pool, f64)> = Vec::new();
         for (i, n) in nodes.iter().enumerate() {
+            let wire = plan.codec_ratio_at(i);
             match &n.op {
                 PlanOp::TierTransfer { dst, bytes, .. } => match dst {
-                    MemLoc::Cpu(s) => producers.push((i, Pool::Cpu(s.node), *bytes)),
-                    MemLoc::Nvme(_) => producers.push((i, Pool::Nvme, *bytes)),
+                    MemLoc::Cpu(s) => producers.push((i, Pool::Cpu(s.node), *bytes * wire)),
+                    MemLoc::Nvme(_) => producers.push((i, Pool::Nvme, *bytes * wire)),
                     MemLoc::Gpu(_) => {}
                 },
                 PlanOp::VolumeIo {
@@ -77,12 +90,12 @@ impl Pass for ByteConservationPass {
                     socket,
                     bytes,
                     ..
-                } => producers.push((i, Pool::Cpu(socket.node), *bytes)),
+                } => producers.push((i, Pool::Cpu(socket.node), *bytes * wire)),
                 PlanOp::VolumeIo {
                     dir: IoDir::Write,
                     bytes,
                     ..
-                } => producers.push((i, Pool::Nvme, *bytes)),
+                } => producers.push((i, Pool::Nvme, *bytes * wire)),
                 _ => {}
             }
         }
@@ -97,6 +110,7 @@ impl Pass for ByteConservationPass {
         let mut reported: HashSet<Pool> = HashSet::new();
 
         for (i, n) in nodes.iter().enumerate() {
+            let wire = plan.codec_ratio_at(i);
             let consumed: Option<(Pool, f64)> = match &n.op {
                 PlanOp::TierTransfer {
                     src: MemLoc::Cpu(s),
@@ -133,6 +147,7 @@ impl Pass for ByteConservationPass {
             let Some((pool, bytes)) = consumed else {
                 continue;
             };
+            let bytes = bytes * wire;
             let credit = match pool {
                 Pool::Cpu(_) => cpu_credit,
                 Pool::Nvme => nvme_credit,
@@ -156,6 +171,61 @@ impl Pass for ByteConservationPass {
                         gb(credit + produced)
                     ),
                     "add the producing transfer (or a dependency on it) before this op".to_string(),
+                );
+            }
+        }
+
+        // Decode-without-encoder: a `dequant` marker consumes encoded
+        // bytes, so some transfer-class ancestor must declare a narrowing
+        // codec. The deny is sited at the nearest transfer ancestor —
+        // exactly the op whose codec declaration went missing.
+        let mut reported_ops: HashSet<usize> = HashSet::new();
+        for (i, n) in nodes.iter().enumerate() {
+            let PlanOp::FixedCompute { label, .. } = &n.op else {
+                continue;
+            };
+            if !label.starts_with("dequant") {
+                continue;
+            }
+            let mut nearest_transfer: Option<usize> = None;
+            let mut has_encoder = false;
+            for (p, pn) in nodes.iter().enumerate() {
+                if p == i || !anc.is_ancestor(p, i) {
+                    continue;
+                }
+                let transfer_class = matches!(
+                    pn.op,
+                    PlanOp::Collective { .. } | PlanOp::TierTransfer { .. }
+                );
+                if !transfer_class {
+                    continue;
+                }
+                if nearest_transfer.is_none_or(|best| p > best) {
+                    nearest_transfer = Some(p);
+                }
+                if plan
+                    .codec_at(p)
+                    .is_some_and(zerosim_strategies::Codec::is_narrowing)
+                {
+                    has_encoder = true;
+                    break;
+                }
+            }
+            if has_encoder {
+                continue;
+            }
+            let site_op = nearest_transfer.unwrap_or(i);
+            if reported_ops.insert(site_op) {
+                sink.report(
+                    LintCode::ByteConservation,
+                    Site::PlanOp(site_op),
+                    format!(
+                        "dequantize marker at op {i} has no ancestor transfer declaring \
+                         a narrowing codec: the decoded bytes were never produced"
+                    ),
+                    "declare the codec on the quantized transfer (set_codec) or drop \
+                     the decode marker"
+                        .to_string(),
                 );
             }
         }

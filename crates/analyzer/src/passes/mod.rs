@@ -1,22 +1,26 @@
 //! The in-tree passes, one module per artifact-layer analysis.
 
 mod bandwidth;
+mod codec;
 mod conservation;
 mod dag;
 mod faults;
 mod memory;
 mod ordering;
+mod steptime;
 
 pub use bandwidth::BandwidthFeasibilityPass;
+pub use codec::CodecLegalityPass;
 pub use conservation::ByteConservationPass;
 pub use dag::{DagCyclePass, DeadOpsPass};
 pub use faults::FaultSchedulePass;
 pub use memory::MemoryResidencyPass;
 pub use ordering::PhaseOrderingPass;
+pub use steptime::StepTimeBoundPass;
 
 use crate::pass::Pass;
 
-/// Every in-tree pass (ZL001–ZL007), in code order.
+/// Every in-tree pass (ZL001–ZL009), in code order.
 pub(crate) fn default_passes() -> Vec<Box<dyn Pass>> {
     vec![
         Box::new(MemoryResidencyPass),
@@ -26,5 +30,7 @@ pub(crate) fn default_passes() -> Vec<Box<dyn Pass>> {
         Box::new(DeadOpsPass),
         Box::new(DagCyclePass),
         Box::new(FaultSchedulePass),
+        Box::new(CodecLegalityPass),
+        Box::new(StepTimeBoundPass),
     ]
 }

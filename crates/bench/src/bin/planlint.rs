@@ -7,6 +7,8 @@
 //! planlint [--json] [--level CODE=LEVEL]... [--nodes N | --topology SPEC] golden
 //! planlint [--json] [--level CODE=LEVEL]... [--nodes N | --topology SPEC] <strategy>...
 //! planlint list
+//! planlint zl008-selfcheck
+//! planlint --bench FILE
 //! ```
 //!
 //! * `golden` lints the paper's full strategy matrix (the 12 golden
@@ -21,17 +23,38 @@
 //!   `pods:<pods>x<islands>x<gpus>:<pod>:<spine>` — spanning all its
 //!   nodes (overrides `--nodes`).
 //! * `--level ZLxxx=allow|warn|deny` overrides a lint's level.
+//! * `zl008-selfcheck` seeds a deliberately illegal codec plan and
+//!   verifies ZL008 catches it, exiting 2 with the ZL008 findings — the
+//!   verify.sh gate asserts that exact exit code, so a silent analyzer
+//!   regression cannot masquerade as a clean run.
+//! * `--bench FILE` writes ZL009 static step-time bounds next to the
+//!   simulated iteration times (seeds 0/1/7/42) for every golden and
+//!   ZeRO++ config into FILE, with an `all_bounds_hold` verdict.
 //!
 //! Exit status: 0 when no deny-level findings, 1 when any config has
-//! deny findings, 2 on usage errors.
+//! deny findings, 2 on usage errors (and, deliberately, for the caught
+//! `zl008-selfcheck` violation).
+//!
+//! JSON output is versioned: the top level is an object with a
+//! `schema_version` field and the per-config reports under `configs`.
 
-use zerosim_analyzer::{analyze_strategy, AnalysisReport, LintConfig};
-use zerosim_hw::{Cluster, ClusterSpec, NvmeId, TopologySpec};
+use zerosim_analyzer::{analyze_strategy, AnalysisReport, Artifacts, LintConfig, PassManager};
+use zerosim_collectives::{CollectiveKind, CommGroup};
+use zerosim_core::{RunConfig, TrainingSim};
+use zerosim_hw::{Cluster, ClusterSpec, GpuId, NvmeId, TopologySpec};
 use zerosim_model::GptConfig;
 use zerosim_strategies::{
-    Calibration, InfinityPlacement, Strategy, StrategyRegistry, TrainOptions, ZeroStage,
+    Calibration, Codec, Dtype, InfinityPlacement, IterPlan, PhaseStage, PlanOp, Strategy,
+    StrategyRegistry, TrainOptions, ZeroStage,
 };
 use zerosim_testkit::json::Json;
+
+/// Version of the `--json` (and `--bench`) output shape. Bump on any
+/// structural change so downstream tooling can pin what it parses.
+const SCHEMA_VERSION: f64 = 2.0;
+
+/// Jitter seeds the `--bench` mode simulates each config under.
+const BENCH_SEEDS: [u64; 4] = [0, 1, 7, 42];
 
 /// One lintable configuration: a strategy on a concrete cluster shape.
 struct Case {
@@ -132,11 +155,27 @@ fn golden_cases() -> Vec<Case> {
     cases
 }
 
+/// The three ZeRO++ strategies on the paper's dual-node testbed — the
+/// configurations whose codec-aware accounting this linter exists to
+/// check.
+fn zeropp_cases() -> Vec<Case> {
+    [Strategy::qwz(), Strategy::hpz(), Strategy::qgz()]
+        .into_iter()
+        .map(|strategy| Case {
+            label: format!("{} @ 2 node(s)", strategy.name()),
+            cluster: cluster_with_nodes(2),
+            strategy,
+            opts: opts_for(2),
+        })
+        .collect()
+}
+
 /// Every strategy `planlint` can lint by name: the paper registry plus
 /// the Megatron shape variants and the NVMe configs the registry leaves
 /// to per-run setup.
 fn lintable_names() -> Vec<String> {
     let mut names: Vec<String> = StrategyRegistry::paper()
+        .with_zeropp()
         .names()
         .into_iter()
         .map(str::to_string)
@@ -190,6 +229,9 @@ fn named_case(name: &str, nodes: usize, topology: Option<&TopologySpec>) -> Opti
             stage: ZeroStage::Three,
             offload_params: true,
         },
+        Strategy::qwz(),
+        Strategy::hpz(),
+        Strategy::qgz(),
     ];
     let strategy = match name {
         "ZeRO-Infinity (NVME opt)" => infinity_on(&mut cluster, false),
@@ -216,6 +258,180 @@ fn lint(case: &Case, config: LintConfig) -> Result<AnalysisReport, String> {
     .map_err(|e| e.to_string())
 }
 
+/// Assembles the versioned `--json` document from per-config reports.
+fn render_json(results: &[(String, AnalysisReport)]) -> Json {
+    Json::Obj(vec![
+        ("schema_version".into(), Json::Num(SCHEMA_VERSION)),
+        (
+            "configs".into(),
+            Json::Arr(
+                results
+                    .iter()
+                    .map(|(label, report)| {
+                        Json::Obj(vec![
+                            ("config".into(), Json::Str(label.clone())),
+                            ("report".into(), report.to_json()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Builds a deliberately illegal codec plan: a quantized all-gather
+/// whose declared ratio contradicts its dtype pair, feeding compute with
+/// no decode in between. ZL008 must deny both.
+fn seeded_codec_violation() -> IterPlan {
+    let mut plan = IterPlan::new();
+    plan.set_phase(PhaseStage::Forward, 0);
+    let g0 = GpuId { node: 0, gpu: 0 };
+    let g1 = GpuId { node: 0, gpu: 1 };
+    let gather = plan.push(
+        PlanOp::Collective {
+            kind: CollectiveKind::AllGather,
+            group: CommGroup::new(vec![g0, g1]),
+            bytes: 1e9,
+            cap: f64::INFINITY,
+        },
+        &[],
+    );
+    let mut codec = Codec::quantize(Dtype::Fp16, Dtype::Int8, 2048);
+    codec.ratio = 0.25; // contradicts Fp16 -> Int8 (0.5)
+    plan.set_codec(gather, codec);
+    plan.push(
+        PlanOp::LayerCompute {
+            gpu: g0,
+            flops: 1e12,
+            label: "gemm",
+        },
+        &[gather],
+    );
+    plan
+}
+
+/// `zl008-selfcheck`: exits 2 when ZL008 catches the seeded violation.
+fn zl008_selfcheck() -> ! {
+    let cluster = cluster_with_nodes(1);
+    let plan = seeded_codec_violation();
+    let pm = PassManager::with_default_passes(LintConfig::new());
+    let report = pm.run(&Artifacts::new(&cluster).with_plan(&plan));
+    let zl008_denies = report
+        .with_code(zerosim_analyzer::LintCode::CodecLegality)
+        .len();
+    if zl008_denies > 0 && !report.is_clean() {
+        print!("{}", report.render_text());
+        eprintln!("zl008-selfcheck: seeded codec violation caught ({zl008_denies} ZL008 findings)");
+        std::process::exit(2);
+    }
+    eprintln!("zl008-selfcheck: FAILED — seeded codec violation was not caught");
+    std::process::exit(1);
+}
+
+/// `--bench FILE`: for every golden and ZeRO++ config, emit the ZL009
+/// static bounds next to simulated iteration times at each bench seed.
+fn bench_bounds(path: &str) -> ! {
+    let mut cases = golden_cases();
+    cases.extend(zeropp_cases());
+    let mut rows: Vec<Json> = Vec::new();
+    let mut all_hold = true;
+    for case in &cases {
+        let report = match lint(case, LintConfig::new()) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("{}: cannot plan/lower: {e}", case.label);
+                std::process::exit(1);
+            }
+        };
+        let Some(bound) = report.bound.clone() else {
+            eprintln!("{}: ZL009 emitted no bound", case.label);
+            std::process::exit(1);
+        };
+        let mut sims: Vec<f64> = Vec::new();
+        let mut holds = true;
+        for seed in BENCH_SEEDS {
+            let mut sim = match TrainingSim::new(case.cluster.spec().clone()) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("{}: cannot build sim: {e}", case.label);
+                    std::process::exit(1);
+                }
+            };
+            let strategy = match &case.strategy {
+                // The NVMe volume lives on the case's cluster; recreate
+                // it on the sim's own cluster (same drives, same id).
+                Strategy::ZeroInfinity { offload_params, .. } => {
+                    let vol = sim.cluster_mut().create_volume(vec![
+                        NvmeId { node: 0, drive: 0 },
+                        NvmeId { node: 0, drive: 1 },
+                    ]);
+                    Strategy::ZeroInfinity {
+                        offload_params: *offload_params,
+                        placement: InfinityPlacement::new(vec![vol]),
+                    }
+                }
+                s => s.clone(),
+            };
+            let opts = case.opts.with_jitter_seed(seed);
+            let model = GptConfig::paper_model_with_params(1.4);
+            match sim.run(&strategy, &model, &opts, &RunConfig::quick()) {
+                Ok(r) => {
+                    let t = r.iter_time.as_secs();
+                    holds &= bound.protocol_s <= t * (1.0 + 1e-9);
+                    sims.push(t);
+                }
+                Err(e) => {
+                    eprintln!("{} seed {seed}: sim failed: {e}", case.label);
+                    std::process::exit(1);
+                }
+            }
+        }
+        all_hold &= holds;
+        println!(
+            "[{}] {}: bound {:.4}s (wire SoL {:.4}s) vs sim {:.4}-{:.4}s",
+            if holds { "ok" } else { "VIOLATED" },
+            case.label,
+            bound.protocol_s,
+            bound.wire_sol_s,
+            sims.iter().fold(f64::INFINITY, |a, b| a.min(*b)),
+            sims.iter().fold(0.0_f64, |a, b| a.max(*b)),
+        );
+        rows.push(Json::Obj(vec![
+            ("config".into(), Json::Str(case.label.clone())),
+            ("protocol_bound_s".into(), Json::Num(bound.protocol_s)),
+            ("wire_sol_s".into(), Json::Num(bound.wire_sol_s)),
+            (
+                "sim_iter_s".into(),
+                Json::Arr(sims.iter().map(|t| Json::Num(*t)).collect()),
+            ),
+            ("holds".into(), Json::Bool(holds)),
+        ]));
+    }
+    let doc = Json::Obj(vec![
+        ("schema_version".into(), Json::Num(SCHEMA_VERSION)),
+        (
+            "seeds".into(),
+            Json::Arr(
+                BENCH_SEEDS
+                    .iter()
+                    .map(|s| {
+                        #[allow(clippy::cast_precision_loss)]
+                        Json::Num(*s as f64)
+                    })
+                    .collect(),
+            ),
+        ),
+        ("configs".into(), Json::Arr(rows)),
+        ("all_bounds_hold".into(), Json::Bool(all_hold)),
+    ]);
+    if let Err(e) = std::fs::write(path, doc.render() + "\n") {
+        eprintln!("--bench: cannot write {path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {path} (all_bounds_hold: {all_hold})");
+    std::process::exit(i32::from(!all_hold));
+}
+
 fn usage() -> ! {
     eprintln!(
         "usage: planlint [--json] [--level CODE=LEVEL]... [--nodes N | --topology SPEC] \
@@ -232,6 +448,17 @@ fn usage() -> ! {
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "zl008-selfcheck") {
+        zl008_selfcheck();
+    }
+    if let Some(pos) = args.iter().position(|a| a == "--bench") {
+        if pos + 1 >= args.len() {
+            eprintln!("--bench needs an output file path");
+            std::process::exit(2);
+        }
+        let path = args[pos + 1].clone();
+        bench_bounds(&path);
+    }
     let mut json = false;
     if let Some(pos) = args.iter().position(|a| a == "--json") {
         args.remove(pos);
@@ -310,7 +537,7 @@ fn main() {
     };
 
     let mut denies = 0usize;
-    let mut out: Vec<Json> = Vec::new();
+    let mut out: Vec<(String, AnalysisReport)> = Vec::new();
     for case in &cases {
         let report = match lint(case, config.clone()) {
             Ok(r) => r,
@@ -321,10 +548,7 @@ fn main() {
         };
         denies += report.deny_count();
         if json {
-            out.push(Json::Obj(vec![
-                ("config".into(), Json::Str(case.label.clone())),
-                ("report".into(), report.to_json()),
-            ]));
+            out.push((case.label.clone(), report));
         } else {
             let status = if report.deny_count() > 0 {
                 "DENY"
@@ -343,10 +567,89 @@ fn main() {
         }
     }
     if json {
-        println!("{}", Json::Arr(out).render());
+        println!("{}", render_json(&out).render());
     }
     if denies > 0 {
         eprintln!("planlint: {denies} deny-level finding(s)");
         std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(obj: &Json) -> Vec<&str> {
+        match obj {
+            Json::Obj(fields) => fields.iter().map(|(k, _)| k.as_str()).collect(),
+            other => panic!("expected an object, got {}", other.render()),
+        }
+    }
+
+    fn field<'a>(obj: &'a Json, name: &str) -> &'a Json {
+        match obj {
+            Json::Obj(fields) => fields
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .unwrap_or_else(|| panic!("missing field {name:?} in {}", obj.render())),
+            other => panic!("expected an object, got {}", other.render()),
+        }
+    }
+
+    /// Pins the `--json` document shape downstream tooling parses:
+    /// `schema_version` at the top level, then one `{config, report}`
+    /// entry per linted config, the report keeping its stable keys
+    /// (including the ZL009 `bound` verdict). Structural changes must
+    /// show up here *and* bump `SCHEMA_VERSION`.
+    #[test]
+    fn json_document_shape_is_pinned() {
+        let case = &golden_cases()[0];
+        let report = lint(case, LintConfig::new()).expect("golden config lints");
+        let doc = render_json(&[(case.label.clone(), report)]);
+
+        assert_eq!(keys(&doc), ["schema_version", "configs"]);
+        match field(&doc, "schema_version") {
+            Json::Num(v) => assert!((*v - SCHEMA_VERSION).abs() < f64::EPSILON),
+            other => panic!("schema_version must be a number, got {}", other.render()),
+        }
+        let Json::Arr(configs) = field(&doc, "configs") else {
+            panic!("configs must be an array");
+        };
+        assert_eq!(configs.len(), 1);
+        assert_eq!(keys(&configs[0]), ["config", "report"]);
+        assert!(matches!(field(&configs[0], "config"), Json::Str(_)));
+
+        let report = field(&configs[0], "report");
+        assert_eq!(
+            keys(report),
+            [
+                "diagnostics",
+                "deny",
+                "warnings",
+                "notes",
+                "suppressed",
+                "memory",
+                "links",
+                "bound"
+            ]
+        );
+        // A lowered golden config always carries the ZL009 verdict with
+        // its stable keys.
+        let bound = field(report, "bound");
+        assert_eq!(
+            keys(bound),
+            [
+                "wire_sol_s",
+                "protocol_s",
+                "critical_tasks",
+                "transfer_s",
+                "compute_s"
+            ]
+        );
+        // The serialized document round-trips through the renderer
+        // without structural surprises (stable key order).
+        let rendered = doc.render();
+        assert!(rendered.starts_with("{\"schema_version\":2"), "{rendered}");
     }
 }

@@ -10,8 +10,8 @@ pub mod data;
 pub mod experiments;
 
 /// All artifact ids: the paper's tables and figures in paper order,
-/// followed by the extension studies (`ext1`–`ext14`).
-pub const ARTIFACTS: [&str; 34] = [
+/// followed by the extension studies (`ext1`–`ext15`).
+pub const ARTIFACTS: [&str; 35] = [
     "fig1",
     "fig2",
     "table1",
@@ -45,6 +45,7 @@ pub const ARTIFACTS: [&str; 34] = [
     "ext12",
     "ext13",
     "ext14",
+    "ext15",
     "scorecard",
 ];
 
@@ -98,6 +99,7 @@ pub fn render(id: &str) -> String {
         "ext12" => extensions::ext12_jean_zay_scale(),
         "ext13" => fleet::ext13_fleet_economics(),
         "ext14" => serving::ext14_serving_latency(),
+        "ext15" => extensions::ext15_zeropp_roce_degradation(),
         "scorecard" => scorecard::scorecard(),
         other => panic!("unknown artifact id {other:?}"),
     }

@@ -29,7 +29,11 @@
 //! .with_run(RunConfig::quick());
 //! let report = search_plans(&cfg)?;
 //! assert!(report.pruned() + report.simulated() == report.enumerated());
-//! assert_eq!(report.best().unwrap().strategy_name, "PyTorch DDP");
+//! // The winner is a pure data-parallel placement (DDP and ZeRO-1/2
+//! // are near-ties at 1.4 B on one node; don't pin which one wins).
+//! let best = report.best().unwrap();
+//! assert_eq!((best.dp, best.tp, best.pp), (4, 1, 1));
+//! assert!(best.throughput_tflops().unwrap() > 0.0);
 //! # Ok(())
 //! # }
 //! ```

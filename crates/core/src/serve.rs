@@ -254,7 +254,22 @@ pub fn serve(
     }
 
     let requests = trace.sample();
-    let mut arrivals: Vec<f64> = requests.iter().map(|r| r.arrival_s).collect();
+    // Quantize finite arrivals onto the simulator's tick grid up front.
+    // The loop compares them against tick-quantized [`SimTime`] clocks;
+    // a sub-tick remainder makes `arrival <= t` unsatisfiable after the
+    // idle branch jumps `t` to that same (rounded-down) arrival, and the
+    // scheduler spins forever re-arming the jump — the open-loop
+    // admission hang. Closed-loop infinite arrivals stay infinite.
+    let mut arrivals: Vec<f64> = requests
+        .iter()
+        .map(|r| {
+            if r.arrival_s.is_finite() {
+                SimTime::from_secs(r.arrival_s).as_secs()
+            } else {
+                r.arrival_s
+            }
+        })
+        .collect();
     let mut st: Vec<ReqState> = requests
         .iter()
         .map(|r| ReqState {

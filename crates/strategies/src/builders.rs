@@ -13,7 +13,7 @@ use zerosim_model::GptConfig;
 
 use crate::calib::Calibration;
 use crate::options::TrainOptions;
-use crate::plan::{IterPlan, OpId, PhaseStage, PlanOp};
+use crate::plan::{Codec, IterPlan, OpId, PhaseStage, PlanOp};
 
 /// Everything an iteration planner needs to consult.
 #[derive(Debug, Clone, Copy)]
@@ -232,6 +232,25 @@ impl<'a> PlanCtx<'a> {
             },
             deps,
         )
+    }
+
+    /// A collective whose payload moves through a declared wire codec
+    /// (ZeRO++-style quantized communication). `bytes` stays the
+    /// full-precision payload; lowering and the analyzer price the wire
+    /// at `bytes × codec.ratio`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn collective_with_codec(
+        &mut self,
+        kind: CollectiveKind,
+        group: CommGroup,
+        bytes: f64,
+        cap: f64,
+        codec: Codec,
+        deps: &[OpId],
+    ) -> OpId {
+        let id = self.collective(kind, group, bytes, cap, deps);
+        self.plan.set_codec(id, codec);
+        id
     }
 
     /// A point-to-point transfer between memory tiers; the route is

@@ -69,8 +69,8 @@ pub use memory::MemoryPlan;
 pub use options::TrainOptions;
 pub use placement::{ParallelPlacement, PlacementSpans};
 pub use plan::{
-    IterPlan, OpId, OptimizerDevice, Phase, PhaseStage, PlanNode, PlanOp, WorkloadKind,
-    WorkloadPlan,
+    Codec, Dtype, IterPlan, OpId, OptimizerDevice, Phase, PhaseStage, PlanNode, PlanOp,
+    WorkloadKind, WorkloadPlan,
 };
 pub use registry::StrategyRegistry;
 pub use resilience::{
@@ -78,7 +78,7 @@ pub use resilience::{
     RecoveryPolicy,
 };
 pub use serving::{kv_bucket, kv_bytes_per_token, ServingStrategy};
-pub use zero::{InfinityPlacement, StateTier, ZeroStage};
+pub use zero::{InfinityPlacement, StateTier, ZeroPlusPlusFlags, ZeroStage};
 
 use std::fmt::Debug;
 
@@ -148,6 +148,14 @@ pub enum Strategy {
         /// Rank-to-volume assignment.
         placement: InfinityPlacement,
     },
+    /// ZeRO++ communication-efficiency extensions over ZeRO-3 (arXiv
+    /// 2306.10209): quantized weight all-gather (qwZ), hierarchical
+    /// secondary parameter shard (hpZ), quantized gradient reduction
+    /// (qgZ).
+    ZeroPlusPlus {
+        /// Which of the three extensions are enabled.
+        flags: ZeroPlusPlusFlags,
+    },
 }
 
 impl Strategy {
@@ -180,6 +188,53 @@ impl Strategy {
                     "ZeRO-Infinity (NVME opt)".into()
                 }
             }
+            Strategy::ZeroPlusPlus { flags } => {
+                let mut parts = Vec::new();
+                if flags.quantize_weights {
+                    parts.push("qwZ");
+                }
+                if flags.hierarchical_params {
+                    parts.push("hpZ");
+                }
+                if flags.quantize_gradients {
+                    parts.push("qgZ");
+                }
+                if parts.is_empty() {
+                    "ZeRO++".into()
+                } else {
+                    format!("ZeRO++ ({})", parts.join("+"))
+                }
+            }
+        }
+    }
+
+    /// ZeRO++ with only the quantized weight all-gather (qwZ) enabled.
+    pub fn qwz() -> Strategy {
+        Strategy::ZeroPlusPlus {
+            flags: ZeroPlusPlusFlags {
+                quantize_weights: true,
+                ..Default::default()
+            },
+        }
+    }
+
+    /// ZeRO++ with only the hierarchical secondary shard (hpZ) enabled.
+    pub fn hpz() -> Strategy {
+        Strategy::ZeroPlusPlus {
+            flags: ZeroPlusPlusFlags {
+                hierarchical_params: true,
+                ..Default::default()
+            },
+        }
+    }
+
+    /// ZeRO++ with only the quantized gradient reduction (qgZ) enabled.
+    pub fn qgz() -> Strategy {
+        Strategy::ZeroPlusPlus {
+            flags: ZeroPlusPlusFlags {
+                quantize_gradients: true,
+                ..Default::default()
+            },
         }
     }
 
@@ -199,6 +254,14 @@ impl Strategy {
                 optimizer_tier: StateTier::Gpu,
                 params_tier: StateTier::Gpu,
                 placement: None,
+                zeropp: ZeroPlusPlusFlags::default(),
+            }),
+            Strategy::ZeroPlusPlus { flags } => Some(zero::ZeroVariant {
+                stage: ZeroStage::Three,
+                optimizer_tier: StateTier::Gpu,
+                params_tier: StateTier::Gpu,
+                placement: None,
+                zeropp: *flags,
             }),
             Strategy::ZeroOffload {
                 stage,
@@ -212,6 +275,7 @@ impl Strategy {
                     StateTier::Gpu
                 },
                 placement: None,
+                zeropp: ZeroPlusPlusFlags::default(),
             }),
             Strategy::ZeroInfinity {
                 offload_params,
@@ -225,6 +289,7 @@ impl Strategy {
                     StateTier::Gpu
                 },
                 placement: Some(placement.clone()),
+                zeropp: ZeroPlusPlusFlags::default(),
             }),
             _ => None,
         }
@@ -287,7 +352,9 @@ impl Strategy {
             Strategy::Zero { stage } | Strategy::ZeroOffload { stage, .. } => {
                 Some(ZeroCapability::for_stage(*stage))
             }
-            Strategy::ZeroInfinity { .. } => Some(ZeroCapability::for_stage(ZeroStage::Three)),
+            Strategy::ZeroInfinity { .. } | Strategy::ZeroPlusPlus { .. } => {
+                Some(ZeroCapability::for_stage(ZeroStage::Three))
+            }
             _ => None,
         }
     }

@@ -153,8 +153,11 @@ pub fn lower(
     // Done-task per op: the TaskId downstream ops hook their deps onto.
     let mut done: Vec<TaskId> = Vec::with_capacity(plan.len());
 
-    for node in plan.nodes() {
+    for (i, node) in plan.nodes().iter().enumerate() {
         let deps: Vec<TaskId> = node.deps.iter().map(|d| done[d.index()]).collect();
+        // A declared codec means the encoded blob is what moves: scale
+        // the payload before the schedule or route prices it.
+        let ratio = plan.codec_ratio_at(i);
         let task = match &node.op {
             PlanOp::Overhead => b.delay(SimTime::from_secs(calib.iteration_overhead_s), &deps),
             PlanOp::LayerCompute { gpu, flops, label } => {
@@ -202,7 +205,10 @@ pub fn lower(
                 group,
                 bytes,
                 cap,
-            } => emit_collective_capped(&mut b, cluster, group, *kind, *bytes, &deps, *cap).done,
+            } => {
+                emit_collective_capped(&mut b, cluster, group, *kind, *bytes * ratio, &deps, *cap)
+                    .done
+            }
             PlanOp::TierTransfer {
                 src,
                 dst,
@@ -213,7 +219,7 @@ pub fn lower(
                 let route = cluster.route(*src, *dst);
                 b.transfer_capped(
                     route.links,
-                    bytes.max(1.0),
+                    (bytes * ratio).max(1.0),
                     route.latency,
                     route.cap,
                     *label,
@@ -238,7 +244,7 @@ pub fn lower(
                     .map(|r| {
                         b.transfer_capped(
                             r.links,
-                            (bytes / k).max(1.0),
+                            (bytes * ratio / k).max(1.0),
                             r.latency,
                             r.cap,
                             *label,

@@ -29,6 +29,8 @@
 //!    lowers once and re-stamps durations instead of rebuilding the DAG
 //!    `warmup + measure` times per run.
 
+use std::collections::BTreeMap;
+
 use zerosim_collectives::{wire_bytes, CollectiveKind, CommGroup};
 use zerosim_hw::{Cluster, GpuId, IoDir, MemLoc, SocketId, VolumeId};
 
@@ -140,6 +142,102 @@ pub enum OptimizerDevice {
     Gpu(GpuId),
     /// DeepSpeed's CPU Adam on a host socket (ZeRO-Offload/Infinity).
     Cpu(SocketId),
+}
+
+/// Element dtypes a [`Codec`] converts between.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dtype {
+    /// 32-bit IEEE float.
+    Fp32,
+    /// 16-bit IEEE float.
+    Fp16,
+    /// bfloat16.
+    Bf16,
+    /// 8-bit block-quantized integer.
+    Int8,
+    /// 4-bit block-quantized integer (two elements per byte).
+    Int4,
+}
+
+impl Dtype {
+    /// Bytes per element.
+    pub fn bytes(self) -> f64 {
+        match self {
+            Dtype::Fp32 => 4.0,
+            Dtype::Fp16 | Dtype::Bf16 => 2.0,
+            Dtype::Int8 => 1.0,
+            Dtype::Int4 => 0.5,
+        }
+    }
+
+    /// True for the block-quantized integer dtypes — data already run
+    /// through a quantizer, which a second codec must not re-encode.
+    pub fn is_quantized(self) -> bool {
+        matches!(self, Dtype::Int8 | Dtype::Int4)
+    }
+
+    /// Stable lowercase label for diagnostics and JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            Dtype::Fp32 => "fp32",
+            Dtype::Fp16 => "fp16",
+            Dtype::Bf16 => "bf16",
+            Dtype::Int8 => "int8",
+            Dtype::Int4 => "int4",
+        }
+    }
+}
+
+/// A declared on-the-wire codec for one transfer-class op (collective,
+/// tier transfer, or volume I/O).
+///
+/// Semantics: the op's `bytes` field keeps describing the *full-precision
+/// payload*; a declared codec states that what actually moves (and lands
+/// in the destination pool) is `bytes × ratio`. Decoding back to full
+/// precision is an explicit compute op whose label starts with
+/// `"dequant"` — the analyzer's ZL008 pass checks that every consumer of
+/// quantized bytes sits behind such a decode, and ZL002 checks that every
+/// decode has a declared encoder upstream (shrinkage without a codec is
+/// a conservation bug, exactly as before).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Codec {
+    /// Element dtype entering the encoder (e.g. FP16 weights).
+    pub dtype_in: Dtype,
+    /// Element dtype on the wire (e.g. INT8 for qwZ, INT4 for qgZ).
+    pub dtype_out: Dtype,
+    /// Quantization block size in elements (one scale per block). Purely
+    /// declarative; ZL008 sanity-checks it, lowering does not use it.
+    pub block: usize,
+    /// Declared wire-size ratio: encoded bytes = payload bytes × ratio.
+    pub ratio: f64,
+}
+
+impl Codec {
+    /// A block quantizer whose ratio follows from the dtype pair.
+    pub fn quantize(dtype_in: Dtype, dtype_out: Dtype, block: usize) -> Codec {
+        Codec {
+            dtype_in,
+            dtype_out,
+            block,
+            ratio: dtype_out.bytes() / dtype_in.bytes(),
+        }
+    }
+
+    /// The ratio implied by the dtype pair alone (ZL008 denies codecs
+    /// whose declared `ratio` disagrees with this).
+    pub fn expected_ratio(&self) -> f64 {
+        self.dtype_out.bytes() / self.dtype_in.bytes()
+    }
+
+    /// Encoded (on-the-wire / in-pool) size of a `bytes`-sized payload.
+    pub fn wire_bytes(&self, bytes: f64) -> f64 {
+        bytes * self.ratio
+    }
+
+    /// True when the codec shrinks bytes (a quantizer, not an expander).
+    pub fn is_narrowing(&self) -> bool {
+        self.ratio < 1.0
+    }
 }
 
 /// One semantic operation of a training iteration.
@@ -259,6 +357,9 @@ pub struct WorkloadPlan {
     nodes: Vec<PlanNode>,
     phase: Option<Phase>,
     kind: WorkloadKind,
+    /// Declared wire codecs, keyed by op index (side table so the op
+    /// variants stay codec-agnostic for out-of-tree matchers).
+    codecs: BTreeMap<usize, Codec>,
 }
 
 /// The historical name of [`WorkloadPlan`], kept as an alias: training
@@ -273,6 +374,7 @@ impl WorkloadPlan {
             nodes: Vec::new(),
             phase: Some(Phase::INPUT),
             kind: WorkloadKind::Iteration,
+            codecs: BTreeMap::new(),
         }
     }
 
@@ -287,6 +389,7 @@ impl WorkloadPlan {
                 stage: PhaseStage::Checkpoint,
             }),
             kind: WorkloadKind::Checkpoint,
+            codecs: BTreeMap::new(),
         }
     }
 
@@ -298,6 +401,7 @@ impl WorkloadPlan {
             nodes: Vec::new(),
             phase: Some(Phase::INPUT),
             kind: WorkloadKind::Prefill,
+            codecs: BTreeMap::new(),
         }
     }
 
@@ -309,6 +413,7 @@ impl WorkloadPlan {
             nodes: Vec::new(),
             phase: Some(Phase::INPUT),
             kind: WorkloadKind::Decode,
+            codecs: BTreeMap::new(),
         }
     }
 
@@ -363,6 +468,47 @@ impl WorkloadPlan {
         &self.nodes[id.0]
     }
 
+    /// Declares a wire codec on `id`, which must be a transfer-class op
+    /// ([`PlanOp::Collective`] / [`PlanOp::TierTransfer`] /
+    /// [`PlanOp::VolumeIo`]; enforced by [`WorkloadPlan::validate`]).
+    ///
+    /// # Panics
+    /// Panics if `id` does not belong to this plan.
+    pub fn set_codec(&mut self, id: OpId, codec: Codec) {
+        assert!(id.0 < self.nodes.len(), "codec on unknown op {id:?}");
+        self.codecs.insert(id.0, codec);
+    }
+
+    /// The codec declared on `id`, if any.
+    pub fn codec(&self, id: OpId) -> Option<&Codec> {
+        self.codecs.get(&id.0)
+    }
+
+    /// The codec declared on the op at `index`, if any. Index-based twin
+    /// of [`WorkloadPlan::codec`] for passes iterating `nodes()` by
+    /// position.
+    pub fn codec_at(&self, index: usize) -> Option<&Codec> {
+        self.codecs.get(&index)
+    }
+
+    /// The wire-size ratio of the op at `index`: the declared codec's
+    /// ratio, or 1.0 when the op moves raw bytes.
+    pub fn codec_ratio_at(&self, index: usize) -> f64 {
+        self.codecs.get(&index).map_or(1.0, |c| c.ratio)
+    }
+
+    /// All declared codecs as `(op id, codec)` in op order.
+    pub fn codecs(&self) -> impl Iterator<Item = (OpId, &Codec)> {
+        self.codecs.iter().map(|(&i, c)| (OpId(i), c))
+    }
+
+    /// Removes every codec declaration, leaving the ops untouched — the
+    /// "forgot to declare the quantizer" fault planlint's ZL002/ZL008
+    /// property tests inject.
+    pub fn strip_codecs(&mut self) {
+        self.codecs.clear();
+    }
+
     /// Total collective payload bytes (buffer sizes summed, not wire
     /// volume) — the quantity behind the paper's "ZeRO-3 moves 50% more"
     /// claim.
@@ -377,14 +523,16 @@ impl WorkloadPlan {
     }
 
     /// Total collective wire bytes under the schedules lowering will pick
-    /// (closed form; see [`zerosim_collectives::wire_bytes`]).
+    /// (closed form; see [`zerosim_collectives::wire_bytes`]). Codec-aware:
+    /// a declared codec scales the payload before the schedule prices it.
     pub fn collective_wire_bytes(&self) -> f64 {
         self.nodes
             .iter()
-            .filter_map(|n| match &n.op {
+            .enumerate()
+            .filter_map(|(i, n)| match &n.op {
                 PlanOp::Collective {
                     kind, group, bytes, ..
-                } => Some(wire_bytes(group, *kind, *bytes)),
+                } => Some(wire_bytes(group, *kind, *bytes * self.codec_ratio_at(i))),
                 _ => None,
             })
             .sum()
@@ -439,7 +587,12 @@ impl WorkloadPlan {
     ///   contain no optimizer step, contain forward compute, and append
     ///   at least one byte of KV cache (residency is the serving
     ///   contract); `KvAppend` ops are serving-only and must run in the
-    ///   `Prefill`/`Decode` stage.
+    ///   `Prefill`/`Decode` stage;
+    /// * declared codecs sit on transfer-class ops (collective / tier
+    ///   transfer / volume I/O) with a finite positive ratio. Deeper
+    ///   codec legality (ratio vs. dtypes, decode placement, double
+    ///   quantization) is planlint ZL008's domain, so a plan carrying a
+    ///   *mis-declared* codec still lowers and lints.
     pub fn validate(&self, cluster: &Cluster) -> Result<(), StrategyError> {
         let spec = cluster.spec();
         let gpu_ok = |g: &GpuId| g.node < spec.nodes && g.gpu < spec.gpus_per_node;
@@ -590,6 +743,25 @@ impl WorkloadPlan {
                         kv_appends += 1;
                     }
                 }
+            }
+        }
+        for (&i, codec) in &self.codecs {
+            let Some(node) = self.nodes.get(i) else {
+                return Err(StrategyError::plan(format!(
+                    "codec declared on unknown op {i}"
+                )));
+            };
+            if !matches!(
+                node.op,
+                PlanOp::Collective { .. } | PlanOp::TierTransfer { .. } | PlanOp::VolumeIo { .. }
+            ) {
+                return err(i, "codec declared on a non-transfer op".into());
+            }
+            if !(codec.ratio.is_finite() && codec.ratio > 0.0) {
+                return err(
+                    i,
+                    format!("codec ratio {} not finite-positive", codec.ratio),
+                );
             }
         }
         match self.kind {
@@ -915,6 +1087,81 @@ mod tests {
         );
         let e = p.validate(&c).unwrap_err();
         assert!(e.to_string().contains("serving phase"));
+    }
+
+    #[test]
+    fn codec_roundtrip_and_strip() {
+        let c = cluster();
+        let mut p = IterPlan::new();
+        p.set_phase(PhaseStage::Forward, 0);
+        let coll = p.push(
+            PlanOp::Collective {
+                kind: zerosim_collectives::CollectiveKind::AllGather,
+                group: CommGroup::new(vec![GpuId { node: 0, gpu: 0 }, GpuId { node: 0, gpu: 1 }]),
+                bytes: 1e6,
+                cap: f64::INFINITY,
+            },
+            &[],
+        );
+        p.set_phase(PhaseStage::Step, 0);
+        p.push(
+            PlanOp::OptimizerStep {
+                device: OptimizerDevice::Gpu(gpu0()),
+                params: 1.0,
+            },
+            &[coll],
+        );
+        let plain_wire = p.collective_wire_bytes();
+        let codec = Codec::quantize(Dtype::Fp16, Dtype::Int8, 2048);
+        assert_eq!(codec.ratio, 0.5);
+        assert!(codec.is_narrowing());
+        p.set_codec(coll, codec);
+        assert!(p.validate(&c).is_ok());
+        assert_eq!(p.codec(coll).unwrap().dtype_out, Dtype::Int8);
+        assert_eq!(p.codec_ratio_at(coll.index()), 0.5);
+        assert_eq!(p.codecs().count(), 1);
+        // Halving the payload halves the scheduled wire volume.
+        assert!((p.collective_wire_bytes() - plain_wire * 0.5).abs() < 1.0);
+        p.strip_codecs();
+        assert!(p.codec(coll).is_none());
+        assert_eq!(p.collective_wire_bytes(), plain_wire);
+    }
+
+    #[test]
+    fn codec_on_compute_op_rejected() {
+        let c = cluster();
+        let mut p = IterPlan::new();
+        p.set_phase(PhaseStage::Forward, 0);
+        let fwd = p.push(
+            PlanOp::LayerCompute {
+                gpu: gpu0(),
+                flops: 1e12,
+                label: "gemm",
+            },
+            &[],
+        );
+        p.set_phase(PhaseStage::Step, 0);
+        p.push(
+            PlanOp::OptimizerStep {
+                device: OptimizerDevice::Gpu(gpu0()),
+                params: 1.0,
+            },
+            &[fwd],
+        );
+        p.set_codec(fwd, Codec::quantize(Dtype::Fp16, Dtype::Int8, 64));
+        let e = p.validate(&c).unwrap_err();
+        assert!(e.to_string().contains("non-transfer"));
+    }
+
+    #[test]
+    fn non_finite_codec_ratio_rejected() {
+        let c = cluster();
+        let mut p = minimal_serving_plan(WorkloadKind::Prefill);
+        let mut codec = Codec::quantize(Dtype::Fp16, Dtype::Int4, 128);
+        codec.ratio = f64::NAN;
+        p.set_codec(OpId(0), codec);
+        let e = p.validate(&c).unwrap_err();
+        assert!(e.to_string().contains("finite-positive"));
     }
 
     #[test]

@@ -94,6 +94,19 @@ impl StrategyRegistry {
         }
         r
     }
+
+    /// Extends the registry with the three ZeRO++ strategies
+    /// (arXiv 2306.10209): qwZ, hpZ, and qgZ. Kept out of [`paper`]
+    /// so the Fig. 4/5 sweep matrix is unchanged; planlint and ext15
+    /// opt in explicitly.
+    #[must_use]
+    pub fn with_zeropp(mut self) -> Self {
+        use crate::Strategy;
+        for s in [Strategy::qwz(), Strategy::hpz(), Strategy::qgz()] {
+            self.register(s.name(), Box::new(s));
+        }
+        self
+    }
 }
 
 #[cfg(test)]
@@ -111,6 +124,15 @@ mod tests {
         assert!(!r.is_empty());
         assert_eq!(r.names().len(), r.len());
         assert_eq!(r.iter().count(), r.len());
+    }
+
+    #[test]
+    fn zeropp_family_registers_on_top_of_paper() {
+        let r = StrategyRegistry::paper().with_zeropp();
+        assert!(r.get("ZeRO++ (qwZ)").is_some());
+        assert!(r.get("ZeRO++ (hpZ)").is_some());
+        assert!(r.get("ZeRO++ (qgZ)").is_some());
+        assert_eq!(r.len(), StrategyRegistry::paper().len() + 3);
     }
 
     #[test]

@@ -8,12 +8,12 @@
 //! Adam spans the paper observes during the GPUs' idle time (Sec. V).
 
 use zerosim_collectives::{CollectiveKind, CommGroup};
-use zerosim_hw::{IoDir, MemLoc, VolumeId};
+use zerosim_hw::{GpuId, IoDir, MemLoc, VolumeId};
 
 use crate::builders::{IterCtx, PlanCtx};
 use crate::error::StrategyError;
 use crate::memory::MemoryPlan;
-use crate::plan::{IterPlan, OpId, PhaseStage};
+use crate::plan::{Codec, Dtype, IterPlan, OpId, PhaseStage};
 
 /// ZeRO optimization stage (Table I).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -82,6 +82,36 @@ impl InfinityPlacement {
     }
 }
 
+/// ZeRO++ communication-efficiency extensions layered on ZeRO-3
+/// (arXiv 2306.10209). Each flag is independent; the paper's full ZeRO++
+/// enables all three.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct ZeroPlusPlusFlags {
+    /// qwZ: FP16→INT8 block quantization on parameter all-gathers. The
+    /// plan declares a [`Codec`] on the gather and decodes explicitly
+    /// before compute consumes the weights.
+    pub quantize_weights: bool,
+    /// hpZ: a secondary fp16 parameter shard partitioned *within* each
+    /// node, so the backward re-gather is served over NVLink instead of
+    /// the inter-node wire. Pure placement — no codec.
+    pub hierarchical_params: bool,
+    /// qgZ: FP16→INT4 block quantization on the gradient reduce-scatter,
+    /// decoded per rank before the optimizer reads the shard.
+    pub quantize_gradients: bool,
+}
+
+impl ZeroPlusPlusFlags {
+    /// True when any extension is enabled.
+    pub fn any(self) -> bool {
+        self.quantize_weights || self.hierarchical_params || self.quantize_gradients
+    }
+}
+
+/// qwZ weight quantization block size in elements (one scale per block).
+const QWZ_BLOCK: usize = 2048;
+/// qgZ gradient quantization block size in elements.
+const QGZ_BLOCK: usize = 512;
+
 /// Fully-resolved ZeRO variant: stage plus state placement.
 #[derive(Debug, Clone, PartialEq)]
 pub(crate) struct ZeroVariant {
@@ -89,6 +119,7 @@ pub(crate) struct ZeroVariant {
     pub optimizer_tier: StateTier,
     pub params_tier: StateTier,
     pub placement: Option<InfinityPlacement>,
+    pub zeropp: ZeroPlusPlusFlags,
 }
 
 impl ZeroVariant {
@@ -114,6 +145,19 @@ impl ZeroVariant {
                 "NVMe tiers require a volume placement (and only they do)",
             ));
         }
+        if self.zeropp.any() {
+            if self.stage != ZeroStage::Three {
+                return Err(StrategyError::placement(format!(
+                    "ZeRO++ extends ZeRO-3, got stage {}",
+                    self.stage.number()
+                )));
+            }
+            if self.optimizer_tier != StateTier::Gpu || self.params_tier != StateTier::Gpu {
+                return Err(StrategyError::placement(
+                    "ZeRO++ variants keep optimizer and parameters on GPU",
+                ));
+            }
+        }
         Ok(())
     }
 }
@@ -131,7 +175,15 @@ pub(crate) fn memory_plan(ctx: &IterCtx<'_>, v: &ZeroVariant) -> Result<MemoryPl
 
     let params_gpu = if v.params_tier == StateTier::Gpu {
         if v.stage.partitions_parameters() {
-            2.0 * p / n
+            let primary = 2.0 * p / n;
+            if v.zeropp.hierarchical_params {
+                // hpZ trades HBM for NVLink-local re-gathers: a secondary
+                // fp16 shard partitioned within the node rides next to
+                // the global primary shard.
+                primary + 2.0 * p / ctx.cluster.spec().gpus_per_node as f64
+            } else {
+                primary
+            }
         } else {
             2.0 * p
         }
@@ -251,11 +303,43 @@ pub(crate) fn plan_iteration(
         ds_cap
     };
 
+    // hpZ: the backward re-gather is served from the secondary intra-node
+    // shard, one all-gather per node over NVLink instead of the global
+    // inter-node group. Groups are node-major like the rank list.
+    let node_groups: Vec<CommGroup> = {
+        let mut by_node: Vec<(usize, Vec<GpuId>)> = Vec::new();
+        for g in &gpus {
+            match by_node.iter_mut().find(|(node, _)| *node == g.node) {
+                Some((_, members)) => members.push(*g),
+                None => by_node.push((g.node, vec![*g])),
+            }
+        }
+        by_node
+            .into_iter()
+            .map(|(_, members)| CommGroup::new(members))
+            .collect()
+    };
+    let node_group_of: Vec<usize> = gpus
+        .iter()
+        .map(|g| {
+            node_groups
+                .iter()
+                .position(|ng| ng.ranks().contains(g))
+                .expect("every rank belongs to a node group")
+        })
+        .collect();
+    // Explicit decode span after a quantized collective: a fused dequant
+    // kernel, priced as one kernel launch.
+    let dequant_s = ctx.calib.kernel_overhead_s;
+
     // Helper to fetch a bucket's parameters before use under ZeRO-3.
+    // `secondary` marks the backward re-gather, which hpZ serves from the
+    // intra-node shard.
     let gather_bucket = |p: &mut PlanCtx<'_>,
                          prev: &mut Vec<OpId>,
                          comm_chain: &mut Vec<OpId>,
-                         bucket_params: f64| {
+                         bucket_params: f64,
+                         secondary: bool| {
         let bytes = 2.0 * bucket_params;
         // Prefetch depth 2: this gather waits for the gather two back.
         let gate = if comm_chain.len() >= 2 {
@@ -305,17 +389,54 @@ pub(crate) fn plan_iteration(
         if deps.is_empty() {
             deps.push(prologue);
         }
-        let h = p.collective(
-            CollectiveKind::AllGather,
-            group.clone(),
-            bytes,
-            gather_cap,
-            &deps,
-        );
-        comm_chain.push(h);
-        for t in prev.iter_mut() {
-            // Compute on every rank now also depends on the gather.
-            *t = p.barrier(&[*t, h]);
+        if secondary && v.zeropp.hierarchical_params {
+            // hpZ: per-node all-gathers from the secondary shard; the
+            // inter-node wire carries nothing for this bucket.
+            let hs: Vec<OpId> = node_groups
+                .iter()
+                .map(|ng| {
+                    p.collective(
+                        CollectiveKind::AllGather,
+                        ng.clone(),
+                        bytes,
+                        gather_cap,
+                        &deps,
+                    )
+                })
+                .collect();
+            let join = p.barrier(&hs);
+            comm_chain.push(join);
+            for (i, t) in prev.iter_mut().enumerate() {
+                *t = p.barrier(&[*t, hs[node_group_of[i]]]);
+            }
+        } else if v.zeropp.quantize_weights {
+            // qwZ: the gather moves INT8 blocks; each rank decodes before
+            // compute consumes the weights.
+            let h = p.collective_with_codec(
+                CollectiveKind::AllGather,
+                group.clone(),
+                bytes,
+                gather_cap,
+                Codec::quantize(Dtype::Fp16, Dtype::Int8, QWZ_BLOCK),
+                &deps,
+            );
+            comm_chain.push(h);
+            for (i, t) in prev.iter_mut().enumerate() {
+                *t = p.fixed_compute(gpus[i], dequant_s, "dequant", &[*t, h]);
+            }
+        } else {
+            let h = p.collective(
+                CollectiveKind::AllGather,
+                group.clone(),
+                bytes,
+                gather_cap,
+                &deps,
+            );
+            comm_chain.push(h);
+            for t in prev.iter_mut() {
+                // Compute on every rank now also depends on the gather.
+                *t = p.barrier(&[*t, h]);
+            }
         }
     };
 
@@ -340,7 +461,7 @@ pub(crate) fn plan_iteration(
             remaining -= chunk;
             let bucket_params = ctx.model.layer_params() * chunk as f64;
             if v.stage.partitions_parameters() {
-                gather_bucket(&mut p, &mut prev, &mut comm_chain, bucket_params);
+                gather_bucket(&mut p, &mut prev, &mut comm_chain, bucket_params, false);
             }
             for _l in 0..chunk {
                 for (i, g) in gpus.iter().enumerate() {
@@ -369,7 +490,7 @@ pub(crate) fn plan_iteration(
             remaining -= chunk;
             let bucket_params = ctx.model.layer_params() * chunk as f64;
             if v.stage.partitions_parameters() {
-                gather_bucket(&mut p, &mut prev, &mut comm_chain, bucket_params);
+                gather_bucket(&mut p, &mut prev, &mut comm_chain, bucket_params, true);
             }
             for _l in 0..chunk {
                 for (i, g) in gpus.iter().enumerate() {
@@ -397,9 +518,30 @@ pub(crate) fn plan_iteration(
             };
             let mut deps: Vec<OpId> = prev.clone();
             deps.extend(comm_chain.last().copied());
-            let h = p.collective(kind, group.clone(), grad_bytes, ds_cap, &deps);
+            let h = if v.zeropp.quantize_gradients {
+                // qgZ: INT4 blocks on the wire; each rank decodes its
+                // received shard before the optimizer reads it.
+                p.collective_with_codec(
+                    kind,
+                    group.clone(),
+                    grad_bytes,
+                    ds_cap,
+                    Codec::quantize(Dtype::Fp16, Dtype::Int4, QGZ_BLOCK),
+                    &deps,
+                )
+            } else {
+                p.collective(kind, group.clone(), grad_bytes, ds_cap, &deps)
+            };
             comm_chain.push(h);
-            grad_comms.push(h);
+            if v.zeropp.quantize_gradients {
+                let dq: Vec<OpId> = gpus
+                    .iter()
+                    .map(|g| p.fixed_compute(*g, dequant_s, "dequant", &[h]))
+                    .collect();
+                grad_comms.push(p.barrier(&dq));
+            } else {
+                grad_comms.push(h);
+            }
             if boundary && v.optimizer_tier != StateTier::Gpu {
                 for (rank, g) in gpus.iter().enumerate() {
                     let socket = rank_socket(rank, *g);
@@ -426,9 +568,28 @@ pub(crate) fn plan_iteration(
     };
     let mut deps: Vec<OpId> = prev.clone();
     deps.extend(comm_chain.last().copied());
-    let h = p.collective(kind, group.clone(), emb_bytes, ds_cap, &deps);
+    let h = if v.zeropp.quantize_gradients {
+        p.collective_with_codec(
+            kind,
+            group.clone(),
+            emb_bytes,
+            ds_cap,
+            Codec::quantize(Dtype::Fp16, Dtype::Int4, QGZ_BLOCK),
+            &deps,
+        )
+    } else {
+        p.collective(kind, group.clone(), emb_bytes, ds_cap, &deps)
+    };
     comm_chain.push(h);
-    grad_comms.push(h);
+    if v.zeropp.quantize_gradients {
+        let dq: Vec<OpId> = gpus
+            .iter()
+            .map(|g| p.fixed_compute(*g, dequant_s, "dequant", &[h]))
+            .collect();
+        grad_comms.push(p.barrier(&dq));
+    } else {
+        grad_comms.push(h);
+    }
     if v.optimizer_tier != StateTier::Gpu {
         for (rank, g) in gpus.iter().enumerate() {
             let socket = rank_socket(rank, *g);
@@ -566,6 +727,7 @@ mod tests {
             optimizer_tier: StateTier::Gpu,
             params_tier: StateTier::Gpu,
             placement: None,
+            zeropp: ZeroPlusPlusFlags::default(),
         }
     }
 
@@ -703,6 +865,7 @@ mod tests {
             optimizer_tier: StateTier::Nvme,
             params_tier: StateTier::Gpu,
             placement: Some(InfinityPlacement::new(vec![vol])),
+            zeropp: ZeroPlusPlusFlags::default(),
         };
         let dag = build(&ctx, &v);
         let nvme_secs = run(&mut cluster, &dag);
@@ -722,6 +885,113 @@ mod tests {
         );
     }
 
+    fn zeropp(qw: bool, hp: bool, qg: bool) -> ZeroVariant {
+        let mut v = plain(ZeroStage::Three);
+        v.zeropp = ZeroPlusPlusFlags {
+            quantize_weights: qw,
+            hierarchical_params: hp,
+            quantize_gradients: qg,
+        };
+        v
+    }
+
+    #[test]
+    fn all_zeropp_variants_execute_dual_node() {
+        for (qw, hp, qg) in [
+            (true, false, false),
+            (false, true, false),
+            (false, false, true),
+        ] {
+            let mut cluster = Cluster::new(ClusterSpec::default()).unwrap();
+            let model = GptConfig::default();
+            let opts = TrainOptions::dual_node();
+            let calib = Calibration::default();
+            let ctx = IterCtx {
+                cluster: &cluster,
+                model: &model,
+                opts: &opts,
+                calib: &calib,
+            };
+            let dag = build(&ctx, &zeropp(qw, hp, qg));
+            let secs = run(&mut cluster, &dag);
+            assert!(
+                secs > 0.05 && secs < 5.0,
+                "qw={qw} hp={hp} qg={qg} took {secs}s"
+            );
+        }
+    }
+
+    #[test]
+    fn quantized_variants_cut_wire_bytes() {
+        let cluster = Cluster::new(ClusterSpec::default()).unwrap();
+        let model = GptConfig::default();
+        let opts = TrainOptions::dual_node();
+        let calib = Calibration::default();
+        let ctx = IterCtx {
+            cluster: &cluster,
+            model: &model,
+            opts: &opts,
+            calib: &calib,
+        };
+        let base = plan_iteration(&ctx, &plain(ZeroStage::Three))
+            .unwrap()
+            .collective_wire_bytes();
+        let qwz = plan_iteration(&ctx, &zeropp(true, false, false))
+            .unwrap()
+            .collective_wire_bytes();
+        let qgz = plan_iteration(&ctx, &zeropp(false, false, true))
+            .unwrap()
+            .collective_wire_bytes();
+        assert!(
+            qwz < base,
+            "qwZ wire bytes {qwz} must be below ZeRO-3 {base}"
+        );
+        assert!(
+            qgz < base,
+            "qgZ wire bytes {qgz} must be below ZeRO-3 {base}"
+        );
+    }
+
+    #[test]
+    fn hpz_trades_memory_for_local_gathers() {
+        let cluster = Cluster::new(ClusterSpec::default()).unwrap();
+        let model = GptConfig::default();
+        let opts = TrainOptions::dual_node();
+        let calib = Calibration::default();
+        let ctx = IterCtx {
+            cluster: &cluster,
+            model: &model,
+            opts: &opts,
+            calib: &calib,
+        };
+        let base = memory_plan(&ctx, &plain(ZeroStage::Three))
+            .unwrap()
+            .per_gpu_bytes;
+        let hpz = memory_plan(&ctx, &zeropp(false, true, false))
+            .unwrap()
+            .per_gpu_bytes;
+        assert!(
+            hpz > base,
+            "hpZ secondary shard must cost GPU memory ({hpz} vs {base})"
+        );
+    }
+
+    #[test]
+    fn zeropp_requires_stage_three() {
+        let mut v = zeropp(true, false, false);
+        v.stage = ZeroStage::Two;
+        let e = v.validate().unwrap_err();
+        assert!(e.to_string().contains("ZeRO++ extends ZeRO-3"), "{e}");
+    }
+
+    #[test]
+    fn zeropp_requires_gpu_tiers() {
+        let mut v = zeropp(false, false, true);
+        v.optimizer_tier = StateTier::Cpu;
+        let e = v.validate().unwrap_err();
+        assert!(e.to_string().contains("on GPU"), "{e}");
+    }
+
     #[test]
     fn nvme_on_stage2_rejected() {
         let v = ZeroVariant {
@@ -729,6 +999,7 @@ mod tests {
             optimizer_tier: StateTier::Nvme,
             params_tier: StateTier::Gpu,
             placement: None,
+            zeropp: ZeroPlusPlusFlags::default(),
         };
         let e = v.validate().unwrap_err();
         assert!(e.to_string().contains("requires ZeRO-3"));
@@ -741,6 +1012,7 @@ mod tests {
             optimizer_tier: StateTier::Nvme,
             params_tier: StateTier::Gpu,
             placement: None,
+            zeropp: ZeroPlusPlusFlags::default(),
         };
         let e = v.validate().unwrap_err();
         assert!(e.to_string().contains("require a volume placement"));

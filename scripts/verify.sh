@@ -16,8 +16,11 @@
 #                   golden dozen) and the BENCH_engine.json scorecard
 #   7. sweep:       `repro --workers 4` must render the scorecard
 #                   byte-identically to the serial run
-#   8. planlint:    static analysis (ZL001-ZL007) over the 12 golden
-#                   paper configurations; any deny-level finding fails
+#   8. planlint:    static analysis (ZL001-ZL009) over the 12 golden
+#                   paper configurations; any deny-level finding fails.
+#                   The v2 gate additionally pins zero warnings, the
+#                   JSON schema_version, the zl008-selfcheck exit code,
+#                   and the ZL009 bound verdict (BENCH_planlint.json)
 #   9. planfind:    placement search smoke on a capacity-edge scenario;
 #                   asserts the >=50% static-prune floor
 #                   (BENCH_planfind.json) and width-invariant digests
@@ -138,6 +141,47 @@ echo "== planlint gate: golden configs must be deny-clean =="
 # and simulator-consistency checks live in tests/analyzer_lints.rs.
 cargo run --release -q -p zerosim-bench --bin planlint -- golden
 cargo test -q --test analyzer_lints
+
+echo "== planlint v2 gate: codec legality + static step-time bounds =="
+# The golden dozen must lint at zero deny AND zero warnings — every
+# config's status reads [  ok] and every summary line reports
+# "0 deny, 0 warning(s)" — and the JSON document must lead with its
+# schema version so downstream parsers get a contract.
+planlint_golden=$(cargo run --release -q -p zerosim-bench --bin planlint -- golden)
+if printf '%s\n' "$planlint_golden" | grep -Eq '^\[(warn|DENY)\]'; then
+    echo "planlint golden: a config linted at warn or DENY"
+    printf '%s\n' "$planlint_golden"
+    exit 1
+fi
+if printf '%s\n' "$planlint_golden" | grep 'planlint:' \
+        | grep -vq '0 deny, 0 warning(s)'; then
+    echo "planlint golden: expected zero deny and zero warnings everywhere"
+    printf '%s\n' "$planlint_golden"
+    exit 1
+fi
+cargo run --release -q -p zerosim-bench --bin planlint -- golden --json \
+    | grep -q '^{"schema_version":2' \
+    || { echo "planlint --json: missing top-level schema_version"; exit 1; }
+# A deliberately illegal codec plan (wrong ratio for its dtype pair,
+# compute fed encoded bytes with no decode) must exit 2 with ZL008
+# findings — a silently disabled analyzer cannot pass this gate.
+rc=0
+cargo run --release -q -p zerosim-bench --bin planlint -- zl008-selfcheck \
+    > planlint_selfcheck.log 2>&1 || rc=$?
+if [ "$rc" -ne 2 ]; then
+    echo "zl008-selfcheck: expected exit code 2, got $rc"
+    cat planlint_selfcheck.log
+    exit 1
+fi
+grep -q "ZL008" planlint_selfcheck.log \
+    || { echo "zl008-selfcheck: no ZL008 finding in output"; exit 1; }
+rm -f planlint_selfcheck.log
+# ZL009's static wire/protocol bounds must lower-bound the simulated
+# iteration time for the golden matrix and the ZeRO++ family across
+# jitter seeds (the binary exits non-zero if any bound is violated).
+cargo run --release -q -p zerosim-bench --bin planlint -- --bench BENCH_planlint.json
+grep -q '"all_bounds_hold":true' BENCH_planlint.json \
+    || { echo "BENCH_planlint.json: all_bounds_hold is not true"; exit 1; }
 
 echo "== planfind gate: capacity-edge search, honest pruning, width-invariant =="
 # The placement search on a single paper node at 8 B: DDP and the

@@ -2,11 +2,11 @@
 //!
 //! Three layers of evidence that the static analyzer tells the truth:
 //!
-//! 1. **Seeded violations** — for every lint code ZL001–ZL007, an
+//! 1. **Seeded violations** — for every lint code ZL001–ZL009, an
 //!    intentionally broken artifact proves the code fires *exactly once*
 //!    and at the *right site*, through the public `zerosim_analyzer`
 //!    API with the full default pass suite registered (so the fixtures
-//!    also prove the other six passes stay silent).
+//!    also prove the other eight passes stay silent).
 //! 2. **Self application** — every golden paper config lints completely
 //!    clean (zero deny, zero warnings), which is what the
 //!    `scripts/verify.sh` planlint gate enforces via the binary.
@@ -26,8 +26,9 @@ use zerosim_hw::{Cluster, ClusterSpec, GpuId, MemLoc, NvmeId, SocketId};
 use zerosim_model::GptConfig;
 use zerosim_simkit::{FaultKind, FaultSchedule};
 use zerosim_strategies::{
-    Calibration, InfinityPlacement, IterCtx, IterPlan, MemoryPlan, OptimizerDevice, PhaseStage,
-    PlanOp, ServingStrategy, Strategy, StrategyPlan, TrainOptions, WorkloadPlan, ZeroStage,
+    Calibration, Codec, Dtype, InfinityPlacement, IterCtx, IterPlan, MemoryPlan, OptimizerDevice,
+    PhaseStage, PlanOp, ServingStrategy, Strategy, StrategyPlan, TrainOptions, WorkloadPlan,
+    ZeroStage,
 };
 use zerosim_testkit::gen::usize_range;
 use zerosim_testkit::{prop, prop_assert};
@@ -732,6 +733,152 @@ fn zl004_static_link_set_covers_the_simulated_hot_links() {
     }
 }
 
+// ---------- ZL008 / ZL009: codecs and static step-time bounds ----------
+
+#[test]
+fn zl008_fires_once_on_compute_consuming_encoded_bytes() {
+    let cluster = default_cluster();
+    let mut plan = IterPlan::new();
+    plan.set_phase(PhaseStage::Forward, 0);
+    let gather = plan.push(
+        PlanOp::Collective {
+            kind: CollectiveKind::AllGather,
+            group: CommGroup::new(vec![g0(), GpuId { node: 0, gpu: 1 }]),
+            bytes: 1e9,
+            cap: 1e12,
+        },
+        &[],
+    );
+    plan.set_codec(gather, Codec::quantize(Dtype::Fp16, Dtype::Int8, 2048));
+    // The compute consumes the Int8 wire bytes directly: missing decode.
+    plan.push(
+        PlanOp::LayerCompute {
+            gpu: g0(),
+            flops: 1e12,
+            label: "gemm",
+        },
+        &[gather],
+    );
+    let r = lint(&Artifacts::new(&cluster).with_plan(&plan));
+    assert_eq!(r.diagnostics.len(), 1, "{}", r.render_text());
+    let d = &r.diagnostics[0];
+    assert_eq!(d.code, LintCode::CodecLegality);
+    assert_eq!(d.severity, Severity::Deny);
+    assert_eq!(d.site, Site::PlanOp(1));
+    assert!(d.message.contains("without a decode"), "{}", d.message);
+}
+
+/// ISSUE acceptance: the static byte accounting must show qgZ's Int4
+/// gradient reduce-scatter cutting inter-node backward reduction volume
+/// by at least 3.5x against plain ZeRO-3's ring reduce-scatter on the
+/// dual-node cluster. Priced exactly as ZL004 prices it: flat-ring
+/// `bytes_sent_per_rank` over the encoded wire payload.
+#[test]
+fn qgz_cuts_static_internode_gradient_volume_over_3_5x() {
+    let cluster = default_cluster();
+    let model = GptConfig::paper_model_with_params(1.4);
+    let calib = Calibration::default();
+    let opts = opts_for(2);
+    let backward_reduce_volume = |strategy: &Strategy| -> f64 {
+        let ctx = IterCtx {
+            cluster: &cluster,
+            model: &model,
+            opts: &opts,
+            calib: &calib,
+        };
+        let plan = strategy.plan_iteration(&ctx).unwrap();
+        plan.nodes()
+            .iter()
+            .enumerate()
+            .map(|(i, n)| match &n.op {
+                PlanOp::Collective {
+                    kind: kind @ CollectiveKind::ReduceScatter,
+                    group,
+                    bytes,
+                    ..
+                } if n.phase.stage == PhaseStage::Backward && !group.is_single_node() => {
+                    kind.bytes_sent_per_rank(group.len(), bytes * plan.codec_ratio_at(i))
+                }
+                _ => 0.0,
+            })
+            .sum()
+    };
+    let z3 = backward_reduce_volume(&Strategy::Zero {
+        stage: ZeroStage::Three,
+    });
+    let qgz = backward_reduce_volume(&Strategy::qgz());
+    assert!(z3 > 0.0, "ZeRO-3 reduces gradients across nodes");
+    assert!(qgz > 0.0, "qgZ still reduces gradients across nodes");
+    let reduction = z3 / qgz;
+    assert!(
+        reduction >= 3.5,
+        "qgZ inter-node reduction volume must drop >= 3.5x, got {reduction:.2}x \
+         ({z3:.3e} vs {qgz:.3e} bytes/rank)"
+    );
+}
+
+/// ZL009's protocol bound must lower-bound the simulated iteration time
+/// for the whole ZeRO++ family across jitter seeds (the golden dozen is
+/// swept the same way by `planlint --bench`, which verify.sh gates on).
+#[test]
+fn zl009_bound_lower_bounds_simulation_for_the_zeropp_family() {
+    let model = GptConfig::paper_model_with_params(1.4);
+    let calib = Calibration::default();
+    let opts = opts_for(2);
+    let strategies = [
+        Strategy::Zero {
+            stage: ZeroStage::Three,
+        },
+        Strategy::qwz(),
+        Strategy::hpz(),
+        Strategy::qgz(),
+    ];
+    for strategy in &strategies {
+        let cluster = default_cluster();
+        let r =
+            analyze_strategy(&cluster, strategy, &model, &opts, &calib, LintConfig::new()).unwrap();
+        assert_eq!(
+            r.deny_count(),
+            0,
+            "{}:\n{}",
+            strategy.name(),
+            r.render_text()
+        );
+        assert_eq!(
+            r.warning_count(),
+            0,
+            "{}:\n{}",
+            strategy.name(),
+            r.render_text()
+        );
+        let b = r.bound.clone().expect("ZL009 emitted a bound");
+        assert!(
+            b.wire_sol_s <= b.protocol_s * (1.0 + 1e-9),
+            "{}: wire SoL must not exceed the protocol bound",
+            strategy.name()
+        );
+        for seed in [0u64, 1, 7, 42] {
+            let mut sim = TrainingSim::new(ClusterSpec::default()).unwrap();
+            let t = sim
+                .run(
+                    strategy,
+                    &model,
+                    &opts.with_jitter_seed(seed),
+                    &RunConfig::quick(),
+                )
+                .unwrap()
+                .iter_time
+                .as_secs();
+            assert!(
+                b.protocol_s <= t * (1.0 + 1e-9),
+                "{} seed {seed}: static bound {} above simulated {t}",
+                strategy.name(),
+                b.protocol_s
+            );
+        }
+    }
+}
+
 // ---------- 4. properties ----------
 
 prop! {
@@ -777,6 +924,112 @@ prop! {
             let v = r.memory.clone().expect("ZL001 ran");
             prop_assert!(v.fits == memory.fits(&cluster));
             prop_assert!(r.is_clean() == v.fits);
+        }
+    }
+    /// Codec-aware pool accounting: a narrowing d2h stages exactly
+    /// `bytes x ratio` encoded bytes into host DRAM, for every dtype
+    /// pair and block size — a downstream read of exactly that many
+    /// bytes is clean, and an oversized read denies at the consumer.
+    #[cases(24)]
+    fn zl002_pools_credit_encoded_bytes_at_ratio(
+        pair in usize_range(0, 5),
+        block_pow in usize_range(4, 13),
+        gbs in usize_range(1, 9),
+    ) {
+        let (din, dout) = [
+            (Dtype::Fp32, Dtype::Fp16),
+            (Dtype::Fp32, Dtype::Int8),
+            (Dtype::Fp32, Dtype::Int4),
+            (Dtype::Fp16, Dtype::Int8),
+            (Dtype::Fp16, Dtype::Int4),
+        ][pair];
+        let codec = Codec::quantize(din, dout, 1 << block_pow);
+        #[allow(clippy::cast_precision_loss)]
+        let bytes = gbs as f64 * 1e9;
+        let staged = bytes * codec.ratio;
+        let build = |consume: f64| {
+            let mut plan = IterPlan::new();
+            plan.set_phase(PhaseStage::Backward, 0);
+            let d2h = plan.push(
+                PlanOp::TierTransfer {
+                    src: MemLoc::Gpu(g0()),
+                    dst: cpu0(),
+                    bytes,
+                    label: "d2h",
+                    track: 0,
+                },
+                &[],
+            );
+            plan.set_codec(d2h, codec);
+            plan.set_phase(PhaseStage::Step, 0);
+            plan.push(
+                PlanOp::TierTransfer {
+                    src: cpu0(),
+                    dst: MemLoc::Gpu(g0()),
+                    bytes: consume,
+                    label: "h2d",
+                    track: 0,
+                },
+                &[d2h],
+            );
+            plan
+        };
+        let cluster = default_cluster();
+        let clean = lint(&Artifacts::new(&cluster).with_plan(&build(staged)));
+        prop_assert!(clean.is_clean());
+        let over = lint(&Artifacts::new(&cluster).with_plan(&build(staged * 1.5 + 16.0)));
+        prop_assert!(over.deny_count() == 1);
+        prop_assert!(over.diagnostics[0].code == LintCode::ByteConservation);
+        prop_assert!(over.diagnostics[0].site == Site::PlanOp(1));
+    }
+
+    /// Stripping the codec declarations off a ZeRO++ quantized plan
+    /// flips ZL002 from clean to deny, sited at exactly the formerly
+    /// quantized transfers: their dequant markers now claim encoded
+    /// bytes nobody produced.
+    #[cases(8)]
+    fn zl002_denies_stripped_zeropp_codec_at_the_quantized_op(
+        which in usize_range(0, 2),
+        nodes in usize_range(1, 3),
+    ) {
+        let strategy = if which == 0 {
+            Strategy::qwz()
+        } else {
+            Strategy::qgz()
+        };
+        let cluster = default_cluster();
+        let model = GptConfig::paper_model_with_params(1.4);
+        let calib = Calibration::default();
+        let opts = opts_for(nodes);
+        let ctx = IterCtx {
+            cluster: &cluster,
+            model: &model,
+            opts: &opts,
+            calib: &calib,
+        };
+        let memory = strategy.plan_memory(&ctx).unwrap();
+        let mut plan = strategy.plan_iteration(&ctx).unwrap();
+        let quantized: HashSet<usize> = plan.codecs().map(|(id, _)| id.index()).collect();
+        prop_assert!(!quantized.is_empty());
+        let clean = lint(
+            &Artifacts::new(&cluster)
+                .with_plan(&plan)
+                .with_memory(&memory),
+        );
+        prop_assert!(clean.deny_count() == 0);
+        plan.strip_codecs();
+        let r = lint(
+            &Artifacts::new(&cluster)
+                .with_plan(&plan)
+                .with_memory(&memory),
+        );
+        prop_assert!(r.deny_count() >= 1);
+        for d in r.diagnostics.iter().filter(|d| d.severity == Severity::Deny) {
+            prop_assert!(d.code == LintCode::ByteConservation);
+            match &d.site {
+                Site::PlanOp(op) => prop_assert!(quantized.contains(op)),
+                other => prop_assert!(false, "unexpected site {other:?}"),
+            }
         }
     }
 }

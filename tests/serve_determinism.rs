@@ -61,6 +61,46 @@ fn serve_spec_replays_byte_identically_and_tracks_its_seed() {
     assert_ne!(a.digest, c.digest, "the trace seed must matter");
 }
 
+/// Every serving run terminates with all requests served under both
+/// arrival processes. Folded in from the former `open_loop_hang.rs`
+/// regression test for the open-loop admission hang: an
+/// `ArrivalProcess::Open` arrival with a sub-tick remainder could never
+/// satisfy `arrival <= t` after the idle branch jumped the clock to
+/// that same (tick-rounded-down) arrival, so the scheduler spun forever
+/// re-arming the jump. Closed-loop traces never exposed it because
+/// their arrivals are 0.0 or released at an already-quantized
+/// completion time — which is why this sweep covers both processes.
+#[test]
+fn both_arrival_processes_terminate_across_seeds() {
+    use zerosim_core::{ArrivalProcess, ServeSpec};
+    use zerosim_strategies::{ServingStrategy, TrainOptions};
+
+    let arrivals = [
+        ArrivalProcess::Open { rate_rps: 10.0 },
+        ArrivalProcess::Closed { concurrency: 2 },
+    ];
+    for arrival in arrivals {
+        for seed in 0..20u64 {
+            let trace = TraceConfig {
+                requests: 4,
+                arrivals: arrival,
+                prompt_tokens: (64, 128),
+                output_tokens: (4, 8),
+                seed,
+            };
+            let spec = ServeSpec::new(
+                format!("{arrival:?}-{seed}"),
+                ServingStrategy::Dense,
+                zerosim_model::GptConfig::paper_model_with_params(1.4),
+                TrainOptions::single_node(),
+                trace,
+            );
+            let run = spec.execute().expect("serving run completes");
+            assert_eq!(run.report.requests, 4, "{arrival:?} seed {seed}");
+        }
+    }
+}
+
 #[test]
 fn trace_sampling_is_a_pure_function_of_the_config() {
     let cfg = golden_trace();
